@@ -1,0 +1,148 @@
+// Ablation for the paper's §5 future work: what do the two necessary
+// conditions save when testing and searching for p-sensitive k-anonymity?
+//
+// Three experiments:
+//  1. Adversarial microdata where Algorithm 1 must scan (almost) every
+//     QI-group before finding the violation, while Algorithm 2's
+//     Condition 2 proves infeasibility upfront.
+//  2. The same check with the Condition bounds precomputed on the initial
+//     microdata (the Theorems 1-2 reuse pattern inside lattice searches).
+//  3. A full lattice sweep with use_conditions on/off, counting how many
+//     detailed per-group scans Condition 2 eliminates.
+
+#include <benchmark/benchmark.h>
+
+#include "psk/algorithms/exhaustive.h"
+#include "psk/anonymity/psensitive.h"
+#include "psk/common/check.h"
+#include "psk/datagen/synthetic.h"
+#include "psk/table/table.h"
+
+namespace psk {
+namespace {
+
+// Worst case for Algorithm 1, best case for Condition 2. G groups of p
+// tuples each; the first G-1 groups contain p-1 globally-unique "rare"
+// values plus one "common" value (p distinct -> they pass); the last group
+// is all-common (fails). Then cf_1 = G + p - 1 and
+// maxGroups(p) = (n - cf_1) / (p - 1) = G - 1 < G, so Condition 2 rejects
+// immediately, while the basic algorithm scans G-1 passing groups first.
+Table AdversarialTable(size_t num_groups, size_t p) {
+  auto schema = Schema::Create(
+      {{"K", ValueType::kInt64, AttributeRole::kKey},
+       {"S", ValueType::kString, AttributeRole::kConfidential}});
+  PSK_CHECK(schema.ok());
+  Table table(std::move(schema).value());
+  size_t rare_id = 0;
+  for (size_t g = 0; g < num_groups; ++g) {
+    bool failing = (g == num_groups - 1);
+    for (size_t j = 0; j < p; ++j) {
+      std::string value = (failing || j == p - 1)
+                              ? std::string("common")
+                              : "rare" + std::to_string(rare_id++);
+      PSK_CHECK(table
+                    .AppendRow({Value(static_cast<int64_t>(g)),
+                                Value(std::move(value))})
+                    .ok());
+    }
+  }
+  return table;
+}
+
+void BM_Algorithm1Basic(benchmark::State& state) {
+  const size_t p = 4;
+  Table table = AdversarialTable(static_cast<size_t>(state.range(0)), p);
+  size_t groups_examined = 0;
+  for (auto _ : state) {
+    auto outcome = CheckBasic(table, p, p);
+    PSK_CHECK(outcome.ok());
+    PSK_CHECK(!outcome->satisfied);
+    groups_examined = outcome->groups_examined;
+    benchmark::DoNotOptimize(outcome->stage);
+  }
+  state.counters["groups_examined"] = static_cast<double>(groups_examined);
+}
+BENCHMARK(BM_Algorithm1Basic)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_Algorithm2Improved(benchmark::State& state) {
+  const size_t p = 4;
+  Table table = AdversarialTable(static_cast<size_t>(state.range(0)), p);
+  size_t groups_examined = 0;
+  for (auto _ : state) {
+    auto outcome = CheckImproved(table, p, p);
+    PSK_CHECK(outcome.ok());
+    PSK_CHECK(!outcome->satisfied);
+    PSK_CHECK(outcome->stage == CheckStage::kCondition2);
+    groups_examined = outcome->groups_examined;
+    benchmark::DoNotOptimize(outcome->stage);
+  }
+  state.counters["groups_examined"] = static_cast<double>(groups_examined);
+}
+BENCHMARK(BM_Algorithm2Improved)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_Algorithm2PrecomputedBounds(benchmark::State& state) {
+  const size_t p = 4;
+  Table table = AdversarialTable(static_cast<size_t>(state.range(0)), p);
+  auto stats = FrequencyStats::Compute(table);
+  PSK_CHECK(stats.ok());
+  auto max_groups = stats->MaxGroups(p);
+  PSK_CHECK(max_groups.ok());
+  ConditionBounds bounds{stats->MaxP(), *max_groups};
+  auto keys = table.schema().KeyIndices();
+  auto confs = table.schema().ConfidentialIndices();
+  for (auto _ : state) {
+    auto outcome = CheckImproved(table, keys, confs, p, p, bounds);
+    PSK_CHECK(outcome.ok());
+    PSK_CHECK(outcome->stage == CheckStage::kCondition2);
+    benchmark::DoNotOptimize(outcome->stage);
+  }
+}
+BENCHMARK(BM_Algorithm2PrecomputedBounds)->Arg(1000)->Arg(10000)->Arg(50000);
+
+// Lattice sweep where Condition 2 prunes the fine-grained nodes: balanced
+// keys (k-anonymity holds at the bottom with ~1000 groups) and a heavily
+// skewed confidential attribute (maxGroups(4) ~ 0.05 n).
+SyntheticData SweepData(size_t num_rows) {
+  SyntheticSpec spec =
+      MakeUniformSpec(num_rows, /*num_key=*/2, /*key_card=*/32,
+                      /*num_conf=*/2, /*conf_card=*/8, /*conf_theta=*/2.5);
+  auto data = SyntheticGenerate(spec, /*seed=*/42);
+  PSK_CHECK(data.ok());
+  return std::move(data).value();
+}
+
+void SweepWithConditions(benchmark::State& state, bool use_conditions) {
+  SyntheticData data = SweepData(static_cast<size_t>(state.range(0)));
+  size_t detail_scans = 0;
+  size_t pruned = 0;
+  for (auto _ : state) {
+    SearchOptions options;
+    options.k = 4;
+    options.p = 4;
+    options.max_suppression = state.range(0) / 50;
+    options.use_conditions = use_conditions;
+    auto result = ExhaustiveSearch(data.table, data.hierarchies, options);
+    PSK_CHECK(result.ok());
+    detail_scans = result->stats.nodes_rejected_detail +
+                   result->stats.nodes_satisfied;
+    pruned = result->stats.nodes_pruned_condition2;
+    benchmark::DoNotOptimize(result->minimal_nodes);
+  }
+  state.counters["detail_scans"] = static_cast<double>(detail_scans);
+  state.counters["condition2_pruned"] = static_cast<double>(pruned);
+}
+
+void BM_LatticeSweepWithConditions(benchmark::State& state) {
+  SweepWithConditions(state, true);
+}
+BENCHMARK(BM_LatticeSweepWithConditions)->Arg(2000)->Arg(8000);
+
+void BM_LatticeSweepWithoutConditions(benchmark::State& state) {
+  SweepWithConditions(state, false);
+}
+BENCHMARK(BM_LatticeSweepWithoutConditions)->Arg(2000)->Arg(8000);
+
+}  // namespace
+}  // namespace psk
+
+BENCHMARK_MAIN();

@@ -1,0 +1,124 @@
+// Risk-Utility (R-U) frontier: for every node of the Adult generalization
+// lattice, plot the re-identification risk of the masked microdata against
+// its utility loss, and mark which points are Pareto-optimal. The local
+// recoding methods (Mondrian, greedy clustering) are overlaid to show how
+// far inside the frontier full-domain generalization sits.
+//
+// This is the classic SDC "R-U confidentiality map" (Duncan et al.)
+// instantiated for the paper's workload — an extension experiment.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "psk/algorithms/greedy_cluster.h"
+#include "psk/algorithms/mondrian.h"
+#include "psk/anonymity/psensitive.h"
+#include "psk/datagen/adult.h"
+#include "psk/generalize/generalize.h"
+#include "psk/metrics/metrics.h"
+#include "psk/metrics/risk.h"
+
+namespace {
+
+template <typename T>
+T Unwrap(psk::Result<T> result) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+struct Point {
+  std::string label;
+  double risk = 0.0;       // prosecutor max risk
+  uint64_t utility_loss = 0;  // discernibility
+  size_t disclosures = 0;
+};
+
+}  // namespace
+
+int main() {
+  const size_t n = 2000;
+  const size_t k = 3;
+  psk::Table im = Unwrap(psk::AdultGenerate(n, /*seed=*/1));
+  psk::HierarchySet hierarchies = Unwrap(psk::AdultHierarchies(im.schema()));
+  psk::GeneralizationLattice lattice(hierarchies);
+
+  std::vector<Point> points;
+  for (const psk::LatticeNode& node : lattice.AllNodes()) {
+    psk::MaskedMicrodata mm = Unwrap(psk::Mask(im, hierarchies, node, k));
+    if (mm.suppressed > n / 50) continue;  // over the suppression budget
+    auto keys = mm.table.schema().KeyIndices();
+    Point point;
+    point.label = node.ToString(hierarchies);
+    point.risk = Unwrap(psk::ProsecutorRisk(mm.table, keys)).max_risk;
+    point.utility_loss = Unwrap(psk::DiscernibilityMetric(
+        mm.table, keys, mm.suppressed, n));
+    point.disclosures = Unwrap(psk::CountAttributeDisclosures(
+        mm.table, keys, mm.table.schema().ConfidentialIndices()));
+    points.push_back(std::move(point));
+  }
+
+  // Pareto filter: a point is on the frontier if no other point has both
+  // lower risk and lower utility loss.
+  auto dominated = [&](const Point& p) {
+    for (const Point& q : points) {
+      if ((q.risk < p.risk && q.utility_loss <= p.utility_loss) ||
+          (q.risk <= p.risk && q.utility_loss < p.utility_loss)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  std::printf(
+      "R-U frontier on synthetic Adult (n = %zu, k = %zu, suppression "
+      "budget 2%%)\n\n",
+      n, k);
+  std::printf("%-22s %-10s %-12s %-12s %s\n", "node", "max risk",
+              "discern.", "disclosures", "frontier");
+  std::sort(points.begin(), points.end(),
+            [](const Point& a, const Point& b) { return a.risk < b.risk; });
+  size_t frontier_count = 0;
+  for (const Point& p : points) {
+    bool on_frontier = !dominated(p);
+    if (on_frontier) ++frontier_count;
+    // Print frontier points plus a sample of interior ones.
+    if (on_frontier || p.disclosures == 0) {
+      std::printf("%-22s %-10.4f %-12llu %-12zu %s\n", p.label.c_str(),
+                  p.risk, static_cast<unsigned long long>(p.utility_loss),
+                  p.disclosures, on_frontier ? "*" : "");
+    }
+  }
+  std::printf("\n%zu of %zu feasible nodes are Pareto-optimal\n\n",
+              frontier_count, points.size());
+
+  // Local recoding overlays.
+  psk::MondrianOptions mondrian_options;
+  mondrian_options.k = k;
+  psk::MondrianResult mondrian =
+      Unwrap(psk::MondrianAnonymize(im, mondrian_options));
+  psk::GreedyClusterOptions cluster_options;
+  cluster_options.k = k;
+  psk::GreedyClusterResult cluster =
+      Unwrap(psk::GreedyClusterAnonymize(im, cluster_options));
+  for (const auto& [label, masked] :
+       {std::pair<const char*, const psk::Table*>{"mondrian",
+                                                  &mondrian.masked},
+        std::pair<const char*, const psk::Table*>{"greedy-cluster",
+                                                  &cluster.masked}}) {
+    auto keys = masked->schema().KeyIndices();
+    std::printf("%-22s %-10.4f %-12llu (local recoding)\n", label,
+                Unwrap(psk::ProsecutorRisk(*masked, keys)).max_risk,
+                static_cast<unsigned long long>(Unwrap(
+                    psk::DiscernibilityMetric(*masked, keys, 0, n))));
+  }
+  std::printf(
+      "\nReading: at equal max risk (1/k), local recoding sits far below "
+      "every full-domain\nfrontier point on utility loss — the price of "
+      "single-dimensional global recoding.\n");
+  return 0;
+}

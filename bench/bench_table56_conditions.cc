@@ -1,0 +1,68 @@
+// Regenerates Tables 5-6 and the §3 Example 1 analysis: frequency sets,
+// cumulative frequency sets, cf_i, maxP (Condition 1), and maxGroups(p)
+// (Condition 2) for the 1,000-tuple example microdata.
+//
+// Paper values: maxP = 5; maxGroups: p=2 -> 300, p=3 -> 100, p=4 -> 50,
+// p=5 -> 25.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "psk/anonymity/frequency_stats.h"
+#include "psk/datagen/paper_tables.h"
+
+namespace {
+
+template <typename T>
+T Unwrap(psk::Result<T> result) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+}  // namespace
+
+int main() {
+  psk::Table im = Unwrap(psk::Example1Table());
+  psk::FrequencyStats stats = Unwrap(psk::FrequencyStats::Compute(im));
+
+  std::printf("Example 1 microdata: n = %zu, q = %zu\n\n", stats.n(),
+              stats.q());
+
+  std::printf("Table 5: descending frequency sets f_i^j\n");
+  for (size_t j = 0; j < stats.q(); ++j) {
+    std::printf("  S%zu (s_%zu = %2zu): ", j + 1, j + 1, stats.s(j));
+    for (size_t i = 0; i < stats.s(j); ++i) {
+      std::printf("%zu ", stats.f(j, i));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nTable 6: cumulative frequency sets cf_i^j\n");
+  for (size_t j = 0; j < stats.q(); ++j) {
+    std::printf("  S%zu:            ", j + 1);
+    for (size_t i = 0; i < stats.s(j); ++i) {
+      std::printf("%zu ", stats.cf(j, i));
+    }
+    std::printf("\n");
+  }
+  std::printf("  cf_i = max_j:  ");
+  for (size_t i = 0; i < stats.MaxP(); ++i) {
+    std::printf("%zu ", stats.cf_max(i));
+  }
+  std::printf("\n");
+
+  std::printf("\nCondition 1: maxP = %zu   (paper: 5)\n", stats.MaxP());
+  std::printf("Condition 2: maxGroups(p)\n");
+  std::printf("  %-4s %-10s %s\n", "p", "maxGroups", "paper");
+  const size_t paper[] = {0, 0, 300, 100, 50, 25};
+  for (size_t p = 2; p <= stats.MaxP(); ++p) {
+    std::printf("  %-4zu %-10llu %zu\n", p,
+                static_cast<unsigned long long>(
+                    Unwrap(stats.MaxGroups(p))),
+                paper[p]);
+  }
+  return 0;
+}

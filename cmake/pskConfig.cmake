@@ -1,0 +1,6 @@
+# find_package(psk) entry point: loads the exported targets and their
+# transitive dependencies. Link against psk::all (everything) or the
+# individual psk::psk_<module> targets.
+include(CMakeFindDependencyMacro)
+find_dependency(Threads)
+include("${CMAKE_CURRENT_LIST_DIR}/pskTargets.cmake")

@@ -1,0 +1,135 @@
+// A full anonymization study on the (synthetic) Adult census microdata,
+// following the paper's §4 experiment and going one step further:
+//
+//  1. generate the initial microdata and configure the Table 7 hierarchies;
+//  2. find the k-minimal generalization (Samarati binary search) and
+//     measure the attribute disclosures k-anonymity leaves behind;
+//  3. find the p-k-minimal generalization (Algorithm 3) and verify the
+//     disclosures are gone;
+//  4. compare utility (discernibility, precision, average group size)
+//     between both full-domain solutions and the Mondrian local-recoding
+//     baseline.
+
+#include <cstdio>
+#include <iostream>
+
+#include "psk/algorithms/mondrian.h"
+#include "psk/algorithms/samarati.h"
+#include "psk/anonymity/psensitive.h"
+#include "psk/datagen/adult.h"
+#include "psk/metrics/metrics.h"
+
+namespace {
+
+template <typename T>
+T Unwrap(psk::Result<T> result) {
+  if (!result.ok()) {
+    std::cerr << "error: " << result.status() << "\n";
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+void Report(const char* label, const psk::Table& masked,
+            uint64_t discernibility, double precision, double avg_group) {
+  size_t disclosures = Unwrap(psk::CountAttributeDisclosures(
+      masked, masked.schema().KeyIndices(),
+      masked.schema().ConfidentialIndices()));
+  std::printf("%-28s | rows %-5zu | disclosures %-4zu | DM %-10llu | "
+              "Prec %.3f | C_avg %.2f\n",
+              label, masked.num_rows(), disclosures,
+              static_cast<unsigned long long>(discernibility), precision,
+              avg_group);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t n = 4000;
+  size_t k = 3;
+  size_t p = 2;
+  if (argc > 1) n = static_cast<size_t>(std::atoll(argv[1]));
+  if (argc > 2) k = static_cast<size_t>(std::atoll(argv[2]));
+  if (argc > 3) p = static_cast<size_t>(std::atoll(argv[3]));
+
+  std::printf("Adult anonymization study: n = %zu, k = %zu, p = %zu\n\n", n,
+              k, p);
+
+  psk::Table im = Unwrap(psk::AdultGenerate(n, /*seed=*/1));
+  psk::HierarchySet hierarchies = Unwrap(psk::AdultHierarchies(im.schema()));
+  psk::GeneralizationLattice lattice(hierarchies);
+  std::printf("lattice: %llu nodes, height %d (Table 7 hierarchies)\n\n",
+              static_cast<unsigned long long>(lattice.NumNodes()),
+              lattice.height());
+
+  auto keys = im.schema().KeyIndices();
+
+  // Step 1: plain k-anonymity (the paper's baseline).
+  psk::SearchOptions k_only;
+  k_only.k = k;
+  k_only.p = 1;
+  k_only.max_suppression = 0;
+  psk::SearchResult k_result =
+      Unwrap(psk::SamaratiSearch(im, hierarchies, k_only));
+  if (!k_result.found) {
+    std::printf("no k-minimal generalization exists for k = %zu\n", k);
+    return 1;
+  }
+  std::printf("k-minimal generalization:    %s (height %d)\n",
+              k_result.node.ToString(hierarchies).c_str(),
+              k_result.node.Height());
+
+  // Step 2: p-sensitive k-anonymity (Algorithm 3).
+  psk::SearchOptions with_p = k_only;
+  with_p.p = p;
+  psk::SearchResult p_result =
+      Unwrap(psk::SamaratiSearch(im, hierarchies, with_p));
+  if (!p_result.found) {
+    std::printf("no p-k-minimal generalization exists for p = %zu\n", p);
+    return 1;
+  }
+  std::printf("p-k-minimal generalization:  %s (height %d)\n\n",
+              p_result.node.ToString(hierarchies).c_str(),
+              p_result.node.Height());
+
+  // Step 3: Mondrian local recoding with the same constraints.
+  psk::MondrianOptions mondrian_options;
+  mondrian_options.k = k;
+  mondrian_options.p = p;
+  psk::MondrianResult mondrian =
+      Unwrap(psk::MondrianAnonymize(im, mondrian_options));
+
+  // Step 4: compare.
+  Report("k-anonymity (full domain)", k_result.masked,
+         Unwrap(psk::DiscernibilityMetric(
+             k_result.masked, k_result.masked.schema().KeyIndices(),
+             k_result.suppressed, n)),
+         psk::Precision(k_result.node, hierarchies),
+         Unwrap(psk::NormalizedAvgGroupSize(
+             k_result.masked, k_result.masked.schema().KeyIndices(), k)));
+  Report("p-sensitive k (full domain)", p_result.masked,
+         Unwrap(psk::DiscernibilityMetric(
+             p_result.masked, p_result.masked.schema().KeyIndices(),
+             p_result.suppressed, n)),
+         psk::Precision(p_result.node, hierarchies),
+         Unwrap(psk::NormalizedAvgGroupSize(
+             p_result.masked, p_result.masked.schema().KeyIndices(), k)));
+  Report("p-sensitive k (Mondrian)", mondrian.masked,
+         Unwrap(psk::DiscernibilityMetric(
+             mondrian.masked, mondrian.masked.schema().KeyIndices(), 0, n)),
+         /*precision=*/-0.0,  // not defined for local recoding
+         Unwrap(psk::NormalizedAvgGroupSize(
+             mondrian.masked, mondrian.masked.schema().KeyIndices(), k)));
+
+  std::printf(
+      "\nsearch work: k-only generalized %zu nodes; p-k generalized %zu "
+      "nodes (Condition 2 pruned %zu)\n",
+      k_result.stats.nodes_generalized, p_result.stats.nodes_generalized,
+      p_result.stats.nodes_pruned_condition2);
+  std::printf(
+      "\nReading: k-anonymity leaves attribute disclosures; requiring p >= 2 "
+      "removes them at\nthe cost of a higher lattice node (less precision); "
+      "Mondrian buys the same guarantee\nwith far better utility by recoding "
+      "locally instead of globally.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Composition (intersection) attack across multiple releases: each release
+// on its own satisfies p-sensitive k-anonymity, but an intruder holding
+// both can intersect the candidate diagnosis sets and recover values
+// neither release discloses alone (cf. Ganta et al. 2008). This
+// demonstrates why the data owner must account for *all* releases of the
+// same microdata — a limitation the p-sensitive model (like k-anonymity)
+// inherits. The heavy lifting is the library's attack simulator
+// (psk/attack/linkage.h).
+
+#include <cstdio>
+#include <iostream>
+
+#include "psk/anonymity/psensitive.h"
+#include "psk/attack/linkage.h"
+#include "psk/datagen/healthcare.h"
+#include "psk/generalize/generalize.h"
+
+namespace {
+
+template <typename T>
+T Unwrap(psk::Result<T> result) {
+  if (!result.ok()) {
+    std::cerr << "error: " << result.status() << "\n";
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+}  // namespace
+
+int main() {
+  const size_t n = 1500;
+  psk::Table registry = Unwrap(psk::HealthcareGenerate(n, /*seed=*/42));
+  psk::HierarchySet hierarchies =
+      Unwrap(psk::HealthcareHierarchies(registry.schema()));
+
+  // Two incomparable releases: A coarsens Age and ZipCode but keeps Sex;
+  // B keeps ZipCode exact but coarsens Age harder and drops Sex.
+  psk::LatticeNode node_a{{1, 1, 0}};  // Age -> decades, Zip -> 3-digit
+  psk::LatticeNode node_b{{2, 0, 1}};  // Age -> <50/>=50, Zip exact, Sex -> *
+  psk::Table release_a = Unwrap(
+      psk::ApplyGeneralization(registry, hierarchies, node_a));
+  psk::Table release_b = Unwrap(
+      psk::ApplyGeneralization(registry, hierarchies, node_b));
+
+  auto sensitivity = [&](const psk::Table& t) {
+    return Unwrap(psk::SensitivityP(t, t.schema().KeyIndices(),
+                                    {Unwrap(t.schema().IndexOf("Illness"))}));
+  };
+  std::printf("release A at %s: p = %zu\n",
+              node_a.ToString(hierarchies).c_str(), sensitivity(release_a));
+  std::printf("release B at %s: p = %zu\n\n",
+              node_b.ToString(hierarchies).c_str(), sensitivity(release_b));
+
+  // Worst case: the intruder holds a full population register with every
+  // individual's ground-level quasi-identifiers.
+  psk::Table external = Unwrap(
+      registry.ProjectColumns(registry.schema().KeyIndices()));
+
+  psk::ReleaseView view_a{&release_a, node_a};
+  psk::ReleaseView view_b{&release_b, node_b};
+  psk::LinkageAttackSummary attack_a = Unwrap(psk::SimulateLinkageAttack(
+      view_a, hierarchies, external, "Illness"));
+  psk::LinkageAttackSummary attack_b = Unwrap(psk::SimulateLinkageAttack(
+      view_b, hierarchies, external, "Illness"));
+  psk::LinkageAttackSummary attack_both =
+      Unwrap(psk::SimulateIntersectionAttack({view_a, view_b}, hierarchies,
+                                             external, "Illness"));
+
+  std::printf("individuals whose diagnosis is pinned down exactly:\n");
+  std::printf("  release A alone:        %zu / %zu (avg candidate set %.1f)\n",
+              attack_a.attribute_disclosures, n, attack_a.avg_candidate_set);
+  std::printf("  release B alone:        %zu / %zu (avg candidate set %.1f)\n",
+              attack_b.attribute_disclosures, n, attack_b.avg_candidate_set);
+  std::printf("  intersecting A and B:   %zu / %zu\n\n",
+              attack_both.attribute_disclosures, n);
+  std::printf(
+      "Each release is 2-sensitive on its own, yet the intersection pins "
+      "down %zu\nindividuals: p-sensitive k-anonymity (like k-anonymity) "
+      "is a single-release guarantee.\n",
+      attack_both.attribute_disclosures);
+  return 0;
+}

@@ -1,0 +1,108 @@
+// The §2 linkage attack, end to end: an intruder holding public external
+// information (paper Table 2) joins it against a released 2-anonymous
+// microdata (paper Table 1) and learns confidential values without
+// re-identifying anyone — then the same attack is repeated against a
+// 2-sensitive release and comes up empty.
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <set>
+#include <string>
+
+#include "psk/anonymity/psensitive.h"
+#include "psk/datagen/paper_tables.h"
+#include "psk/table/group_by.h"
+#include "psk/table/table.h"
+
+namespace {
+
+template <typename T>
+T Unwrap(psk::Result<T> result) {
+  if (!result.ok()) {
+    std::cerr << "error: " << result.status() << "\n";
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+// The intruder knows Age was generalized to multiples of 10 in the release.
+psk::Value GeneralizeAge(const psk::Value& age) {
+  return psk::Value(age.AsInt64() / 10 * 10);
+}
+
+// Simulates the attack: for every named individual in `external`, find the
+// release tuples matching their (generalized) key attributes and collect
+// the confidential values they could have. A singleton set = attribute
+// disclosure.
+void Attack(const psk::Table& external, const psk::Table& release) {
+  size_t name = Unwrap(external.schema().IndexOf("Name"));
+  size_t e_age = Unwrap(external.schema().IndexOf("Age"));
+  size_t e_sex = Unwrap(external.schema().IndexOf("Sex"));
+  size_t e_zip = Unwrap(external.schema().IndexOf("ZipCode"));
+  size_t r_age = Unwrap(release.schema().IndexOf("Age"));
+  size_t r_sex = Unwrap(release.schema().IndexOf("Sex"));
+  size_t r_zip = Unwrap(release.schema().IndexOf("ZipCode"));
+  size_t r_ill = Unwrap(release.schema().IndexOf("Illness"));
+
+  size_t disclosed = 0;
+  for (size_t e = 0; e < external.num_rows(); ++e) {
+    psk::Value age = GeneralizeAge(external.Get(e, e_age));
+    std::set<std::string> candidates;
+    size_t matches = 0;
+    for (size_t r = 0; r < release.num_rows(); ++r) {
+      if (release.Get(r, r_age) == age &&
+          release.Get(r, r_sex) == external.Get(e, e_sex) &&
+          release.Get(r, r_zip) == external.Get(e, e_zip)) {
+        ++matches;
+        candidates.insert(release.Get(r, r_ill).ToString());
+      }
+    }
+    std::printf("  %-8s -> %zu matching tuples, possible illnesses: {",
+                external.Get(e, name).ToString().c_str(), matches);
+    bool first = true;
+    for (const std::string& c : candidates) {
+      std::printf("%s%s", first ? "" : ", ", c.c_str());
+      first = false;
+    }
+    std::printf("}%s\n",
+                candidates.size() == 1 ? "   <-- ATTRIBUTE DISCLOSED" : "");
+    if (candidates.size() == 1) ++disclosed;
+  }
+  std::printf("  => %zu of %zu individuals have their illness disclosed\n\n",
+              disclosed, external.num_rows());
+}
+
+}  // namespace
+
+int main() {
+  psk::Table release = Unwrap(psk::PatientTable1());
+  psk::Table external = Unwrap(psk::PatientExternalTable2());
+
+  std::cout << "Released 2-anonymous microdata (paper Table 1):\n"
+            << release.ToDisplayString() << "\n";
+  std::cout << "Intruder's external information (paper Table 2):\n"
+            << external.ToDisplayString() << "\n";
+
+  std::cout << "Linkage attack against the 2-anonymous release:\n";
+  Attack(external, release);
+  std::cout << "Nobody was re-identified (every join hit >= 2 tuples), yet "
+               "Sam and Eric's\ndiagnosis leaked: k-anonymity does not stop "
+               "attribute disclosure.\n\n";
+
+  // Build a 2-sensitive variant of the release by diversifying the
+  // offending group, and attack again.
+  psk::Table sensitive = release;
+  size_t ill = Unwrap(sensitive.schema().IndexOf("Illness"));
+  sensitive.Set(4, ill, psk::Value("Asthma"));  // second Diabetes tuple
+  auto keys = sensitive.schema().KeyIndices();
+  auto confs = sensitive.schema().ConfidentialIndices();
+  std::printf("After diversifying (2-sensitive 2-anonymous, p = %zu):\n",
+              Unwrap(psk::SensitivityP(sensitive, keys, confs)));
+  std::cout << sensitive.ToDisplayString() << "\n";
+  std::cout << "Same attack against the 2-sensitive release:\n";
+  Attack(external, sensitive);
+  std::cout << "Every individual now has >= 2 possible illnesses: the "
+               "attack yields nothing.\n";
+  return 0;
+}

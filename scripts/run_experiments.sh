@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Regenerates every experiment recorded in EXPERIMENTS.md.
+#
+# Usage: scripts/run_experiments.sh [build-dir]
+set -euo pipefail
+
+BUILD="${1:-build}"
+if [[ ! -d "$BUILD/bench" ]]; then
+  echo "build directory '$BUILD' not found; run:" >&2
+  echo "  cmake -B $BUILD -G Ninja && cmake --build $BUILD" >&2
+  exit 1
+fi
+
+run() {
+  echo
+  echo "================================================================"
+  echo "\$ $*"
+  echo "================================================================"
+  "$@"
+}
+
+# Exact paper-table reproductions.
+run "$BUILD/bench/bench_fig3_lattice_counts"
+run "$BUILD/bench/bench_table4_minimal_generalization"
+run "$BUILD/bench/bench_table56_conditions"
+
+# The §4 experiment (shape reproduction on synthetic Adult) + JSON record.
+run "$BUILD/bench/bench_table8_attribute_disclosure" table8_results.json
+
+# Extension experiments.
+run "$BUILD/bench/bench_query_error"
+run "$BUILD/bench/bench_ru_frontier"
+
+# Timed ablations (google-benchmark; pass a smaller min_time for a quick
+# look).
+MIN_TIME="${BENCH_MIN_TIME:-0.1}"
+run "$BUILD/bench/bench_condition_pruning" --benchmark_min_time="$MIN_TIME"
+run "$BUILD/bench/bench_algorithms" --benchmark_min_time="$MIN_TIME"

@@ -1,0 +1,111 @@
+#include "psk/algorithms/bottom_up.h"
+
+#include <unordered_map>
+
+#include "psk/table/group_by.h"
+
+namespace psk {
+namespace {
+
+// Number of tuples violating k-anonymity when grouping by the single key
+// attribute `key_col` generalized to `level`. Works on the raw column, so
+// it is far cheaper than a full-node evaluation.
+Result<size_t> SingleAttributeViolations(const Table& im, size_t key_col,
+                                         const AttributeHierarchy& hierarchy,
+                                         int level, size_t k) {
+  std::unordered_map<Value, size_t, ValueHash> counts;
+  std::unordered_map<Value, Value, ValueHash> memo;
+  for (const Value& ground : im.column(key_col)) {
+    auto it = memo.find(ground);
+    if (it == memo.end()) {
+      PSK_ASSIGN_OR_RETURN(Value generalized,
+                           hierarchy.Generalize(ground, level));
+      it = memo.emplace(ground, std::move(generalized)).first;
+    }
+    ++counts[it->second];
+  }
+  size_t violating = 0;
+  for (const auto& [value, count] : counts) {
+    if (count < k) violating += count;
+  }
+  return violating;
+}
+
+}  // namespace
+
+Result<MinimalSetResult> BottomUpSearch(const Table& initial_microdata,
+                                        const HierarchySet& hierarchies,
+                                        const SearchOptions& options,
+                                        const BottomUpOptions& bu_options) {
+  NodeEvaluator evaluator(initial_microdata, hierarchies, options);
+  PSK_RETURN_IF_ERROR(evaluator.Init());
+
+  MinimalSetResult result;
+  if (!evaluator.Condition1Holds()) {
+    result.condition1_failed = true;
+    result.stats = evaluator.stats();
+    return result;
+  }
+
+  GeneralizationLattice lattice(hierarchies);
+  std::vector<size_t> key_indices = initial_microdata.schema().KeyIndices();
+
+  // Per-attribute level lower bounds from the subset/rollup property: if
+  // {A_i} at level l already forces more than TS suppressions, so does any
+  // full node with levels[i] == l.
+  std::vector<int> lower_bounds(hierarchies.size(), 0);
+  if (bu_options.use_subset_lower_bounds) {
+    for (size_t i = 0; i < hierarchies.size(); ++i) {
+      const AttributeHierarchy& hierarchy = hierarchies.hierarchy(i);
+      int level = 0;
+      while (level < hierarchy.num_levels() - 1) {
+        PSK_ASSIGN_OR_RETURN(
+            size_t violating,
+            SingleAttributeViolations(initial_microdata, key_indices[i],
+                                      hierarchy, level, options.k));
+        if (violating <= options.max_suppression) break;
+        ++level;
+      }
+      lower_bounds[i] = level;
+    }
+  }
+
+  for (int h = 0; h <= lattice.height(); ++h) {
+    for (const LatticeNode& node : lattice.NodesAtHeight(h)) {
+      bool below_bound = false;
+      for (size_t i = 0; i < lower_bounds.size(); ++i) {
+        if (node.levels[i] < lower_bounds[i]) {
+          below_bound = true;
+          break;
+        }
+      }
+      if (below_bound) {
+        ++evaluator.mutable_stats()->nodes_skipped;
+        continue;
+      }
+      // Dominance pruning: a generalization of a known minimal node
+      // satisfies the property (monotonicity) but cannot be minimal.
+      bool dominated = false;
+      for (const LatticeNode& minimal : result.minimal_nodes) {
+        if (GeneralizationLattice::IsGeneralizationOf(node, minimal)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (dominated) {
+        ++evaluator.mutable_stats()->nodes_skipped;
+        continue;
+      }
+      PSK_ASSIGN_OR_RETURN(NodeEvaluation eval, evaluator.Evaluate(node));
+      if (eval.satisfied) {
+        result.minimal_nodes.push_back(node);
+        result.satisfying_nodes.push_back(node);
+      }
+    }
+  }
+  std::sort(result.minimal_nodes.begin(), result.minimal_nodes.end());
+  result.stats = evaluator.stats();
+  return result;
+}
+
+}  // namespace psk

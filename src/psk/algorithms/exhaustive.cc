@@ -1,0 +1,97 @@
+#include "psk/algorithms/exhaustive.h"
+
+#include <future>
+#include <unordered_map>
+#include <vector>
+
+namespace psk {
+namespace {
+
+// Work done by one thread: evaluates a strided shard of `nodes`.
+struct ShardOutcome {
+  Status status;
+  std::vector<LatticeNode> satisfying;
+  SearchStats stats;
+};
+
+ShardOutcome EvaluateShard(const Table& im, const HierarchySet& hierarchies,
+                           const SearchOptions& options,
+                           const std::vector<LatticeNode>& nodes,
+                           size_t shard, size_t stride) {
+  ShardOutcome outcome;
+  // Each thread owns an evaluator; Init recomputes the Condition bounds,
+  // which is O(n) and negligible next to the sweep itself.
+  NodeEvaluator evaluator(im, hierarchies, options);
+  outcome.status = evaluator.Init();
+  if (!outcome.status.ok()) return outcome;
+  for (size_t i = shard; i < nodes.size(); i += stride) {
+    Result<NodeEvaluation> eval = evaluator.Evaluate(nodes[i]);
+    if (!eval.ok()) {
+      outcome.status = eval.status();
+      return outcome;
+    }
+    if (eval->satisfied) outcome.satisfying.push_back(nodes[i]);
+  }
+  outcome.stats = evaluator.stats();
+  return outcome;
+}
+
+}  // namespace
+
+Result<MinimalSetResult> ExhaustiveSearch(const Table& initial_microdata,
+                                          const HierarchySet& hierarchies,
+                                          const SearchOptions& options) {
+  NodeEvaluator evaluator(initial_microdata, hierarchies, options);
+  PSK_RETURN_IF_ERROR(evaluator.Init());
+
+  MinimalSetResult result;
+  if (!evaluator.Condition1Holds()) {
+    result.condition1_failed = true;
+    result.stats = evaluator.stats();
+    return result;
+  }
+
+  GeneralizationLattice lattice(hierarchies);
+  std::vector<LatticeNode> nodes = lattice.AllNodes();
+
+  if (options.threads <= 1) {
+    for (const LatticeNode& node : nodes) {
+      PSK_ASSIGN_OR_RETURN(NodeEvaluation eval, evaluator.Evaluate(node));
+      if (eval.satisfied) result.satisfying_nodes.push_back(node);
+    }
+    result.stats = evaluator.stats();
+  } else {
+    size_t threads = std::min(options.threads, nodes.size());
+    std::vector<std::future<ShardOutcome>> futures;
+    futures.reserve(threads);
+    for (size_t shard = 0; shard < threads; ++shard) {
+      futures.push_back(std::async(
+          std::launch::async, EvaluateShard, std::cref(initial_microdata),
+          std::cref(hierarchies), std::cref(options), std::cref(nodes),
+          shard, threads));
+    }
+    // Shard results arrive per-thread in stride order; re-establish the
+    // height-major order of `nodes` afterwards.
+    std::vector<ShardOutcome> outcomes;
+    outcomes.reserve(threads);
+    for (auto& future : futures) outcomes.push_back(future.get());
+    for (const ShardOutcome& outcome : outcomes) {
+      PSK_RETURN_IF_ERROR(outcome.status);
+      result.stats.Add(outcome.stats);
+    }
+    std::unordered_map<LatticeNode, bool, LatticeNodeHash> satisfied;
+    for (const ShardOutcome& outcome : outcomes) {
+      for (const LatticeNode& node : outcome.satisfying) {
+        satisfied[node] = true;
+      }
+    }
+    for (const LatticeNode& node : nodes) {
+      if (satisfied.count(node) > 0) result.satisfying_nodes.push_back(node);
+    }
+  }
+
+  result.minimal_nodes = MinimalNodes(result.satisfying_nodes);
+  return result;
+}
+
+}  // namespace psk

@@ -1,0 +1,303 @@
+#include "psk/algorithms/greedy_cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "psk/anonymity/frequency_stats.h"
+#include "psk/common/check.h"
+#include "psk/table/group_by.h"
+
+namespace psk {
+namespace {
+
+// Per-key-attribute distance context: numeric range or categorical flag.
+struct DistanceContext {
+  std::vector<size_t> key_cols;
+  std::vector<bool> numeric;
+  std::vector<double> lo;
+  std::vector<double> range;  // max - min, >= tiny epsilon
+};
+
+DistanceContext BuildDistanceContext(const Table& table) {
+  DistanceContext ctx;
+  ctx.key_cols = table.schema().KeyIndices();
+  for (size_t col : ctx.key_cols) {
+    ValueType type = table.schema().attribute(col).type;
+    bool numeric = type == ValueType::kInt64 || type == ValueType::kDouble;
+    ctx.numeric.push_back(numeric);
+    double lo = 0.0;
+    double hi = 0.0;
+    if (numeric) {
+      bool first = true;
+      for (const Value& v : table.column(col)) {
+        if (v.is_null()) continue;
+        double x = v.AsNumeric();
+        if (first || x < lo) lo = x;
+        if (first || x > hi) hi = x;
+        first = false;
+      }
+    }
+    ctx.lo.push_back(lo);
+    ctx.range.push_back(std::max(hi - lo, 1e-12));
+  }
+  return ctx;
+}
+
+double Distance(const Table& table, const DistanceContext& ctx, size_t a,
+                size_t b) {
+  double d = 0.0;
+  for (size_t i = 0; i < ctx.key_cols.size(); ++i) {
+    const Value& va = table.Get(a, ctx.key_cols[i]);
+    const Value& vb = table.Get(b, ctx.key_cols[i]);
+    if (ctx.numeric[i] && !va.is_null() && !vb.is_null()) {
+      d += std::fabs(va.AsNumeric() - vb.AsNumeric()) / ctx.range[i];
+    } else {
+      d += (va == vb) ? 0.0 : 1.0;
+    }
+  }
+  return d;
+}
+
+// Tracks per-confidential-attribute distinct values of one cluster.
+class DiversityTracker {
+ public:
+  DiversityTracker(const Table& table, std::vector<size_t> conf_cols,
+                   size_t p)
+      : table_(table), conf_cols_(std::move(conf_cols)), p_(p) {
+    seen_.resize(conf_cols_.size());
+  }
+
+  void Add(size_t row) {
+    for (size_t j = 0; j < conf_cols_.size(); ++j) {
+      seen_[j].insert(table_.Get(row, conf_cols_[j]));
+    }
+  }
+
+  bool Satisfied() const {
+    for (const auto& values : seen_) {
+      if (values.size() < p_) return false;
+    }
+    return true;
+  }
+
+  /// True iff `row` brings a new value to at least one deficient
+  /// attribute.
+  bool Helps(size_t row) const {
+    for (size_t j = 0; j < conf_cols_.size(); ++j) {
+      if (seen_[j].size() < p_ &&
+          seen_[j].count(table_.Get(row, conf_cols_[j])) == 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  const Table& table_;
+  std::vector<size_t> conf_cols_;
+  size_t p_;
+  std::vector<std::unordered_set<Value, ValueHash>> seen_;
+};
+
+// Cluster-label recoding, shared with Mondrian's conventions.
+std::string SummaryLabel(const Table& table, const std::vector<size_t>& rows,
+                         size_t col) {
+  const Attribute& attr = table.schema().attribute(col);
+  if (attr.type == ValueType::kInt64 || attr.type == ValueType::kDouble) {
+    Value lo = table.Get(rows[0], col);
+    Value hi = lo;
+    for (size_t row : rows) {
+      const Value& v = table.Get(row, col);
+      if (v < lo) lo = v;
+      if (hi < v) hi = v;
+    }
+    if (lo == hi) return lo.ToString();
+    return "[" + lo.ToString() + "-" + hi.ToString() + "]";
+  }
+  std::set<std::string> values;
+  for (size_t row : rows) values.insert(table.Get(row, col).ToString());
+  if (values.size() == 1) return *values.begin();
+  std::string label = "{";
+  bool first = true;
+  for (const std::string& v : values) {
+    if (!first) label += ",";
+    label += v;
+    first = false;
+  }
+  label += "}";
+  return label;
+}
+
+}  // namespace
+
+Result<GreedyClusterResult> GreedyClusterAnonymize(
+    const Table& initial_microdata, const GreedyClusterOptions& options) {
+  if (options.k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (options.p < 1) return Status::InvalidArgument("p must be >= 1");
+  if (options.p > options.k) {
+    return Status::InvalidArgument("p must be <= k");
+  }
+  const Schema& schema = initial_microdata.schema();
+  std::vector<size_t> key_cols = schema.KeyIndices();
+  std::vector<size_t> conf_cols = schema.ConfidentialIndices();
+  if (key_cols.empty()) {
+    return Status::FailedPrecondition(
+        "the schema declares no key (quasi-identifier) attributes");
+  }
+  size_t n = initial_microdata.num_rows();
+  if (n < options.k) {
+    return Status::FailedPrecondition(
+        "fewer records than k; no clustering exists");
+  }
+  if (options.p >= 2) {
+    if (conf_cols.empty()) {
+      return Status::FailedPrecondition(
+          "p >= 2 requires at least one confidential attribute");
+    }
+    PSK_ASSIGN_OR_RETURN(FrequencyStats stats,
+                         FrequencyStats::Compute(initial_microdata,
+                                                 conf_cols));
+    if (options.p > stats.MaxP()) {
+      return Status::FailedPrecondition(
+          "Condition 1 fails: some confidential attribute has fewer than p "
+          "distinct values");
+    }
+  }
+
+  DistanceContext ctx = BuildDistanceContext(initial_microdata);
+  std::vector<bool> assigned(n, false);
+  size_t unassigned = n;
+  std::vector<std::vector<size_t>> clusters;
+  size_t previous_seed = 0;
+
+  while (unassigned >= options.k) {
+    // Seed: farthest unassigned record from the previous seed.
+    size_t seed = SIZE_MAX;
+    double best_d = -1.0;
+    for (size_t r = 0; r < n; ++r) {
+      if (assigned[r]) continue;
+      double d = clusters.empty()
+                     ? 0.0
+                     : Distance(initial_microdata, ctx, previous_seed, r);
+      if (seed == SIZE_MAX || d > best_d) {
+        seed = r;
+        best_d = d;
+      }
+    }
+    previous_seed = seed;
+
+    std::vector<size_t> cluster = {seed};
+    assigned[seed] = true;
+    --unassigned;
+    DiversityTracker diversity(initial_microdata, conf_cols,
+                               options.p >= 2 ? options.p : 1);
+    diversity.Add(seed);
+
+    bool abandoned = false;
+    while (cluster.size() < options.k || !diversity.Satisfied()) {
+      bool need_diversity = !diversity.Satisfied();
+      size_t best = SIZE_MAX;
+      double best_dist = std::numeric_limits<double>::infinity();
+      for (size_t r = 0; r < n; ++r) {
+        if (assigned[r]) continue;
+        if (need_diversity && !diversity.Helps(r)) continue;
+        // Distance to the cluster seed: O(1) per candidate, keeping the
+        // whole run O(n^2) while staying deterministic.
+        double d = Distance(initial_microdata, ctx, seed, r);
+        if (d < best_dist) {
+          best_dist = d;
+          best = r;
+        }
+      }
+      if (best == SIZE_MAX) {
+        // No candidate can fix the deficiency: dissolve this cluster into
+        // the previously formed ones (or fail when there are none).
+        abandoned = true;
+        break;
+      }
+      cluster.push_back(best);
+      assigned[best] = true;
+      --unassigned;
+      diversity.Add(best);
+    }
+
+    if (abandoned) {
+      if (clusters.empty()) {
+        return Status::FailedPrecondition(
+            "the diversity requirement cannot be met by any clustering of "
+            "this microdata");
+      }
+      for (size_t r : cluster) {
+        assigned[r] = false;
+        ++unassigned;
+      }
+      break;  // remaining records go to nearest clusters below
+    }
+    clusters.push_back(std::move(cluster));
+  }
+
+  if (clusters.empty()) {
+    return Status::FailedPrecondition(
+        "no cluster could be formed under the given constraints");
+  }
+
+  // Leftovers join their nearest cluster (size and diversity only grow).
+  for (size_t r = 0; r < n; ++r) {
+    if (assigned[r]) continue;
+    size_t best_cluster = 0;
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < clusters.size(); ++c) {
+      double d = Distance(initial_microdata, ctx, clusters[c][0], r);
+      if (d < best_dist) {
+        best_dist = d;
+        best_cluster = c;
+      }
+    }
+    clusters[best_cluster].push_back(r);
+  }
+
+  // Recode: identifiers dropped, key attributes re-typed to string labels.
+  std::vector<Attribute> out_attrs;
+  std::vector<size_t> src_cols;
+  for (size_t col = 0; col < schema.num_attributes(); ++col) {
+    const Attribute& attr = schema.attribute(col);
+    if (attr.role == AttributeRole::kIdentifier) continue;
+    Attribute out_attr = attr;
+    if (attr.role == AttributeRole::kKey) out_attr.type = ValueType::kString;
+    out_attrs.push_back(std::move(out_attr));
+    src_cols.push_back(col);
+  }
+  PSK_ASSIGN_OR_RETURN(Schema out_schema, Schema::Create(std::move(out_attrs)));
+  Table masked(std::move(out_schema));
+  for (const std::vector<size_t>& cluster : clusters) {
+    std::map<size_t, std::string> labels;
+    for (size_t col : key_cols) {
+      labels[col] = SummaryLabel(initial_microdata, cluster, col);
+    }
+    for (size_t row : cluster) {
+      std::vector<Value> out_row;
+      out_row.reserve(src_cols.size());
+      for (size_t col : src_cols) {
+        auto it = labels.find(col);
+        if (it != labels.end()) {
+          out_row.push_back(Value(it->second));
+        } else {
+          out_row.push_back(initial_microdata.Get(row, col));
+        }
+      }
+      PSK_RETURN_IF_ERROR(masked.AppendRow(std::move(out_row)));
+    }
+  }
+
+  GreedyClusterResult result;
+  result.masked = std::move(masked);
+  result.num_clusters = clusters.size();
+  return result;
+}
+
+}  // namespace psk

@@ -1,0 +1,56 @@
+#ifndef PSK_ALGORITHMS_GREEDY_CLUSTER_H_
+#define PSK_ALGORITHMS_GREEDY_CLUSTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "psk/common/result.h"
+#include "psk/table/table.h"
+
+namespace psk {
+
+/// Options for the greedy clustering anonymizer.
+struct GreedyClusterOptions {
+  size_t k = 2;
+  /// p-sensitivity requirement per cluster; 1 disables it.
+  size_t p = 1;
+};
+
+/// Result of a greedy clustering run.
+struct GreedyClusterResult {
+  /// Local-recoded table (same label scheme as Mondrian: numeric ranges
+  /// "[lo-hi]", categorical sets "{a,b}"); identifiers dropped.
+  Table masked;
+  size_t num_clusters = 0;
+};
+
+/// Greedy p-sensitive k-anonymous clustering, in the style of the
+/// GreedyPKClustering family that followed the paper (Campan & Truta):
+/// instead of searching a generalization lattice, records are grouped into
+/// clusters of >= k members with >= p distinct values of every
+/// confidential attribute, and each cluster is recoded locally.
+///
+/// The greedy loop:
+///  1. seed a new cluster with the unassigned record farthest from the
+///     previous seed (first seed: the first unassigned record —
+///     deterministic);
+///  2. grow it one record at a time, picking the unassigned record nearest
+///     to the cluster seed; while the cluster still misses diversity
+///     (some confidential attribute has fewer than p distinct values),
+///     candidates are restricted to records that add a new value to a
+///     deficient attribute;
+///  3. stop when the cluster has >= k records and full diversity;
+///  4. when fewer than k records remain (or diversity cannot be reached),
+///     assign each remaining record to the nearest existing cluster.
+///
+/// Distances are normalized: numeric key attributes contribute
+/// |a-b| / range, categorical ones contribute 0/1.
+///
+/// Fails with FailedPrecondition when n < k or some confidential attribute
+/// has fewer than p distinct values overall (Condition 1).
+Result<GreedyClusterResult> GreedyClusterAnonymize(
+    const Table& initial_microdata, const GreedyClusterOptions& options);
+
+}  // namespace psk
+
+#endif  // PSK_ALGORITHMS_GREEDY_CLUSTER_H_

@@ -1,0 +1,331 @@
+#include "psk/algorithms/incognito.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "psk/common/check.h"
+#include "psk/table/group_by.h"
+
+namespace psk {
+namespace {
+
+// Dictionary-encoded generalization cache: codes[attr][level][row] is a
+// dense id of the generalized value of key attribute `attr` at `level`.
+// Subset k-anonymity checks then reduce to hashing small integer tuples.
+class EncodedColumns {
+ public:
+  static Result<EncodedColumns> Build(const Table& im,
+                                      const HierarchySet& hierarchies) {
+    EncodedColumns enc;
+    // Dictionary-encode the confidential columns once (for the optional
+    // subset p-sensitivity pruning).
+    for (size_t col : im.schema().ConfidentialIndices()) {
+      std::vector<uint32_t> codes(im.num_rows());
+      std::unordered_map<Value, uint32_t, ValueHash> dictionary;
+      for (size_t row = 0; row < im.num_rows(); ++row) {
+        auto [it, inserted] = dictionary.try_emplace(
+            im.Get(row, col), static_cast<uint32_t>(dictionary.size()));
+        codes[row] = it->second;
+      }
+      enc.conf_codes_.push_back(std::move(codes));
+    }
+    std::vector<size_t> key_cols = im.schema().KeyIndices();
+    enc.codes_.resize(key_cols.size());
+    for (size_t a = 0; a < key_cols.size(); ++a) {
+      const AttributeHierarchy& h = hierarchies.hierarchy(a);
+      enc.codes_[a].resize(h.num_levels());
+      for (int level = 0; level < h.num_levels(); ++level) {
+        std::vector<uint32_t>& column = enc.codes_[a][level];
+        column.resize(im.num_rows());
+        std::unordered_map<Value, uint32_t, ValueHash> dictionary;
+        std::unordered_map<Value, Value, ValueHash> memo;
+        for (size_t row = 0; row < im.num_rows(); ++row) {
+          const Value& ground = im.Get(row, key_cols[a]);
+          auto m = memo.find(ground);
+          if (m == memo.end()) {
+            PSK_ASSIGN_OR_RETURN(Value generalized,
+                                 h.Generalize(ground, level));
+            m = memo.emplace(ground, std::move(generalized)).first;
+          }
+          auto [it, inserted] = dictionary.try_emplace(
+              m->second, static_cast<uint32_t>(dictionary.size()));
+          column[row] = it->second;
+        }
+      }
+    }
+    enc.num_rows_ = im.num_rows();
+    return enc;
+  }
+
+  size_t num_rows() const { return num_rows_; }
+
+  /// Tuples violating k when grouping by the given (attr, level) pairs.
+  size_t ViolationCount(const std::vector<size_t>& attrs,
+                        const std::vector<int>& levels, size_t k) const {
+    PSK_DCHECK(attrs.size() == levels.size());
+    // Pack the per-row code tuple into a single 64-bit key when it fits
+    // (4 attrs x 16 bits covers every realistic hierarchy); fall back to
+    // string keys otherwise.
+    std::unordered_map<uint64_t, uint32_t> counts;
+    counts.reserve(num_rows_);
+    bool packable = attrs.size() <= 4;
+    if (packable) {
+      for (size_t a = 0; a < attrs.size(); ++a) {
+        // Count distinct codes at this level conservatively via the column
+        // max; dictionaries are dense so max+1 = cardinality.
+        const auto& column = codes_[attrs[a]][levels[a]];
+        uint32_t max_code = 0;
+        for (uint32_t c : column) max_code = std::max(max_code, c);
+        if (max_code >= (1u << 16)) {
+          packable = false;
+          break;
+        }
+      }
+    }
+    if (packable) {
+      for (size_t row = 0; row < num_rows_; ++row) {
+        uint64_t key = 0;
+        for (size_t a = 0; a < attrs.size(); ++a) {
+          key = (key << 16) | codes_[attrs[a]][levels[a]][row];
+        }
+        ++counts[key];
+      }
+    } else {
+      std::unordered_map<std::string, uint32_t> wide_counts;
+      wide_counts.reserve(num_rows_);
+      for (size_t row = 0; row < num_rows_; ++row) {
+        std::string key;
+        for (size_t a = 0; a < attrs.size(); ++a) {
+          uint32_t code = codes_[attrs[a]][levels[a]][row];
+          key.append(reinterpret_cast<const char*>(&code), sizeof(code));
+        }
+        ++wide_counts[key];
+      }
+      size_t violating = 0;
+      for (const auto& [key, count] : wide_counts) {
+        if (count < k) violating += count;
+      }
+      return violating;
+    }
+    size_t violating = 0;
+    for (const auto& [key, count] : counts) {
+      if (count < k) violating += count;
+    }
+    return violating;
+  }
+
+  /// True iff, grouping by the given (attr, level) pairs, every group has
+  /// >= p distinct values of every confidential attribute. Sound as a
+  /// subset-pruning predicate only without suppression (see
+  /// IncognitoOptions).
+  bool PSensitiveOk(const std::vector<size_t>& attrs,
+                    const std::vector<int>& levels, size_t p) const {
+    if (conf_codes_.empty()) return true;
+    // Group id per row.
+    std::unordered_map<std::string, uint32_t> gid_of;
+    gid_of.reserve(num_rows_);
+    std::vector<uint32_t> gid(num_rows_);
+    for (size_t row = 0; row < num_rows_; ++row) {
+      std::string key;
+      for (size_t a = 0; a < attrs.size(); ++a) {
+        uint32_t code = codes_[attrs[a]][levels[a]][row];
+        key.append(reinterpret_cast<const char*>(&code), sizeof(code));
+      }
+      auto [it, inserted] =
+          gid_of.try_emplace(std::move(key),
+                             static_cast<uint32_t>(gid_of.size()));
+      gid[row] = it->second;
+    }
+    size_t num_groups = gid_of.size();
+    for (const std::vector<uint32_t>& conf : conf_codes_) {
+      std::unordered_set<uint64_t> seen_pairs;
+      seen_pairs.reserve(num_rows_);
+      std::vector<uint32_t> distinct(num_groups, 0);
+      for (size_t row = 0; row < num_rows_; ++row) {
+        uint64_t pair =
+            (static_cast<uint64_t>(gid[row]) << 32) | conf[row];
+        if (seen_pairs.insert(pair).second) ++distinct[gid[row]];
+      }
+      for (uint32_t d : distinct) {
+        if (d < p) return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::vector<std::vector<std::vector<uint32_t>>> codes_;
+  std::vector<std::vector<uint32_t>> conf_codes_;
+  size_t num_rows_ = 0;
+};
+
+// Enumerates the nodes of the sub-lattice spanned by `attrs` in
+// height-major order.
+std::vector<std::vector<int>> SubLatticeNodes(
+    const std::vector<size_t>& attrs, const std::vector<int>& max_levels) {
+  std::vector<int> dims;
+  dims.reserve(attrs.size());
+  for (size_t a : attrs) dims.push_back(max_levels[a]);
+  GeneralizationLattice sub(dims);
+  std::vector<std::vector<int>> nodes;
+  for (const LatticeNode& node : sub.AllNodes()) {
+    nodes.push_back(node.levels);
+  }
+  return nodes;
+}
+
+// All subsets of {0..m-1} of the given size, each sorted ascending.
+void Subsets(size_t m, size_t size, std::vector<std::vector<size_t>>* out) {
+  std::vector<size_t> current;
+  // Iterative combination enumeration.
+  std::vector<size_t> idx(size);
+  for (size_t i = 0; i < size; ++i) idx[i] = i;
+  while (true) {
+    out->push_back(idx);
+    // Advance.
+    size_t i = size;
+    while (i > 0) {
+      --i;
+      if (idx[i] != i + m - size) {
+        ++idx[i];
+        for (size_t j = i + 1; j < size; ++j) idx[j] = idx[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return;
+    }
+    if (size == 0) return;
+  }
+}
+
+}  // namespace
+
+Result<MinimalSetResult> IncognitoSearch(
+    const Table& initial_microdata, const HierarchySet& hierarchies,
+    const SearchOptions& options,
+    const IncognitoOptions& incognito_options) {
+  NodeEvaluator evaluator(initial_microdata, hierarchies, options);
+  PSK_RETURN_IF_ERROR(evaluator.Init());
+
+  MinimalSetResult result;
+  if (!evaluator.Condition1Holds()) {
+    result.condition1_failed = true;
+    result.stats = evaluator.stats();
+    return result;
+  }
+
+  PSK_ASSIGN_OR_RETURN(EncodedColumns encoded,
+                       EncodedColumns::Build(initial_microdata, hierarchies));
+  std::vector<int> max_levels = hierarchies.MaxLevels();
+  size_t m = max_levels.size();
+  SearchStats* stats = evaluator.mutable_stats();
+
+  // sat[subset] = level vectors (over that subset) that are k-anonymous
+  // within the suppression budget.
+  std::map<std::vector<size_t>, std::set<std::vector<int>>> sat;
+
+  for (size_t size = 1; size <= m; ++size) {
+    std::vector<std::vector<size_t>> subsets;
+    Subsets(m, size, &subsets);
+    for (const std::vector<size_t>& attrs : subsets) {
+      std::set<std::vector<int>>& satisfied = sat[attrs];
+      for (const std::vector<int>& levels : SubLatticeNodes(attrs,
+                                                            max_levels)) {
+        // Apriori: every (size-1)-subset projection must have satisfied.
+        bool pruned = false;
+        if (size > 1) {
+          for (size_t drop = 0; drop < size && !pruned; ++drop) {
+            std::vector<size_t> parent_attrs;
+            std::vector<int> parent_levels;
+            for (size_t i = 0; i < size; ++i) {
+              if (i == drop) continue;
+              parent_attrs.push_back(attrs[i]);
+              parent_levels.push_back(levels[i]);
+            }
+            if (sat[parent_attrs].count(parent_levels) == 0) pruned = true;
+          }
+        }
+        if (pruned) {
+          ++stats->nodes_skipped;
+          continue;
+        }
+        // Rollup: a direct predecessor (one level lower in one attribute)
+        // that satisfied implies this node satisfies.
+        bool rolled_up = false;
+        for (size_t i = 0; i < size && !rolled_up; ++i) {
+          if (levels[i] == 0) continue;
+          std::vector<int> pred = levels;
+          --pred[i];
+          if (satisfied.count(pred) > 0) rolled_up = true;
+        }
+        if (rolled_up) {
+          satisfied.insert(levels);
+          ++stats->nodes_skipped;
+          continue;
+        }
+        ++stats->subset_nodes_evaluated;
+        size_t violating =
+            encoded.ViolationCount(attrs, levels, options.k);
+        bool ok = violating <= options.max_suppression;
+        if (ok && incognito_options.prune_p_on_subsets && options.p >= 2 &&
+            options.max_suppression == 0) {
+          ok = encoded.PSensitiveOk(attrs, levels, options.p);
+        }
+        if (ok) {
+          satisfied.insert(levels);
+        }
+      }
+    }
+  }
+
+  // Final phase: the full-QI survivors, in height order. For p = 1 the
+  // subset machinery has already decided k-anonymity; minimality still
+  // requires the dominance filter. For p >= 2 each candidate runs the full
+  // evaluation (Conditions + per-group scan).
+  std::vector<size_t> full(m);
+  for (size_t i = 0; i < m; ++i) full[i] = i;
+  std::vector<LatticeNode> candidates;
+  for (const std::vector<int>& levels : sat[full]) {
+    candidates.push_back(LatticeNode{levels});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const LatticeNode& a, const LatticeNode& b) {
+              int ha = a.Height();
+              int hb = b.Height();
+              return ha != hb ? ha < hb : a < b;
+            });
+
+  for (const LatticeNode& node : candidates) {
+    bool dominated = false;
+    for (const LatticeNode& minimal : result.minimal_nodes) {
+      if (GeneralizationLattice::IsGeneralizationOf(node, minimal)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) {
+      ++stats->nodes_skipped;
+      if (options.p < 2) result.satisfying_nodes.push_back(node);
+      continue;
+    }
+    if (options.p < 2) {
+      // Already known k-anonymous within budget.
+      result.minimal_nodes.push_back(node);
+      result.satisfying_nodes.push_back(node);
+      continue;
+    }
+    PSK_ASSIGN_OR_RETURN(NodeEvaluation eval, evaluator.Evaluate(node));
+    if (eval.satisfied) {
+      result.minimal_nodes.push_back(node);
+      result.satisfying_nodes.push_back(node);
+    }
+  }
+  std::sort(result.minimal_nodes.begin(), result.minimal_nodes.end());
+  std::sort(result.satisfying_nodes.begin(), result.satisfying_nodes.end());
+  result.stats = evaluator.stats();
+  return result;
+}
+
+}  // namespace psk

@@ -1,0 +1,212 @@
+#include "psk/algorithms/mondrian.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "psk/common/check.h"
+#include "psk/table/group_by.h"
+
+namespace psk {
+namespace {
+
+// True iff `rows` meets the size and sensitivity constraints.
+bool Allowable(const Table& table, const std::vector<size_t>& rows,
+               const std::vector<size_t>& conf_indices,
+               const MondrianOptions& options) {
+  if (rows.size() < options.k) return false;
+  if (options.p >= 2) {
+    std::unordered_set<Value, ValueHash> seen;
+    for (size_t col : conf_indices) {
+      seen.clear();
+      for (size_t row : rows) {
+        seen.insert(table.Get(row, col));
+        if (seen.size() >= options.p) break;
+      }
+      if (seen.size() < options.p) return false;
+    }
+  }
+  return true;
+}
+
+size_t DistinctInRows(const Table& table, const std::vector<size_t>& rows,
+                      size_t col) {
+  std::unordered_set<Value, ValueHash> seen;
+  for (size_t row : rows) seen.insert(table.Get(row, col));
+  return seen.size();
+}
+
+// Splits `rows` on column `col` at the median value, keeping equal values
+// together. Returns false when every row shares one value (no split).
+bool MedianSplit(const Table& table, const std::vector<size_t>& rows,
+                 size_t col, std::vector<size_t>* left,
+                 std::vector<size_t>* right) {
+  std::vector<size_t> sorted = rows;
+  std::sort(sorted.begin(), sorted.end(), [&](size_t a, size_t b) {
+    return table.Get(a, col) < table.Get(b, col);
+  });
+  const Value& median = table.Get(sorted[sorted.size() / 2], col);
+  left->clear();
+  right->clear();
+  for (size_t row : sorted) {
+    if (table.Get(row, col) < median) {
+      left->push_back(row);
+    } else {
+      right->push_back(row);
+    }
+  }
+  if (left->empty()) {
+    // Median is the minimum; put the median-valued rows on the left
+    // instead so both sides are non-empty when >1 distinct value exists.
+    for (size_t row : sorted) {
+      if (table.Get(row, col) == median) {
+        left->push_back(row);
+      }
+    }
+    right->clear();
+    for (size_t row : sorted) {
+      if (!(table.Get(row, col) == median)) {
+        right->push_back(row);
+      }
+    }
+  }
+  return !left->empty() && !right->empty();
+}
+
+// Recursively partitions `rows`, appending leaves to `leaves`.
+void Partition(const Table& table, std::vector<size_t> rows,
+               const std::vector<size_t>& key_indices,
+               const std::vector<size_t>& conf_indices,
+               const MondrianOptions& options,
+               std::vector<std::vector<size_t>>* leaves) {
+  // Order candidate split attributes by distinct count, widest first.
+  std::vector<std::pair<size_t, size_t>> candidates;  // (distinct, col)
+  for (size_t col : key_indices) {
+    size_t distinct = DistinctInRows(table, rows, col);
+    if (distinct > 1) candidates.emplace_back(distinct, col);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  std::vector<size_t> left;
+  std::vector<size_t> right;
+  for (const auto& [distinct, col] : candidates) {
+    if (!MedianSplit(table, rows, col, &left, &right)) continue;
+    if (Allowable(table, left, conf_indices, options) &&
+        Allowable(table, right, conf_indices, options)) {
+      Partition(table, std::move(left), key_indices, conf_indices, options,
+                leaves);
+      Partition(table, std::move(right), key_indices, conf_indices, options,
+                leaves);
+      return;
+    }
+  }
+  leaves->push_back(std::move(rows));
+}
+
+// Label for one key attribute over a leaf partition.
+std::string SummaryLabel(const Table& table, const std::vector<size_t>& rows,
+                         size_t col) {
+  const Attribute& attr = table.schema().attribute(col);
+  if (attr.type == ValueType::kInt64 || attr.type == ValueType::kDouble) {
+    Value lo = table.Get(rows[0], col);
+    Value hi = lo;
+    for (size_t row : rows) {
+      const Value& v = table.Get(row, col);
+      if (v < lo) lo = v;
+      if (hi < v) hi = v;
+    }
+    if (lo == hi) return lo.ToString();
+    return "[" + lo.ToString() + "-" + hi.ToString() + "]";
+  }
+  std::set<std::string> values;
+  for (size_t row : rows) {
+    values.insert(table.Get(row, col).ToString());
+  }
+  if (values.size() == 1) return *values.begin();
+  std::string label = "{";
+  bool first = true;
+  for (const std::string& v : values) {
+    if (!first) label += ",";
+    label += v;
+    first = false;
+  }
+  label += "}";
+  return label;
+}
+
+}  // namespace
+
+Result<MondrianResult> MondrianAnonymize(const Table& initial_microdata,
+                                         const MondrianOptions& options) {
+  if (options.k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (options.p < 1) return Status::InvalidArgument("p must be >= 1");
+  if (options.p > options.k) {
+    return Status::InvalidArgument("p must be <= k");
+  }
+  const Schema& schema = initial_microdata.schema();
+  std::vector<size_t> key_indices = schema.KeyIndices();
+  std::vector<size_t> conf_indices = schema.ConfidentialIndices();
+  if (key_indices.empty()) {
+    return Status::FailedPrecondition(
+        "the schema declares no key (quasi-identifier) attributes");
+  }
+  if (options.p >= 2 && conf_indices.empty()) {
+    return Status::FailedPrecondition(
+        "p >= 2 requires at least one confidential attribute");
+  }
+
+  std::vector<size_t> all_rows(initial_microdata.num_rows());
+  for (size_t i = 0; i < all_rows.size(); ++i) all_rows[i] = i;
+  if (!Allowable(initial_microdata, all_rows, conf_indices, options)) {
+    return Status::FailedPrecondition(
+        "the table as a whole violates the k/p constraints; no partitioning "
+        "exists");
+  }
+
+  std::vector<std::vector<size_t>> leaves;
+  Partition(initial_microdata, std::move(all_rows), key_indices, conf_indices,
+            options, &leaves);
+
+  // Build the output schema: identifiers dropped, key attributes re-typed
+  // to string (labels).
+  std::vector<Attribute> out_attrs;
+  std::vector<size_t> src_cols;
+  for (size_t col = 0; col < schema.num_attributes(); ++col) {
+    const Attribute& attr = schema.attribute(col);
+    if (attr.role == AttributeRole::kIdentifier) continue;
+    Attribute out_attr = attr;
+    if (attr.role == AttributeRole::kKey) out_attr.type = ValueType::kString;
+    out_attrs.push_back(std::move(out_attr));
+    src_cols.push_back(col);
+  }
+  PSK_ASSIGN_OR_RETURN(Schema out_schema, Schema::Create(std::move(out_attrs)));
+  Table masked(std::move(out_schema));
+
+  for (const std::vector<size_t>& leaf : leaves) {
+    // One label per key attribute, shared by the whole leaf.
+    std::map<size_t, std::string> labels;
+    for (size_t col : key_indices) {
+      labels[col] = SummaryLabel(initial_microdata, leaf, col);
+    }
+    for (size_t row : leaf) {
+      std::vector<Value> out_row;
+      out_row.reserve(src_cols.size());
+      for (size_t col : src_cols) {
+        auto it = labels.find(col);
+        if (it != labels.end()) {
+          out_row.push_back(Value(it->second));
+        } else {
+          out_row.push_back(initial_microdata.Get(row, col));
+        }
+      }
+      PSK_RETURN_IF_ERROR(masked.AppendRow(std::move(out_row)));
+    }
+  }
+
+  MondrianResult result{std::move(masked), leaves.size()};
+  return result;
+}
+
+}  // namespace psk

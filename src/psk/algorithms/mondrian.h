@@ -1,0 +1,49 @@
+#ifndef PSK_ALGORITHMS_MONDRIAN_H_
+#define PSK_ALGORITHMS_MONDRIAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "psk/common/result.h"
+#include "psk/table/table.h"
+
+namespace psk {
+
+/// Options for the Mondrian partitioner.
+struct MondrianOptions {
+  size_t k = 2;
+  /// p-sensitivity constraint enforced on every partition; 1 disables it.
+  size_t p = 1;
+};
+
+/// Result of a Mondrian run.
+struct MondrianResult {
+  /// The anonymized table: identifier attributes dropped, key attributes
+  /// recoded per partition to a range label "[lo-hi]" (numeric) or a value
+  /// set "{a,b,c}" (categorical); single-valued partitions keep the value's
+  /// own rendering.
+  Table masked;
+  /// Number of leaf partitions (QI-groups) produced.
+  size_t num_partitions = 0;
+};
+
+/// Greedy top-down multidimensional partitioning (Mondrian, LeFevre et al.
+/// 2006), extended with the paper's p-sensitivity requirement: a split is
+/// allowed only if both halves keep >= k tuples *and* >= p distinct values
+/// of every confidential attribute. Unlike the full-domain lattice
+/// algorithms this performs local recoding — no hierarchy is required and
+/// different regions of the data may be generalized differently — so it
+/// serves as the "modern tool" baseline the library's benchmarks compare
+/// the paper's full-domain approach against.
+///
+/// At each step the partition is split on the key attribute with the most
+/// distinct values in it, at the median, keeping equal values together.
+/// Fails with FailedPrecondition when the whole table already violates the
+/// constraints (fewer than k rows or fewer than p distinct confidential
+/// values).
+Result<MondrianResult> MondrianAnonymize(const Table& initial_microdata,
+                                         const MondrianOptions& options);
+
+}  // namespace psk
+
+#endif  // PSK_ALGORITHMS_MONDRIAN_H_

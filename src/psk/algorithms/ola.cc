@@ -1,0 +1,208 @@
+#include "psk/algorithms/ola.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "psk/metrics/metrics.h"
+
+namespace psk {
+namespace {
+
+// Predictive tagging store: known satisfying / failing nodes, with
+// monotone closure applied at lookup time.
+class TagStore {
+ public:
+  enum class Tag { kUnknown, kSatisfied, kFailed };
+
+  Tag Lookup(const LatticeNode& node) const {
+    auto it = exact_.find(node);
+    if (it != exact_.end()) return it->second ? Tag::kSatisfied : Tag::kFailed;
+    for (const LatticeNode& s : satisfied_) {
+      if (GeneralizationLattice::IsGeneralizationOf(node, s)) {
+        return Tag::kSatisfied;
+      }
+    }
+    for (const LatticeNode& f : failed_) {
+      if (GeneralizationLattice::IsGeneralizationOf(f, node)) {
+        return Tag::kFailed;
+      }
+    }
+    return Tag::kUnknown;
+  }
+
+  void Record(const LatticeNode& node, bool satisfied) {
+    exact_[node] = satisfied;
+    if (satisfied) {
+      satisfied_.push_back(node);
+    } else {
+      failed_.push_back(node);
+    }
+  }
+
+ private:
+  std::unordered_map<LatticeNode, bool, LatticeNodeHash> exact_;
+  std::vector<LatticeNode> satisfied_;
+  std::vector<LatticeNode> failed_;
+};
+
+// Enumerates nodes of the sub-lattice [bottom, top] whose height equals h.
+void EnumerateInterval(const LatticeNode& bottom, const LatticeNode& top,
+                       int h, size_t attr, LatticeNode* partial,
+                       std::vector<LatticeNode>* out) {
+  if (attr == bottom.levels.size()) {
+    if (h == 0) out->push_back(*partial);
+    return;
+  }
+  int remaining_max = 0;
+  for (size_t i = attr + 1; i < bottom.levels.size(); ++i) {
+    remaining_max += top.levels[i] - bottom.levels[i];
+  }
+  for (int level = bottom.levels[attr]; level <= top.levels[attr]; ++level) {
+    int used = level - bottom.levels[attr];
+    if (used > h) break;
+    if (h - used > remaining_max) continue;
+    partial->levels[attr] = level;
+    EnumerateInterval(bottom, top, h - used, attr + 1, partial, out);
+  }
+  partial->levels[attr] = bottom.levels[attr];
+}
+
+std::vector<LatticeNode> NodesAtIntervalHeight(const LatticeNode& bottom,
+                                               const LatticeNode& top,
+                                               int h) {
+  std::vector<LatticeNode> out;
+  LatticeNode partial = bottom;
+  EnumerateInterval(bottom, top, h, 0, &partial, &out);
+  return out;
+}
+
+class OlaDriver {
+ public:
+  OlaDriver(NodeEvaluator& evaluator, TagStore& tags)
+      : evaluator_(evaluator), tags_(tags) {}
+
+  Result<bool> Satisfies(const LatticeNode& node) {
+    TagStore::Tag tag = tags_.Lookup(node);
+    if (tag != TagStore::Tag::kUnknown) {
+      ++evaluator_.mutable_stats()->nodes_skipped;
+      return tag == TagStore::Tag::kSatisfied;
+    }
+    PSK_ASSIGN_OR_RETURN(NodeEvaluation eval, evaluator_.Evaluate(node));
+    tags_.Record(node, eval.satisfied);
+    return eval.satisfied;
+  }
+
+  // Recursive bisection of the sub-lattice [bottom, top]; `bottom` is
+  // assumed failing (or is the global bottom, checked by the caller) and
+  // `top` satisfying.
+  Status Bisect(const LatticeNode& bottom, const LatticeNode& top,
+                std::vector<LatticeNode>* candidates) {
+    int height = top.Height() - bottom.Height();
+    if (height <= 1) {
+      candidates->push_back(top);
+      return Status::OK();
+    }
+    int mid = height / 2;
+    for (const LatticeNode& node : NodesAtIntervalHeight(bottom, top, mid)) {
+      PSK_ASSIGN_OR_RETURN(bool ok, Satisfies(node));
+      if (ok) {
+        PSK_RETURN_IF_ERROR(Bisect(bottom, node, candidates));
+      } else {
+        PSK_RETURN_IF_ERROR(Bisect(node, top, candidates));
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  NodeEvaluator& evaluator_;
+  TagStore& tags_;
+};
+
+}  // namespace
+
+Result<OlaResult> OlaSearch(const Table& initial_microdata,
+                            const HierarchySet& hierarchies,
+                            const OlaOptions& options) {
+  NodeEvaluator evaluator(initial_microdata, hierarchies, options.search);
+  PSK_RETURN_IF_ERROR(evaluator.Init());
+
+  OlaResult result;
+  if (!evaluator.Condition1Holds()) {
+    result.condition1_failed = true;
+    result.stats = evaluator.stats();
+    return result;
+  }
+
+  GeneralizationLattice lattice(hierarchies);
+  TagStore tags;
+  OlaDriver driver(evaluator, tags);
+
+  LatticeNode bottom = lattice.Bottom();
+  LatticeNode top = lattice.Top();
+  PSK_ASSIGN_OR_RETURN(bool top_ok, driver.Satisfies(top));
+  if (!top_ok) {
+    result.stats = evaluator.stats();
+    return result;  // nothing satisfies
+  }
+  std::vector<LatticeNode> candidates;
+  PSK_ASSIGN_OR_RETURN(bool bottom_ok, driver.Satisfies(bottom));
+  if (bottom_ok) {
+    candidates.push_back(bottom);
+  } else {
+    PSK_RETURN_IF_ERROR(driver.Bisect(bottom, top, &candidates));
+  }
+
+  // Deduplicate, verify each candidate actually satisfies (bisection can
+  // surface sub-lattice tops that were never directly evaluated), then
+  // keep the dominance-minimal ones.
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  std::vector<LatticeNode> verified;
+  for (const LatticeNode& node : candidates) {
+    PSK_ASSIGN_OR_RETURN(bool ok, driver.Satisfies(node));
+    if (ok) verified.push_back(node);
+  }
+  result.minimal_nodes = MinimalNodes(verified);
+  if (result.minimal_nodes.empty()) {
+    result.stats = evaluator.stats();
+    return result;
+  }
+
+  // Metric-optimal node among the minimal ones.
+  bool first = true;
+  for (const LatticeNode& node : result.minimal_nodes) {
+    PSK_ASSIGN_OR_RETURN(MaskedMicrodata mm, evaluator.Materialize(node));
+    double metric;
+    switch (options.metric) {
+      case OlaMetric::kDiscernibility: {
+        PSK_ASSIGN_OR_RETURN(
+            uint64_t dm,
+            DiscernibilityMetric(mm.table, mm.table.schema().KeyIndices(),
+                                 mm.suppressed,
+                                 initial_microdata.num_rows()));
+        metric = static_cast<double>(dm);
+        break;
+      }
+      case OlaMetric::kPrecision:
+        // Negate so smaller-is-better uniformly.
+        metric = -Precision(node, hierarchies);
+        break;
+      default:
+        return Status::Internal("unhandled OLA metric");
+    }
+    if (first || metric < result.optimal_metric) {
+      result.optimal = node;
+      result.optimal_metric = metric;
+      result.masked = std::move(mm.table);
+      result.suppressed = mm.suppressed;
+      first = false;
+    }
+  }
+  result.found = true;
+  result.stats = evaluator.stats();
+  return result;
+}
+
+}  // namespace psk

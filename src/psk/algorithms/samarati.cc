@@ -1,0 +1,76 @@
+#include "psk/algorithms/samarati.h"
+
+namespace psk {
+namespace {
+
+// Evaluates every node at height h until one satisfies; returns it.
+Result<std::optional<LatticeNode>> ProbeHeight(
+    NodeEvaluator& evaluator, const GeneralizationLattice& lattice, int h) {
+  ++evaluator.mutable_stats()->heights_probed;
+  for (const LatticeNode& node : lattice.NodesAtHeight(h)) {
+    PSK_ASSIGN_OR_RETURN(NodeEvaluation eval, evaluator.Evaluate(node));
+    if (eval.satisfied) return std::optional<LatticeNode>(node);
+  }
+  return std::optional<LatticeNode>(std::nullopt);
+}
+
+}  // namespace
+
+Result<SearchResult> SamaratiSearch(const Table& initial_microdata,
+                                    const HierarchySet& hierarchies,
+                                    const SearchOptions& options) {
+  NodeEvaluator evaluator(initial_microdata, hierarchies, options);
+  PSK_RETURN_IF_ERROR(evaluator.Init());
+
+  SearchResult result;
+  if (!evaluator.Condition1Holds()) {
+    result.condition1_failed = true;
+    result.stats = evaluator.stats();
+    return result;
+  }
+
+  GeneralizationLattice lattice(hierarchies);
+  int low = 0;
+  int high = lattice.height();
+  std::optional<LatticeNode> best;
+
+  while (low < high) {
+    int mid = (low + high) / 2;
+    PSK_ASSIGN_OR_RETURN(std::optional<LatticeNode> hit,
+                         ProbeHeight(evaluator, lattice, mid));
+    if (hit.has_value()) {
+      best = hit;
+      high = mid;
+    } else {
+      low = mid + 1;
+    }
+  }
+
+  // `low` is the candidate minimal height. If the last successful probe was
+  // exactly at `low` we already hold a witness; otherwise probe it (this
+  // also covers the case where the loop never probed height(GL)).
+  if (!best.has_value() || best->Height() != low) {
+    for (int h = low; h <= lattice.height(); ++h) {
+      PSK_ASSIGN_OR_RETURN(std::optional<LatticeNode> hit,
+                           ProbeHeight(evaluator, lattice, h));
+      if (hit.has_value()) {
+        best = hit;
+        break;
+      }
+      // Reaching here means the property is non-monotone (p >= 2 with
+      // suppression) or unsatisfiable; keep scanning upward.
+    }
+  }
+
+  if (best.has_value()) {
+    PSK_ASSIGN_OR_RETURN(MaskedMicrodata mm, evaluator.Materialize(*best));
+    result.found = true;
+    result.node = *best;
+    result.masked = std::move(mm.table);
+    result.suppressed = mm.suppressed;
+  }
+  result.stats = evaluator.stats();
+  return result;
+}
+
+}  // namespace psk

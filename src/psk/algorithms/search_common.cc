@@ -1,0 +1,121 @@
+#include "psk/algorithms/search_common.h"
+
+#include <unordered_set>
+
+#include "psk/table/group_by.h"
+
+namespace psk {
+
+NodeEvaluator::NodeEvaluator(const Table& initial_microdata,
+                             const HierarchySet& hierarchies,
+                             SearchOptions options)
+    : im_(initial_microdata),
+      hierarchies_(hierarchies),
+      options_(options) {}
+
+Status NodeEvaluator::Init() {
+  if (options_.k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (options_.p < 1) return Status::InvalidArgument("p must be >= 1");
+  if (options_.p > options_.k) {
+    return Status::InvalidArgument("p must be <= k");
+  }
+  if (im_.schema().KeyIndices().empty()) {
+    return Status::FailedPrecondition(
+        "the schema declares no key (quasi-identifier) attributes");
+  }
+  if (options_.p >= 2) {
+    if (im_.schema().ConfidentialIndices().empty()) {
+      return Status::FailedPrecondition(
+          "p >= 2 requires at least one confidential attribute");
+    }
+    // Theorems 1 and 2: bounds computed on the initial microdata are valid
+    // for every masked microdata derived by generalization + suppression.
+    PSK_ASSIGN_OR_RETURN(FrequencyStats stats, FrequencyStats::Compute(im_));
+    max_p_ = stats.MaxP();
+    condition1_holds_ = options_.p <= max_p_;
+    if (condition1_holds_) {
+      PSK_ASSIGN_OR_RETURN(max_groups_, stats.MaxGroups(options_.p));
+    }
+  }
+  initialized_ = true;
+  return Status::OK();
+}
+
+Result<NodeEvaluation> NodeEvaluator::Evaluate(const LatticeNode& node) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("NodeEvaluator::Init was not called");
+  }
+  if (!condition1_holds_) {
+    return Status::FailedPrecondition(
+        "Condition 1 fails for the requested p; no node can satisfy it");
+  }
+  ++stats_.nodes_generalized;
+  PSK_ASSIGN_OR_RETURN(Table generalized,
+                       ApplyGeneralization(im_, hierarchies_, node));
+  std::vector<size_t> key_indices = generalized.schema().KeyIndices();
+  std::vector<size_t> conf_indices =
+      generalized.schema().ConfidentialIndices();
+  PSK_ASSIGN_OR_RETURN(FrequencySet fs,
+                       FrequencySet::Compute(generalized, key_indices));
+
+  NodeEvaluation eval;
+
+  // k-anonymity gate: suppression may remove at most TS tuples.
+  size_t violating = fs.RowsInGroupsSmallerThan(options_.k);
+  eval.suppressed = violating;
+  if (violating > options_.max_suppression) {
+    eval.stage = CheckStage::kKAnonymity;
+    ++stats_.nodes_rejected_kanonymity;
+    return eval;
+  }
+
+  // Surviving groups form the masked microdata.
+  size_t num_groups = 0;
+  for (const Group& group : fs.groups()) {
+    if (group.size() >= options_.k) ++num_groups;
+  }
+  eval.num_groups = num_groups;
+
+  if (options_.p >= 2) {
+    // Condition 2 on the *post-suppression* group count. (Algorithm 3 as
+    // printed counts groups before suppression; suppression can only
+    // remove whole groups, so the post-suppression count is tighter and
+    // still sound against the IM-level maxGroups bound of Theorem 2.)
+    if (options_.use_conditions &&
+        static_cast<uint64_t>(num_groups) > max_groups_) {
+      eval.stage = CheckStage::kCondition2;
+      ++stats_.nodes_pruned_condition2;
+      return eval;
+    }
+    // Detailed per-group scan over the surviving groups (row indices still
+    // reference `generalized`, which suppression does not disturb).
+    std::unordered_set<Value, ValueHash> seen;
+    for (const Group& group : fs.groups()) {
+      if (group.size() < options_.k) continue;  // suppressed
+      for (size_t col : conf_indices) {
+        seen.clear();
+        for (size_t row : group.row_indices) {
+          seen.insert(generalized.Get(row, col));
+          if (seen.size() >= options_.p) break;
+        }
+        if (seen.size() < options_.p) {
+          eval.stage = CheckStage::kGroupDetail;
+          ++stats_.nodes_rejected_detail;
+          return eval;
+        }
+      }
+    }
+  }
+
+  eval.satisfied = true;
+  eval.stage = CheckStage::kPassed;
+  ++stats_.nodes_satisfied;
+  return eval;
+}
+
+Result<MaskedMicrodata> NodeEvaluator::Materialize(
+    const LatticeNode& node) const {
+  return Mask(im_, hierarchies_, node, options_.k);
+}
+
+}  // namespace psk

@@ -1,0 +1,160 @@
+#ifndef PSK_ALGORITHMS_SEARCH_COMMON_H_
+#define PSK_ALGORITHMS_SEARCH_COMMON_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "psk/anonymity/frequency_stats.h"
+#include "psk/anonymity/psensitive.h"
+#include "psk/common/result.h"
+#include "psk/generalize/generalize.h"
+#include "psk/hierarchy/hierarchy.h"
+#include "psk/lattice/lattice.h"
+#include "psk/table/table.h"
+
+namespace psk {
+
+/// Parameters shared by every lattice search.
+///
+/// p = 1 degenerates to the plain k-anonymity search of Samarati [19]
+/// (every group trivially has >= 1 distinct confidential value), so the
+/// same code implements the baseline algorithm and the paper's Algorithm 3.
+struct SearchOptions {
+  size_t k = 2;
+  /// Sensitivity requirement; 1 disables the p-sensitivity part.
+  size_t p = 1;
+  /// Suppression threshold TS: the maximum number of tuples that may be
+  /// removed to reach k-anonymity.
+  size_t max_suppression = 0;
+  /// Apply the paper's two necessary conditions as pruning (Algorithm 3's
+  /// additions). Turning this off gives the unpruned baseline used in the
+  /// ablation benchmarks.
+  bool use_conditions = true;
+  /// Worker threads for searches that evaluate independent nodes
+  /// (currently the exhaustive sweep). 1 = sequential.
+  size_t threads = 1;
+};
+
+/// Work counters, used to quantify what the necessary conditions save.
+struct SearchStats {
+  /// Nodes for which the table was actually generalized.
+  size_t nodes_generalized = 0;
+  /// Nodes rejected by Condition 2 (group count > maxGroups) before the
+  /// detailed per-group scan.
+  size_t nodes_pruned_condition2 = 0;
+  /// Nodes rejected because more than TS tuples violate k-anonymity.
+  size_t nodes_rejected_kanonymity = 0;
+  /// Nodes rejected by the detailed per-group distinct-value scan.
+  size_t nodes_rejected_detail = 0;
+  /// Nodes that satisfied the property.
+  size_t nodes_satisfied = 0;
+  /// Nodes skipped without generalization (dominance or lower-bound
+  /// pruning in the bottom-up search).
+  size_t nodes_skipped = 0;
+  /// Lattice heights probed (binary search).
+  size_t heights_probed = 0;
+  /// Subset-lattice nodes evaluated (Incognito's phases over proper
+  /// quasi-identifier subsets).
+  size_t subset_nodes_evaluated = 0;
+
+  void Add(const SearchStats& other) {
+    nodes_generalized += other.nodes_generalized;
+    nodes_pruned_condition2 += other.nodes_pruned_condition2;
+    nodes_rejected_kanonymity += other.nodes_rejected_kanonymity;
+    nodes_rejected_detail += other.nodes_rejected_detail;
+    nodes_satisfied += other.nodes_satisfied;
+    nodes_skipped += other.nodes_skipped;
+    heights_probed += other.heights_probed;
+    subset_nodes_evaluated += other.subset_nodes_evaluated;
+  }
+};
+
+/// Verdict for one lattice node.
+struct NodeEvaluation {
+  bool satisfied = false;
+  CheckStage stage = CheckStage::kPassed;
+  /// Tuples that suppression removed (valid when the k-anonymity gate was
+  /// reached).
+  size_t suppressed = 0;
+  /// Number of QI-groups of the masked microdata (post-suppression).
+  size_t num_groups = 0;
+};
+
+/// Evaluates lattice nodes against a fixed initial microdata: generalize,
+/// suppress up to TS, then test p-sensitive k-anonymity, with Condition 1
+/// checked once up front and Condition 2 applied per node (Theorems 1-2
+/// justify computing both bounds on the initial microdata only).
+///
+/// All searches in this library share this component so that their work
+/// counters are comparable.
+class NodeEvaluator {
+ public:
+  /// `initial_microdata` and `hierarchies` must outlive the evaluator.
+  NodeEvaluator(const Table& initial_microdata,
+                const HierarchySet& hierarchies, SearchOptions options);
+
+  /// Computes the Condition 1/2 bounds from the initial microdata. Must be
+  /// called before Evaluate. Fails when the schema lacks key or
+  /// confidential attributes (confidential required only when p >= 2).
+  Status Init();
+
+  /// True iff Condition 1 admits the requested p. When false, no node can
+  /// ever satisfy the property and searches should report failure
+  /// immediately.
+  bool Condition1Holds() const { return condition1_holds_; }
+
+  size_t max_p() const { return max_p_; }
+  uint64_t max_groups() const { return max_groups_; }
+
+  /// Evaluates one node, updating stats().
+  Result<NodeEvaluation> Evaluate(const LatticeNode& node);
+
+  /// Produces the masked microdata (generalized + suppressed) for a node —
+  /// used to materialize the winning node once a search finishes.
+  Result<MaskedMicrodata> Materialize(const LatticeNode& node) const;
+
+  const SearchStats& stats() const { return stats_; }
+  SearchStats* mutable_stats() { return &stats_; }
+
+  const SearchOptions& options() const { return options_; }
+
+ private:
+  const Table& im_;
+  const HierarchySet& hierarchies_;
+  SearchOptions options_;
+  bool initialized_ = false;
+  bool condition1_holds_ = true;
+  size_t max_p_ = 0;
+  uint64_t max_groups_ = 0;
+  SearchStats stats_;
+};
+
+/// Outcome of a single-solution lattice search (Samarati binary search).
+struct SearchResult {
+  /// False when no node satisfies the property (or Condition 1 rules the
+  /// requested p out entirely — see condition1_failed).
+  bool found = false;
+  bool condition1_failed = false;
+  LatticeNode node;
+  /// The masked microdata at `node` (valid when found).
+  Table masked;
+  size_t suppressed = 0;
+  SearchStats stats;
+};
+
+/// Outcome of a search that enumerates all minimal satisfying nodes
+/// (exhaustive sweep and bottom-up BFS).
+struct MinimalSetResult {
+  bool condition1_failed = false;
+  /// All p-k-minimal generalizations (Definition 3), sorted.
+  std::vector<LatticeNode> minimal_nodes;
+  /// Every satisfying node encountered (exhaustive search only).
+  std::vector<LatticeNode> satisfying_nodes;
+  SearchStats stats;
+};
+
+}  // namespace psk
+
+#endif  // PSK_ALGORITHMS_SEARCH_COMMON_H_

@@ -1,0 +1,73 @@
+#ifndef PSK_ANONYMITY_DIVERSITY_H_
+#define PSK_ANONYMITY_DIVERSITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "psk/common/result.h"
+#include "psk/table/table.h"
+
+namespace psk {
+
+/// Successor privacy models to p-sensitive k-anonymity, published the same
+/// year (l-diversity, Machanavajjhala et al. 2006) and shortly after
+/// (t-closeness, Li et al. 2007). They are included both as baselines the
+/// library's benchmarks compare against and because *distinct*
+/// l-diversity coincides exactly with p-sensitivity — a relationship the
+/// tests exploit as an oracle.
+
+/// Distinct l-diversity: every QI-group has at least `l` distinct values
+/// of each confidential attribute. Equivalent to the paper's p-sensitivity
+/// with p = l.
+Result<bool> IsDistinctLDiverse(const Table& table,
+                                const std::vector<size_t>& key_indices,
+                                const std::vector<size_t>& confidential_indices,
+                                size_t l);
+
+/// Entropy l-diversity: for every QI-group and confidential attribute,
+/// the entropy of the value distribution within the group is at least
+/// log(l). Requires l >= 1 (l = 1 is trivially satisfied by non-empty
+/// groups).
+Result<bool> IsEntropyLDiverse(const Table& table,
+                               const std::vector<size_t>& key_indices,
+                               const std::vector<size_t>& confidential_indices,
+                               double l);
+
+/// Recursive (c, l)-diversity: in every QI-group, for each confidential
+/// attribute with within-group descending value counts r_1 >= r_2 >= ...,
+/// r_1 < c * (r_l + r_{l+1} + ... ). Groups with fewer than l distinct
+/// values fail. Requires c > 0 and l >= 1.
+Result<bool> IsRecursiveCLDiverse(
+    const Table& table, const std::vector<size_t>& key_indices,
+    const std::vector<size_t>& confidential_indices, double c, size_t l);
+
+/// The largest l such that the table is entropy l-diverse:
+/// exp(min over groups and confidential attributes of the within-group
+/// entropy). Returns 0 for an empty table.
+Result<double> EntropyDiversityL(
+    const Table& table, const std::vector<size_t>& key_indices,
+    const std::vector<size_t>& confidential_indices);
+
+/// t-closeness: the distance between each QI-group's confidential-value
+/// distribution and the whole-table distribution is at most t.
+///
+/// Distance is the Earth Mover's Distance with ground distance chosen by
+/// attribute type, following Li et al.:
+///  - equal distance (total variation) for categorical attributes;
+///  - ordered distance over the sorted global value list for numeric
+///    attributes.
+Result<bool> IsTClose(const Table& table,
+                      const std::vector<size_t>& key_indices,
+                      const std::vector<size_t>& confidential_indices,
+                      double t);
+
+/// The smallest t for which the table is t-close: the maximum over
+/// QI-groups and confidential attributes of the EMD described above.
+/// Returns 0 for an empty table.
+Result<double> TCloseness(const Table& table,
+                          const std::vector<size_t>& key_indices,
+                          const std::vector<size_t>& confidential_indices);
+
+}  // namespace psk
+
+#endif  // PSK_ANONYMITY_DIVERSITY_H_

@@ -1,0 +1,29 @@
+#include "psk/anonymity/kanonymity.h"
+
+#include "psk/table/group_by.h"
+
+namespace psk {
+
+Result<bool> IsKAnonymous(const Table& table,
+                          const std::vector<size_t>& key_indices, size_t k) {
+  if (k == 0) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  PSK_ASSIGN_OR_RETURN(FrequencySet fs,
+                       FrequencySet::Compute(table, key_indices));
+  if (fs.num_groups() == 0) return true;
+  return fs.MinGroupSize() >= k;
+}
+
+Result<bool> IsKAnonymous(const Table& table, size_t k) {
+  return IsKAnonymous(table, table.schema().KeyIndices(), k);
+}
+
+Result<size_t> AnonymityK(const Table& table,
+                          const std::vector<size_t>& key_indices) {
+  PSK_ASSIGN_OR_RETURN(FrequencySet fs,
+                       FrequencySet::Compute(table, key_indices));
+  return fs.MinGroupSize();
+}
+
+}  // namespace psk

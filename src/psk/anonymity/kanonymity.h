@@ -1,0 +1,28 @@
+#ifndef PSK_ANONYMITY_KANONYMITY_H_
+#define PSK_ANONYMITY_KANONYMITY_H_
+
+#include <vector>
+
+#include "psk/common/result.h"
+#include "psk/table/table.h"
+
+namespace psk {
+
+/// Checks Definition 1 (k-anonymity): every combination of key-attribute
+/// values present in `table` occurs at least `k` times. `key_indices`
+/// selects the quasi-identifier columns. An empty table is vacuously
+/// k-anonymous.
+Result<bool> IsKAnonymous(const Table& table,
+                          const std::vector<size_t>& key_indices, size_t k);
+
+/// Convenience overload using the schema's key attributes.
+Result<bool> IsKAnonymous(const Table& table, size_t k);
+
+/// The largest k for which `table` is k-anonymous — the size of the
+/// smallest QI-group. Returns 0 for an empty table.
+Result<size_t> AnonymityK(const Table& table,
+                          const std::vector<size_t>& key_indices);
+
+}  // namespace psk
+
+#endif  // PSK_ANONYMITY_KANONYMITY_H_

@@ -1,0 +1,74 @@
+#include "psk/anonymity/presence.h"
+
+#include <unordered_map>
+
+#include "psk/table/group_by.h"
+
+namespace psk {
+
+Result<DeltaPresence> ComputeDeltaPresence(
+    const Table& released, const std::vector<size_t>& released_key_indices,
+    const Table& population,
+    const std::vector<size_t>& population_key_indices) {
+  if (released_key_indices.size() != population_key_indices.size()) {
+    return Status::InvalidArgument(
+        "released and population key attribute lists differ in length");
+  }
+  PSK_ASSIGN_OR_RETURN(FrequencySet released_fs,
+                       FrequencySet::Compute(released, released_key_indices));
+  PSK_ASSIGN_OR_RETURN(
+      FrequencySet population_fs,
+      FrequencySet::Compute(population, population_key_indices));
+
+  std::unordered_map<std::vector<Value>, size_t, CompositeKeyHash>
+      released_sizes;
+  released_sizes.reserve(released_fs.num_groups());
+  for (const Group& group : released_fs.groups()) {
+    released_sizes.emplace(group.key, group.size());
+  }
+
+  DeltaPresence presence;
+  if (population.num_rows() == 0) return presence;
+  presence.delta_min = 1.0;
+  presence.delta_max = 0.0;
+  size_t matched_released = 0;
+  for (const Group& group : population_fs.groups()) {
+    auto it = released_sizes.find(group.key);
+    size_t in_release = it == released_sizes.end() ? 0 : it->second;
+    if (in_release > group.size()) {
+      return Status::InvalidArgument(
+          "released group larger than its population group; the release is "
+          "not a subset of the population");
+    }
+    matched_released += in_release;
+    double delta =
+        static_cast<double>(in_release) / static_cast<double>(group.size());
+    presence.delta_min = std::min(presence.delta_min, delta);
+    presence.delta_max = std::max(presence.delta_max, delta);
+  }
+  if (matched_released != released.num_rows()) {
+    return Status::InvalidArgument(
+        "some released groups have no population counterpart; the release "
+        "is not a subset of the population");
+  }
+  return presence;
+}
+
+Result<bool> IsDeltaPresent(const Table& released,
+                            const std::vector<size_t>& released_key_indices,
+                            const Table& population,
+                            const std::vector<size_t>& population_key_indices,
+                            double delta_min, double delta_max) {
+  if (delta_min < 0.0 || delta_max > 1.0 || delta_min > delta_max) {
+    return Status::InvalidArgument(
+        "require 0 <= delta_min <= delta_max <= 1");
+  }
+  PSK_ASSIGN_OR_RETURN(
+      DeltaPresence presence,
+      ComputeDeltaPresence(released, released_key_indices, population,
+                           population_key_indices));
+  return presence.delta_min >= delta_min - 1e-12 &&
+         presence.delta_max <= delta_max + 1e-12;
+}
+
+}  // namespace psk

@@ -1,0 +1,49 @@
+#ifndef PSK_ANONYMITY_PRESENCE_H_
+#define PSK_ANONYMITY_PRESENCE_H_
+
+#include <vector>
+
+#include "psk/common/result.h"
+#include "psk/table/table.h"
+
+namespace psk {
+
+/// delta-presence (Nergiz, Atzori & Clifton 2007): when the released
+/// microdata is a *subset* of a publicly known population (e.g. "patients
+/// of this clinic" drawn from a census), an intruder learns something from
+/// mere membership. For an individual t in the population, the inference
+/// probability is
+///
+///   P(t in released | release) = |G(t) in released| / |G(t) in population|
+///
+/// where G(t) is t's QI-group at the release's generalization level. The
+/// release is (delta_min, delta_max)-present when that probability lies in
+/// [delta_min, delta_max] for every individual.
+struct DeltaPresence {
+  double delta_min = 0.0;
+  double delta_max = 0.0;
+};
+
+/// Computes the presence bounds of `released` with respect to
+/// `population`. Both tables must already be generalized to the same
+/// domains (same key-attribute value spaces); `released_key_indices` /
+/// `population_key_indices` select the corresponding columns. Population
+/// groups with no released members contribute delta 0; released groups
+/// missing from the population are a contract violation (InvalidArgument),
+/// since a release must be a subset of its population.
+Result<DeltaPresence> ComputeDeltaPresence(
+    const Table& released, const std::vector<size_t>& released_key_indices,
+    const Table& population,
+    const std::vector<size_t>& population_key_indices);
+
+/// True iff every individual's inference probability lies within
+/// [delta_min, delta_max].
+Result<bool> IsDeltaPresent(const Table& released,
+                            const std::vector<size_t>& released_key_indices,
+                            const Table& population,
+                            const std::vector<size_t>& population_key_indices,
+                            double delta_min, double delta_max);
+
+}  // namespace psk
+
+#endif  // PSK_ANONYMITY_PRESENCE_H_

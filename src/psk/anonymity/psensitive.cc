@@ -1,0 +1,276 @@
+#include "psk/anonymity/psensitive.h"
+
+#include <unordered_set>
+
+#include "psk/hierarchy/hierarchy.h"
+#include "psk/table/group_by.h"
+
+namespace psk {
+namespace {
+
+// Distinct values of column `col` among the rows of `group`, counting at
+// most `cap` (early exit once the check is decided).
+size_t DistinctInGroup(const Table& table, const Group& group, size_t col,
+                       size_t cap) {
+  std::unordered_set<Value, ValueHash> seen;
+  for (size_t row : group.row_indices) {
+    seen.insert(table.Get(row, col));
+    if (seen.size() >= cap) return seen.size();
+  }
+  return seen.size();
+}
+
+Status ValidatePK(size_t p, size_t k) {
+  if (p < 1) return Status::InvalidArgument("p must be >= 1");
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (p > k) {
+    return Status::InvalidArgument(
+        "p must be <= k (a group of k tuples holds at most k distinct "
+        "values); got p = " +
+        std::to_string(p) + ", k = " + std::to_string(k));
+  }
+  return Status::OK();
+}
+
+// The detailed per-group check shared by Algorithms 1 and 2.
+Result<CheckOutcome> DetailedCheck(const Table& table, const FrequencySet& fs,
+                                   const std::vector<size_t>& conf_indices,
+                                   size_t p, CheckOutcome outcome) {
+  for (const Group& group : fs.groups()) {
+    ++outcome.groups_examined;
+    for (size_t col : conf_indices) {
+      if (DistinctInGroup(table, group, col, p) < p) {
+        outcome.satisfied = false;
+        outcome.stage = CheckStage::kGroupDetail;
+        return outcome;
+      }
+    }
+  }
+  outcome.satisfied = true;
+  outcome.stage = CheckStage::kPassed;
+  return outcome;
+}
+
+}  // namespace
+
+Result<bool> IsPSensitive(const Table& table,
+                          const std::vector<size_t>& key_indices,
+                          const std::vector<size_t>& confidential_indices,
+                          size_t p) {
+  if (p < 1) return Status::InvalidArgument("p must be >= 1");
+  if (confidential_indices.empty()) {
+    return Status::InvalidArgument(
+        "at least one confidential attribute is required");
+  }
+  PSK_ASSIGN_OR_RETURN(FrequencySet fs,
+                       FrequencySet::Compute(table, key_indices));
+  for (const Group& group : fs.groups()) {
+    for (size_t col : confidential_indices) {
+      if (col >= table.num_columns()) {
+        return Status::OutOfRange("confidential column index out of range");
+      }
+      if (DistinctInGroup(table, group, col, p) < p) return false;
+    }
+  }
+  return true;
+}
+
+Result<CheckOutcome> CheckBasic(const Table& table,
+                                const std::vector<size_t>& key_indices,
+                                const std::vector<size_t>& confidential_indices,
+                                size_t p, size_t k) {
+  PSK_RETURN_IF_ERROR(ValidatePK(p, k));
+  if (confidential_indices.empty()) {
+    return Status::InvalidArgument(
+        "at least one confidential attribute is required");
+  }
+  PSK_ASSIGN_OR_RETURN(FrequencySet fs,
+                       FrequencySet::Compute(table, key_indices));
+  CheckOutcome outcome;
+  if (fs.num_groups() > 0 && fs.MinGroupSize() < k) {
+    outcome.stage = CheckStage::kKAnonymity;
+    return outcome;
+  }
+  return DetailedCheck(table, fs, confidential_indices, p, outcome);
+}
+
+Result<CheckOutcome> CheckImproved(
+    const Table& table, const std::vector<size_t>& key_indices,
+    const std::vector<size_t>& confidential_indices, size_t p, size_t k,
+    const std::optional<ConditionBounds>& bounds) {
+  PSK_RETURN_IF_ERROR(ValidatePK(p, k));
+  if (confidential_indices.empty()) {
+    return Status::InvalidArgument(
+        "at least one confidential attribute is required");
+  }
+
+  size_t max_p;
+  uint64_t max_groups;
+  if (bounds.has_value()) {
+    // Theorems 1-2: bounds computed on the initial microdata dominate the
+    // bounds of any generalized+suppressed MM, so they are safe here.
+    max_p = bounds->max_p;
+    max_groups = bounds->max_groups;
+  } else {
+    PSK_ASSIGN_OR_RETURN(FrequencyStats stats,
+                         FrequencyStats::Compute(table, confidential_indices));
+    max_p = stats.MaxP();
+    if (p >= 2 && p <= max_p) {
+      PSK_ASSIGN_OR_RETURN(max_groups, stats.MaxGroups(p));
+    } else {
+      max_groups = 0;  // unused when Condition 1 fails or p == 1
+    }
+  }
+
+  CheckOutcome outcome;
+  // First necessary condition.
+  if (p > max_p) {
+    outcome.stage = CheckStage::kCondition1;
+    return outcome;
+  }
+
+  PSK_ASSIGN_OR_RETURN(FrequencySet fs,
+                       FrequencySet::Compute(table, key_indices));
+
+  // Second necessary condition (defined for p >= 2).
+  if (p >= 2 && static_cast<uint64_t>(fs.num_groups()) > max_groups) {
+    outcome.stage = CheckStage::kCondition2;
+    return outcome;
+  }
+
+  if (fs.num_groups() > 0 && fs.MinGroupSize() < k) {
+    outcome.stage = CheckStage::kKAnonymity;
+    return outcome;
+  }
+  return DetailedCheck(table, fs, confidential_indices, p, outcome);
+}
+
+Result<CheckOutcome> CheckBasic(const Table& table, size_t p, size_t k) {
+  return CheckBasic(table, table.schema().KeyIndices(),
+                    table.schema().ConfidentialIndices(), p, k);
+}
+
+Result<CheckOutcome> CheckImproved(const Table& table, size_t p, size_t k) {
+  return CheckImproved(table, table.schema().KeyIndices(),
+                       table.schema().ConfidentialIndices(), p, k);
+}
+
+Result<size_t> SensitivityP(const Table& table,
+                            const std::vector<size_t>& key_indices,
+                            const std::vector<size_t>& confidential_indices) {
+  if (confidential_indices.empty()) {
+    return Status::InvalidArgument(
+        "at least one confidential attribute is required");
+  }
+  PSK_ASSIGN_OR_RETURN(FrequencySet fs,
+                       FrequencySet::Compute(table, key_indices));
+  if (fs.num_groups() == 0) return static_cast<size_t>(0);
+  size_t min_distinct = SIZE_MAX;
+  for (const Group& group : fs.groups()) {
+    for (size_t col : confidential_indices) {
+      if (col >= table.num_columns()) {
+        return Status::OutOfRange("confidential column index out of range");
+      }
+      min_distinct =
+          std::min(min_distinct, DistinctInGroup(table, group, col, SIZE_MAX));
+    }
+  }
+  return min_distinct;
+}
+
+namespace {
+
+// Distinct categories (ancestors at `level`) of column `col` within one
+// group, counting at most `cap`.
+Result<size_t> DistinctCategoriesInGroup(
+    const Table& table, const Group& group, size_t col,
+    const AttributeHierarchy& value_hierarchy, int level, size_t cap) {
+  std::unordered_set<Value, ValueHash> seen;
+  std::unordered_map<Value, Value, ValueHash> memo;
+  for (size_t row : group.row_indices) {
+    const Value& ground = table.Get(row, col);
+    auto it = memo.find(ground);
+    if (it == memo.end()) {
+      PSK_ASSIGN_OR_RETURN(Value category,
+                           value_hierarchy.Generalize(ground, level));
+      it = memo.emplace(ground, std::move(category)).first;
+    }
+    seen.insert(it->second);
+    if (seen.size() >= cap) return seen.size();
+  }
+  return seen.size();
+}
+
+}  // namespace
+
+Result<bool> IsPSensitiveHierarchical(
+    const Table& table, const std::vector<size_t>& key_indices,
+    size_t confidential_col, const AttributeHierarchy& value_hierarchy,
+    int level, size_t p) {
+  if (p < 1) return Status::InvalidArgument("p must be >= 1");
+  if (confidential_col >= table.num_columns()) {
+    return Status::OutOfRange("confidential column index out of range");
+  }
+  if (level < 0 || level >= value_hierarchy.num_levels()) {
+    return Status::OutOfRange("hierarchy level out of range");
+  }
+  PSK_ASSIGN_OR_RETURN(FrequencySet fs,
+                       FrequencySet::Compute(table, key_indices));
+  for (const Group& group : fs.groups()) {
+    PSK_ASSIGN_OR_RETURN(
+        size_t distinct,
+        DistinctCategoriesInGroup(table, group, confidential_col,
+                                  value_hierarchy, level, p));
+    if (distinct < p) return false;
+  }
+  return true;
+}
+
+Result<size_t> HierarchicalSensitivityP(
+    const Table& table, const std::vector<size_t>& key_indices,
+    size_t confidential_col, const AttributeHierarchy& value_hierarchy,
+    int level) {
+  if (confidential_col >= table.num_columns()) {
+    return Status::OutOfRange("confidential column index out of range");
+  }
+  if (level < 0 || level >= value_hierarchy.num_levels()) {
+    return Status::OutOfRange("hierarchy level out of range");
+  }
+  PSK_ASSIGN_OR_RETURN(FrequencySet fs,
+                       FrequencySet::Compute(table, key_indices));
+  if (fs.num_groups() == 0) return static_cast<size_t>(0);
+  size_t min_distinct = SIZE_MAX;
+  for (const Group& group : fs.groups()) {
+    PSK_ASSIGN_OR_RETURN(
+        size_t distinct,
+        DistinctCategoriesInGroup(table, group, confidential_col,
+                                  value_hierarchy, level, SIZE_MAX));
+    min_distinct = std::min(min_distinct, distinct);
+  }
+  return min_distinct;
+}
+
+Result<size_t> CountAttributeDisclosures(
+    const Table& table, const std::vector<size_t>& key_indices,
+    const std::vector<size_t>& confidential_indices) {
+  if (confidential_indices.empty()) {
+    return Status::InvalidArgument(
+        "at least one confidential attribute is required");
+  }
+  PSK_ASSIGN_OR_RETURN(FrequencySet fs,
+                       FrequencySet::Compute(table, key_indices));
+  size_t disclosures = 0;
+  for (const Group& group : fs.groups()) {
+    for (size_t col : confidential_indices) {
+      if (col >= table.num_columns()) {
+        return Status::OutOfRange("confidential column index out of range");
+      }
+      if (DistinctInGroup(table, group, col, 2) == 1) {
+        ++disclosures;
+      }
+    }
+  }
+  return disclosures;
+}
+
+}  // namespace psk

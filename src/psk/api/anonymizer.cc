@@ -1,0 +1,217 @@
+#include "psk/api/anonymizer.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "psk/algorithms/bottom_up.h"
+#include "psk/algorithms/exhaustive.h"
+#include "psk/algorithms/greedy_cluster.h"
+#include "psk/algorithms/incognito.h"
+#include "psk/algorithms/mondrian.h"
+#include "psk/algorithms/ola.h"
+#include "psk/algorithms/samarati.h"
+#include "psk/anonymity/kanonymity.h"
+#include "psk/anonymity/psensitive.h"
+#include "psk/metrics/metrics.h"
+#include "psk/metrics/risk.h"
+
+namespace psk {
+namespace {
+
+// Scores the masked microdata; shared by every algorithm branch.
+Status FillScorecard(const Table& im, AnonymizationReport* report) {
+  const Table& masked = report->masked;
+  std::vector<size_t> keys = masked.schema().KeyIndices();
+  std::vector<size_t> confs = masked.schema().ConfidentialIndices();
+  PSK_ASSIGN_OR_RETURN(report->achieved_k, AnonymityK(masked, keys));
+  if (!confs.empty()) {
+    PSK_ASSIGN_OR_RETURN(report->achieved_p,
+                         SensitivityP(masked, keys, confs));
+    PSK_ASSIGN_OR_RETURN(report->attribute_disclosures,
+                         CountAttributeDisclosures(masked, keys, confs));
+  }
+  PSK_ASSIGN_OR_RETURN(report->reidentification_risk,
+                       MarketerRisk(masked, keys));
+  PSK_ASSIGN_OR_RETURN(
+      report->discernibility,
+      DiscernibilityMetric(masked, keys, report->suppressed, im.num_rows()));
+  return Status::OK();
+}
+
+// Among a set of minimal nodes, prefer the lowest height, then
+// lexicographic order (deterministic).
+const LatticeNode* PickNode(const std::vector<LatticeNode>& nodes) {
+  const LatticeNode* best = nullptr;
+  for (const LatticeNode& node : nodes) {
+    if (best == nullptr || node.Height() < best->Height() ||
+        (node.Height() == best->Height() && node < *best)) {
+      best = &node;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<AnonymizationReport> Anonymizer::Run() const {
+  const Schema& schema = initial_microdata_.schema();
+  std::vector<size_t> key_indices = schema.KeyIndices();
+  if (key_indices.empty()) {
+    return Status::FailedPrecondition(
+        "the schema declares no key (quasi-identifier) attributes");
+  }
+
+  if (algorithm_ == AnonymizationAlgorithm::kMondrian ||
+      algorithm_ == AnonymizationAlgorithm::kGreedyCluster) {
+    AnonymizationReport report;
+    if (algorithm_ == AnonymizationAlgorithm::kMondrian) {
+      MondrianOptions options;
+      options.k = k_;
+      options.p = p_;
+      PSK_ASSIGN_OR_RETURN(MondrianResult mondrian,
+                           MondrianAnonymize(initial_microdata_, options));
+      report.masked = std::move(mondrian.masked);
+    } else {
+      GreedyClusterOptions options;
+      options.k = k_;
+      options.p = p_;
+      PSK_ASSIGN_OR_RETURN(
+          GreedyClusterResult cluster,
+          GreedyClusterAnonymize(initial_microdata_, options));
+      report.masked = std::move(cluster.masked);
+    }
+    PSK_RETURN_IF_ERROR(FillScorecard(initial_microdata_, &report));
+    PSK_ASSIGN_OR_RETURN(
+        report.normalized_avg_group_size,
+        NormalizedAvgGroupSize(report.masked,
+                               report.masked.schema().KeyIndices(), k_));
+    return report;
+  }
+
+  // Lattice algorithms need one hierarchy per key attribute. Accept them
+  // in any registration order and sort into schema order by name.
+  std::unordered_map<std::string, std::shared_ptr<const AttributeHierarchy>>
+      by_name;
+  for (const auto& hierarchy : hierarchies_) {
+    if (hierarchy == nullptr) {
+      return Status::InvalidArgument("null hierarchy registered");
+    }
+    if (!by_name.emplace(hierarchy->attribute_name(), hierarchy).second) {
+      return Status::AlreadyExists("duplicate hierarchy for attribute '" +
+                                   hierarchy->attribute_name() + "'");
+    }
+  }
+  std::vector<std::shared_ptr<const AttributeHierarchy>> ordered;
+  for (size_t col : key_indices) {
+    auto it = by_name.find(schema.attribute(col).name);
+    if (it == by_name.end()) {
+      return Status::InvalidArgument(
+          "no hierarchy registered for key attribute '" +
+          schema.attribute(col).name + "'");
+    }
+    ordered.push_back(it->second);
+  }
+  if (by_name.size() != key_indices.size()) {
+    return Status::InvalidArgument(
+        "hierarchies registered for non-key attributes");
+  }
+  PSK_ASSIGN_OR_RETURN(HierarchySet hierarchy_set,
+                       HierarchySet::Create(schema, std::move(ordered)));
+  // Preflight: every observed key value must generalize at every level,
+  // so configuration errors surface before the lattice search starts.
+  for (size_t i = 0; i < hierarchy_set.size(); ++i) {
+    PSK_RETURN_IF_ERROR(ValidateHierarchyOverColumn(
+        initial_microdata_, key_indices[i], hierarchy_set.hierarchy(i)));
+  }
+
+  SearchOptions options;
+  options.k = k_;
+  options.p = p_;
+  options.max_suppression = max_suppression_;
+  options.use_conditions = use_conditions_;
+
+  std::optional<LatticeNode> node;
+  SearchStats stats;
+  if (algorithm_ == AnonymizationAlgorithm::kOla) {
+    OlaOptions ola_options;
+    ola_options.search = options;
+    PSK_ASSIGN_OR_RETURN(
+        OlaResult ola,
+        OlaSearch(initial_microdata_, hierarchy_set, ola_options));
+    stats = ola.stats;
+    if (ola.condition1_failed) {
+      return Status::FailedPrecondition(
+          "Condition 1 fails: some confidential attribute has fewer than p "
+          "distinct values");
+    }
+    if (ola.found) node = ola.optimal;
+  } else if (algorithm_ == AnonymizationAlgorithm::kSamarati) {
+    PSK_ASSIGN_OR_RETURN(
+        SearchResult result,
+        SamaratiSearch(initial_microdata_, hierarchy_set, options));
+    stats = result.stats;
+    if (result.found) node = result.node;
+    if (result.condition1_failed) {
+      return Status::FailedPrecondition(
+          "Condition 1 fails: some confidential attribute has fewer than p "
+          "distinct values");
+    }
+  } else {
+    MinimalSetResult result;
+    switch (algorithm_) {
+      case AnonymizationAlgorithm::kIncognito: {
+        PSK_ASSIGN_OR_RETURN(
+            result,
+            IncognitoSearch(initial_microdata_, hierarchy_set, options));
+        break;
+      }
+      case AnonymizationAlgorithm::kBottomUp: {
+        PSK_ASSIGN_OR_RETURN(
+            result,
+            BottomUpSearch(initial_microdata_, hierarchy_set, options));
+        break;
+      }
+      case AnonymizationAlgorithm::kExhaustive: {
+        PSK_ASSIGN_OR_RETURN(
+            result,
+            ExhaustiveSearch(initial_microdata_, hierarchy_set, options));
+        break;
+      }
+      default:
+        return Status::Internal("unhandled algorithm");
+    }
+    stats = result.stats;
+    if (result.condition1_failed) {
+      return Status::FailedPrecondition(
+          "Condition 1 fails: some confidential attribute has fewer than p "
+          "distinct values");
+    }
+    if (const LatticeNode* best = PickNode(result.minimal_nodes)) {
+      node = *best;
+    }
+  }
+
+  if (!node.has_value()) {
+    return Status::FailedPrecondition(
+        "no full-domain generalization satisfies the requested k/p within "
+        "the suppression budget");
+  }
+
+  PSK_ASSIGN_OR_RETURN(
+      MaskedMicrodata mm,
+      Mask(initial_microdata_, hierarchy_set, *node, k_));
+  AnonymizationReport report;
+  report.masked = std::move(mm.table);
+  report.node = *node;
+  report.suppressed = mm.suppressed;
+  report.stats = stats;
+  report.precision = Precision(*node, hierarchy_set);
+  PSK_RETURN_IF_ERROR(FillScorecard(initial_microdata_, &report));
+  PSK_ASSIGN_OR_RETURN(
+      report.normalized_avg_group_size,
+      NormalizedAvgGroupSize(report.masked,
+                             report.masked.schema().KeyIndices(), k_));
+  return report;
+}
+
+}  // namespace psk

@@ -1,0 +1,128 @@
+#ifndef PSK_API_ANONYMIZER_H_
+#define PSK_API_ANONYMIZER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "psk/algorithms/search_common.h"
+#include "psk/common/result.h"
+#include "psk/hierarchy/hierarchy.h"
+#include "psk/table/table.h"
+
+namespace psk {
+
+/// Which engine produces the masked microdata.
+enum class AnonymizationAlgorithm {
+  /// Samarati binary search / the paper's Algorithm 3 (one minimal-height
+  /// solution; the default).
+  kSamarati = 0,
+  /// Incognito-style subset-lattice search; picks the minimal node with
+  /// the best precision among all p-k-minimal generalizations.
+  kIncognito = 1,
+  /// Full-lattice bottom-up BFS; same selection rule as Incognito.
+  kBottomUp = 2,
+  /// Exhaustive sweep (exact, exponential in the QI count).
+  kExhaustive = 3,
+  /// Mondrian multidimensional local recoding (no hierarchies required).
+  kMondrian = 4,
+  /// Greedy p-sensitive k-anonymous clustering (local recoding, no
+  /// hierarchies required).
+  kGreedyCluster = 5,
+  /// OLA: optimal lattice anonymization — among all minimal nodes, picks
+  /// the one minimizing the discernibility metric.
+  kOla = 6,
+};
+
+/// The outcome of one anonymization run: the masked microdata plus the
+/// privacy/utility scorecard a data owner reviews before release.
+struct AnonymizationReport {
+  Table masked;
+  /// The lattice node applied (absent for Mondrian's local recoding).
+  std::optional<LatticeNode> node;
+  size_t suppressed = 0;
+
+  // Privacy scorecard.
+  size_t achieved_k = 0;  ///< smallest QI-group size
+  size_t achieved_p = 0;  ///< minimum distinct confidential values/group
+  size_t attribute_disclosures = 0;
+  double reidentification_risk = 0.0;  ///< marketer-model risk
+
+  // Utility scorecard.
+  uint64_t discernibility = 0;
+  double normalized_avg_group_size = 0.0;
+  /// Precision of the applied node; 1.0 (no loss) reported for Mondrian,
+  /// whose loss shows up in discernibility instead.
+  double precision = 1.0;
+
+  SearchStats stats;
+};
+
+/// One-stop API over the whole library: configure the dataset, the
+/// hierarchies and the privacy requirements, call Run(), and get the
+/// masked microdata with its scorecard.
+///
+///   Anonymizer anonymizer(std::move(table));
+///   anonymizer.AddHierarchy(age_hierarchy);
+///   anonymizer.AddHierarchy(zip_hierarchy);
+///   anonymizer.set_k(3).set_p(2).set_max_suppression(10);
+///   PSK_ASSIGN_OR_RETURN(AnonymizationReport report, anonymizer.Run());
+///
+/// The schema drives everything: attributes marked kIdentifier are
+/// dropped, kKey attributes are generalized (each needs a hierarchy unless
+/// the algorithm is Mondrian), kConfidential attributes feed the
+/// p-sensitivity requirement.
+class Anonymizer {
+ public:
+  explicit Anonymizer(Table initial_microdata)
+      : initial_microdata_(std::move(initial_microdata)) {}
+
+  /// Registers the hierarchy for one key attribute (any order; matched to
+  /// schema attributes by name at Run time).
+  Anonymizer& AddHierarchy(
+      std::shared_ptr<const AttributeHierarchy> hierarchy) {
+    hierarchies_.push_back(std::move(hierarchy));
+    return *this;
+  }
+
+  Anonymizer& set_k(size_t k) {
+    k_ = k;
+    return *this;
+  }
+  Anonymizer& set_p(size_t p) {
+    p_ = p;
+    return *this;
+  }
+  Anonymizer& set_max_suppression(size_t max_suppression) {
+    max_suppression_ = max_suppression;
+    return *this;
+  }
+  Anonymizer& set_algorithm(AnonymizationAlgorithm algorithm) {
+    algorithm_ = algorithm;
+    return *this;
+  }
+  /// Disables the Condition 1/2 pruning (for measurement only).
+  Anonymizer& set_use_conditions(bool use_conditions) {
+    use_conditions_ = use_conditions;
+    return *this;
+  }
+
+  /// Runs the configured algorithm. Fails with FailedPrecondition when no
+  /// masking satisfies the requirements (the message says which gate
+  /// failed), or InvalidArgument for inconsistent configuration.
+  Result<AnonymizationReport> Run() const;
+
+ private:
+  Table initial_microdata_;
+  std::vector<std::shared_ptr<const AttributeHierarchy>> hierarchies_;
+  size_t k_ = 2;
+  size_t p_ = 1;
+  size_t max_suppression_ = 0;
+  AnonymizationAlgorithm algorithm_ = AnonymizationAlgorithm::kSamarati;
+  bool use_conditions_ = true;
+};
+
+}  // namespace psk
+
+#endif  // PSK_API_ANONYMIZER_H_

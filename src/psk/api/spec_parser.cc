@@ -1,0 +1,198 @@
+#include "psk/api/spec_parser.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "psk/common/string_util.h"
+#include "psk/hierarchy/hierarchy_io.h"
+
+namespace psk {
+namespace {
+
+Result<AttributeRole> ParseRole(const std::string& role) {
+  if (role == "identifier") return AttributeRole::kIdentifier;
+  if (role == "key") return AttributeRole::kKey;
+  if (role == "confidential") return AttributeRole::kConfidential;
+  if (role == "other") return AttributeRole::kOther;
+  return Status::InvalidArgument("unknown role: " + role);
+}
+
+Result<ValueType> ParseType(const std::string& type) {
+  if (type == "string") return ValueType::kString;
+  if (type == "int64" || type == "int") return ValueType::kInt64;
+  if (type == "double") return ValueType::kDouble;
+  return Status::InvalidArgument("unknown type: " + type);
+}
+
+}  // namespace
+
+Result<Attribute> ParseAttributeSpec(const std::string& spec) {
+  std::vector<std::string> parts = Split(spec, ':');
+  if (parts.size() != 3) {
+    return Status::InvalidArgument(
+        "attribute spec must be NAME:TYPE:ROLE: " + spec);
+  }
+  Attribute attr;
+  attr.name = std::string(Trim(parts[0]));
+  if (attr.name.empty()) {
+    return Status::InvalidArgument("attribute name is empty: " + spec);
+  }
+  PSK_ASSIGN_OR_RETURN(attr.type, ParseType(std::string(Trim(parts[1]))));
+  PSK_ASSIGN_OR_RETURN(attr.role, ParseRole(std::string(Trim(parts[2]))));
+  return attr;
+}
+
+Result<std::shared_ptr<const AttributeHierarchy>> ParseHierarchySpec(
+    const std::string& attribute, const std::string& spec) {
+  if (spec == "suppress") {
+    return std::shared_ptr<const AttributeHierarchy>(
+        std::make_shared<SuppressionHierarchy>(attribute));
+  }
+  if (StartsWith(spec, "prefix:")) {
+    std::vector<int> masked;
+    for (const std::string& field : Split(spec.substr(7), ',')) {
+      PSK_ASSIGN_OR_RETURN(int64_t v, ParseInt64(field));
+      masked.push_back(static_cast<int>(v));
+    }
+    PSK_ASSIGN_OR_RETURN(auto h, PrefixHierarchy::Create(attribute, masked));
+    return std::shared_ptr<const AttributeHierarchy>(h);
+  }
+  if (StartsWith(spec, "interval:")) {
+    std::vector<IntervalHierarchy::Level> levels;
+    for (const std::string& level : Split(spec.substr(9), '/')) {
+      if (level == "top") {
+        levels.push_back(IntervalHierarchy::Level::Top());
+      } else if (StartsWith(level, "bands-")) {
+        PSK_ASSIGN_OR_RETURN(int64_t width, ParseInt64(level.substr(6)));
+        levels.push_back(IntervalHierarchy::Level::Bands(width));
+      } else if (StartsWith(level, "cuts-")) {
+        std::vector<int64_t> cuts;
+        for (const std::string& cut : Split(level.substr(5), '-')) {
+          PSK_ASSIGN_OR_RETURN(int64_t v, ParseInt64(cut));
+          cuts.push_back(v);
+        }
+        levels.push_back(IntervalHierarchy::Level::Cuts(std::move(cuts)));
+      } else {
+        return Status::InvalidArgument("unknown interval level: " + level);
+      }
+    }
+    PSK_ASSIGN_OR_RETURN(auto h,
+                         IntervalHierarchy::Create(attribute, levels));
+    return std::shared_ptr<const AttributeHierarchy>(h);
+  }
+  if (StartsWith(spec, "file:")) {
+    std::string rest = spec.substr(5);
+    char sep = ';';
+    size_t sep_pos = rest.find(';');
+    if (sep_pos != std::string::npos && sep_pos + 1 < rest.size()) {
+      sep = rest[sep_pos + 1];
+      rest = rest.substr(0, sep_pos);
+    }
+    PSK_ASSIGN_OR_RETURN(auto h, LoadTaxonomyCsvFile(rest, attribute, sep));
+    return std::shared_ptr<const AttributeHierarchy>(h);
+  }
+  return Status::InvalidArgument("unknown hierarchy spec: " + spec);
+}
+
+Result<AnonymizationAlgorithm> ParseAlgorithmName(const std::string& name) {
+  if (name == "samarati") return AnonymizationAlgorithm::kSamarati;
+  if (name == "incognito") return AnonymizationAlgorithm::kIncognito;
+  if (name == "bottomup") return AnonymizationAlgorithm::kBottomUp;
+  if (name == "exhaustive") return AnonymizationAlgorithm::kExhaustive;
+  if (name == "mondrian") return AnonymizationAlgorithm::kMondrian;
+  if (name == "cluster") return AnonymizationAlgorithm::kGreedyCluster;
+  if (name == "ola") return AnonymizationAlgorithm::kOla;
+  return Status::InvalidArgument("unknown algorithm: " + name);
+}
+
+Result<ReleaseConfig> ParseReleaseConfig(std::string_view text) {
+  ReleaseConfig config;
+  size_t line_no = 0;
+  for (const std::string& raw : Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = Trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    auto fail = [&](const std::string& message) -> Status {
+      return Status::InvalidArgument("config line " +
+                                     std::to_string(line_no) + ": " +
+                                     message);
+    };
+    size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return fail("expected 'key = value'");
+    }
+    std::string key(Trim(line.substr(0, eq)));
+    std::string value(Trim(line.substr(eq + 1)));
+    if (value.empty()) return fail("empty value for '" + key + "'");
+
+    if (StartsWith(key, "attr ")) {
+      std::string name(Trim(std::string_view(key).substr(5)));
+      if (name.empty()) return fail("attribute name missing");
+      for (const Attribute& existing : config.attributes) {
+        if (existing.name == name) {
+          return fail("duplicate attribute '" + name + "'");
+        }
+      }
+      // value: "<type> <role> [hierarchy=<spec>]"
+      std::istringstream fields(value);
+      std::string type_token;
+      std::string role_token;
+      fields >> type_token >> role_token;
+      if (type_token.empty() || role_token.empty()) {
+        return fail("attribute needs '<type> <role>'");
+      }
+      Result<Attribute> attr =
+          ParseAttributeSpec(name + ":" + type_token + ":" + role_token);
+      if (!attr.ok()) return fail(attr.status().message());
+      std::string extra;
+      while (fields >> extra) {
+        if (StartsWith(extra, "hierarchy=")) {
+          Result<std::shared_ptr<const AttributeHierarchy>> hierarchy =
+              ParseHierarchySpec(name, extra.substr(10));
+          if (!hierarchy.ok()) return fail(hierarchy.status().message());
+          config.hierarchies.push_back(std::move(hierarchy).value());
+        } else {
+          return fail("unknown attribute option: " + extra);
+        }
+      }
+      config.attributes.push_back(std::move(attr).value());
+      continue;
+    }
+
+    if (key == "input") {
+      config.input = value;
+    } else if (key == "output") {
+      config.output = value;
+    } else if (key == "k" || key == "p" || key == "ts") {
+      Result<int64_t> parsed = ParseInt64(value);
+      if (!parsed.ok() || *parsed < 0) {
+        return fail("'" + key + "' must be a non-negative integer");
+      }
+      if (key == "k") config.k = static_cast<size_t>(*parsed);
+      if (key == "p") config.p = static_cast<size_t>(*parsed);
+      if (key == "ts") config.max_suppression = static_cast<size_t>(*parsed);
+    } else if (key == "algorithm") {
+      Result<AnonymizationAlgorithm> algorithm = ParseAlgorithmName(value);
+      if (!algorithm.ok()) return fail(algorithm.status().message());
+      config.algorithm = *algorithm;
+    } else {
+      return fail("unknown key '" + key + "'");
+    }
+  }
+  if (config.attributes.empty()) {
+    return Status::InvalidArgument("config declares no attributes");
+  }
+  return config;
+}
+
+Result<ReleaseConfig> ParseReleaseConfigFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open config file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseReleaseConfig(buffer.str());
+}
+
+}  // namespace psk

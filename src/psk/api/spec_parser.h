@@ -1,0 +1,64 @@
+#ifndef PSK_API_SPEC_PARSER_H_
+#define PSK_API_SPEC_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "psk/api/anonymizer.h"
+#include "psk/common/result.h"
+#include "psk/hierarchy/hierarchy.h"
+#include "psk/table/schema.h"
+
+namespace psk {
+
+/// Textual mini-language for configuring an anonymization run — used by
+/// the anonymize_csv tool and by release-config files, and available to
+/// any embedding application.
+
+/// "NAME:TYPE:ROLE", e.g. "Age:int64:key". Types: string, int64/int,
+/// double. Roles: identifier, key, confidential, other.
+Result<Attribute> ParseAttributeSpec(const std::string& spec);
+
+/// Hierarchy specs, attached to `attribute`:
+///   suppress                        value -> *
+///   prefix:0,2,5                    trailing characters masked per level
+///   interval:bands-10/cuts-50/top   numeric levels in order
+///   file:PATH[;SEP]                 ARX-style taxonomy CSV
+Result<std::shared_ptr<const AttributeHierarchy>> ParseHierarchySpec(
+    const std::string& attribute, const std::string& spec);
+
+/// "samarati" | "incognito" | "bottomup" | "exhaustive" | "mondrian" |
+/// "cluster" | "ola".
+Result<AnonymizationAlgorithm> ParseAlgorithmName(const std::string& name);
+
+/// A parsed release configuration file. Format: one `key = value` pair per
+/// line; `#` starts a comment; attribute lines use
+///
+///   attr <Name> = <type> <role> [hierarchy=<spec>]
+///
+/// Recognized scalar keys: input, output, k, p, ts, algorithm.
+struct ReleaseConfig {
+  std::string input;
+  std::string output;
+  size_t k = 2;
+  size_t p = 1;
+  size_t max_suppression = 0;
+  AnonymizationAlgorithm algorithm = AnonymizationAlgorithm::kSamarati;
+  std::vector<Attribute> attributes;
+  /// Hierarchies keyed by attribute, in declaration order.
+  std::vector<std::shared_ptr<const AttributeHierarchy>> hierarchies;
+};
+
+/// Parses a release configuration from text. Unknown keys, malformed
+/// lines, or duplicate attributes are errors (with the line number in the
+/// message).
+Result<ReleaseConfig> ParseReleaseConfig(std::string_view text);
+
+/// Reads and parses a configuration file from disk.
+Result<ReleaseConfig> ParseReleaseConfigFile(const std::string& path);
+
+}  // namespace psk
+
+#endif  // PSK_API_SPEC_PARSER_H_

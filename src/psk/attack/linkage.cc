@@ -1,0 +1,176 @@
+#include "psk/attack/linkage.h"
+
+#include <algorithm>
+#include <set>
+
+namespace psk {
+namespace {
+
+// For each release key attribute (in hierarchy order): its column in the
+// release and in the external table.
+struct KeyMapping {
+  std::vector<size_t> release_cols;
+  std::vector<size_t> external_cols;
+  std::vector<size_t> hierarchy_slots;
+};
+
+Result<KeyMapping> MapKeys(const Table& release,
+                           const HierarchySet& hierarchies,
+                           const Table& external) {
+  KeyMapping mapping;
+  std::vector<size_t> release_keys = release.schema().KeyIndices();
+  if (release_keys.size() != hierarchies.size()) {
+    return Status::InvalidArgument(
+        "release key attributes do not match the hierarchy set");
+  }
+  for (size_t slot = 0; slot < release_keys.size(); ++slot) {
+    const std::string& name =
+        release.schema().attribute(release_keys[slot]).name;
+    Result<size_t> external_col = external.schema().IndexOf(name);
+    if (!external_col.ok()) continue;  // intruder doesn't know this one
+    mapping.release_cols.push_back(release_keys[slot]);
+    mapping.external_cols.push_back(*external_col);
+    mapping.hierarchy_slots.push_back(slot);
+  }
+  if (mapping.release_cols.empty()) {
+    return Status::InvalidArgument(
+        "the external table shares no key attribute with the release");
+  }
+  return mapping;
+}
+
+// Candidate confidential values (and match count) for one external record
+// against one release.
+Result<LinkageOutcome> LinkOne(const ReleaseView& release,
+                               const HierarchySet& hierarchies,
+                               const KeyMapping& mapping,
+                               const Table& external, size_t external_row,
+                               size_t confidential_col) {
+  // Generalize the intruder's ground-level knowledge to the release's
+  // domains.
+  std::vector<Value> targets(mapping.release_cols.size());
+  for (size_t i = 0; i < mapping.release_cols.size(); ++i) {
+    size_t slot = mapping.hierarchy_slots[i];
+    PSK_ASSIGN_OR_RETURN(
+        targets[i],
+        hierarchies.hierarchy(slot).Generalize(
+            external.Get(external_row, mapping.external_cols[i]),
+            release.node.levels[slot]));
+  }
+  LinkageOutcome outcome;
+  std::set<Value> candidates;
+  for (size_t row = 0; row < release.table->num_rows(); ++row) {
+    bool match = true;
+    for (size_t i = 0; i < mapping.release_cols.size(); ++i) {
+      if (!(release.table->Get(row, mapping.release_cols[i]) ==
+            targets[i])) {
+        match = false;
+        break;
+      }
+    }
+    if (match) {
+      ++outcome.matching_rows;
+      candidates.insert(release.table->Get(row, confidential_col));
+    }
+  }
+  outcome.candidate_values.assign(candidates.begin(), candidates.end());
+  outcome.identity_disclosed = outcome.matching_rows == 1;
+  outcome.attribute_disclosed =
+      outcome.matching_rows > 0 && outcome.candidate_values.size() == 1;
+  return outcome;
+}
+
+LinkageAttackSummary Summarize(std::vector<LinkageOutcome> outcomes) {
+  LinkageAttackSummary summary;
+  summary.externals = outcomes.size();
+  double candidate_total = 0.0;
+  for (const LinkageOutcome& outcome : outcomes) {
+    if (outcome.matching_rows > 0) {
+      ++summary.linked;
+      candidate_total += static_cast<double>(outcome.matching_rows);
+    }
+    if (outcome.identity_disclosed) ++summary.identity_disclosures;
+    if (outcome.attribute_disclosed) ++summary.attribute_disclosures;
+  }
+  if (summary.linked > 0) {
+    summary.avg_candidate_set =
+        candidate_total / static_cast<double>(summary.linked);
+  }
+  summary.outcomes = std::move(outcomes);
+  return summary;
+}
+
+}  // namespace
+
+Result<LinkageAttackSummary> SimulateLinkageAttack(
+    const ReleaseView& release, const HierarchySet& hierarchies,
+    const Table& external, const std::string& confidential_name) {
+  if (release.table == nullptr) {
+    return Status::InvalidArgument("release table is null");
+  }
+  PSK_ASSIGN_OR_RETURN(size_t confidential_col,
+                       release.table->schema().IndexOf(confidential_name));
+  PSK_ASSIGN_OR_RETURN(KeyMapping mapping,
+                       MapKeys(*release.table, hierarchies, external));
+  std::vector<LinkageOutcome> outcomes;
+  outcomes.reserve(external.num_rows());
+  for (size_t row = 0; row < external.num_rows(); ++row) {
+    PSK_ASSIGN_OR_RETURN(
+        LinkageOutcome outcome,
+        LinkOne(release, hierarchies, mapping, external, row,
+                confidential_col));
+    outcomes.push_back(std::move(outcome));
+  }
+  return Summarize(std::move(outcomes));
+}
+
+Result<LinkageAttackSummary> SimulateIntersectionAttack(
+    const std::vector<ReleaseView>& releases, const HierarchySet& hierarchies,
+    const Table& external, const std::string& confidential_name) {
+  if (releases.empty()) {
+    return Status::InvalidArgument("at least one release is required");
+  }
+  // Per-release linkage first, then intersect candidate sets per external.
+  std::vector<LinkageAttackSummary> per_release;
+  per_release.reserve(releases.size());
+  for (const ReleaseView& release : releases) {
+    PSK_ASSIGN_OR_RETURN(
+        LinkageAttackSummary summary,
+        SimulateLinkageAttack(release, hierarchies, external,
+                              confidential_name));
+    per_release.push_back(std::move(summary));
+  }
+
+  std::vector<LinkageOutcome> outcomes;
+  outcomes.reserve(external.num_rows());
+  for (size_t row = 0; row < external.num_rows(); ++row) {
+    LinkageOutcome combined;
+    // Candidate-set intersection; the identity candidate count is the
+    // smallest per-release count (the intruder's tightest bound).
+    std::set<Value> intersection(
+        per_release[0].outcomes[row].candidate_values.begin(),
+        per_release[0].outcomes[row].candidate_values.end());
+    combined.matching_rows = per_release[0].outcomes[row].matching_rows;
+    for (size_t i = 1; i < per_release.size(); ++i) {
+      const LinkageOutcome& outcome = per_release[i].outcomes[row];
+      combined.matching_rows =
+          std::min(combined.matching_rows, outcome.matching_rows);
+      std::set<Value> next(outcome.candidate_values.begin(),
+                           outcome.candidate_values.end());
+      std::set<Value> kept;
+      for (const Value& v : intersection) {
+        if (next.count(v) > 0) kept.insert(v);
+      }
+      intersection = std::move(kept);
+    }
+    combined.candidate_values.assign(intersection.begin(),
+                                     intersection.end());
+    combined.identity_disclosed = combined.matching_rows == 1;
+    combined.attribute_disclosed =
+        combined.matching_rows > 0 && combined.candidate_values.size() == 1;
+    outcomes.push_back(std::move(combined));
+  }
+  return Summarize(std::move(outcomes));
+}
+
+}  // namespace psk

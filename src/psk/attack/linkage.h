@@ -1,0 +1,74 @@
+#ifndef PSK_ATTACK_LINKAGE_H_
+#define PSK_ATTACK_LINKAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "psk/common/result.h"
+#include "psk/hierarchy/hierarchy.h"
+#include "psk/lattice/lattice.h"
+#include "psk/table/table.h"
+
+namespace psk {
+
+/// Intruder simulators for the attacks the paper defends against (§2's
+/// record-linkage attack) and the multi-release composition attack its
+/// successors study. These make the library's threat model executable: a
+/// data owner can measure what a concrete intruder, holding concrete
+/// external information, actually learns from a release.
+
+/// Result of linking one external record against a release.
+struct LinkageOutcome {
+  /// Release rows whose (generalized) keys match — the identity candidate
+  /// set. 0 means the individual cannot be linked at all.
+  size_t matching_rows = 0;
+  /// Distinct confidential values across the matching rows, sorted.
+  std::vector<Value> candidate_values;
+  /// matching_rows == 1: the individual's record is singled out.
+  bool identity_disclosed = false;
+  /// Exactly one candidate value with at least one match: the intruder
+  /// learns the confidential value without necessarily re-identifying.
+  bool attribute_disclosed = false;
+};
+
+struct LinkageAttackSummary {
+  size_t externals = 0;  ///< external records attacked
+  size_t linked = 0;     ///< externals with at least one matching row
+  size_t identity_disclosures = 0;
+  size_t attribute_disclosures = 0;
+  /// Mean candidate-set size over linked externals (the paper's 1/k bound
+  /// shows up here).
+  double avg_candidate_set = 0.0;
+  std::vector<LinkageOutcome> outcomes;  ///< per external record
+};
+
+/// One release under attack: the masked table plus the lattice node it was
+/// generalized to (so the intruder can generalize their own ground-level
+/// knowledge to the same domains — the paper's "the intruder also knows
+/// that Age was generalized to multiples of 10").
+struct ReleaseView {
+  const Table* table = nullptr;
+  LatticeNode node;
+};
+
+/// Simulates the §2 record-linkage attack. `external` holds ground-level
+/// values for (a subset of) the release's key attributes — matched by
+/// name — plus any identifier columns the intruder knows.
+/// `confidential_name` names the release column whose value the intruder
+/// is after. `hierarchies` must be the release's hierarchy set.
+Result<LinkageAttackSummary> SimulateLinkageAttack(
+    const ReleaseView& release, const HierarchySet& hierarchies,
+    const Table& external, const std::string& confidential_name);
+
+/// Simulates the composition attack over several releases of the same
+/// microdata: per external record, the candidate value set is the
+/// intersection of the per-release candidate sets (the target's value must
+/// appear in every release). All releases must share the key attributes
+/// and the confidential column.
+Result<LinkageAttackSummary> SimulateIntersectionAttack(
+    const std::vector<ReleaseView>& releases, const HierarchySet& hierarchies,
+    const Table& external, const std::string& confidential_name);
+
+}  // namespace psk
+
+#endif  // PSK_ATTACK_LINKAGE_H_

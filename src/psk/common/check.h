@@ -1,0 +1,38 @@
+#ifndef PSK_COMMON_CHECK_H_
+#define PSK_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Fatal assertion macros.
+///
+/// PSK_CHECK fires in all build modes and is reserved for invariants whose
+/// violation means the process state is unusable (programming errors).
+/// Recoverable conditions must be reported through Status instead.
+#define PSK_CHECK(condition)                                                \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      std::fprintf(stderr, "PSK_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #condition);                                   \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+#define PSK_CHECK_MSG(condition, msg)                                       \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      std::fprintf(stderr, "PSK_CHECK failed at %s:%d: %s (%s)\n",          \
+                   __FILE__, __LINE__, #condition, msg);                    \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+#ifdef NDEBUG
+#define PSK_DCHECK(condition) \
+  do {                        \
+  } while (false)
+#else
+#define PSK_DCHECK(condition) PSK_CHECK(condition)
+#endif
+
+#endif  // PSK_COMMON_CHECK_H_

@@ -1,0 +1,151 @@
+#include "psk/common/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "psk/common/check.h"
+
+namespace psk {
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::BeforeValue() {
+  if (scopes_.empty()) return;
+  if (scopes_.back() == Scope::kObject) {
+    PSK_DCHECK(pending_key_);  // values inside objects need a key
+    pending_key_ = false;
+    return;
+  }
+  if (!first_in_scope_.back()) out_ += ',';
+  first_in_scope_.back() = false;
+}
+
+void JsonWriter::Raw(const std::string& text) {
+  BeforeValue();
+  out_ += text;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  Raw("{");
+  scopes_.push_back(Scope::kObject);
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  PSK_DCHECK(!scopes_.empty() && scopes_.back() == Scope::kObject);
+  PSK_DCHECK(!pending_key_);
+  scopes_.pop_back();
+  first_in_scope_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  Raw("[");
+  scopes_.push_back(Scope::kArray);
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  PSK_DCHECK(!scopes_.empty() && scopes_.back() == Scope::kArray);
+  scopes_.pop_back();
+  first_in_scope_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(const std::string& key) {
+  PSK_DCHECK(!scopes_.empty() && scopes_.back() == Scope::kObject);
+  PSK_DCHECK(!pending_key_);
+  if (!first_in_scope_.back()) out_ += ',';
+  first_in_scope_.back() = false;
+  out_ += '"';
+  out_ += JsonEscape(key);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(const std::string& value) {
+  Raw("\"" + JsonEscape(value) + "\"");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  Raw(std::to_string(value));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Uint(uint64_t value) {
+  Raw(std::to_string(value));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value) {
+  if (std::isfinite(value)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    Raw(buf);
+  } else {
+    Raw("null");  // JSON has no NaN/Inf
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  Raw(value ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  Raw("null");
+  return *this;
+}
+
+std::string JsonWriter::TakeString() {
+  PSK_DCHECK(scopes_.empty());
+  std::string out = std::move(out_);
+  out_.clear();
+  return out;
+}
+
+}  // namespace psk

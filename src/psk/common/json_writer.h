@@ -1,0 +1,65 @@
+#ifndef PSK_COMMON_JSON_WRITER_H_
+#define PSK_COMMON_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace psk {
+
+/// Minimal streaming JSON emitter for machine-readable experiment output
+/// (the benchmark harnesses can dump their tables as JSON next to the
+/// human-readable text). Writer only — the library never parses JSON.
+///
+///   JsonWriter json;
+///   json.BeginObject();
+///   json.Key("experiment").String("table8");
+///   json.Key("rows").BeginArray();
+///   json.BeginObject();
+///   json.Key("k").Int(2);
+///   json.Key("disclosures").Int(6);
+///   json.EndObject();
+///   json.EndArray();
+///   json.EndObject();
+///   std::string out = json.TakeString();
+///
+/// Misuse (mismatched Begin/End, value without key inside an object) is a
+/// programming error and aborts in debug builds.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits an object key; must be followed by exactly one value.
+  JsonWriter& Key(const std::string& key);
+
+  JsonWriter& String(const std::string& value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Uint(uint64_t value);
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// The finished document. The writer is left empty.
+  std::string TakeString();
+
+ private:
+  enum class Scope { kObject, kArray };
+
+  void BeforeValue();
+  void Raw(const std::string& text);
+
+  std::string out_;
+  std::vector<Scope> scopes_;
+  std::vector<bool> first_in_scope_;
+  bool pending_key_ = false;
+};
+
+/// Escapes a string per RFC 8259 (quotes, backslashes, control chars).
+std::string JsonEscape(const std::string& text);
+
+}  // namespace psk
+
+#endif  // PSK_COMMON_JSON_WRITER_H_

@@ -1,0 +1,37 @@
+#ifndef PSK_COMMON_MACROS_H_
+#define PSK_COMMON_MACROS_H_
+
+#include <utility>
+
+/// Status/Result propagation helpers.
+///
+///   PSK_RETURN_IF_ERROR(DoWork());
+///   PSK_ASSIGN_OR_RETURN(auto table, ReadCsv(path, schema));
+///
+/// Both expand to an early `return` of the error status when the expression
+/// fails, so they may only be used inside functions returning Status or
+/// Result<T>.
+
+#define PSK_INTERNAL_CONCAT_IMPL(a, b) a##b
+#define PSK_INTERNAL_CONCAT(a, b) PSK_INTERNAL_CONCAT_IMPL(a, b)
+
+#define PSK_RETURN_IF_ERROR(expr)                       \
+  do {                                                  \
+    ::psk::Status psk_internal_status = (expr);         \
+    if (!psk_internal_status.ok()) {                    \
+      return psk_internal_status;                       \
+    }                                                   \
+  } while (false)
+
+#define PSK_ASSIGN_OR_RETURN(lhs, expr)                                   \
+  PSK_ASSIGN_OR_RETURN_IMPL(PSK_INTERNAL_CONCAT(psk_result_, __LINE__),   \
+                            lhs, expr)
+
+#define PSK_ASSIGN_OR_RETURN_IMPL(result, lhs, expr) \
+  auto result = (expr);                              \
+  if (!result.ok()) {                                \
+    return result.status();                          \
+  }                                                  \
+  lhs = std::move(result).value()
+
+#endif  // PSK_COMMON_MACROS_H_

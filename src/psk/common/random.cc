@@ -1,0 +1,26 @@
+#include "psk/common/random.h"
+
+#include <cmath>
+
+namespace psk {
+
+size_t Rng::Zipf(size_t n, double theta) {
+  PSK_DCHECK(n > 0);
+  if (theta <= 0.0) return Uniform(n);
+  // Inverse-CDF sampling over the truncated harmonic distribution. n is
+  // small in every generator (attribute cardinalities), so the linear scan
+  // is fine.
+  double norm = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    norm += 1.0 / std::pow(static_cast<double>(r + 1), theta);
+  }
+  double x = UniformDouble() * norm;
+  double acc = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    acc += 1.0 / std::pow(static_cast<double>(r + 1), theta);
+    if (x < acc) return r;
+  }
+  return n - 1;
+}
+
+}  // namespace psk

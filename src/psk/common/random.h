@@ -1,0 +1,73 @@
+#ifndef PSK_COMMON_RANDOM_H_
+#define PSK_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "psk/common/check.h"
+
+namespace psk {
+
+/// Deterministic pseudo-random source used throughout the library.
+///
+/// All data generators and randomized tests take an explicit seed so that
+/// every experiment in EXPERIMENTS.md is reproducible bit-for-bit.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n) {
+    PSK_DCHECK(n > 0);
+    return std::uniform_int_distribution<uint64_t>(0, n - 1)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    PSK_DCHECK(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Picks an index in [0, weights.size()) with probability proportional to
+  /// weights[i]. Requires a non-empty vector with a positive total weight.
+  size_t PickWeighted(const std::vector<double>& weights) {
+    PSK_DCHECK(!weights.empty());
+    double total = 0.0;
+    for (double w : weights) total += w;
+    PSK_DCHECK(total > 0.0);
+    double x = UniformDouble() * total;
+    double acc = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      acc += weights[i];
+      if (x < acc) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Zipf-like rank sample over [0, n): probability of rank r proportional
+  /// to 1 / (r + 1)^theta. theta = 0 is uniform. Requires n > 0.
+  size_t Zipf(size_t n, double theta);
+
+  /// Access to the underlying engine for std distributions.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace psk
+
+#endif  // PSK_COMMON_RANDOM_H_

@@ -1,0 +1,82 @@
+#ifndef PSK_COMMON_RESULT_H_
+#define PSK_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "psk/common/check.h"
+#include "psk/common/macros.h"
+#include "psk/common/status.h"
+
+namespace psk {
+
+/// Result<T> holds either a value of type T or a non-OK Status explaining
+/// why the value could not be produced (the StatusOr idiom).
+///
+/// Typical use:
+///
+///   Result<Table> table = ReadCsv(path, schema);
+///   if (!table.ok()) return table.status();
+///   Use(*table);
+///
+/// or, inside a function returning Status/Result, with the macros from
+/// macros.h:
+///
+///   PSK_ASSIGN_OR_RETURN(Table table, ReadCsv(path, schema));
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Constructs a Result holding a value (implicit, so `return value;`
+  /// works in functions returning Result<T>).
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed Result from a non-OK status (implicit, so
+  /// `return Status::InvalidArgument(...)` works). Passing an OK status is
+  /// a programming error.
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    PSK_CHECK(!std::get<Status>(data_).ok());
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  /// True iff a value is present.
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// The status: OK when a value is present, the error otherwise.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(data_);
+  }
+
+  /// Value accessors. Calling these on a failed Result aborts; check ok()
+  /// first (or use PSK_ASSIGN_OR_RETURN).
+  const T& value() const& {
+    PSK_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    PSK_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    PSK_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> data_;
+};
+
+}  // namespace psk
+
+#endif  // PSK_COMMON_RESULT_H_

@@ -1,0 +1,96 @@
+#include "psk/common/string_util.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+namespace psk {
+
+std::vector<std::string> Split(std::string_view input, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    size_t pos = input.find(sep, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(input.substr(start));
+      break;
+    }
+    parts.emplace_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view input) {
+  size_t begin = 0;
+  size_t end = input.size();
+  while (begin < end &&
+         (input[begin] == ' ' || input[begin] == '\t' ||
+          input[begin] == '\r' || input[begin] == '\n')) {
+    ++begin;
+  }
+  while (end > begin &&
+         (input[end - 1] == ' ' || input[end - 1] == '\t' ||
+          input[end - 1] == '\r' || input[end - 1] == '\n')) {
+    --end;
+  }
+  return input.substr(begin, end - begin);
+}
+
+Result<int64_t> ParseInt64(std::string_view input) {
+  std::string buf(Trim(input));
+  if (buf.empty()) {
+    return Status::InvalidArgument("cannot parse empty string as int64");
+  }
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (errno == ERANGE) {
+    return Status::OutOfRange("integer out of range: '" + buf + "'");
+  }
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("trailing characters in integer: '" + buf +
+                                   "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+Result<double> ParseDouble(std::string_view input) {
+  std::string buf(Trim(input));
+  if (buf.empty()) {
+    return Status::InvalidArgument("cannot parse empty string as double");
+  }
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (errno == ERANGE) {
+    return Status::OutOfRange("double out of range: '" + buf + "'");
+  }
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("trailing characters in double: '" + buf +
+                                   "'");
+  }
+  // NaN/inf would break Value's strict weak ordering (and thereby every
+  // sort-based algorithm), so they are rejected at the boundary.
+  if (!std::isfinite(v)) {
+    return Status::InvalidArgument("non-finite double rejected: '" + buf +
+                                   "'");
+  }
+  return v;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace psk

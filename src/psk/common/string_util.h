@@ -1,0 +1,33 @@
+#ifndef PSK_COMMON_STRING_UTIL_H_
+#define PSK_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "psk/common/result.h"
+
+namespace psk {
+
+/// Splits `input` on `sep`, keeping empty fields ("a,,b" -> {"a", "", "b"}).
+std::vector<std::string> Split(std::string_view input, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view input);
+
+/// Parses a base-10 signed integer; the whole string must be consumed.
+Result<int64_t> ParseInt64(std::string_view input);
+
+/// Parses a floating point number; the whole string must be consumed.
+Result<double> ParseDouble(std::string_view input);
+
+/// True iff `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace psk
+
+#endif  // PSK_COMMON_STRING_UTIL_H_

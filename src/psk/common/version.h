@@ -1,0 +1,17 @@
+#ifndef PSK_COMMON_VERSION_H_
+#define PSK_COMMON_VERSION_H_
+
+/// Library version, bumped with every release.
+#define PSK_VERSION_MAJOR 1
+#define PSK_VERSION_MINOR 0
+#define PSK_VERSION_PATCH 0
+#define PSK_VERSION_STRING "1.0.0"
+
+namespace psk {
+
+/// Returns PSK_VERSION_STRING (for bindings that cannot read macros).
+inline const char* Version() { return PSK_VERSION_STRING; }
+
+}  // namespace psk
+
+#endif  // PSK_COMMON_VERSION_H_

@@ -1,0 +1,176 @@
+#include "psk/datagen/adult.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "psk/common/random.h"
+
+namespace psk {
+namespace {
+
+struct WeightedCategory {
+  const char* value;
+  double weight;
+};
+
+// Marginals calibrated to the UCI Adult dataset (train split).
+const WeightedCategory kMaritalStatus[] = {
+    {"Married-civ-spouse", 0.4599},  {"Never-married", 0.3292},
+    {"Divorced", 0.1363},            {"Separated", 0.0315},
+    {"Widowed", 0.0305},             {"Married-spouse-absent", 0.0119},
+    {"Married-AF-spouse", 0.0007},
+};
+
+const WeightedCategory kRace[] = {
+    {"White", 0.8543},
+    {"Black", 0.0959},
+    {"Asian-Pac-Islander", 0.0319},
+    {"Amer-Indian-Eskimo", 0.0096},
+    {"Other", 0.0083},
+};
+
+const WeightedCategory kSex[] = {
+    {"Male", 0.6692},
+    {"Female", 0.3308},
+};
+
+// Pay: hourly-pay band, moderately skewed (stands in for the processed
+// "Pay" attribute of the paper's Adult variant).
+const WeightedCategory kPay[] = {
+    {"P10", 0.29}, {"P20", 0.22}, {"P30", 0.16}, {"P40", 0.12},
+    {"P50", 0.09}, {"P60", 0.06}, {"P70", 0.04}, {"P80", 0.02},
+};
+
+// TaxPeriod: filing period, 4 categories, dominated by annual filers.
+const WeightedCategory kTaxPeriod[] = {
+    {"Annual", 0.70},
+    {"Quarterly", 0.15},
+    {"Monthly", 0.10},
+    {"Weekly", 0.05},
+};
+
+// Non-zero capital gain values observed in Adult (a subset); ~8.4 % of
+// records carry one of these, the rest are 0.
+const int64_t kCapitalGainValues[] = {
+    594,   2174,  2407,  3103,  4386,  5013,  5178,  7298,
+    7688,  8614,  10520, 13550, 14084, 15024, 20051, 99999,
+};
+
+// Non-zero capital loss values; ~4.7 % of records.
+const int64_t kCapitalLossValues[] = {
+    1340, 1408, 1485, 1590, 1602, 1672, 1740, 1848, 1887, 1902, 1977, 2415,
+};
+
+template <size_t N>
+std::vector<double> Weights(const WeightedCategory (&categories)[N]) {
+  std::vector<double> weights;
+  weights.reserve(N);
+  for (const WeightedCategory& c : categories) weights.push_back(c.weight);
+  return weights;
+}
+
+template <size_t N>
+Value Sample(Rng& rng, const WeightedCategory (&categories)[N],
+             const std::vector<double>& weights) {
+  return Value(categories[rng.PickWeighted(weights)].value);
+}
+
+// Census-like age: right-skewed over 17..90 with a mode in the 30s.
+int64_t SampleAge(Rng& rng) {
+  // Sum of two uniforms gives a triangular bump; stretching the tail with
+  // an occasional uniform draw reproduces the long right tail.
+  double u = rng.UniformDouble();
+  double base;
+  if (u < 0.9) {
+    base = 17.0 + 0.5 * (rng.UniformDouble() + rng.UniformDouble()) * 46.0;
+  } else {
+    base = 60.0 + rng.UniformDouble() * 30.0;
+  }
+  int64_t age = static_cast<int64_t>(base);
+  if (age < 17) age = 17;
+  if (age > 90) age = 90;
+  return age;
+}
+
+}  // namespace
+
+Result<Schema> AdultSchema() {
+  return Schema::Create(
+      {{"Age", ValueType::kInt64, AttributeRole::kKey},
+       {"MaritalStatus", ValueType::kString, AttributeRole::kKey},
+       {"Race", ValueType::kString, AttributeRole::kKey},
+       {"Sex", ValueType::kString, AttributeRole::kKey},
+       {"Pay", ValueType::kString, AttributeRole::kConfidential},
+       {"CapitalGain", ValueType::kInt64, AttributeRole::kConfidential},
+       {"CapitalLoss", ValueType::kInt64, AttributeRole::kConfidential},
+       {"TaxPeriod", ValueType::kString, AttributeRole::kConfidential}});
+}
+
+Result<HierarchySet> AdultHierarchies(const Schema& schema) {
+  PSK_ASSIGN_OR_RETURN(
+      auto age,
+      IntervalHierarchy::Create(
+          "Age", {IntervalHierarchy::Level::Bands(10),
+                  IntervalHierarchy::Level::Cuts({50}),
+                  IntervalHierarchy::Level::Top()}));
+
+  TaxonomyHierarchy::Builder marital("MaritalStatus", /*num_levels=*/3);
+  marital.AddValue("Married-civ-spouse", {"Married", "*"});
+  marital.AddValue("Married-spouse-absent", {"Married", "*"});
+  marital.AddValue("Married-AF-spouse", {"Married", "*"});
+  marital.AddValue("Never-married", {"Single", "*"});
+  marital.AddValue("Divorced", {"Single", "*"});
+  marital.AddValue("Separated", {"Single", "*"});
+  marital.AddValue("Widowed", {"Single", "*"});
+  PSK_ASSIGN_OR_RETURN(auto marital_h, marital.Build());
+
+  TaxonomyHierarchy::Builder race("Race", /*num_levels=*/4);
+  race.AddValue("White", {"White", "White", "*"});
+  race.AddValue("Black", {"Black", "Other", "*"});
+  race.AddValue("Asian-Pac-Islander", {"Other", "Other", "*"});
+  race.AddValue("Amer-Indian-Eskimo", {"Other", "Other", "*"});
+  race.AddValue("Other", {"Other", "Other", "*"});
+  PSK_ASSIGN_OR_RETURN(auto race_h, race.Build());
+
+  auto sex = std::make_shared<SuppressionHierarchy>("Sex");
+
+  return HierarchySet::Create(schema, {age, marital_h, race_h, sex});
+}
+
+Result<Table> AdultGenerate(size_t num_rows, uint64_t seed) {
+  PSK_ASSIGN_OR_RETURN(Schema schema, AdultSchema());
+  Table table(std::move(schema));
+  Rng rng(seed);
+
+  const std::vector<double> marital_weights = Weights(kMaritalStatus);
+  const std::vector<double> race_weights = Weights(kRace);
+  const std::vector<double> sex_weights = Weights(kSex);
+  const std::vector<double> pay_weights = Weights(kPay);
+  const std::vector<double> tax_weights = Weights(kTaxPeriod);
+
+  constexpr size_t kNumGains =
+      sizeof(kCapitalGainValues) / sizeof(kCapitalGainValues[0]);
+  constexpr size_t kNumLosses =
+      sizeof(kCapitalLossValues) / sizeof(kCapitalLossValues[0]);
+
+  for (size_t row = 0; row < num_rows; ++row) {
+    int64_t gain = 0;
+    if (rng.Bernoulli(0.084)) {
+      // Zipf over the sorted gain values keeps the small gains dominant.
+      gain = kCapitalGainValues[rng.Zipf(kNumGains, 1.1)];
+    }
+    int64_t loss = 0;
+    if (rng.Bernoulli(0.047)) {
+      loss = kCapitalLossValues[rng.Zipf(kNumLosses, 0.8)];
+    }
+    PSK_RETURN_IF_ERROR(table.AppendRow(
+        {Value(SampleAge(rng)), Sample(rng, kMaritalStatus, marital_weights),
+         Sample(rng, kRace, race_weights), Sample(rng, kSex, sex_weights),
+         Sample(rng, kPay, pay_weights), Value(gain), Value(loss),
+         Sample(rng, kTaxPeriod, tax_weights)}));
+  }
+  return table;
+}
+
+}  // namespace psk

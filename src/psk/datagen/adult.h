@@ -1,0 +1,47 @@
+#ifndef PSK_DATAGEN_ADULT_H_
+#define PSK_DATAGEN_ADULT_H_
+
+#include <cstdint>
+
+#include "psk/common/result.h"
+#include "psk/hierarchy/hierarchy.h"
+#include "psk/table/table.h"
+
+namespace psk {
+
+/// Synthetic stand-in for the UCI Adult (Census Income) dataset used in the
+/// paper's §4 experiment.
+///
+/// Substitution note (see DESIGN.md §4): the offline environment has no
+/// copy of the UCI repository, so AdultGenerate() synthesizes microdata
+/// whose *marginals* are calibrated to Adult: Age in 17..90 with the
+/// census-like right skew (74 distinct values, Table 7); MaritalStatus
+/// with 7 categories dominated by Married-civ-spouse / Never-married;
+/// Race with 5 categories dominated by White; Sex ~2:1 Male. The four
+/// confidential attributes Pay, CapitalGain, CapitalLoss and TaxPeriod
+/// follow Adult's heavy-tailed profiles (capital gain/loss are ~0 for
+/// >90 % of records). These marginals are the only statistics Table 8's
+/// experiment depends on: QI marginals drive group sizes at each lattice
+/// node, and confidential-value skew drives attribute disclosures and the
+/// Condition 2 bound.
+
+/// Schema of the synthetic Adult microdata: key attributes Age (int),
+/// MaritalStatus, Race, Sex; confidential attributes Pay, CapitalGain
+/// (int), CapitalLoss (int), TaxPeriod.
+Result<Schema> AdultSchema();
+
+/// The paper's Table 7 generalization hierarchies:
+///  - Age:            74 values -> 10-year ranges -> <50 / >=50 -> *
+///  - MaritalStatus:  7 values  -> Single / Married -> *
+///  - Race:           5 values  -> White / Black / Other -> White / Other -> *
+///  - Sex:            2 values  -> *
+/// The induced lattice has 4*3*4*2 = 96 nodes and height 9.
+Result<HierarchySet> AdultHierarchies(const Schema& schema);
+
+/// Generates `num_rows` synthetic Adult records, deterministically from
+/// `seed`.
+Result<Table> AdultGenerate(size_t num_rows, uint64_t seed);
+
+}  // namespace psk
+
+#endif  // PSK_DATAGEN_ADULT_H_

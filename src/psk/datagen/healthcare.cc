@@ -1,0 +1,114 @@
+#include "psk/datagen/healthcare.h"
+
+#include <string>
+
+#include "psk/common/random.h"
+
+namespace psk {
+namespace {
+
+struct Diagnosis {
+  const char* name;
+  const char* category;
+  double weight;
+};
+
+// Category skew mirrors hospital discharge statistics: chronic conditions
+// dominate, injuries and viral infections are less common.
+const Diagnosis kDiagnoses[] = {
+    {"Diabetes", "Chronic", 0.18},
+    {"Heart Disease", "Chronic", 0.16},
+    {"Hypertension", "Chronic", 0.14},
+    {"Asthma", "Chronic", 0.08},
+    {"Colon Cancer", "Cancer", 0.07},
+    {"Breast Cancer", "Cancer", 0.07},
+    {"Lung Cancer", "Cancer", 0.05},
+    {"HIV", "Viral", 0.05},
+    {"Hepatitis", "Viral", 0.06},
+    {"Influenza", "Viral", 0.06},
+    {"Fracture", "Injury", 0.05},
+    {"Burn", "Injury", 0.03},
+};
+
+// Three metropolitan regions; suffixes fill in the low two digits.
+const char* kZipPrefixes[] = {"410", "431", "482"};
+const double kZipRegionWeights[] = {0.4, 0.38, 0.22};
+
+}  // namespace
+
+Result<Schema> HealthcareSchema() {
+  return Schema::Create(
+      {{"PatientId", ValueType::kString, AttributeRole::kIdentifier},
+       {"Age", ValueType::kInt64, AttributeRole::kKey},
+       {"ZipCode", ValueType::kString, AttributeRole::kKey},
+       {"Sex", ValueType::kString, AttributeRole::kKey},
+       {"Illness", ValueType::kString, AttributeRole::kConfidential},
+       {"Income", ValueType::kInt64, AttributeRole::kConfidential}});
+}
+
+Result<HierarchySet> HealthcareHierarchies(const Schema& schema) {
+  PSK_ASSIGN_OR_RETURN(
+      auto age,
+      IntervalHierarchy::Create(
+          "Age", {IntervalHierarchy::Level::Bands(10),
+                  IntervalHierarchy::Level::Cuts({50}),
+                  IntervalHierarchy::Level::Top()}));
+  PSK_ASSIGN_OR_RETURN(auto zip,
+                       PrefixHierarchy::Create("ZipCode", {0, 2, 5}));
+  auto sex = std::make_shared<SuppressionHierarchy>("Sex");
+  return HierarchySet::Create(schema, {age, zip, sex});
+}
+
+Result<std::shared_ptr<TaxonomyHierarchy>> IllnessCategoryHierarchy() {
+  TaxonomyHierarchy::Builder builder("Illness", /*num_levels=*/3);
+  for (const Diagnosis& d : kDiagnoses) {
+    builder.AddValue(d.name, {d.category, "*"});
+  }
+  return builder.Build();
+}
+
+Result<Table> HealthcareGenerate(size_t num_rows, uint64_t seed) {
+  PSK_ASSIGN_OR_RETURN(Schema schema, HealthcareSchema());
+  Table table(std::move(schema));
+  Rng rng(seed);
+
+  std::vector<double> diagnosis_weights;
+  for (const Diagnosis& d : kDiagnoses) diagnosis_weights.push_back(d.weight);
+  std::vector<double> region_weights(std::begin(kZipRegionWeights),
+                                     std::end(kZipRegionWeights));
+
+  for (size_t row = 0; row < num_rows; ++row) {
+    // Adult-skewed age with pediatric and geriatric tails.
+    int64_t age;
+    double u = rng.UniformDouble();
+    if (u < 0.08) {
+      age = rng.UniformInt(0, 17);
+    } else if (u < 0.85) {
+      age = rng.UniformInt(18, 69);
+    } else {
+      age = rng.UniformInt(70, 99);
+    }
+
+    size_t region = rng.PickWeighted(region_weights);
+    // Two-digit suffix from a small pool per region keeps group sizes
+    // realistic (a handful of patients per full zip code).
+    int64_t suffix = rng.UniformInt(0, 19);
+    std::string zip = std::string(kZipPrefixes[region]) +
+                      (suffix < 10 ? "0" : "") + std::to_string(suffix);
+
+    const Diagnosis& diagnosis =
+        kDiagnoses[rng.PickWeighted(diagnosis_weights)];
+
+    // Income in thousands, right-skewed around ~40k.
+    double base = 15.0 + 60.0 * rng.UniformDouble() * rng.UniformDouble();
+    int64_t income = static_cast<int64_t>(base) * 1000;
+
+    PSK_RETURN_IF_ERROR(table.AppendRow(
+        {Value("P" + std::to_string(100000 + row)), Value(age),
+         Value(std::move(zip)), Value(rng.Bernoulli(0.52) ? "F" : "M"),
+         Value(diagnosis.name), Value(income)}));
+  }
+  return table;
+}
+
+}  // namespace psk

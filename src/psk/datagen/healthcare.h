@@ -1,0 +1,43 @@
+#ifndef PSK_DATAGEN_HEALTHCARE_H_
+#define PSK_DATAGEN_HEALTHCARE_H_
+
+#include <cstdint>
+
+#include "psk/common/result.h"
+#include "psk/hierarchy/hierarchy.h"
+#include "psk/table/table.h"
+
+namespace psk {
+
+/// A synthetic healthcare microdata matching the paper's running Patient
+/// example (§2, Tables 1-3) at arbitrary scale: the motivating scenario of
+/// a hospital releasing records to researchers.
+///
+/// Attributes:
+///  - PatientId (identifier)  — synthetic, removed during masking;
+///  - Age (int, key)          — 0..99, adult-skewed;
+///  - ZipCode (string, key)   — 5-digit codes from a small set of regions
+///    ("410xx", "431xx", "482xx"), so the paper's prefix hierarchy is
+///    meaningful;
+///  - Sex (string, key);
+///  - Illness (string, confidential) — 12 diagnoses in 4 categories
+///    (Cancer / Chronic / Viral / Injury), category-skewed;
+///  - Income (int, confidential) — log-normal-ish, rounded to thousands.
+Result<Schema> HealthcareSchema();
+
+/// Hierarchies for the key attributes:
+///  - Age: 10-year bands -> <50 / >=50 -> *
+///  - ZipCode: 5 digits -> 3-digit prefix -> *   (the paper's Fig. 1/3)
+///  - Sex: -> *
+Result<HierarchySet> HealthcareHierarchies(const Schema& schema);
+
+/// The Illness value hierarchy (ground diagnosis -> category -> *), for
+/// the extended/hierarchical p-sensitivity checks.
+Result<std::shared_ptr<TaxonomyHierarchy>> IllnessCategoryHierarchy();
+
+/// Generates `num_rows` synthetic patients, deterministically from `seed`.
+Result<Table> HealthcareGenerate(size_t num_rows, uint64_t seed);
+
+}  // namespace psk
+
+#endif  // PSK_DATAGEN_HEALTHCARE_H_

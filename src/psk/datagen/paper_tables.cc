@@ -1,0 +1,173 @@
+#include "psk/datagen/paper_tables.h"
+
+#include <string>
+#include <vector>
+
+namespace psk {
+namespace {
+
+Result<Schema> PatientSchema(bool with_income) {
+  std::vector<Attribute> attrs = {
+      {"Age", ValueType::kInt64, AttributeRole::kKey},
+      {"ZipCode", ValueType::kString, AttributeRole::kKey},
+      {"Sex", ValueType::kString, AttributeRole::kKey},
+      {"Illness", ValueType::kString, AttributeRole::kConfidential},
+  };
+  if (with_income) {
+    attrs.push_back(
+        {"Income", ValueType::kInt64, AttributeRole::kConfidential});
+  }
+  return Schema::Create(std::move(attrs));
+}
+
+}  // namespace
+
+Result<Table> PatientTable1() {
+  PSK_ASSIGN_OR_RETURN(Schema schema, PatientSchema(/*with_income=*/false));
+  Table table(std::move(schema));
+  struct Row {
+    int64_t age;
+    const char* zip;
+    const char* sex;
+    const char* illness;
+  };
+  const Row rows[] = {
+      {50, "43102", "M", "Colon Cancer"},
+      {30, "43102", "F", "Breast Cancer"},
+      {30, "43102", "F", "HIV"},
+      {20, "43102", "M", "Diabetes"},
+      {20, "43102", "M", "Diabetes"},
+      {50, "43102", "M", "Heart Disease"},
+  };
+  for (const Row& r : rows) {
+    PSK_RETURN_IF_ERROR(
+        table.AppendRow({Value(r.age), Value(r.zip), Value(r.sex),
+                         Value(r.illness)}));
+  }
+  return table;
+}
+
+Result<Table> PatientExternalTable2() {
+  PSK_ASSIGN_OR_RETURN(
+      Schema schema,
+      Schema::Create({{"Name", ValueType::kString, AttributeRole::kIdentifier},
+                      {"Age", ValueType::kInt64, AttributeRole::kKey},
+                      {"Sex", ValueType::kString, AttributeRole::kKey},
+                      {"ZipCode", ValueType::kString, AttributeRole::kKey}}));
+  Table table(std::move(schema));
+  struct Row {
+    const char* name;
+    int64_t age;
+    const char* sex;
+    const char* zip;
+  };
+  const Row rows[] = {
+      {"Sam", 29, "M", "43102"},    {"Gloria", 38, "F", "43102"},
+      {"Adam", 51, "M", "43102"},   {"Eric", 29, "M", "43102"},
+      {"Tanisha", 34, "F", "43102"}, {"Don", 51, "M", "43102"},
+  };
+  for (const Row& r : rows) {
+    PSK_RETURN_IF_ERROR(table.AppendRow(
+        {Value(r.name), Value(r.age), Value(r.sex), Value(r.zip)}));
+  }
+  return table;
+}
+
+namespace {
+
+Result<Table> Table3Impl(int64_t first_income) {
+  PSK_ASSIGN_OR_RETURN(Schema schema, PatientSchema(/*with_income=*/true));
+  Table table(std::move(schema));
+  struct Row {
+    int64_t age;
+    const char* zip;
+    const char* sex;
+    const char* illness;
+    int64_t income;
+  };
+  const Row rows[] = {
+      {20, "43102", "F", "AIDS", first_income},
+      {20, "43102", "F", "AIDS", 50000},
+      {20, "43102", "F", "Diabetes", 50000},
+      {30, "43102", "M", "Diabetes", 30000},
+      {30, "43102", "M", "Diabetes", 40000},
+      {30, "43102", "M", "Heart Disease", 30000},
+      {30, "43102", "M", "Heart Disease", 40000},
+  };
+  for (const Row& r : rows) {
+    PSK_RETURN_IF_ERROR(
+        table.AppendRow({Value(r.age), Value(r.zip), Value(r.sex),
+                         Value(r.illness), Value(r.income)}));
+  }
+  return table;
+}
+
+}  // namespace
+
+Result<Table> PatientTable3() { return Table3Impl(50000); }
+
+Result<Table> PatientTable3Fixed() { return Table3Impl(40000); }
+
+Result<Table> Figure3Table() {
+  PSK_ASSIGN_OR_RETURN(
+      Schema schema,
+      Schema::Create({{"Sex", ValueType::kString, AttributeRole::kKey},
+                      {"ZipCode", ValueType::kString, AttributeRole::kKey}}));
+  Table table(std::move(schema));
+  struct Row {
+    const char* sex;
+    const char* zip;
+  };
+  const Row rows[] = {
+      {"M", "41076"}, {"F", "41099"}, {"M", "41099"}, {"M", "41076"},
+      {"F", "43102"}, {"M", "43102"}, {"M", "43102"}, {"F", "43103"},
+      {"M", "48202"}, {"M", "48201"},
+  };
+  for (const Row& r : rows) {
+    PSK_RETURN_IF_ERROR(table.AppendRow({Value(r.sex), Value(r.zip)}));
+  }
+  return table;
+}
+
+Result<HierarchySet> Figure3Hierarchies(const Schema& schema) {
+  auto sex = std::make_shared<SuppressionHierarchy>("Sex");
+  PSK_ASSIGN_OR_RETURN(auto zip, PrefixHierarchy::Create("ZipCode", {0, 2, 5}));
+  return HierarchySet::Create(schema, {sex, zip});
+}
+
+Result<Table> Example1Table() {
+  PSK_ASSIGN_OR_RETURN(
+      Schema schema,
+      Schema::Create({{"K1", ValueType::kInt64, AttributeRole::kKey},
+                      {"K2", ValueType::kString, AttributeRole::kKey},
+                      {"S1", ValueType::kString, AttributeRole::kConfidential},
+                      {"S2", ValueType::kString, AttributeRole::kConfidential},
+                      {"S3", ValueType::kString,
+                       AttributeRole::kConfidential}}));
+  // Frequencies from Table 5.
+  const std::vector<std::vector<size_t>> freqs = {
+      {300, 300, 200, 100, 100},
+      {500, 300, 100, 40, 35, 25},
+      {700, 200, 50, 10, 10, 10, 10, 5, 3, 2},
+  };
+  const char* prefixes[] = {"A", "B", "C"};
+  // Expand each confidential column independently; the checks only look at
+  // value frequencies, so per-row pairing is immaterial.
+  std::vector<std::vector<std::string>> columns(3);
+  for (size_t j = 0; j < 3; ++j) {
+    for (size_t i = 0; i < freqs[j].size(); ++i) {
+      std::string value = prefixes[j] + std::to_string(i + 1);
+      for (size_t c = 0; c < freqs[j][i]; ++c) columns[j].push_back(value);
+    }
+  }
+  Table table(std::move(schema));
+  for (size_t row = 0; row < 1000; ++row) {
+    PSK_RETURN_IF_ERROR(table.AppendRow(
+        {Value(static_cast<int64_t>(row % 25)),
+         Value("k" + std::to_string(row % 8)), Value(columns[0][row]),
+         Value(columns[1][row]), Value(columns[2][row])}));
+  }
+  return table;
+}
+
+}  // namespace psk

@@ -1,0 +1,48 @@
+#ifndef PSK_DATAGEN_PAPER_TABLES_H_
+#define PSK_DATAGEN_PAPER_TABLES_H_
+
+#include "psk/common/result.h"
+#include "psk/hierarchy/hierarchy.h"
+#include "psk/table/table.h"
+
+namespace psk {
+
+/// Verbatim datasets from the paper, used by tests, examples, and the
+/// benchmarks that must reproduce the paper's numbers exactly.
+
+/// Table 1: the Patient masked microdata satisfying 2-anonymity w.r.t.
+/// {Age, ZipCode, Sex}, with Illness confidential.
+Result<Table> PatientTable1();
+
+/// Table 2: the external (publicly linkable) information the intruder
+/// holds: Name (identifier), Age, Sex, ZipCode.
+Result<Table> PatientExternalTable2();
+
+/// Table 3: the masked microdata illustrating p-sensitivity; it satisfies
+/// 3-anonymity but is only 1-sensitive (the first group has a single
+/// Income value).
+Result<Table> PatientTable3();
+
+/// Table 3 with the first tuple's Income changed to 40,000, which lifts
+/// the sensitivity to p = 2 (the paper's "if the first tuple would have a
+/// different value" remark).
+Result<Table> PatientTable3Fixed();
+
+/// Fig. 3: the ten-tuple {Sex, ZipCode} initial microdata used to count,
+/// for every lattice node, the tuples that do not satisfy 3-anonymity.
+Result<Table> Figure3Table();
+
+/// The hierarchies of the Fig. 3 / Table 4 example: Sex -> {*}; ZipCode
+/// 5-digit -> 3-digit prefix -> {*} (two digits removed at once, matching
+/// the counts printed in the figure).
+Result<HierarchySet> Figure3Hierarchies(const Schema& schema);
+
+/// Example 1: a 1,000-tuple microdata whose three confidential attributes
+/// S1, S2, S3 realize the frequency sets of Tables 5-6 exactly
+/// (S1: 300,300,200,100,100; S2: 500,300,100,40,35,25;
+/// S3: 700,200,50,10,10,10,10,5,3,2). Key attributes K1, K2 are synthetic.
+Result<Table> Example1Table();
+
+}  // namespace psk
+
+#endif  // PSK_DATAGEN_PAPER_TABLES_H_

@@ -1,0 +1,108 @@
+#include "psk/datagen/synthetic.h"
+
+#include <cmath>
+
+#include "psk/common/random.h"
+
+namespace psk {
+namespace {
+
+// Balanced taxonomy over c ranked values: level l merges fanout^l
+// consecutive ranks into one bucket; the top level is "*".
+Result<std::shared_ptr<TaxonomyHierarchy>> BuildBalancedHierarchy(
+    const SyntheticAttribute& attr) {
+  if (attr.hierarchy_levels < 2) {
+    return Status::InvalidArgument(
+        "hierarchy_levels must be >= 2 for attribute " + attr.name);
+  }
+  int inner_levels = attr.hierarchy_levels - 2;  // between ground and "*"
+  double fanout = 2.0;
+  if (inner_levels > 0) {
+    fanout = std::max(
+        2.0, std::ceil(std::pow(static_cast<double>(attr.cardinality),
+                                1.0 / (inner_levels + 1))));
+  }
+  TaxonomyHierarchy::Builder builder(attr.name, attr.hierarchy_levels);
+  for (size_t rank = 0; rank < attr.cardinality; ++rank) {
+    std::vector<std::string> ancestors;
+    size_t bucket = rank;
+    for (int level = 1; level <= inner_levels; ++level) {
+      bucket = static_cast<size_t>(bucket / fanout);
+      ancestors.push_back(attr.name + "_g" + std::to_string(level) + "_" +
+                          std::to_string(bucket));
+    }
+    ancestors.push_back("*");
+    builder.AddValue(attr.name + "_v" + std::to_string(rank),
+                     std::move(ancestors));
+  }
+  return builder.Build();
+}
+
+}  // namespace
+
+Result<SyntheticData> SyntheticGenerate(const SyntheticSpec& spec,
+                                        uint64_t seed) {
+  if (spec.attributes.empty()) {
+    return Status::InvalidArgument("spec has no attributes");
+  }
+  std::vector<Attribute> schema_attrs;
+  schema_attrs.reserve(spec.attributes.size());
+  for (const SyntheticAttribute& attr : spec.attributes) {
+    if (attr.cardinality == 0) {
+      return Status::InvalidArgument("attribute '" + attr.name +
+                                     "' has zero cardinality");
+    }
+    schema_attrs.push_back({attr.name, ValueType::kString, attr.role});
+  }
+  PSK_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(schema_attrs)));
+
+  Table table(schema);
+  Rng rng(seed);
+  for (size_t row = 0; row < spec.num_rows; ++row) {
+    std::vector<Value> values;
+    values.reserve(spec.attributes.size());
+    for (const SyntheticAttribute& attr : spec.attributes) {
+      size_t rank = rng.Zipf(attr.cardinality, attr.zipf_theta);
+      values.push_back(Value(attr.name + "_v" + std::to_string(rank)));
+    }
+    PSK_RETURN_IF_ERROR(table.AppendRow(std::move(values)));
+  }
+
+  std::vector<std::shared_ptr<const AttributeHierarchy>> hierarchies;
+  for (const SyntheticAttribute& attr : spec.attributes) {
+    if (attr.role != AttributeRole::kKey) continue;
+    PSK_ASSIGN_OR_RETURN(auto hierarchy, BuildBalancedHierarchy(attr));
+    hierarchies.push_back(std::move(hierarchy));
+  }
+  PSK_ASSIGN_OR_RETURN(HierarchySet set,
+                       HierarchySet::Create(schema, std::move(hierarchies)));
+  return SyntheticData{std::move(table), std::move(set)};
+}
+
+SyntheticSpec MakeUniformSpec(size_t num_rows, size_t num_key,
+                              size_t key_card, size_t num_conf,
+                              size_t conf_card, double conf_theta) {
+  SyntheticSpec spec;
+  spec.num_rows = num_rows;
+  for (size_t i = 0; i < num_key; ++i) {
+    SyntheticAttribute attr;
+    attr.name = "K" + std::to_string(i + 1);
+    attr.role = AttributeRole::kKey;
+    attr.cardinality = key_card;
+    attr.zipf_theta = 0.0;
+    attr.hierarchy_levels = 3;
+    spec.attributes.push_back(std::move(attr));
+  }
+  for (size_t i = 0; i < num_conf; ++i) {
+    SyntheticAttribute attr;
+    attr.name = "S" + std::to_string(i + 1);
+    attr.role = AttributeRole::kConfidential;
+    attr.cardinality = conf_card;
+    attr.zipf_theta = conf_theta;
+    attr.hierarchy_levels = 2;
+    spec.attributes.push_back(std::move(attr));
+  }
+  return spec;
+}
+
+}  // namespace psk

@@ -1,0 +1,61 @@
+#ifndef PSK_DATAGEN_SYNTHETIC_H_
+#define PSK_DATAGEN_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "psk/common/result.h"
+#include "psk/hierarchy/hierarchy.h"
+#include "psk/table/table.h"
+
+namespace psk {
+
+/// Generic workload generator for benchmarks and property tests: arbitrary
+/// numbers of key and confidential attributes with controllable
+/// cardinality and skew.
+
+/// Specification of one synthetic attribute.
+struct SyntheticAttribute {
+  std::string name;
+  AttributeRole role = AttributeRole::kKey;
+  /// Number of distinct values ("<name>_v0" ... "<name>_v{c-1}").
+  size_t cardinality = 10;
+  /// Zipf exponent; 0 = uniform, larger = more skew toward low ranks.
+  double zipf_theta = 0.0;
+  /// Levels of the generated balanced hierarchy, including the ground
+  /// domain and the top "*" (>= 2). Level l groups values by
+  /// rank / fanout^l.
+  int hierarchy_levels = 3;
+};
+
+/// Specification of a synthetic microdata.
+struct SyntheticSpec {
+  size_t num_rows = 1000;
+  std::vector<SyntheticAttribute> attributes;
+};
+
+/// A generated microdata plus its hierarchies (for the key attributes).
+struct SyntheticData {
+  Table table;
+  HierarchySet hierarchies;
+};
+
+/// Generates a table and a matching hierarchy per key attribute,
+/// deterministically from `seed`. The hierarchy for a key attribute with
+/// cardinality c and L levels groups ground values into
+/// ceil(c / fanout^l) buckets at level l, where fanout = ceil(c^(1/(L-1)));
+/// the top level is always the single group "*".
+Result<SyntheticData> SyntheticGenerate(const SyntheticSpec& spec,
+                                        uint64_t seed);
+
+/// A ready-made spec: `num_key` key attributes of cardinality `key_card`
+/// and `num_conf` confidential attributes of cardinality `conf_card` with
+/// skew `conf_theta`.
+SyntheticSpec MakeUniformSpec(size_t num_rows, size_t num_key,
+                              size_t key_card, size_t num_conf,
+                              size_t conf_card, double conf_theta = 0.5);
+
+}  // namespace psk
+
+#endif  // PSK_DATAGEN_SYNTHETIC_H_

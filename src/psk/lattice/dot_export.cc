@@ -1,0 +1,109 @@
+#include "psk/lattice/dot_export.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace psk {
+namespace {
+
+// Dot string literal with quotes/backslashes escaped.
+std::string Quote(const std::string& text) {
+  std::string out = "\"";
+  for (char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+// Unique dot node id for a (level, label) pair.
+std::string NodeId(int level, const std::string& label) {
+  std::string id = "L" + std::to_string(level) + "_";
+  for (char c : label) {
+    id += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_';
+  }
+  return id;
+}
+
+}  // namespace
+
+Result<std::string> HierarchyToDot(const AttributeHierarchy& hierarchy,
+                                   const std::vector<Value>& ground_values) {
+  std::ostringstream os;
+  os << "digraph vgh {\n"
+     << "  rankdir=BT;\n"
+     << "  node [shape=box, fontname=\"Helvetica\"];\n"
+     << "  label=" << Quote(hierarchy.attribute_name()) << ";\n";
+
+  // Collect nodes per level and parent edges, deduplicated.
+  std::map<int, std::set<std::string>> levels;
+  std::set<std::pair<std::string, std::string>> edges;
+  for (const Value& ground : ground_values) {
+    std::string previous;
+    for (int level = 0; level < hierarchy.num_levels(); ++level) {
+      PSK_ASSIGN_OR_RETURN(Value v, hierarchy.Generalize(ground, level));
+      std::string label = v.ToString();
+      levels[level].insert(label);
+      if (level > 0) {
+        edges.emplace(NodeId(level - 1, previous), NodeId(level, label));
+      }
+      previous = std::move(label);
+    }
+  }
+  for (const auto& [level, labels] : levels) {
+    os << "  { rank=same;";
+    for (const std::string& label : labels) {
+      os << " " << NodeId(level, label) << " [label=" << Quote(label)
+         << "];";
+    }
+    os << " }\n";
+  }
+  for (const auto& [from, to] : edges) {
+    os << "  " << from << " -> " << to << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string LatticeToDot(const GeneralizationLattice& lattice,
+                         const HierarchySet& hierarchies,
+                         const std::vector<LatticeNode>& highlight) {
+  std::ostringstream os;
+  os << "digraph lattice {\n"
+     << "  rankdir=BT;\n"
+     << "  node [shape=ellipse, fontname=\"Helvetica\"];\n";
+  auto id = [](const LatticeNode& node) {
+    std::string out = "n";
+    for (int level : node.levels) out += "_" + std::to_string(level);
+    return out;
+  };
+  auto highlighted = [&](const LatticeNode& node) {
+    for (const LatticeNode& h : highlight) {
+      if (h == node) return true;
+    }
+    return false;
+  };
+  for (int h = 0; h <= lattice.height(); ++h) {
+    std::vector<LatticeNode> nodes = lattice.NodesAtHeight(h);
+    if (nodes.empty()) continue;
+    os << "  { rank=same;";
+    for (const LatticeNode& node : nodes) {
+      os << " " << id(node) << " [label="
+         << Quote(node.ToString(hierarchies));
+      if (highlighted(node)) os << ", style=filled, fillcolor=lightblue";
+      os << "];";
+    }
+    os << " }\n";
+  }
+  for (const LatticeNode& node : lattice.AllNodes()) {
+    for (const LatticeNode& succ : lattice.Successors(node)) {
+      os << "  " << id(node) << " -> " << id(succ) << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace psk

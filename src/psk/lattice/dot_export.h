@@ -1,0 +1,34 @@
+#ifndef PSK_LATTICE_DOT_EXPORT_H_
+#define PSK_LATTICE_DOT_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "psk/common/result.h"
+#include "psk/hierarchy/hierarchy.h"
+#include "psk/lattice/lattice.h"
+
+namespace psk {
+
+/// Graphviz (dot) renderers for the paper's two kinds of diagrams. Pipe
+/// the output through `dot -Tpng` (or paste into any Graphviz viewer) to
+/// regenerate Fig. 1 (value generalization hierarchies) and Fig. 2
+/// (generalization lattices) for your own configuration.
+
+/// Renders the value generalization hierarchy of `hierarchy` over the
+/// given ground values as a tree, leaves at the bottom (Fig. 1). Fails if
+/// some ground value cannot be generalized.
+Result<std::string> HierarchyToDot(const AttributeHierarchy& hierarchy,
+                                   const std::vector<Value>& ground_values);
+
+/// Renders the full generalization lattice with one rank per height and an
+/// edge for every direct generalization step (Fig. 2). Nodes listed in
+/// `highlight` (e.g. the minimal generalizations a search returned) are
+/// drawn filled.
+std::string LatticeToDot(const GeneralizationLattice& lattice,
+                         const HierarchySet& hierarchies,
+                         const std::vector<LatticeNode>& highlight = {});
+
+}  // namespace psk
+
+#endif  // PSK_LATTICE_DOT_EXPORT_H_

@@ -1,0 +1,139 @@
+#include "psk/lattice/lattice.h"
+
+#include <algorithm>
+
+#include "psk/common/check.h"
+
+namespace psk {
+
+std::string LatticeNode::ToString(const HierarchySet& hierarchies) const {
+  PSK_CHECK(levels.size() == hierarchies.size());
+  std::string out = "<";
+  for (size_t i = 0; i < levels.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += hierarchies.hierarchy(i).LevelName(levels[i]);
+  }
+  out += ">";
+  return out;
+}
+
+std::string LatticeNode::ToString() const {
+  std::string out = "<";
+  for (size_t i = 0; i < levels.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(levels[i]);
+  }
+  out += ">";
+  return out;
+}
+
+uint64_t GeneralizationLattice::NumNodes() const {
+  uint64_t count = 1;
+  for (int max : max_levels_) {
+    count *= static_cast<uint64_t>(max) + 1;
+  }
+  return count;
+}
+
+bool GeneralizationLattice::Contains(const LatticeNode& node) const {
+  if (node.levels.size() != max_levels_.size()) return false;
+  for (size_t i = 0; i < max_levels_.size(); ++i) {
+    if (node.levels[i] < 0 || node.levels[i] > max_levels_[i]) return false;
+  }
+  return true;
+}
+
+void GeneralizationLattice::EnumerateAtHeight(
+    int h, size_t attr, LatticeNode* partial,
+    std::vector<LatticeNode>* out) const {
+  if (attr == max_levels_.size()) {
+    if (h == 0) out->push_back(*partial);
+    return;
+  }
+  // Prune: the remaining attributes can absorb at most `remaining_max`.
+  int remaining_max = 0;
+  for (size_t i = attr + 1; i < max_levels_.size(); ++i) {
+    remaining_max += max_levels_[i];
+  }
+  for (int level = 0; level <= max_levels_[attr]; ++level) {
+    if (level > h) break;
+    if (h - level > remaining_max) continue;
+    partial->levels[attr] = level;
+    EnumerateAtHeight(h - level, attr + 1, partial, out);
+  }
+  partial->levels[attr] = 0;
+}
+
+std::vector<LatticeNode> GeneralizationLattice::NodesAtHeight(int h) const {
+  std::vector<LatticeNode> out;
+  if (h < 0 || h > height()) return out;
+  LatticeNode partial = Bottom();
+  EnumerateAtHeight(h, 0, &partial, &out);
+  return out;
+}
+
+std::vector<LatticeNode> GeneralizationLattice::AllNodes() const {
+  std::vector<LatticeNode> out;
+  out.reserve(NumNodes());
+  for (int h = 0; h <= height(); ++h) {
+    std::vector<LatticeNode> at_height = NodesAtHeight(h);
+    out.insert(out.end(), at_height.begin(), at_height.end());
+  }
+  return out;
+}
+
+std::vector<LatticeNode> GeneralizationLattice::Successors(
+    const LatticeNode& node) const {
+  PSK_CHECK(Contains(node));
+  std::vector<LatticeNode> out;
+  for (size_t i = 0; i < max_levels_.size(); ++i) {
+    if (node.levels[i] < max_levels_[i]) {
+      LatticeNode next = node;
+      ++next.levels[i];
+      out.push_back(std::move(next));
+    }
+  }
+  return out;
+}
+
+std::vector<LatticeNode> GeneralizationLattice::Predecessors(
+    const LatticeNode& node) const {
+  PSK_CHECK(Contains(node));
+  std::vector<LatticeNode> out;
+  for (size_t i = 0; i < max_levels_.size(); ++i) {
+    if (node.levels[i] > 0) {
+      LatticeNode prev = node;
+      --prev.levels[i];
+      out.push_back(std::move(prev));
+    }
+  }
+  return out;
+}
+
+bool GeneralizationLattice::IsGeneralizationOf(const LatticeNode& a,
+                                               const LatticeNode& b) {
+  if (a.levels.size() != b.levels.size()) return false;
+  for (size_t i = 0; i < a.levels.size(); ++i) {
+    if (a.levels[i] < b.levels[i]) return false;
+  }
+  return true;
+}
+
+std::vector<LatticeNode> MinimalNodes(std::vector<LatticeNode> nodes) {
+  std::vector<LatticeNode> minimal;
+  for (const LatticeNode& candidate : nodes) {
+    bool dominated = false;
+    for (const LatticeNode& other : nodes) {
+      if (other != candidate &&
+          GeneralizationLattice::IsGeneralizationOf(candidate, other)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) minimal.push_back(candidate);
+  }
+  std::sort(minimal.begin(), minimal.end());
+  return minimal;
+}
+
+}  // namespace psk

@@ -1,0 +1,120 @@
+#ifndef PSK_LATTICE_LATTICE_H_
+#define PSK_LATTICE_LATTICE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "psk/common/result.h"
+#include "psk/hierarchy/hierarchy.h"
+
+namespace psk {
+
+/// One node of the generalization lattice: the domain level chosen for each
+/// key attribute, in key-attribute order. E.g. with attributes (Sex,
+/// ZipCode), the node <S1, Z0> is {1, 0}.
+struct LatticeNode {
+  std::vector<int> levels;
+
+  /// Sum of levels — the paper's height(X, GL) (minimum path length from
+  /// the lattice bottom).
+  int Height() const {
+    int h = 0;
+    for (int level : levels) h += level;
+    return h;
+  }
+
+  /// "<A1, M0, R2, S1>" using each hierarchy's level names.
+  std::string ToString(const HierarchySet& hierarchies) const;
+  /// "<1, 0, 2, 1>" without attribute context.
+  std::string ToString() const;
+
+  friend bool operator==(const LatticeNode& a, const LatticeNode& b) {
+    return a.levels == b.levels;
+  }
+  friend bool operator!=(const LatticeNode& a, const LatticeNode& b) {
+    return !(a == b);
+  }
+  /// Lexicographic order, for deterministic sorted output.
+  friend bool operator<(const LatticeNode& a, const LatticeNode& b) {
+    return a.levels < b.levels;
+  }
+};
+
+struct LatticeNodeHash {
+  size_t operator()(const LatticeNode& node) const {
+    size_t h = 0x345678;
+    for (int level : node.levels) {
+      h = h * 1000003 + static_cast<size_t>(level + 1);
+    }
+    return h;
+  }
+};
+
+/// The full-domain generalization lattice GL over a set of key-attribute
+/// hierarchies (Samarati 2001; Fig. 2 of the paper): the product of the
+/// per-attribute domain chains, ordered componentwise. The bottom
+/// <0, ..., 0> is the original data; the top is every attribute at its most
+/// generalized domain.
+class GeneralizationLattice {
+ public:
+  /// Builds the lattice for the given hierarchy set.
+  explicit GeneralizationLattice(const HierarchySet& hierarchies)
+      : max_levels_(hierarchies.MaxLevels()) {}
+
+  /// Builds a lattice directly from per-attribute maximum levels (testing /
+  /// simulation convenience).
+  explicit GeneralizationLattice(std::vector<int> max_levels)
+      : max_levels_(std::move(max_levels)) {}
+
+  size_t num_attributes() const { return max_levels_.size(); }
+  const std::vector<int>& max_levels() const { return max_levels_; }
+
+  LatticeNode Bottom() const {
+    return LatticeNode{std::vector<int>(max_levels_.size(), 0)};
+  }
+  LatticeNode Top() const { return LatticeNode{max_levels_}; }
+
+  /// height(GL): the height of the top node.
+  int height() const { return Top().Height(); }
+
+  /// Total number of nodes: prod(max_level_i + 1).
+  uint64_t NumNodes() const;
+
+  /// True iff `node` has the right arity and every level is within range.
+  bool Contains(const LatticeNode& node) const;
+
+  /// All nodes X with height(X) == h, in lexicographic order. Empty when h
+  /// is out of [0, height()].
+  std::vector<LatticeNode> NodesAtHeight(int h) const;
+
+  /// Every node, in height-major (then lexicographic) order.
+  std::vector<LatticeNode> AllNodes() const;
+
+  /// Direct successors: nodes reachable by incrementing exactly one
+  /// attribute's level.
+  std::vector<LatticeNode> Successors(const LatticeNode& node) const;
+
+  /// Direct predecessors: nodes reachable by decrementing exactly one
+  /// attribute's level.
+  std::vector<LatticeNode> Predecessors(const LatticeNode& node) const;
+
+  /// True iff `a` is a generalization of `b` (a >= b componentwise), i.e.
+  /// `a` lies on some upward path from `b`. Every node generalizes itself.
+  static bool IsGeneralizationOf(const LatticeNode& a, const LatticeNode& b);
+
+ private:
+  void EnumerateAtHeight(int h, size_t attr, LatticeNode* partial,
+                         std::vector<LatticeNode>* out) const;
+
+  std::vector<int> max_levels_;
+};
+
+/// Reduces a set of satisfying nodes to the minimal ones: nodes X such that
+/// no other node Y in `nodes` satisfies Y < X componentwise (Definition 3's
+/// p-k-minimal generalizations, given `nodes` = all satisfying nodes).
+std::vector<LatticeNode> MinimalNodes(std::vector<LatticeNode> nodes);
+
+}  // namespace psk
+
+#endif  // PSK_LATTICE_LATTICE_H_

@@ -1,0 +1,144 @@
+#include "psk/metrics/query_error.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "psk/common/random.h"
+
+namespace psk {
+namespace {
+
+// One equality predicate: key-attribute slot + ground value.
+struct Term {
+  size_t slot;  // index into the key-attribute list
+  Value ground;
+};
+
+}  // namespace
+
+Result<QueryErrorReport> EvaluateQueryError(
+    const Table& initial_microdata, const Table& masked,
+    const HierarchySet& hierarchies, const LatticeNode& node,
+    const QueryWorkloadOptions& options) {
+  std::vector<size_t> im_keys = initial_microdata.schema().KeyIndices();
+  std::vector<size_t> mm_keys = masked.schema().KeyIndices();
+  if (im_keys.size() != hierarchies.size() ||
+      node.levels.size() != hierarchies.size()) {
+    return Status::InvalidArgument(
+        "hierarchies/node do not match the schema's key attributes");
+  }
+  if (mm_keys.size() != im_keys.size()) {
+    return Status::InvalidArgument(
+        "masked table key attributes do not match the initial microdata");
+  }
+  if (options.num_queries == 0) {
+    return Status::InvalidArgument("num_queries must be >= 1");
+  }
+  size_t terms = std::max<size_t>(
+      1, std::min(options.terms_per_query, im_keys.size()));
+
+  // Per key attribute: ground value -> generalized value at the node's
+  // level, and generalized value -> number of distinct ground values
+  // (the |g| of the uniformity assumption), both over the observed domain.
+  size_t m = im_keys.size();
+  std::vector<std::unordered_map<Value, Value, ValueHash>> up(m);
+  std::vector<std::unordered_map<Value, size_t, ValueHash>> bucket_size(m);
+  for (size_t a = 0; a < m; ++a) {
+    std::unordered_set<Value, ValueHash> grounds;
+    for (const Value& v : initial_microdata.column(im_keys[a])) {
+      grounds.insert(v);
+    }
+    for (const Value& v : grounds) {
+      PSK_ASSIGN_OR_RETURN(
+          Value g, hierarchies.hierarchy(a).Generalize(v, node.levels[a]));
+      ++bucket_size[a][g];
+      up[a].emplace(v, std::move(g));
+    }
+  }
+
+  Rng rng(options.seed);
+  std::vector<double> errors;
+  errors.reserve(options.num_queries);
+  for (size_t q = 0; q < options.num_queries; ++q) {
+    // Sample a query: distinct attributes, ground values drawn from a
+    // random IM row so predicates are realistic (non-empty-ish).
+    std::vector<size_t> slots(m);
+    for (size_t i = 0; i < m; ++i) slots[i] = i;
+    for (size_t i = 0; i < terms; ++i) {
+      size_t j = i + rng.Uniform(m - i);
+      std::swap(slots[i], slots[j]);
+    }
+    size_t seed_row = rng.Uniform(initial_microdata.num_rows());
+    std::vector<Term> query;
+    for (size_t i = 0; i < terms; ++i) {
+      query.push_back(
+          {slots[i], initial_microdata.Get(seed_row, im_keys[slots[i]])});
+    }
+
+    // Truth on the initial microdata.
+    size_t truth = 0;
+    for (size_t row = 0; row < initial_microdata.num_rows(); ++row) {
+      bool match = true;
+      for (const Term& term : query) {
+        if (!(initial_microdata.Get(row, im_keys[term.slot]) ==
+              term.ground)) {
+          match = false;
+          break;
+        }
+      }
+      if (match) ++truth;
+    }
+
+    // Estimate on the masked microdata: a row contributes the product of
+    // per-term weights; weight = 1/|g| if the row's generalized cell is
+    // the bucket of the predicate's ground value, else 0.
+    double estimate = 0.0;
+    std::vector<Value> buckets(terms);
+    std::vector<double> weights(terms);
+    bool representable = true;
+    for (size_t i = 0; i < terms; ++i) {
+      const Term& term = query[i];
+      auto it = up[term.slot].find(term.ground);
+      if (it == up[term.slot].end()) {
+        representable = false;
+        break;
+      }
+      buckets[i] = it->second;
+      weights[i] =
+          1.0 / static_cast<double>(bucket_size[term.slot][it->second]);
+    }
+    if (!representable) continue;  // value absent from the IM domain
+    for (size_t row = 0; row < masked.num_rows(); ++row) {
+      double w = 1.0;
+      for (size_t i = 0; i < terms; ++i) {
+        if (!(masked.Get(row, mm_keys[query[i].slot]) == buckets[i])) {
+          w = 0.0;
+          break;
+        }
+        w *= weights[i];
+      }
+      estimate += w;
+    }
+
+    double denom = std::max<double>(1.0, static_cast<double>(truth));
+    errors.push_back(std::fabs(estimate - static_cast<double>(truth)) /
+                     denom);
+  }
+
+  QueryErrorReport report;
+  report.num_queries = errors.size();
+  if (errors.empty()) return report;
+  double sum = 0.0;
+  for (double e : errors) {
+    sum += e;
+    report.max_relative_error = std::max(report.max_relative_error, e);
+  }
+  report.mean_relative_error = sum / static_cast<double>(errors.size());
+  std::sort(errors.begin(), errors.end());
+  report.median_relative_error = errors[errors.size() / 2];
+  return report;
+}
+
+}  // namespace psk

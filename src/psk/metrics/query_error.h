@@ -1,0 +1,49 @@
+#ifndef PSK_METRICS_QUERY_ERROR_H_
+#define PSK_METRICS_QUERY_ERROR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "psk/common/result.h"
+#include "psk/hierarchy/hierarchy.h"
+#include "psk/lattice/lattice.h"
+#include "psk/table/table.h"
+
+namespace psk {
+
+/// Workload-based utility: how well does the masked microdata answer the
+/// COUNT queries an analyst would run on the original data?
+///
+/// Queries are random conjunctions of ground-level equality predicates on
+/// key attributes (e.g. Age = 34 AND Sex = Male). The true answer comes
+/// from the initial microdata. The estimate comes from the masked
+/// microdata under the standard *uniformity assumption*: a masked cell
+/// holding a generalized value g is counted as matching a ground value v
+/// with weight 1/|g| where |g| is the number of distinct ground values
+/// (observed in the initial microdata) that generalize to g.
+struct QueryWorkloadOptions {
+  size_t num_queries = 200;
+  /// Predicates per query (capped at the number of key attributes).
+  size_t terms_per_query = 2;
+  uint64_t seed = 1;
+};
+
+struct QueryErrorReport {
+  /// Mean/median/max of |estimate - truth| / max(truth, 1).
+  double mean_relative_error = 0.0;
+  double median_relative_error = 0.0;
+  double max_relative_error = 0.0;
+  size_t num_queries = 0;
+};
+
+/// Evaluates the workload against a full-domain masked microdata produced
+/// at `node` (the masked table's key columns must hold the generalized
+/// values of that node, as produced by ApplyGeneralization/Mask).
+Result<QueryErrorReport> EvaluateQueryError(
+    const Table& initial_microdata, const Table& masked,
+    const HierarchySet& hierarchies, const LatticeNode& node,
+    const QueryWorkloadOptions& options = {});
+
+}  // namespace psk
+
+#endif  // PSK_METRICS_QUERY_ERROR_H_

@@ -1,0 +1,139 @@
+#include "psk/perturb/perturb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "psk/common/random.h"
+
+namespace psk {
+
+Result<Table> RankSwapColumn(const Table& table, size_t col,
+                             const RankSwapOptions& options) {
+  if (col >= table.num_columns()) {
+    return Status::OutOfRange("column index out of range");
+  }
+  if (options.max_rank_distance < 1) {
+    return Status::InvalidArgument("max_rank_distance must be >= 1");
+  }
+  size_t n = table.num_rows();
+  Table out = table;
+  if (n < 2) return out;
+
+  // Row indices sorted by the column's value.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return table.Get(a, col) < table.Get(b, col);
+  });
+
+  Rng rng(options.seed);
+  std::vector<bool> swapped(n, false);
+  for (size_t rank = 0; rank < n; ++rank) {
+    if (swapped[rank]) continue;
+    size_t window = std::min(options.max_rank_distance, n - 1 - rank);
+    // Collect unswapped partners within the window.
+    std::vector<size_t> partners;
+    for (size_t d = 1; d <= window; ++d) {
+      if (!swapped[rank + d]) partners.push_back(rank + d);
+    }
+    if (partners.empty()) continue;
+    size_t partner = partners[rng.Uniform(partners.size())];
+    size_t row_a = order[rank];
+    size_t row_b = order[partner];
+    Value tmp = out.Get(row_a, col);
+    out.Set(row_a, col, out.Get(row_b, col));
+    out.Set(row_b, col, std::move(tmp));
+    swapped[rank] = true;
+    swapped[partner] = true;
+  }
+  return out;
+}
+
+Result<Table> AddNoiseToColumn(const Table& table, size_t col,
+                               const NoiseOptions& options) {
+  if (col >= table.num_columns()) {
+    return Status::OutOfRange("column index out of range");
+  }
+  if (options.sd_fraction <= 0.0) {
+    return Status::InvalidArgument("sd_fraction must be > 0");
+  }
+  ValueType type = table.schema().attribute(col).type;
+  if (type != ValueType::kInt64 && type != ValueType::kDouble) {
+    return Status::InvalidArgument(
+        "noise addition requires a numeric column; '" +
+        table.schema().attribute(col).name + "' is " +
+        std::string(ValueTypeToString(type)));
+  }
+
+  // Column standard deviation over non-null values.
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  size_t count = 0;
+  for (const Value& v : table.column(col)) {
+    if (v.is_null()) continue;
+    double x = v.AsNumeric();
+    sum += x;
+    sum_sq += x * x;
+    ++count;
+  }
+  Table out = table;
+  if (count < 2) return out;
+  double mean = sum / static_cast<double>(count);
+  double variance =
+      std::max(0.0, sum_sq / static_cast<double>(count) - mean * mean);
+  double noise_sd = options.sd_fraction * std::sqrt(variance);
+  if (noise_sd == 0.0) return out;
+
+  Rng rng(options.seed);
+  std::normal_distribution<double> noise(0.0, noise_sd);
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    const Value& v = table.Get(row, col);
+    if (v.is_null()) continue;
+    double x = v.AsNumeric() + noise(rng.engine());
+    if (type == ValueType::kInt64) {
+      out.Set(row, col, Value(static_cast<int64_t>(std::llround(x))));
+    } else {
+      out.Set(row, col, Value(x));
+    }
+  }
+  return out;
+}
+
+Result<Table> PramColumn(const Table& table, size_t col,
+                         const PramOptions& options) {
+  if (col >= table.num_columns()) {
+    return Status::OutOfRange("column index out of range");
+  }
+  if (options.retention < 0.0 || options.retention > 1.0) {
+    return Status::InvalidArgument("retention must be in [0, 1]");
+  }
+  Table out = table;
+  size_t n = table.num_rows();
+  if (n == 0) return out;
+
+  // Empirical distribution = the column itself; redraws sample a uniform
+  // row's value, which realizes the marginal exactly in expectation.
+  Rng rng(options.seed);
+  for (size_t row = 0; row < n; ++row) {
+    if (rng.Bernoulli(options.retention)) continue;
+    size_t source = rng.Uniform(n);
+    out.Set(row, col, table.Get(source, col));
+  }
+  return out;
+}
+
+Result<Table> SampleRows(const Table& table, double fraction,
+                         uint64_t seed) {
+  if (fraction < 0.0 || fraction > 1.0) {
+    return Status::InvalidArgument("fraction must be in [0, 1]");
+  }
+  Rng rng(seed);
+  std::vector<bool> keep(table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    keep[r] = rng.Bernoulli(fraction);
+  }
+  return table.FilterByMask(keep);
+}
+
+}  // namespace psk

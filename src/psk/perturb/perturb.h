@@ -1,0 +1,70 @@
+#ifndef PSK_PERTURB_PERTURB_H_
+#define PSK_PERTURB_PERTURB_H_
+
+#include <cstdint>
+
+#include "psk/common/result.h"
+#include "psk/table/table.h"
+
+namespace psk {
+
+/// Perturbative disclosure-control methods from the paper's §2 survey
+/// (data swapping [4, 17], noise addition [9], PRAM randomization [10]).
+/// They complement generalization/suppression: instead of coarsening
+/// values they modify them, preserving aggregate statistics while breaking
+/// the record-level link an intruder needs.
+
+/// Rank swapping (Dalenius & Reiss; Moore's practical variant): sort the
+/// column, then swap each value with a partner at distance at most
+/// `max_rank_distance` ranks. The value *multiset* is preserved exactly
+/// (every aggregate over the column alone is unchanged), but value-to-row
+/// assignments are scrambled locally.
+struct RankSwapOptions {
+  /// Maximum rank distance between swapped partners (>= 1).
+  size_t max_rank_distance = 5;
+  uint64_t seed = 1;
+};
+
+/// Returns a copy of `table` with column `col` rank-swapped. The column
+/// must be orderable (any type works; nulls sort first and swap among
+/// themselves like any value).
+Result<Table> RankSwapColumn(const Table& table, size_t col,
+                             const RankSwapOptions& options);
+
+/// Additive noise (Kim 1986): value' = value + N(0, (sd_fraction * sd)^2)
+/// where sd is the column's standard deviation. Only numeric columns;
+/// int64 columns are rounded back to integers.
+struct NoiseOptions {
+  /// Noise standard deviation as a fraction of the column's sd (> 0).
+  double sd_fraction = 0.1;
+  uint64_t seed = 1;
+};
+
+Result<Table> AddNoiseToColumn(const Table& table, size_t col,
+                               const NoiseOptions& options);
+
+/// PRAM — the Post-RAndomization Method (Kooiman et al. 1997) with the
+/// simple invariant "retain or redraw" transition matrix: each cell keeps
+/// its value with probability `retention` and otherwise is replaced by a
+/// draw from the column's empirical distribution. The expected marginal
+/// distribution is exactly preserved.
+struct PramOptions {
+  /// Probability of keeping the original value (in [0, 1]).
+  double retention = 0.8;
+  uint64_t seed = 1;
+};
+
+Result<Table> PramColumn(const Table& table, size_t col,
+                         const PramOptions& options);
+
+/// Simple random sampling without replacement (Skinner et al. 1994): keeps
+/// each row with probability `fraction` (Bernoulli sampling, so the exact
+/// output size varies). Sampling is itself a disclosure-control method —
+/// an intruder can no longer be sure the target is in the released file,
+/// which is precisely the prosecutor-vs-journalist risk distinction in
+/// metrics/risk.h.
+Result<Table> SampleRows(const Table& table, double fraction, uint64_t seed);
+
+}  // namespace psk
+
+#endif  // PSK_PERTURB_PERTURB_H_

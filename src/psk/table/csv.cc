@@ -1,0 +1,184 @@
+#include "psk/table/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "psk/common/string_util.h"
+
+namespace psk {
+namespace {
+
+// Splits one logical CSV record into fields, honoring quotes. `pos` points
+// at the start of the record and is advanced past its trailing newline.
+Result<std::vector<std::string>> ParseRecord(std::string_view text,
+                                             size_t* pos, char sep) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  size_t i = *pos;
+  for (; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == sep) {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n') {
+      ++i;
+      break;
+    } else if (c == '\r') {
+      // Swallow; \r\n handled by the \n branch next iteration.
+    } else {
+      field.push_back(c);
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted field in CSV");
+  }
+  fields.push_back(std::move(field));
+  *pos = i;
+  return fields;
+}
+
+bool NeedsQuoting(const std::string& field, char sep) {
+  for (char c : field) {
+    if (c == sep || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+std::string QuoteField(const std::string& field) {
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+Result<Table> ReadCsvString(std::string_view text, const Schema& schema,
+                            const CsvOptions& options) {
+  size_t pos = 0;
+  // Column j of the file maps to schema attribute file_to_schema[j].
+  std::vector<size_t> file_to_schema;
+  if (options.has_header) {
+    if (pos >= text.size()) {
+      return Status::InvalidArgument("CSV is empty but a header was expected");
+    }
+    PSK_ASSIGN_OR_RETURN(std::vector<std::string> header,
+                         ParseRecord(text, &pos, options.separator));
+    std::vector<bool> seen(schema.num_attributes(), false);
+    for (const std::string& name : header) {
+      PSK_ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(Trim(name)));
+      if (seen[idx]) {
+        return Status::InvalidArgument("duplicate CSV column: " + name);
+      }
+      seen[idx] = true;
+      file_to_schema.push_back(idx);
+    }
+    for (size_t i = 0; i < schema.num_attributes(); ++i) {
+      if (!seen[i]) {
+        return Status::InvalidArgument("CSV is missing column '" +
+                                       schema.attribute(i).name + "'");
+      }
+    }
+  } else {
+    for (size_t i = 0; i < schema.num_attributes(); ++i) {
+      file_to_schema.push_back(i);
+    }
+  }
+
+  Table table(schema);
+  size_t line = options.has_header ? 2 : 1;
+  while (pos < text.size()) {
+    // Skip blank lines (common at end of file).
+    if (text[pos] == '\n' || text[pos] == '\r') {
+      ++pos;
+      continue;
+    }
+    PSK_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                         ParseRecord(text, &pos, options.separator));
+    if (fields.size() != file_to_schema.size()) {
+      return Status::InvalidArgument(
+          "CSV line " + std::to_string(line) + " has " +
+          std::to_string(fields.size()) + " fields; expected " +
+          std::to_string(file_to_schema.size()));
+    }
+    std::vector<Value> row(schema.num_attributes());
+    for (size_t j = 0; j < fields.size(); ++j) {
+      size_t attr = file_to_schema[j];
+      auto value = Value::Parse(fields[j], schema.attribute(attr).type);
+      if (!value.ok()) {
+        return Status::InvalidArgument(
+            "CSV line " + std::to_string(line) + ", column '" +
+            schema.attribute(attr).name + "': " + value.status().message());
+      }
+      row[attr] = std::move(value).value();
+    }
+    PSK_RETURN_IF_ERROR(table.AppendRow(std::move(row)));
+    ++line;
+  }
+  return table;
+}
+
+Result<Table> ReadCsvFile(const std::string& path, const Schema& schema,
+                          const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open file for reading: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ReadCsvString(buffer.str(), schema, options);
+}
+
+std::string WriteCsvString(const Table& table, const CsvOptions& options) {
+  std::ostringstream os;
+  const Schema& schema = table.schema();
+  if (options.has_header) {
+    for (size_t col = 0; col < schema.num_attributes(); ++col) {
+      if (col > 0) os << options.separator;
+      os << schema.attribute(col).name;
+    }
+    os << '\n';
+  }
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    for (size_t col = 0; col < schema.num_attributes(); ++col) {
+      if (col > 0) os << options.separator;
+      std::string field = table.Get(row, col).ToString();
+      os << (NeedsQuoting(field, options.separator) ? QuoteField(field)
+                                                    : field);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IOError("cannot open file for writing: " + path);
+  }
+  out << WriteCsvString(table, options);
+  if (!out) {
+    return Status::IOError("error while writing: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace psk

@@ -1,0 +1,42 @@
+#ifndef PSK_TABLE_CSV_H_
+#define PSK_TABLE_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "psk/common/result.h"
+#include "psk/table/table.h"
+
+namespace psk {
+
+/// Options controlling CSV parsing/serialization.
+struct CsvOptions {
+  char separator = ',';
+  /// When true, the first line must list the attribute names in schema
+  /// order (any order is accepted; columns are matched by name).
+  bool has_header = true;
+};
+
+/// Parses CSV text into a table over `schema`. Values are parsed with
+/// Value::Parse according to each attribute's declared type; empty fields
+/// become null. With a header, columns may appear in any order but every
+/// schema attribute must be present. Quoted fields ("a, b" with embedded
+/// separators, doubled quotes for literal quotes) are supported.
+Result<Table> ReadCsvString(std::string_view text, const Schema& schema,
+                            const CsvOptions& options = {});
+
+/// Reads a CSV file from disk. See ReadCsvString.
+Result<Table> ReadCsvFile(const std::string& path, const Schema& schema,
+                          const CsvOptions& options = {});
+
+/// Serializes a table as CSV (header + rows). Fields containing the
+/// separator, quotes, or newlines are quoted.
+std::string WriteCsvString(const Table& table, const CsvOptions& options = {});
+
+/// Writes a table to a CSV file on disk.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options = {});
+
+}  // namespace psk
+
+#endif  // PSK_TABLE_CSV_H_

@@ -1,0 +1,72 @@
+#include "psk/table/group_by.h"
+
+#include <algorithm>
+
+namespace psk {
+
+Result<FrequencySet> FrequencySet::Compute(
+    const Table& table, const std::vector<size_t>& col_indices) {
+  for (size_t col : col_indices) {
+    if (col >= table.num_columns()) {
+      return Status::OutOfRange("group-by column index out of range: " +
+                                std::to_string(col));
+    }
+  }
+  FrequencySet fs;
+  fs.num_rows_ = table.num_rows();
+  std::unordered_map<std::vector<Value>, size_t, CompositeKeyHash> index;
+  index.reserve(table.num_rows());
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    std::vector<Value> key = table.RowKey(row, col_indices);
+    auto [it, inserted] = index.try_emplace(key, fs.groups_.size());
+    if (inserted) {
+      Group group;
+      group.key = std::move(key);
+      fs.groups_.push_back(std::move(group));
+    }
+    fs.groups_[it->second].row_indices.push_back(row);
+  }
+  return fs;
+}
+
+size_t FrequencySet::MinGroupSize() const {
+  size_t min_size = 0;
+  for (const Group& group : groups_) {
+    if (min_size == 0 || group.size() < min_size) min_size = group.size();
+  }
+  return min_size;
+}
+
+size_t FrequencySet::RowsInGroupsSmallerThan(size_t k) const {
+  size_t count = 0;
+  for (const Group& group : groups_) {
+    if (group.size() < k) count += group.size();
+  }
+  return count;
+}
+
+std::vector<size_t> FrequencySet::SizesDescending() const {
+  std::vector<size_t> sizes;
+  sizes.reserve(groups_.size());
+  for (const Group& group : groups_) sizes.push_back(group.size());
+  std::sort(sizes.begin(), sizes.end(), std::greater<size_t>());
+  return sizes;
+}
+
+std::vector<size_t> DescendingValueFrequencies(const Table& table,
+                                               size_t col) {
+  std::unordered_map<Value, size_t, ValueHash> counts;
+  counts.reserve(table.num_rows());
+  for (const Value& v : table.column(col)) {
+    ++counts[v];
+  }
+  std::vector<size_t> freqs;
+  freqs.reserve(counts.size());
+  for (const auto& [value, count] : counts) {
+    freqs.push_back(count);
+  }
+  std::sort(freqs.begin(), freqs.end(), std::greater<size_t>());
+  return freqs;
+}
+
+}  // namespace psk

@@ -1,0 +1,74 @@
+#ifndef PSK_TABLE_GROUP_BY_H_
+#define PSK_TABLE_GROUP_BY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "psk/common/result.h"
+#include "psk/table/table.h"
+#include "psk/table/value.h"
+
+namespace psk {
+
+/// Hash / equality over a composite key (one Value per grouping column).
+struct CompositeKeyHash {
+  size_t operator()(const std::vector<Value>& key) const {
+    size_t h = 0x345678;
+    for (const Value& v : key) {
+      h = h * 1000003 + v.Hash();
+    }
+    return h;
+  }
+};
+
+/// One group of the frequency set: a unique key-attribute combination plus
+/// the indices of all rows carrying it.
+struct Group {
+  std::vector<Value> key;
+  std::vector<size_t> row_indices;
+
+  size_t size() const { return row_indices.size(); }
+};
+
+/// The frequency set of a microdata with respect to a set of attributes
+/// (Truta & Vinay Definition 4): a mapping from each unique combination of
+/// values of those attributes to the rows carrying it.
+///
+/// This is the engine behind every property check in the library:
+/// `SELECT COUNT(*) FROM MM GROUP BY KA`.
+class FrequencySet {
+ public:
+  /// Groups `table` by the given column indices. Hash-based, single pass,
+  /// O(n) expected. Group order is deterministic: by first occurrence.
+  static Result<FrequencySet> Compute(const Table& table,
+                                      const std::vector<size_t>& col_indices);
+
+  const std::vector<Group>& groups() const { return groups_; }
+  size_t num_groups() const { return groups_.size(); }
+
+  /// Total number of rows across all groups.
+  size_t num_rows() const { return num_rows_; }
+
+  /// Size of the smallest group; 0 for an empty table.
+  size_t MinGroupSize() const;
+
+  /// Number of rows that belong to groups smaller than `k` — the count
+  /// suppression must remove to reach k-anonymity (Fig. 3 of the paper).
+  size_t RowsInGroupsSmallerThan(size_t k) const;
+
+  /// Group sizes in descending order.
+  std::vector<size_t> SizesDescending() const;
+
+ private:
+  std::vector<Group> groups_;
+  size_t num_rows_ = 0;
+};
+
+/// Frequencies of the distinct values in column `col`, sorted descending —
+/// the paper's f_i^j for one confidential attribute.
+std::vector<size_t> DescendingValueFrequencies(const Table& table, size_t col);
+
+}  // namespace psk
+
+#endif  // PSK_TABLE_GROUP_BY_H_

@@ -1,0 +1,82 @@
+#include "psk/table/schema.h"
+
+#include <unordered_set>
+
+#include "psk/common/check.h"
+
+namespace psk {
+
+std::string_view AttributeRoleToString(AttributeRole role) {
+  switch (role) {
+    case AttributeRole::kIdentifier:
+      return "identifier";
+    case AttributeRole::kKey:
+      return "key";
+    case AttributeRole::kConfidential:
+      return "confidential";
+    case AttributeRole::kOther:
+      return "other";
+  }
+  return "unknown";
+}
+
+bool operator==(const Attribute& a, const Attribute& b) {
+  return a.name == b.name && a.type == b.type && a.role == b.role;
+}
+
+Result<Schema> Schema::Create(std::vector<Attribute> attributes) {
+  std::unordered_set<std::string> names;
+  for (const Attribute& attr : attributes) {
+    if (attr.name.empty()) {
+      return Status::InvalidArgument("attribute name must be non-empty");
+    }
+    if (!names.insert(attr.name).second) {
+      return Status::AlreadyExists("duplicate attribute name: " + attr.name);
+    }
+  }
+  Schema schema;
+  schema.attributes_ = std::move(attributes);
+  return schema;
+}
+
+const Attribute& Schema::attribute(size_t i) const {
+  PSK_CHECK_MSG(i < attributes_.size(), "attribute index out of range");
+  return attributes_[i];
+}
+
+Result<size_t> Schema::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return Status::NotFound("no attribute named '" + std::string(name) + "'");
+}
+
+bool Schema::Contains(std::string_view name) const {
+  return IndexOf(name).ok();
+}
+
+std::vector<size_t> Schema::IndicesWithRole(AttributeRole role) const {
+  std::vector<size_t> indices;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].role == role) indices.push_back(i);
+  }
+  return indices;
+}
+
+Result<Schema> Schema::Project(const std::vector<size_t>& indices) const {
+  std::vector<Attribute> projected;
+  projected.reserve(indices.size());
+  for (size_t i : indices) {
+    if (i >= attributes_.size()) {
+      return Status::OutOfRange("projection index out of range");
+    }
+    projected.push_back(attributes_[i]);
+  }
+  return Schema::Create(std::move(projected));
+}
+
+bool operator==(const Schema& a, const Schema& b) {
+  return a.attributes_ == b.attributes_;
+}
+
+}  // namespace psk

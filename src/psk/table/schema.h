@@ -1,0 +1,87 @@
+#ifndef PSK_TABLE_SCHEMA_H_
+#define PSK_TABLE_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "psk/common/result.h"
+#include "psk/table/value.h"
+
+namespace psk {
+
+/// Disclosure-control role of an attribute, following the classification in
+/// Truta & Vinay (2006) §2:
+///
+///  - kIdentifier: directly identifies a record (Name, SSN); present only in
+///    the initial microdata and removed during masking.
+///  - kKey: quasi-identifier (Age, ZipCode, Sex); may be known to an
+///    intruder; masked by generalization/suppression.
+///  - kConfidential: sensitive attribute (Illness, Income); assumed unknown
+///    to intruders and released unchanged.
+///  - kOther: released unchanged, not considered by any privacy property.
+enum class AttributeRole {
+  kIdentifier = 0,
+  kKey = 1,
+  kConfidential = 2,
+  kOther = 3,
+};
+
+std::string_view AttributeRoleToString(AttributeRole role);
+
+/// Name, type, and role of one attribute.
+struct Attribute {
+  std::string name;
+  ValueType type = ValueType::kString;
+  AttributeRole role = AttributeRole::kOther;
+};
+
+/// Ordered attribute list with unique names; shared by a Table and the
+/// masking configuration.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Builds a schema; fails if two attributes share a name or a name is
+  /// empty.
+  static Result<Schema> Create(std::vector<Attribute> attributes);
+
+  size_t num_attributes() const { return attributes_.size(); }
+  const Attribute& attribute(size_t i) const;
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// Index of the attribute named `name`, or NotFound.
+  Result<size_t> IndexOf(std::string_view name) const;
+  bool Contains(std::string_view name) const;
+
+  /// Indices of all attributes with the given role, in schema order.
+  std::vector<size_t> IndicesWithRole(AttributeRole role) const;
+
+  /// Convenience accessors for the three roles the paper's algorithms use.
+  std::vector<size_t> KeyIndices() const {
+    return IndicesWithRole(AttributeRole::kKey);
+  }
+  std::vector<size_t> ConfidentialIndices() const {
+    return IndicesWithRole(AttributeRole::kConfidential);
+  }
+  std::vector<size_t> IdentifierIndices() const {
+    return IndicesWithRole(AttributeRole::kIdentifier);
+  }
+
+  /// Schema with a subset of attributes (in the given order).
+  Result<Schema> Project(const std::vector<size_t>& indices) const;
+
+  friend bool operator==(const Schema& a, const Schema& b);
+  friend bool operator!=(const Schema& a, const Schema& b) {
+    return !(a == b);
+  }
+
+ private:
+  std::vector<Attribute> attributes_;
+};
+
+bool operator==(const Attribute& a, const Attribute& b);
+
+}  // namespace psk
+
+#endif  // PSK_TABLE_SCHEMA_H_

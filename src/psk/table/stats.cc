@@ -1,0 +1,81 @@
+#include "psk/table/stats.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "psk/table/group_by.h"
+
+namespace psk {
+
+Result<TableStats> ComputeTableStats(const Table& table, size_t top_k) {
+  TableStats stats;
+  stats.num_rows = table.num_rows();
+  const Schema& schema = table.schema();
+  for (size_t col = 0; col < schema.num_attributes(); ++col) {
+    const Attribute& attr = schema.attribute(col);
+    ColumnStats cs;
+    cs.name = attr.name;
+    cs.type = attr.type;
+    cs.role = attr.role;
+
+    std::unordered_map<Value, size_t, ValueHash> counts;
+    double sum = 0.0;
+    for (const Value& v : table.column(col)) {
+      if (v.is_null()) {
+        ++cs.nulls;
+        continue;
+      }
+      ++cs.non_null;
+      ++counts[v];
+      if (v.type() == ValueType::kInt64 || v.type() == ValueType::kDouble) {
+        double x = v.AsNumeric();
+        sum += x;
+        if (!cs.min.has_value() || x < *cs.min) cs.min = x;
+        if (!cs.max.has_value() || x > *cs.max) cs.max = x;
+      }
+    }
+    cs.distinct = counts.size();
+    if (cs.min.has_value() && cs.non_null > 0) {
+      cs.mean = sum / static_cast<double>(cs.non_null);
+    }
+
+    std::vector<std::pair<Value, size_t>> ranked(counts.begin(),
+                                                 counts.end());
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+    if (ranked.size() > top_k) ranked.resize(top_k);
+    cs.top_values = std::move(ranked);
+    stats.columns.push_back(std::move(cs));
+  }
+  return stats;
+}
+
+std::string TableStats::ToDisplayString() const {
+  std::ostringstream os;
+  os << num_rows << " rows\n";
+  for (const ColumnStats& cs : columns) {
+    os << "  " << cs.name << " (" << ValueTypeToString(cs.type) << ", "
+       << AttributeRoleToString(cs.role) << "): distinct " << cs.distinct;
+    if (cs.nulls > 0) os << ", nulls " << cs.nulls;
+    if (cs.min.has_value()) {
+      os << ", min " << *cs.min << ", max " << *cs.max << ", mean "
+         << *cs.mean;
+    }
+    if (!cs.top_values.empty()) {
+      os << ", top: ";
+      for (size_t i = 0; i < cs.top_values.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << cs.top_values[i].first.ToString() << " x"
+           << cs.top_values[i].second;
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace psk

@@ -1,0 +1,47 @@
+#ifndef PSK_TABLE_STATS_H_
+#define PSK_TABLE_STATS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "psk/common/result.h"
+#include "psk/table/table.h"
+
+namespace psk {
+
+/// Per-column summary used to profile a microdata before anonymizing it
+/// (e.g. to choose hierarchies, to check Condition 1 at a glance, or in
+/// the CLI's dataset report).
+struct ColumnStats {
+  std::string name;
+  ValueType type = ValueType::kString;
+  AttributeRole role = AttributeRole::kOther;
+  size_t non_null = 0;
+  size_t nulls = 0;
+  size_t distinct = 0;
+  /// Numeric columns only.
+  std::optional<double> min;
+  std::optional<double> max;
+  std::optional<double> mean;
+  /// Up to `top_k` most frequent values, descending (ties broken by value
+  /// order for determinism).
+  std::vector<std::pair<Value, size_t>> top_values;
+};
+
+struct TableStats {
+  size_t num_rows = 0;
+  std::vector<ColumnStats> columns;
+
+  /// Aligned text rendering for terminals.
+  std::string ToDisplayString() const;
+};
+
+/// Profiles every column of `table`. `top_k` bounds the per-column
+/// frequent-value list.
+Result<TableStats> ComputeTableStats(const Table& table, size_t top_k = 5);
+
+}  // namespace psk
+
+#endif  // PSK_TABLE_STATS_H_

@@ -1,0 +1,168 @@
+#include "psk/table/table.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "psk/common/check.h"
+
+namespace psk {
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.resize(schema_.num_attributes());
+}
+
+Status Table::AppendRow(std::vector<Value> row) {
+  if (row.size() != schema_.num_attributes()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " values; schema has " +
+        std::to_string(schema_.num_attributes()) + " attributes");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (!row[i].is_null() && row[i].type() != schema_.attribute(i).type) {
+      return Status::InvalidArgument(
+          "type mismatch in column '" + schema_.attribute(i).name +
+          "': expected " + std::string(ValueTypeToString(
+                               schema_.attribute(i).type)) +
+          ", got " + std::string(ValueTypeToString(row[i].type())));
+    }
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    columns_[i].push_back(std::move(row[i]));
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+void Table::Set(size_t row, size_t col, Value value) {
+  PSK_CHECK(col < columns_.size() && row < num_rows_);
+  columns_[col][row] = std::move(value);
+}
+
+const std::vector<Value>& Table::column(size_t col) const {
+  PSK_CHECK(col < columns_.size());
+  return columns_[col];
+}
+
+std::vector<Value> Table::Row(size_t row) const {
+  PSK_CHECK(row < num_rows_);
+  std::vector<Value> values;
+  values.reserve(columns_.size());
+  for (const auto& column : columns_) {
+    values.push_back(column[row]);
+  }
+  return values;
+}
+
+std::vector<Value> Table::RowKey(
+    size_t row, const std::vector<size_t>& col_indices) const {
+  PSK_DCHECK(row < num_rows_);
+  std::vector<Value> values;
+  values.reserve(col_indices.size());
+  for (size_t col : col_indices) {
+    PSK_DCHECK(col < columns_.size());
+    values.push_back(columns_[col][row]);
+  }
+  return values;
+}
+
+Result<Table> Table::FilterRows(const std::vector<size_t>& row_indices) const {
+  Table out(schema_);
+  out.columns_.assign(columns_.size(), {});
+  for (auto& column : out.columns_) column.reserve(row_indices.size());
+  for (size_t row : row_indices) {
+    if (row >= num_rows_) {
+      return Status::OutOfRange("row index out of range: " +
+                                std::to_string(row));
+    }
+    for (size_t col = 0; col < columns_.size(); ++col) {
+      out.columns_[col].push_back(columns_[col][row]);
+    }
+  }
+  out.num_rows_ = row_indices.size();
+  return out;
+}
+
+Result<Table> Table::FilterByMask(const std::vector<bool>& keep) const {
+  if (keep.size() != num_rows_) {
+    return Status::InvalidArgument("mask length does not match row count");
+  }
+  std::vector<size_t> row_indices;
+  for (size_t row = 0; row < num_rows_; ++row) {
+    if (keep[row]) row_indices.push_back(row);
+  }
+  return FilterRows(row_indices);
+}
+
+Result<Table> Table::ProjectColumns(
+    const std::vector<size_t>& col_indices) const {
+  PSK_ASSIGN_OR_RETURN(Schema projected, schema_.Project(col_indices));
+  Table out(std::move(projected));
+  for (size_t i = 0; i < col_indices.size(); ++i) {
+    out.columns_[i] = columns_[col_indices[i]];
+  }
+  out.num_rows_ = num_rows_;
+  return out;
+}
+
+Result<Table> Table::DropIdentifiers() const {
+  std::vector<size_t> kept;
+  for (size_t i = 0; i < schema_.num_attributes(); ++i) {
+    if (schema_.attribute(i).role != AttributeRole::kIdentifier) {
+      kept.push_back(i);
+    }
+  }
+  return ProjectColumns(kept);
+}
+
+size_t Table::DistinctCount(size_t col) const {
+  PSK_CHECK(col < columns_.size());
+  std::unordered_set<Value, ValueHash> seen;
+  seen.reserve(num_rows_);
+  for (const Value& v : columns_[col]) seen.insert(v);
+  return seen.size();
+}
+
+std::string Table::ToDisplayString(size_t max_rows) const {
+  size_t rows_to_show = std::min(max_rows, num_rows_);
+  std::vector<size_t> widths(columns_.size());
+  std::vector<std::vector<std::string>> cells(rows_to_show);
+  for (size_t col = 0; col < columns_.size(); ++col) {
+    widths[col] = schema_.attribute(col).name.size();
+  }
+  for (size_t row = 0; row < rows_to_show; ++row) {
+    cells[row].resize(columns_.size());
+    for (size_t col = 0; col < columns_.size(); ++col) {
+      cells[row][col] = columns_[col][row].ToString();
+      widths[col] = std::max(widths[col], cells[row][col].size());
+    }
+  }
+  std::ostringstream os;
+  for (size_t col = 0; col < columns_.size(); ++col) {
+    if (col > 0) os << " | ";
+    std::string name = schema_.attribute(col).name;
+    name.resize(widths[col], ' ');
+    os << name;
+  }
+  os << '\n';
+  for (size_t col = 0; col < columns_.size(); ++col) {
+    if (col > 0) os << "-+-";
+    os << std::string(widths[col], '-');
+  }
+  os << '\n';
+  for (size_t row = 0; row < rows_to_show; ++row) {
+    for (size_t col = 0; col < columns_.size(); ++col) {
+      if (col > 0) os << " | ";
+      std::string cell = cells[row][col];
+      cell.resize(widths[col], ' ');
+      os << cell;
+    }
+    os << '\n';
+  }
+  if (rows_to_show < num_rows_) {
+    os << "... (" << num_rows_ - rows_to_show << " more rows)\n";
+  }
+  return os.str();
+}
+
+}  // namespace psk

@@ -1,0 +1,87 @@
+#ifndef PSK_TABLE_TABLE_H_
+#define PSK_TABLE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "psk/common/result.h"
+#include "psk/table/schema.h"
+#include "psk/table/value.h"
+
+namespace psk {
+
+/// Columnar in-memory microdata table.
+///
+/// A Table owns a Schema and one value vector per attribute; all columns
+/// have the same length. Rows are addressed by index. Tables are value
+/// types (copyable); masking operations produce new tables rather than
+/// mutating the input, mirroring the paper's IM -> MM pipeline.
+class Table {
+ public:
+  /// An empty table over `schema`.
+  explicit Table(Schema schema);
+  Table() = default;
+
+  Table(const Table&) = default;
+  Table& operator=(const Table&) = default;
+  Table(Table&&) noexcept = default;
+  Table& operator=(Table&&) noexcept = default;
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Appends one row; `row` must have one value per attribute. (Value/type
+  /// agreement is validated: each value must be null or match the declared
+  /// attribute type.)
+  Status AppendRow(std::vector<Value> row);
+
+  /// Cell accessors; indices are bounds-checked with PSK_CHECK in debug
+  /// builds and trusted in release hot paths.
+  const Value& Get(size_t row, size_t col) const {
+    return columns_[col][row];
+  }
+  void Set(size_t row, size_t col, Value value);
+
+  /// Whole-column view.
+  const std::vector<Value>& column(size_t col) const;
+
+  /// Materializes row `row` as a vector of values.
+  std::vector<Value> Row(size_t row) const;
+
+  /// Values of row `row` restricted to `col_indices`, in that order.
+  std::vector<Value> RowKey(size_t row,
+                            const std::vector<size_t>& col_indices) const;
+
+  /// New table with only the rows whose index appears in `row_indices`
+  /// (in the given order).
+  Result<Table> FilterRows(const std::vector<size_t>& row_indices) const;
+
+  /// New table with only the rows for which keep[i] is true. `keep` must
+  /// have num_rows() entries.
+  Result<Table> FilterByMask(const std::vector<bool>& keep) const;
+
+  /// New table with a subset of columns (projection).
+  Result<Table> ProjectColumns(const std::vector<size_t>& col_indices) const;
+
+  /// New table without the identifier attributes — the first masking step
+  /// in the paper (§2): identifiers are always removed from released data.
+  Result<Table> DropIdentifiers() const;
+
+  /// Number of distinct values in column `col` (nulls count as one value).
+  size_t DistinctCount(size_t col) const;
+
+  /// Pretty-prints up to `max_rows` rows as an aligned text grid (for
+  /// examples and debugging).
+  std::string ToDisplayString(size_t max_rows = 20) const;
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<Value>> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace psk
+
+#endif  // PSK_TABLE_TABLE_H_

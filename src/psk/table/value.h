@@ -1,0 +1,102 @@
+#ifndef PSK_TABLE_VALUE_H_
+#define PSK_TABLE_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "psk/common/result.h"
+
+namespace psk {
+
+/// Logical type of a cell value.
+enum class ValueType {
+  kNull = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kString = 3,
+};
+
+std::string_view ValueTypeToString(ValueType type);
+
+/// A single microdata cell: null, 64-bit integer, double, or string.
+///
+/// Values are ordered within one type (ints and doubles compare
+/// numerically with each other; null sorts before everything; strings sort
+/// lexicographically after numbers) so they can key std::map and be used in
+/// order-based algorithms such as Mondrian median splits.
+class Value {
+ public:
+  /// Constructs a null value.
+  Value() : data_(std::monostate{}) {}
+  Value(int64_t v) : data_(v) {}              // NOLINT(runtime/explicit)
+  Value(double v) : data_(v) {}               // NOLINT(runtime/explicit)
+  Value(std::string v) : data_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  Value(const char* v) : data_(std::string(v)) {}  // NOLINT(runtime/explicit)
+
+  Value(const Value&) = default;
+  Value& operator=(const Value&) = default;
+  Value(Value&&) noexcept = default;
+  Value& operator=(Value&&) noexcept = default;
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const {
+    switch (data_.index()) {
+      case 0:
+        return ValueType::kNull;
+      case 1:
+        return ValueType::kInt64;
+      case 2:
+        return ValueType::kDouble;
+      default:
+        return ValueType::kString;
+    }
+  }
+
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Typed accessors; calling the wrong one aborts (programming error).
+  int64_t AsInt64() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+
+  /// Numeric view: int64 and double values as double. Aborts on
+  /// null/string.
+  double AsNumeric() const;
+
+  /// Renders the value for display and CSV output. Null renders as "".
+  std::string ToString() const;
+
+  /// Parses `text` as a value of type `type`. For kString the text is taken
+  /// verbatim; an empty string parses to null for every type.
+  static Result<Value> Parse(std::string_view text, ValueType type);
+
+  /// Total order over values; see class comment.
+  friend bool operator==(const Value& a, const Value& b);
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+  friend bool operator<(const Value& a, const Value& b);
+  friend bool operator<=(const Value& a, const Value& b) { return !(b < a); }
+  friend bool operator>(const Value& a, const Value& b) { return b < a; }
+  friend bool operator>=(const Value& a, const Value& b) { return !(a < b); }
+
+  /// Hash consistent with operator== (int64 and double holding the same
+  /// integral value hash alike).
+  size_t Hash() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& value);
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace psk
+
+#endif  // PSK_TABLE_VALUE_H_

@@ -1,0 +1,186 @@
+#include "psk/datagen/adult.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "psk/algorithms/samarati.h"
+#include "psk/anonymity/psensitive.h"
+#include "psk/lattice/lattice.h"
+#include "test_util.h"
+
+namespace psk {
+namespace {
+
+TEST(AdultSchemaTest, RolesMatchPaperSection4) {
+  Schema schema = UnwrapOk(AdultSchema());
+  // "Age, MaritalStatus, Race, and Sex as the set of key attributes".
+  std::vector<std::string> keys;
+  for (size_t i : schema.KeyIndices()) keys.push_back(schema.attribute(i).name);
+  EXPECT_EQ(keys, (std::vector<std::string>{"Age", "MaritalStatus", "Race",
+                                            "Sex"}));
+  // "Pay, CapitalGain, CapitalLoss, and TaxPeriod as ... confidential".
+  std::vector<std::string> confs;
+  for (size_t i : schema.ConfidentialIndices()) {
+    confs.push_back(schema.attribute(i).name);
+  }
+  EXPECT_EQ(confs, (std::vector<std::string>{"Pay", "CapitalGain",
+                                             "CapitalLoss", "TaxPeriod"}));
+}
+
+TEST(AdultHierarchiesTest, LatticeMatchesTable7) {
+  Schema schema = UnwrapOk(AdultSchema());
+  HierarchySet hierarchies = UnwrapOk(AdultHierarchies(schema));
+  // A_i (4 domains), M_j (3), R_k (4), S_p (2).
+  EXPECT_EQ(hierarchies.MaxLevels(), (std::vector<int>{3, 2, 3, 1}));
+  GeneralizationLattice lattice(hierarchies);
+  // "The total number of nodes in the lattice is 4 x 3 x 4 x 2 = 96, and
+  // height(GL_A) = 9."
+  EXPECT_EQ(lattice.NumNodes(), 96u);
+  EXPECT_EQ(lattice.height(), 9);
+}
+
+TEST(AdultHierarchiesTest, AgeGeneralizationsMatchTable7) {
+  Schema schema = UnwrapOk(AdultSchema());
+  HierarchySet hierarchies = UnwrapOk(AdultHierarchies(schema));
+  const AttributeHierarchy& age = hierarchies.hierarchy(0);
+  EXPECT_EQ(UnwrapOk(age.Generalize(Value(int64_t{37}), 1)).AsString(),
+            "[30-39]");
+  EXPECT_EQ(UnwrapOk(age.Generalize(Value(int64_t{37}), 2)).AsString(),
+            "<50");
+  EXPECT_EQ(UnwrapOk(age.Generalize(Value(int64_t{63}), 2)).AsString(),
+            ">=50");
+  EXPECT_EQ(UnwrapOk(age.Generalize(Value(int64_t{63}), 3)).AsString(), "*");
+}
+
+TEST(AdultHierarchiesTest, MaritalStatusMatchesTable7) {
+  Schema schema = UnwrapOk(AdultSchema());
+  HierarchySet hierarchies = UnwrapOk(AdultHierarchies(schema));
+  const AttributeHierarchy& marital = hierarchies.hierarchy(1);
+  EXPECT_EQ(
+      UnwrapOk(marital.Generalize(Value("Never-married"), 1)).AsString(),
+      "Single");
+  EXPECT_EQ(
+      UnwrapOk(marital.Generalize(Value("Married-AF-spouse"), 1)).AsString(),
+      "Married");
+  EXPECT_EQ(UnwrapOk(marital.Generalize(Value("Widowed"), 2)).AsString(),
+            "*");
+}
+
+TEST(AdultHierarchiesTest, RaceMatchesTable7) {
+  Schema schema = UnwrapOk(AdultSchema());
+  HierarchySet hierarchies = UnwrapOk(AdultHierarchies(schema));
+  const AttributeHierarchy& race = hierarchies.hierarchy(2);
+  // First generalization: White, Black, or Other.
+  EXPECT_EQ(UnwrapOk(race.Generalize(Value("Black"), 1)).AsString(), "Black");
+  EXPECT_EQ(
+      UnwrapOk(race.Generalize(Value("Asian-Pac-Islander"), 1)).AsString(),
+      "Other");
+  // Second: White or Other.
+  EXPECT_EQ(UnwrapOk(race.Generalize(Value("Black"), 2)).AsString(), "Other");
+  EXPECT_EQ(UnwrapOk(race.Generalize(Value("White"), 2)).AsString(), "White");
+  EXPECT_EQ(UnwrapOk(race.Generalize(Value("White"), 3)).AsString(), "*");
+}
+
+TEST(AdultGenerateTest, DeterministicForSeed) {
+  Table a = UnwrapOk(AdultGenerate(100, 42));
+  Table b = UnwrapOk(AdultGenerate(100, 42));
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    for (size_t c = 0; c < a.num_columns(); ++c) {
+      ASSERT_EQ(a.Get(r, c), b.Get(r, c)) << "r=" << r << " c=" << c;
+    }
+  }
+  Table c = UnwrapOk(AdultGenerate(100, 43));
+  bool any_diff = false;
+  for (size_t r = 0; r < a.num_rows() && !any_diff; ++r) {
+    if (!(a.Get(r, 0) == c.Get(r, 0))) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(AdultGenerateTest, ValuesBelongToDomains) {
+  Table t = UnwrapOk(AdultGenerate(2000, 7));
+  Schema schema = t.schema();
+  HierarchySet hierarchies = UnwrapOk(AdultHierarchies(schema));
+  size_t age = UnwrapOk(schema.IndexOf("Age"));
+  size_t marital = UnwrapOk(schema.IndexOf("MaritalStatus"));
+  size_t race = UnwrapOk(schema.IndexOf("Race"));
+  size_t sex = UnwrapOk(schema.IndexOf("Sex"));
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    int64_t a = t.Get(r, age).AsInt64();
+    EXPECT_GE(a, 17);
+    EXPECT_LE(a, 90);
+    // Every categorical value must generalize cleanly (i.e. be a ground
+    // value of its hierarchy).
+    PSK_ASSERT_OK(
+        hierarchies.hierarchy(1).Generalize(t.Get(r, marital), 1).status());
+    PSK_ASSERT_OK(
+        hierarchies.hierarchy(2).Generalize(t.Get(r, race), 1).status());
+    const std::string& s = t.Get(r, sex).AsString();
+    EXPECT_TRUE(s == "Male" || s == "Female");
+  }
+}
+
+TEST(AdultGenerateTest, MarginalsRoughlyCalibrated) {
+  Table t = UnwrapOk(AdultGenerate(20000, 11));
+  size_t race = UnwrapOk(t.schema().IndexOf("Race"));
+  size_t gain = UnwrapOk(t.schema().IndexOf("CapitalGain"));
+  size_t white = 0;
+  size_t zero_gain = 0;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    if (t.Get(r, race).AsString() == "White") ++white;
+    if (t.Get(r, gain).AsInt64() == 0) ++zero_gain;
+  }
+  EXPECT_NEAR(static_cast<double>(white) / t.num_rows(), 0.854, 0.02);
+  EXPECT_NEAR(static_cast<double>(zero_gain) / t.num_rows(), 0.916, 0.02);
+}
+
+TEST(AdultGenerateTest, AgeSkewsYoung) {
+  Table t = UnwrapOk(AdultGenerate(20000, 13));
+  size_t age = UnwrapOk(t.schema().IndexOf("Age"));
+  size_t under50 = 0;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    if (t.Get(r, age).AsInt64() < 50) ++under50;
+  }
+  // Adult has ~73 % of records under 50.
+  EXPECT_GT(static_cast<double>(under50) / t.num_rows(), 0.6);
+}
+
+TEST(AdultGenerateTest, ConfidentialCardinalitiesSupportP2) {
+  Table t = UnwrapOk(AdultGenerate(4000, 17));
+  for (size_t col : t.schema().ConfidentialIndices()) {
+    EXPECT_GE(t.DistinctCount(col), 2u)
+        << t.schema().attribute(col).name;
+  }
+}
+
+// Shape of the Table 8 experiment (the full run lives in
+// bench/bench_table8_attribute_disclosure.cc): at the k-minimal node,
+// attribute disclosures exist for small k and shrink as k grows.
+TEST(AdultTable8ShapeTest, DisclosuresShrinkWithK) {
+  Table im = UnwrapOk(AdultGenerate(400, /*seed=*/2006));
+  HierarchySet hierarchies = UnwrapOk(AdultHierarchies(im.schema()));
+  size_t disclosures_k2 = 0;
+  size_t disclosures_k3 = 0;
+  for (size_t k : {2, 3}) {
+    SearchOptions options;
+    options.k = k;
+    options.p = 1;
+    options.max_suppression = im.num_rows() / 100;  // 1 % budget
+    SearchResult result =
+        UnwrapOk(SamaratiSearch(im, hierarchies, options));
+    ASSERT_TRUE(result.found) << "k=" << k;
+    size_t disclosures = UnwrapOk(CountAttributeDisclosures(
+        result.masked, result.masked.schema().KeyIndices(),
+        result.masked.schema().ConfidentialIndices()));
+    if (k == 2) disclosures_k2 = disclosures;
+    if (k == 3) disclosures_k3 = disclosures;
+  }
+  // Paper Table 8 shape: k = 2 discloses more than k = 3.
+  EXPECT_GE(disclosures_k2, disclosures_k3);
+  EXPECT_GT(disclosures_k2, 0u);  // k-anonymity alone fails to protect
+}
+
+}  // namespace
+}  // namespace psk

@@ -1,0 +1,221 @@
+#include "psk/attack/linkage.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "psk/datagen/healthcare.h"
+#include "psk/datagen/paper_tables.h"
+#include "psk/generalize/generalize.h"
+#include "psk/table/group_by.h"
+#include "test_util.h"
+
+namespace psk {
+namespace {
+
+// The §2 attack: paper Table 2 externals against paper Table 1. Age in the
+// release is generalized to multiples of 10 (level 1 of a 10-year band
+// hierarchy); ZipCode and Sex are at ground level.
+struct PaperAttackFixture {
+  Table release;
+  Table external;
+  HierarchySet hierarchies;
+  LatticeNode node{{1, 0, 0}};
+
+  PaperAttackFixture()
+      : release(UnwrapOk(PatientTable1())),
+        external(UnwrapOk(PatientExternalTable2())),
+        hierarchies(MakeHierarchies(release.schema())) {}
+
+  static HierarchySet MakeHierarchies(const Schema& schema) {
+    // Table 1 prints ages as band starts (20/30/50); BandedRelease()
+    // below re-renders them as "[20-29]"-style labels so the release
+    // cells and the generalized external values live in the same domain.
+    auto age = UnwrapOk(IntervalHierarchy::Create(
+        "Age", {IntervalHierarchy::Level::Bands(10)}));
+    auto zip = UnwrapOk(PrefixHierarchy::Create("ZipCode", {0, 5}));
+    auto sex = std::make_shared<SuppressionHierarchy>("Sex");
+    return UnwrapOk(HierarchySet::Create(schema, {age, zip, sex}));
+  }
+};
+
+// Table 1 with Age re-rendered as band labels (what ApplyGeneralization
+// would emit), so external generalization and release cells agree.
+Table BandedRelease(const PaperAttackFixture& f) {
+  // Rebuild Table 1 from an IM whose level-1 banding yields its rows:
+  // ages 50, 30, 30, 20, 20, 50 are already band starts; banding maps
+  // 50 -> "[50-59]" etc. Generalize the release itself.
+  return UnwrapOk(
+      ApplyGeneralization(f.release, f.hierarchies, f.node));
+}
+
+TEST(LinkageAttackTest, ReproducesSamAndEricDisclosure) {
+  PaperAttackFixture f;
+  Table banded = BandedRelease(f);
+  ReleaseView release{&banded, f.node};
+  LinkageAttackSummary summary = UnwrapOk(SimulateLinkageAttack(
+      release, f.hierarchies, f.external, "Illness"));
+
+  ASSERT_EQ(summary.externals, 6u);
+  EXPECT_EQ(summary.linked, 6u);
+  // 2-anonymity holds: nobody is singled out...
+  EXPECT_EQ(summary.identity_disclosures, 0u);
+  EXPECT_DOUBLE_EQ(summary.avg_candidate_set, 2.0);
+  // ... but Sam (row 0) and Eric (row 3) learn "Diabetes".
+  EXPECT_EQ(summary.attribute_disclosures, 2u);
+  EXPECT_TRUE(summary.outcomes[0].attribute_disclosed);
+  EXPECT_TRUE(summary.outcomes[3].attribute_disclosed);
+  ASSERT_EQ(summary.outcomes[0].candidate_values.size(), 1u);
+  EXPECT_EQ(summary.outcomes[0].candidate_values[0].AsString(), "Diabetes");
+  // Gloria (row 1) sees two candidates.
+  EXPECT_FALSE(summary.outcomes[1].attribute_disclosed);
+  EXPECT_EQ(summary.outcomes[1].candidate_values.size(), 2u);
+}
+
+TEST(LinkageAttackTest, UnlinkableExternalGetsZeroMatches) {
+  PaperAttackFixture f;
+  Table banded = BandedRelease(f);
+  Table external(f.external.schema());
+  PSK_ASSERT_OK(external.AppendRow(
+      {Value("Zoe"), Value(int64_t{29}), Value("F"), Value("99999")}));
+  ReleaseView release{&banded, f.node};
+  LinkageAttackSummary summary = UnwrapOk(SimulateLinkageAttack(
+      release, f.hierarchies, external, "Illness"));
+  EXPECT_EQ(summary.linked, 0u);
+  EXPECT_EQ(summary.outcomes[0].matching_rows, 0u);
+  EXPECT_FALSE(summary.outcomes[0].attribute_disclosed);
+}
+
+TEST(LinkageAttackTest, PartialKnowledgeStillWorks) {
+  // External table that only knows Sex and ZipCode (no Age column).
+  PaperAttackFixture f;
+  Table banded = BandedRelease(f);
+  Schema partial_schema = UnwrapOk(Schema::Create(
+      {{"Sex", ValueType::kString, AttributeRole::kKey},
+       {"ZipCode", ValueType::kString, AttributeRole::kKey}}));
+  Table external(partial_schema);
+  PSK_ASSERT_OK(external.AppendRow({Value("F"), Value("43102")}));
+  ReleaseView release{&banded, f.node};
+  LinkageAttackSummary summary = UnwrapOk(SimulateLinkageAttack(
+      release, f.hierarchies, external, "Illness"));
+  // Both F rows match: candidate illnesses {Breast Cancer, HIV}.
+  EXPECT_EQ(summary.outcomes[0].matching_rows, 2u);
+  EXPECT_EQ(summary.outcomes[0].candidate_values.size(), 2u);
+}
+
+TEST(LinkageAttackTest, NoSharedKeysRejected) {
+  PaperAttackFixture f;
+  Table banded = BandedRelease(f);
+  Schema unrelated = UnwrapOk(Schema::Create(
+      {{"Shoe", ValueType::kInt64, AttributeRole::kKey}}));
+  Table external(unrelated);
+  PSK_ASSERT_OK(external.AppendRow({Value(int64_t{42})}));
+  ReleaseView release{&banded, f.node};
+  EXPECT_FALSE(
+      SimulateLinkageAttack(release, f.hierarchies, external, "Illness")
+          .ok());
+}
+
+TEST(LinkageAttackTest, UnknownConfidentialColumnRejected) {
+  PaperAttackFixture f;
+  Table banded = BandedRelease(f);
+  ReleaseView release{&banded, f.node};
+  EXPECT_FALSE(
+      SimulateLinkageAttack(release, f.hierarchies, f.external, "Nope")
+          .ok());
+}
+
+TEST(IntersectionAttackTest, ComposesTwoReleases) {
+  // Two releases of the same healthcare registry at incomparable nodes;
+  // the intersection discloses individuals neither release does (the
+  // configuration validated in examples/intersection_attack.cpp).
+  Table registry = UnwrapOk(HealthcareGenerate(1500, /*seed=*/42));
+  HierarchySet hierarchies =
+      UnwrapOk(HealthcareHierarchies(registry.schema()));
+  LatticeNode node_a{{1, 1, 0}};
+  LatticeNode node_b{{2, 0, 1}};
+  Table release_a =
+      UnwrapOk(ApplyGeneralization(registry, hierarchies, node_a));
+  Table release_b =
+      UnwrapOk(ApplyGeneralization(registry, hierarchies, node_b));
+
+  // The intruder's external knowledge: everyone's ground-level QI (drop
+  // the confidential columns from the registry).
+  Table external = UnwrapOk(
+      registry.ProjectColumns(registry.schema().KeyIndices()));
+
+  ReleaseView view_a{&release_a, node_a};
+  ReleaseView view_b{&release_b, node_b};
+  LinkageAttackSummary a = UnwrapOk(SimulateLinkageAttack(
+      view_a, hierarchies, external, "Illness"));
+  LinkageAttackSummary b = UnwrapOk(SimulateLinkageAttack(
+      view_b, hierarchies, external, "Illness"));
+  LinkageAttackSummary both = UnwrapOk(SimulateIntersectionAttack(
+      {view_a, view_b}, hierarchies, external, "Illness"));
+
+  EXPECT_EQ(a.attribute_disclosures, 0u);
+  EXPECT_EQ(b.attribute_disclosures, 0u);
+  EXPECT_EQ(both.attribute_disclosures, 9u);
+  // Intersection candidate sets are never larger than either side's.
+  for (size_t r = 0; r < both.outcomes.size(); ++r) {
+    EXPECT_LE(both.outcomes[r].candidate_values.size(),
+              a.outcomes[r].candidate_values.size());
+    EXPECT_LE(both.outcomes[r].candidate_values.size(),
+              b.outcomes[r].candidate_values.size());
+  }
+}
+
+TEST(LinkageAttackTest, ConsistentWithDisclosureCounting) {
+  // When the intruder holds every individual's exact QI, the number of
+  // externals with a disclosed attribute equals the number of *tuples*
+  // living in QI-groups whose confidential attribute is constant — the
+  // tuple-level view of CountAttributeDisclosures.
+  Table registry = UnwrapOk(HealthcareGenerate(600, /*seed=*/3));
+  HierarchySet hierarchies =
+      UnwrapOk(HealthcareHierarchies(registry.schema()));
+  LatticeNode node{{1, 1, 0}};
+  Table release = UnwrapOk(ApplyGeneralization(registry, hierarchies, node));
+  Table external = UnwrapOk(
+      registry.ProjectColumns(registry.schema().KeyIndices()));
+
+  ReleaseView view{&release, node};
+  LinkageAttackSummary summary = UnwrapOk(SimulateLinkageAttack(
+      view, hierarchies, external, "Illness"));
+
+  // Tuple-level count of individuals in illness-constant groups.
+  size_t illness = UnwrapOk(release.schema().IndexOf("Illness"));
+  FrequencySet fs = UnwrapOk(FrequencySet::Compute(
+      release, release.schema().KeyIndices()));
+  size_t expected = 0;
+  for (const Group& group : fs.groups()) {
+    std::set<std::string> values;
+    for (size_t row : group.row_indices) {
+      values.insert(release.Get(row, illness).ToString());
+    }
+    if (values.size() == 1) expected += group.size();
+  }
+  EXPECT_EQ(summary.attribute_disclosures, expected);
+}
+
+TEST(IntersectionAttackTest, SingleReleaseEqualsPlainLinkage) {
+  PaperAttackFixture f;
+  Table banded = BandedRelease(f);
+  ReleaseView release{&banded, f.node};
+  LinkageAttackSummary plain = UnwrapOk(SimulateLinkageAttack(
+      release, f.hierarchies, f.external, "Illness"));
+  LinkageAttackSummary single = UnwrapOk(SimulateIntersectionAttack(
+      {release}, f.hierarchies, f.external, "Illness"));
+  EXPECT_EQ(plain.attribute_disclosures, single.attribute_disclosures);
+  EXPECT_EQ(plain.identity_disclosures, single.identity_disclosures);
+  EXPECT_EQ(plain.linked, single.linked);
+}
+
+TEST(IntersectionAttackTest, EmptyReleaseListRejected) {
+  PaperAttackFixture f;
+  EXPECT_FALSE(
+      SimulateIntersectionAttack({}, f.hierarchies, f.external, "Illness")
+          .ok());
+}
+
+}  // namespace
+}  // namespace psk

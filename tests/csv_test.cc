@@ -1,0 +1,130 @@
+#include "psk/table/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "test_util.h"
+
+namespace psk {
+namespace {
+
+Schema CsvSchema() {
+  return UnwrapOk(
+      Schema::Create({{"Age", ValueType::kInt64, AttributeRole::kKey},
+                      {"City", ValueType::kString, AttributeRole::kKey},
+                      {"Score", ValueType::kDouble, AttributeRole::kOther}}));
+}
+
+TEST(CsvTest, ReadWithHeader) {
+  Table table = UnwrapOk(
+      ReadCsvString("Age,City,Score\n30,NYC,1.5\n40,LA,2.5\n", CsvSchema()));
+  ASSERT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.Get(0, 0).AsInt64(), 30);
+  EXPECT_EQ(table.Get(1, 1).AsString(), "LA");
+  EXPECT_DOUBLE_EQ(table.Get(1, 2).AsDouble(), 2.5);
+}
+
+TEST(CsvTest, HeaderInAnyOrder) {
+  Table table = UnwrapOk(
+      ReadCsvString("City,Score,Age\nNYC,1.5,30\n", CsvSchema()));
+  ASSERT_EQ(table.num_rows(), 1u);
+  EXPECT_EQ(table.Get(0, 0).AsInt64(), 30);
+  EXPECT_EQ(table.Get(0, 1).AsString(), "NYC");
+}
+
+TEST(CsvTest, MissingColumnRejected) {
+  auto result = ReadCsvString("Age,City\n30,NYC\n", CsvSchema());
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("Score"), std::string::npos);
+}
+
+TEST(CsvTest, DuplicateColumnRejected) {
+  EXPECT_FALSE(
+      ReadCsvString("Age,Age,City,Score\n1,2,x,0.5\n", CsvSchema()).ok());
+}
+
+TEST(CsvTest, NoHeader) {
+  CsvOptions options;
+  options.has_header = false;
+  Table table =
+      UnwrapOk(ReadCsvString("30,NYC,1.5\n", CsvSchema(), options));
+  ASSERT_EQ(table.num_rows(), 1u);
+  EXPECT_EQ(table.Get(0, 0).AsInt64(), 30);
+}
+
+TEST(CsvTest, QuotedFields) {
+  Table table = UnwrapOk(ReadCsvString(
+      "Age,City,Score\n30,\"New York, NY\",1.5\n", CsvSchema()));
+  EXPECT_EQ(table.Get(0, 1).AsString(), "New York, NY");
+}
+
+TEST(CsvTest, EscapedQuotes) {
+  Table table = UnwrapOk(ReadCsvString(
+      "Age,City,Score\n30,\"say \"\"hi\"\"\",1.5\n", CsvSchema()));
+  EXPECT_EQ(table.Get(0, 1).AsString(), "say \"hi\"");
+}
+
+TEST(CsvTest, UnterminatedQuoteRejected) {
+  EXPECT_FALSE(
+      ReadCsvString("Age,City,Score\n30,\"open,1.5\n", CsvSchema()).ok());
+}
+
+TEST(CsvTest, EmptyFieldBecomesNull) {
+  Table table =
+      UnwrapOk(ReadCsvString("Age,City,Score\n,NYC,1.5\n", CsvSchema()));
+  EXPECT_TRUE(table.Get(0, 0).is_null());
+}
+
+TEST(CsvTest, WrongFieldCountRejected) {
+  auto result = ReadCsvString("Age,City,Score\n30,NYC\n", CsvSchema());
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(CsvTest, TypeErrorMentionsColumn) {
+  auto result = ReadCsvString("Age,City,Score\nxx,NYC,1.5\n", CsvSchema());
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("Age"), std::string::npos);
+}
+
+TEST(CsvTest, CrLfAndTrailingBlankLines) {
+  Table table = UnwrapOk(ReadCsvString(
+      "Age,City,Score\r\n30,NYC,1.5\r\n\r\n", CsvSchema()));
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+TEST(CsvTest, WriteRoundTrip) {
+  Table table = UnwrapOk(ReadCsvString(
+      "Age,City,Score\n30,\"a,b\",1.5\n40,plain,2\n", CsvSchema()));
+  std::string csv = WriteCsvString(table);
+  Table reread = UnwrapOk(ReadCsvString(csv, CsvSchema()));
+  ASSERT_EQ(reread.num_rows(), table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      EXPECT_EQ(reread.Get(r, c), table.Get(r, c)) << "r=" << r << " c=" << c;
+    }
+  }
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Table table =
+      UnwrapOk(ReadCsvString("Age,City,Score\n30,NYC,1.5\n", CsvSchema()));
+  std::string path =
+      (std::filesystem::temp_directory_path() / "psk_csv_test.csv").string();
+  PSK_ASSERT_OK(WriteCsvFile(table, path));
+  Table reread = UnwrapOk(ReadCsvFile(path, CsvSchema()));
+  EXPECT_EQ(reread.num_rows(), 1u);
+  EXPECT_EQ(reread.Get(0, 1).AsString(), "NYC");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsIOError) {
+  auto result = ReadCsvFile("/nonexistent/psk.csv", CsvSchema());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace psk

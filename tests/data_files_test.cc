@@ -1,0 +1,92 @@
+// End-to-end test of the shipped sample data: data/release.cfg must parse,
+// load data/patient.csv, and produce a valid 2-sensitive 3-anonymous
+// release — exactly what a new user runs first.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "psk/anonymity/kanonymity.h"
+#include "psk/anonymity/psensitive.h"
+#include "psk/api/anonymizer.h"
+#include "psk/api/spec_parser.h"
+#include "psk/hierarchy/hierarchy_io.h"
+#include "psk/table/csv.h"
+#include "test_util.h"
+
+#ifndef PSK_SOURCE_DIR
+#error "PSK_SOURCE_DIR must be defined by the build"
+#endif
+
+namespace psk {
+namespace {
+
+std::string DataPath(const std::string& name) {
+  return std::string(PSK_SOURCE_DIR) + "/data/" + name;
+}
+
+TEST(DataFilesTest, ReleaseConfigParses) {
+  ReleaseConfig config =
+      UnwrapOk(ParseReleaseConfigFile(DataPath("release.cfg")));
+  EXPECT_EQ(config.k, 3u);
+  EXPECT_EQ(config.p, 2u);
+  EXPECT_EQ(config.max_suppression, 2u);
+  EXPECT_EQ(config.algorithm, AnonymizationAlgorithm::kOla);
+  EXPECT_EQ(config.attributes.size(), 6u);
+  EXPECT_EQ(config.hierarchies.size(), 3u);
+}
+
+TEST(DataFilesTest, PatientCsvLoads) {
+  ReleaseConfig config =
+      UnwrapOk(ParseReleaseConfigFile(DataPath("release.cfg")));
+  Schema schema = UnwrapOk(Schema::Create(config.attributes));
+  Table im = UnwrapOk(ReadCsvFile(DataPath("patient.csv"), schema));
+  EXPECT_EQ(im.num_rows(), 24u);
+  EXPECT_EQ(im.schema().KeyIndices().size(), 3u);
+  EXPECT_EQ(im.schema().ConfidentialIndices().size(), 2u);
+  // Every patient id unique.
+  EXPECT_EQ(im.DistinctCount(0), im.num_rows());
+}
+
+TEST(DataFilesTest, EndToEndReleaseSatisfiesConfig) {
+  ReleaseConfig config =
+      UnwrapOk(ParseReleaseConfigFile(DataPath("release.cfg")));
+  Schema schema = UnwrapOk(Schema::Create(config.attributes));
+  Table im = UnwrapOk(ReadCsvFile(DataPath("patient.csv"), schema));
+
+  Anonymizer anonymizer(im);
+  for (const auto& hierarchy : config.hierarchies) {
+    anonymizer.AddHierarchy(hierarchy);
+  }
+  anonymizer.set_k(config.k)
+      .set_p(config.p)
+      .set_max_suppression(config.max_suppression)
+      .set_algorithm(config.algorithm);
+  AnonymizationReport report = UnwrapOk(anonymizer.Run());
+
+  EXPECT_GE(report.achieved_k, config.k);
+  EXPECT_GE(report.achieved_p, config.p);
+  EXPECT_EQ(report.attribute_disclosures, 0u);
+  EXPECT_LE(report.suppressed, config.max_suppression);
+  EXPECT_FALSE(report.masked.schema().Contains("PatientId"));
+  EXPECT_TRUE(UnwrapOk(IsKAnonymous(report.masked, config.k)));
+}
+
+TEST(DataFilesTest, IllnessHierarchyLoads) {
+  auto hierarchy = UnwrapOk(
+      LoadTaxonomyCsvFile(DataPath("illness_hierarchy.csv"), "Illness"));
+  EXPECT_EQ(hierarchy->num_levels(), 3);
+  EXPECT_EQ(hierarchy->GroundValues().size(), 11u);
+  EXPECT_EQ(UnwrapOk(hierarchy->Generalize(Value("AIDS"), 1)).AsString(),
+            "Viral");
+  // Every illness in the sample data is covered by the taxonomy.
+  ReleaseConfig config =
+      UnwrapOk(ParseReleaseConfigFile(DataPath("release.cfg")));
+  Schema schema = UnwrapOk(Schema::Create(config.attributes));
+  Table im = UnwrapOk(ReadCsvFile(DataPath("patient.csv"), schema));
+  size_t illness = UnwrapOk(schema.IndexOf("Illness"));
+  PSK_EXPECT_OK(ValidateHierarchyOverColumn(im, illness, *hierarchy));
+}
+
+}  // namespace
+}  // namespace psk

@@ -1,0 +1,225 @@
+#include "psk/anonymity/diversity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "psk/anonymity/psensitive.h"
+#include "psk/datagen/paper_tables.h"
+#include "psk/datagen/synthetic.h"
+#include "test_util.h"
+
+namespace psk {
+namespace {
+
+std::vector<size_t> Keys(const Table& t) { return t.schema().KeyIndices(); }
+std::vector<size_t> Confs(const Table& t) {
+  return t.schema().ConfidentialIndices();
+}
+
+// --------------------------------------------------------------------------
+// Distinct l-diversity == p-sensitivity
+
+TEST(DistinctLDiversityTest, EquivalentToPSensitivityOnPaperTables) {
+  for (auto maker : {PatientTable1, PatientTable3, PatientTable3Fixed}) {
+    Table t = UnwrapOk(maker());
+    for (size_t l = 1; l <= 4; ++l) {
+      EXPECT_EQ(UnwrapOk(IsDistinctLDiverse(t, Keys(t), Confs(t), l)),
+                UnwrapOk(IsPSensitive(t, Keys(t), Confs(t), l)))
+          << "l=" << l;
+    }
+  }
+}
+
+TEST(DistinctLDiversityTest, EquivalenceProperty) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    SyntheticSpec spec = MakeUniformSpec(100, 2, 3, 2, 4, 0.7);
+    SyntheticData data = UnwrapOk(SyntheticGenerate(spec, seed));
+    const Table& t = data.table;
+    for (size_t l = 1; l <= 4; ++l) {
+      EXPECT_EQ(UnwrapOk(IsDistinctLDiverse(t, Keys(t), Confs(t), l)),
+                UnwrapOk(IsPSensitive(t, Keys(t), Confs(t), l)))
+          << "seed=" << seed << " l=" << l;
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Entropy l-diversity
+
+Table UniformGroupTable(size_t values_per_group) {
+  Schema schema = UnwrapOk(Schema::Create(
+      {{"K", ValueType::kInt64, AttributeRole::kKey},
+       {"S", ValueType::kString, AttributeRole::kConfidential}}));
+  Table t(schema);
+  for (int64_t g = 0; g < 3; ++g) {
+    for (size_t v = 0; v < values_per_group; ++v) {
+      EXPECT_TRUE(
+          t.AppendRow({Value(g), Value("v" + std::to_string(v))}).ok());
+    }
+  }
+  return t;
+}
+
+TEST(EntropyLDiversityTest, UniformGroupsHitExactBound) {
+  Table t = UniformGroupTable(3);
+  // Each group holds 3 equally frequent values: entropy = log 3.
+  EXPECT_NEAR(UnwrapOk(EntropyDiversityL(t, {0}, {1})), 3.0, 1e-9);
+  EXPECT_TRUE(UnwrapOk(IsEntropyLDiverse(t, {0}, {1}, 3.0)));
+  EXPECT_FALSE(UnwrapOk(IsEntropyLDiverse(t, {0}, {1}, 3.1)));
+}
+
+TEST(EntropyLDiversityTest, SkewLowersEntropy) {
+  Schema schema = UnwrapOk(Schema::Create(
+      {{"K", ValueType::kInt64, AttributeRole::kKey},
+       {"S", ValueType::kString, AttributeRole::kConfidential}}));
+  Table t(schema);
+  // One group: counts 8, 1, 1 over 3 distinct values.
+  for (int i = 0; i < 8; ++i) {
+    PSK_ASSERT_OK(t.AppendRow({Value(int64_t{0}), Value("a")}));
+  }
+  PSK_ASSERT_OK(t.AppendRow({Value(int64_t{0}), Value("b")}));
+  PSK_ASSERT_OK(t.AppendRow({Value(int64_t{0}), Value("c")}));
+  double l = UnwrapOk(EntropyDiversityL(t, {0}, {1}));
+  EXPECT_LT(l, 3.0);
+  EXPECT_GT(l, 1.0);
+  // Distinct diversity is 3 but entropy diversity is much lower: the two
+  // models genuinely differ (entropy is strictly stronger).
+  EXPECT_TRUE(UnwrapOk(IsDistinctLDiverse(t, {0}, {1}, 3)));
+  EXPECT_FALSE(UnwrapOk(IsEntropyLDiverse(t, {0}, {1}, 3.0)));
+}
+
+TEST(EntropyLDiversityTest, EntropyImpliesDistinct) {
+  // Entropy l-diversity implies distinct ceil(l)-diversity.
+  for (uint64_t seed = 20; seed <= 26; ++seed) {
+    SyntheticSpec spec = MakeUniformSpec(120, 2, 3, 1, 5, 0.4);
+    SyntheticData data = UnwrapOk(SyntheticGenerate(spec, seed));
+    const Table& t = data.table;
+    for (double l : {1.5, 2.0, 3.0}) {
+      if (UnwrapOk(IsEntropyLDiverse(t, Keys(t), Confs(t), l))) {
+        EXPECT_TRUE(UnwrapOk(IsDistinctLDiverse(
+            t, Keys(t), Confs(t), static_cast<size_t>(std::ceil(l)))))
+            << "seed=" << seed << " l=" << l;
+      }
+    }
+  }
+}
+
+TEST(EntropyLDiversityTest, InvalidLRejected) {
+  Table t = UnwrapOk(PatientTable1());
+  EXPECT_FALSE(IsEntropyLDiverse(t, Keys(t), Confs(t), 0.5).ok());
+}
+
+// --------------------------------------------------------------------------
+// Recursive (c, l)-diversity
+
+TEST(RecursiveCLDiversityTest, Basic) {
+  Table t = UniformGroupTable(3);
+  // Uniform groups (1,1,1): r1 = 1 < c * r3 = c requires c > 1.
+  EXPECT_TRUE(UnwrapOk(IsRecursiveCLDiverse(t, {0}, {1}, 1.5, 3)));
+  EXPECT_FALSE(UnwrapOk(IsRecursiveCLDiverse(t, {0}, {1}, 0.9, 3)));
+}
+
+TEST(RecursiveCLDiversityTest, FailsWhenTooFewDistinct) {
+  Table t = UnwrapOk(PatientTable3());  // Income constant in group 1
+  EXPECT_FALSE(UnwrapOk(IsRecursiveCLDiverse(t, Keys(t), Confs(t), 10.0, 2)));
+}
+
+TEST(RecursiveCLDiversityTest, LargerCIsWeaker) {
+  for (uint64_t seed = 30; seed <= 34; ++seed) {
+    SyntheticSpec spec = MakeUniformSpec(90, 1, 3, 1, 4, 0.8);
+    SyntheticData data = UnwrapOk(SyntheticGenerate(spec, seed));
+    const Table& t = data.table;
+    bool tight = UnwrapOk(IsRecursiveCLDiverse(t, Keys(t), Confs(t), 1.0, 2));
+    bool loose = UnwrapOk(IsRecursiveCLDiverse(t, Keys(t), Confs(t), 5.0, 2));
+    EXPECT_TRUE(!tight || loose) << "seed=" << seed;  // tight => loose
+  }
+}
+
+TEST(RecursiveCLDiversityTest, InvalidParamsRejected) {
+  Table t = UnwrapOk(PatientTable1());
+  EXPECT_FALSE(IsRecursiveCLDiverse(t, Keys(t), Confs(t), 0.0, 2).ok());
+  EXPECT_FALSE(IsRecursiveCLDiverse(t, Keys(t), Confs(t), 1.0, 0).ok());
+}
+
+// --------------------------------------------------------------------------
+// t-closeness
+
+TEST(TClosenessTest, SingleGroupIsZeroClose) {
+  // One QI-group = the global distribution itself.
+  Table t = UnwrapOk(PatientTable1());
+  // Group by nothing (empty key list) -> one group.
+  EXPECT_NEAR(UnwrapOk(TCloseness(t, {}, Confs(t))), 0.0, 1e-12);
+  EXPECT_TRUE(UnwrapOk(IsTClose(t, {}, Confs(t), 0.0)));
+}
+
+TEST(TClosenessTest, DisjointGroupsAreFar) {
+  Schema schema = UnwrapOk(Schema::Create(
+      {{"K", ValueType::kInt64, AttributeRole::kKey},
+       {"S", ValueType::kString, AttributeRole::kConfidential}}));
+  Table t(schema);
+  // Group 0 all "a", group 1 all "b": categorical EMD = 1/2 each.
+  for (int i = 0; i < 4; ++i) {
+    PSK_ASSERT_OK(t.AppendRow({Value(int64_t{i / 2}),
+                               Value(i < 2 ? "a" : "b")}));
+  }
+  EXPECT_NEAR(UnwrapOk(TCloseness(t, {0}, {1})), 0.5, 1e-12);
+  EXPECT_FALSE(UnwrapOk(IsTClose(t, {0}, {1}, 0.4)));
+  EXPECT_TRUE(UnwrapOk(IsTClose(t, {0}, {1}, 0.5)));
+}
+
+TEST(TClosenessTest, NumericOrderedDistance) {
+  Schema schema = UnwrapOk(Schema::Create(
+      {{"K", ValueType::kInt64, AttributeRole::kKey},
+       {"Income", ValueType::kInt64, AttributeRole::kConfidential}}));
+  Table t(schema);
+  // Li et al.'s intuition: a group holding only the extreme incomes is
+  // farther than one holding adjacent incomes. Global values 1..4.
+  // Group 0: {1, 2}; group 1: {3, 4}.
+  PSK_ASSERT_OK(t.AppendRow({Value(int64_t{0}), Value(int64_t{1})}));
+  PSK_ASSERT_OK(t.AppendRow({Value(int64_t{0}), Value(int64_t{2})}));
+  PSK_ASSERT_OK(t.AppendRow({Value(int64_t{1}), Value(int64_t{3})}));
+  PSK_ASSERT_OK(t.AppendRow({Value(int64_t{1}), Value(int64_t{4})}));
+  double far = UnwrapOk(TCloseness(t, {0}, {1}));
+
+  Table close(schema);
+  // Group 0: {1, 3}; group 1: {2, 4} — interleaved, closer to global.
+  PSK_ASSERT_OK(close.AppendRow({Value(int64_t{0}), Value(int64_t{1})}));
+  PSK_ASSERT_OK(close.AppendRow({Value(int64_t{0}), Value(int64_t{3})}));
+  PSK_ASSERT_OK(close.AppendRow({Value(int64_t{1}), Value(int64_t{2})}));
+  PSK_ASSERT_OK(close.AppendRow({Value(int64_t{1}), Value(int64_t{4})}));
+  double near = UnwrapOk(TCloseness(close, {0}, {1}));
+  EXPECT_LT(near, far);
+}
+
+TEST(TClosenessTest, MonotoneUnderMerging) {
+  // Coarser grouping can only move distributions toward the global one.
+  for (uint64_t seed = 40; seed <= 44; ++seed) {
+    SyntheticSpec spec = MakeUniformSpec(120, 2, 3, 1, 4, 0.9);
+    SyntheticData data = UnwrapOk(SyntheticGenerate(spec, seed));
+    const Table& t = data.table;
+    auto keys = Keys(t);
+    double fine = UnwrapOk(TCloseness(t, keys, Confs(t)));
+    double coarse = UnwrapOk(TCloseness(t, {keys[0]}, Confs(t)));
+    EXPECT_LE(coarse, fine + 1e-9) << "seed=" << seed;
+  }
+}
+
+TEST(TClosenessTest, InvalidParamsRejected) {
+  Table t = UnwrapOk(PatientTable1());
+  EXPECT_FALSE(IsTClose(t, Keys(t), Confs(t), -0.1).ok());
+  EXPECT_FALSE(TCloseness(t, Keys(t), {}).ok());
+}
+
+TEST(DiversityTest, EmptyTableEdgeCases) {
+  Schema schema = UnwrapOk(Schema::Create(
+      {{"K", ValueType::kInt64, AttributeRole::kKey},
+       {"S", ValueType::kString, AttributeRole::kConfidential}}));
+  Table t(schema);
+  EXPECT_TRUE(UnwrapOk(IsEntropyLDiverse(t, {0}, {1}, 2.0)));
+  EXPECT_NEAR(UnwrapOk(TCloseness(t, {0}, {1})), 0.0, 1e-12);
+  EXPECT_TRUE(UnwrapOk(IsRecursiveCLDiverse(t, {0}, {1}, 1.0, 2)));
+}
+
+}  // namespace
+}  // namespace psk

@@ -1,0 +1,95 @@
+#include "psk/lattice/dot_export.h"
+
+#include <gtest/gtest.h>
+
+#include "psk/datagen/paper_tables.h"
+#include "test_util.h"
+
+namespace psk {
+namespace {
+
+struct Fig3Fixture {
+  Table table;
+  HierarchySet hierarchies;
+
+  Fig3Fixture()
+      : table(UnwrapOk(Figure3Table())),
+        hierarchies(UnwrapOk(Figure3Hierarchies(table.schema()))) {}
+};
+
+TEST(HierarchyToDotTest, ContainsAllLevelsAndEdges) {
+  Fig3Fixture f;
+  std::string dot = UnwrapOk(HierarchyToDot(
+      f.hierarchies.hierarchy(1),
+      {Value("41076"), Value("41099"), Value("43102")}));
+  // Ground values, intermediate prefixes, and the top appear.
+  EXPECT_NE(dot.find("\"41076\""), std::string::npos);
+  EXPECT_NE(dot.find("\"410**\""), std::string::npos);
+  EXPECT_NE(dot.find("\"431**\""), std::string::npos);
+  EXPECT_NE(dot.find("\"*\""), std::string::npos);
+  // Tree edges point upward (rankdir=BT with child -> parent).
+  EXPECT_NE(dot.find("L0_41076 -> L1_410__"), std::string::npos);
+  EXPECT_NE(dot.find("L1_410__ -> L2__"), std::string::npos);
+  // Valid-ish dot: balanced braces.
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+}
+
+TEST(HierarchyToDotTest, SharedParentsDeduplicated) {
+  Fig3Fixture f;
+  std::string dot = UnwrapOk(HierarchyToDot(
+      f.hierarchies.hierarchy(1), {Value("41076"), Value("41099")}));
+  // Both zips share the 410** parent: the node must appear exactly once.
+  size_t first = dot.find("L1_410__ [");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(dot.find("L1_410__ [", first + 1), std::string::npos);
+}
+
+TEST(HierarchyToDotTest, UnknownGroundValueFails) {
+  TaxonomyHierarchy::Builder builder("X", 2);
+  builder.AddValue("a", {"*"});
+  auto hierarchy = UnwrapOk(builder.Build());
+  EXPECT_FALSE(HierarchyToDot(*hierarchy, {Value("zzz")}).ok());
+}
+
+TEST(LatticeToDotTest, Figure2Structure) {
+  Fig3Fixture f;
+  GeneralizationLattice lattice(f.hierarchies);
+  std::string dot = LatticeToDot(lattice, f.hierarchies);
+  // All six nodes of Fig. 2 appear with their paper labels.
+  for (const char* label :
+       {"<S0, Z0>", "<S1, Z0>", "<S0, Z1>", "<S1, Z1>", "<S0, Z2>",
+        "<S1, Z2>"}) {
+    EXPECT_NE(dot.find(label), std::string::npos) << label;
+  }
+  // Edge count: sum over nodes of #successors = 7 for the 2x3 lattice.
+  size_t edges = 0;
+  size_t pos = 0;
+  while ((pos = dot.find(" -> ", pos)) != std::string::npos) {
+    ++edges;
+    pos += 4;
+  }
+  EXPECT_EQ(edges, 7u);
+}
+
+TEST(LatticeToDotTest, HighlightsRequestedNodes) {
+  Fig3Fixture f;
+  GeneralizationLattice lattice(f.hierarchies);
+  std::string dot =
+      LatticeToDot(lattice, f.hierarchies, {LatticeNode{{0, 2}}});
+  // Exactly one filled node.
+  size_t filled = 0;
+  size_t pos = 0;
+  while ((pos = dot.find("style=filled", pos)) != std::string::npos) {
+    ++filled;
+    pos += 1;
+  }
+  EXPECT_EQ(filled, 1u);
+  // ... and it is the requested one (same line as its label).
+  size_t node_pos = dot.find("\"<S0, Z2>\"");
+  ASSERT_NE(node_pos, std::string::npos);
+  EXPECT_NE(dot.find("style=filled", node_pos), std::string::npos);
+}
+
+}  // namespace
+}  // namespace psk

@@ -1,0 +1,129 @@
+// Tests for the extended (hierarchical / categorical) p-sensitivity of the
+// paper's follow-up work: sensitivity measured over value *categories*.
+
+#include <gtest/gtest.h>
+
+#include "psk/anonymity/psensitive.h"
+#include "psk/datagen/paper_tables.h"
+#include "psk/hierarchy/hierarchy.h"
+#include "test_util.h"
+
+namespace psk {
+namespace {
+
+// Illness taxonomy: ground -> category -> *.
+std::shared_ptr<TaxonomyHierarchy> IllnessHierarchy() {
+  TaxonomyHierarchy::Builder builder("Illness", 3);
+  builder.AddValue("Colon Cancer", {"Cancer", "*"});
+  builder.AddValue("Breast Cancer", {"Cancer", "*"});
+  builder.AddValue("HIV", {"Viral", "*"});
+  builder.AddValue("Diabetes", {"Chronic", "*"});
+  builder.AddValue("Heart Disease", {"Chronic", "*"});
+  builder.AddValue("AIDS", {"Viral", "*"});
+  return UnwrapOk(builder.Build());
+}
+
+Table CancerGroupTable() {
+  // One QI-group with two *distinct* illnesses of the same category.
+  Schema schema = UnwrapOk(Schema::Create(
+      {{"Zip", ValueType::kString, AttributeRole::kKey},
+       {"Illness", ValueType::kString, AttributeRole::kConfidential}}));
+  Table t(schema);
+  EXPECT_TRUE(t.AppendRow({Value("41076"), Value("Colon Cancer")}).ok());
+  EXPECT_TRUE(t.AppendRow({Value("41076"), Value("Breast Cancer")}).ok());
+  return t;
+}
+
+TEST(HierarchicalPSensitivityTest, CategoriesCollapseRawDiversity) {
+  Table t = CancerGroupTable();
+  auto hierarchy = IllnessHierarchy();
+  // Raw values: 2-sensitive.
+  EXPECT_TRUE(UnwrapOk(IsPSensitive(t, {0}, {1}, 2)));
+  // Categories at level 1: both map to Cancer -> only 1-sensitive. The
+  // release still tells the intruder "this person has cancer".
+  EXPECT_TRUE(UnwrapOk(
+      IsPSensitiveHierarchical(t, {0}, 1, *hierarchy, /*level=*/1, 1)));
+  EXPECT_FALSE(UnwrapOk(
+      IsPSensitiveHierarchical(t, {0}, 1, *hierarchy, /*level=*/1, 2)));
+  EXPECT_EQ(
+      UnwrapOk(HierarchicalSensitivityP(t, {0}, 1, *hierarchy, 1)), 1u);
+}
+
+TEST(HierarchicalPSensitivityTest, LevelZeroMatchesRawPSensitivity) {
+  Table t1 = UnwrapOk(PatientTable1());
+  auto hierarchy = IllnessHierarchy();
+  size_t illness = UnwrapOk(t1.schema().IndexOf("Illness"));
+  auto keys = t1.schema().KeyIndices();
+  for (size_t p = 1; p <= 3; ++p) {
+    EXPECT_EQ(
+        UnwrapOk(IsPSensitiveHierarchical(t1, keys, illness, *hierarchy,
+                                          /*level=*/0, p)),
+        UnwrapOk(IsPSensitive(t1, keys, {illness}, p)))
+        << "p=" << p;
+  }
+}
+
+TEST(HierarchicalPSensitivityTest, TopLevelAlwaysOneCategory) {
+  Table t1 = UnwrapOk(PatientTable1());
+  auto hierarchy = IllnessHierarchy();
+  size_t illness = UnwrapOk(t1.schema().IndexOf("Illness"));
+  EXPECT_EQ(UnwrapOk(HierarchicalSensitivityP(
+                t1, t1.schema().KeyIndices(), illness, *hierarchy,
+                /*level=*/2)),
+            1u);
+}
+
+TEST(HierarchicalPSensitivityTest, CategorySensitivityNeverExceedsRaw) {
+  Table t1 = UnwrapOk(PatientTable1());
+  auto hierarchy = IllnessHierarchy();
+  size_t illness = UnwrapOk(t1.schema().IndexOf("Illness"));
+  auto keys = t1.schema().KeyIndices();
+  size_t raw = UnwrapOk(SensitivityP(t1, keys, {illness}));
+  for (int level = 0; level < hierarchy->num_levels(); ++level) {
+    EXPECT_LE(UnwrapOk(HierarchicalSensitivityP(t1, keys, illness,
+                                                *hierarchy, level)),
+              raw)
+        << "level=" << level;
+  }
+}
+
+TEST(HierarchicalPSensitivityTest, MixedCategoryGroupStays2Sensitive) {
+  Schema schema = UnwrapOk(Schema::Create(
+      {{"Zip", ValueType::kString, AttributeRole::kKey},
+       {"Illness", ValueType::kString, AttributeRole::kConfidential}}));
+  Table t(schema);
+  PSK_ASSERT_OK(t.AppendRow({Value("41076"), Value("Colon Cancer")}));
+  PSK_ASSERT_OK(t.AppendRow({Value("41076"), Value("Diabetes")}));
+  auto hierarchy = IllnessHierarchy();
+  EXPECT_TRUE(UnwrapOk(
+      IsPSensitiveHierarchical(t, {0}, 1, *hierarchy, /*level=*/1, 2)));
+}
+
+TEST(HierarchicalPSensitivityTest, ErrorsSurface) {
+  Table t = CancerGroupTable();
+  auto hierarchy = IllnessHierarchy();
+  EXPECT_FALSE(
+      IsPSensitiveHierarchical(t, {0}, 99, *hierarchy, 1, 1).ok());
+  EXPECT_FALSE(
+      IsPSensitiveHierarchical(t, {0}, 1, *hierarchy, 9, 1).ok());
+  EXPECT_FALSE(
+      IsPSensitiveHierarchical(t, {0}, 1, *hierarchy, 1, 0).ok());
+  // Unknown ground value propagates the hierarchy's NotFound.
+  Table bad(t.schema());
+  PSK_ASSERT_OK(bad.AppendRow({Value("41076"), Value("Unknown")}));
+  EXPECT_FALSE(
+      IsPSensitiveHierarchical(bad, {0}, 1, *hierarchy, 1, 1).ok());
+}
+
+TEST(HierarchicalPSensitivityTest, EmptyTableIsZero) {
+  Schema schema = UnwrapOk(Schema::Create(
+      {{"Zip", ValueType::kString, AttributeRole::kKey},
+       {"Illness", ValueType::kString, AttributeRole::kConfidential}}));
+  Table t(schema);
+  auto hierarchy = IllnessHierarchy();
+  EXPECT_EQ(UnwrapOk(HierarchicalSensitivityP(t, {0}, 1, *hierarchy, 1)),
+            0u);
+}
+
+}  // namespace
+}  // namespace psk

@@ -1,0 +1,139 @@
+#include "psk/anonymity/frequency_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "psk/datagen/paper_tables.h"
+#include "test_util.h"
+
+namespace psk {
+namespace {
+
+// The Example 1 microdata realizes Tables 5-6 exactly; every assertion in
+// this file checks a number printed in the paper.
+
+FrequencyStats Example1Stats() {
+  Table table = UnwrapOk(Example1Table());
+  return UnwrapOk(FrequencyStats::Compute(table));
+}
+
+TEST(FrequencyStatsTest, Table5FrequencySets) {
+  FrequencyStats stats = Example1Stats();
+  EXPECT_EQ(stats.n(), 1000u);
+  EXPECT_EQ(stats.q(), 3u);
+
+  ASSERT_EQ(stats.s(0), 5u);
+  const size_t f1[] = {300, 300, 200, 100, 100};
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(stats.f(0, i), f1[i]) << i;
+
+  ASSERT_EQ(stats.s(1), 6u);
+  const size_t f2[] = {500, 300, 100, 40, 35, 25};
+  for (size_t i = 0; i < 6; ++i) EXPECT_EQ(stats.f(1, i), f2[i]) << i;
+
+  ASSERT_EQ(stats.s(2), 10u);
+  const size_t f3[] = {700, 200, 50, 10, 10, 10, 10, 5, 3, 2};
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(stats.f(2, i), f3[i]) << i;
+}
+
+TEST(FrequencyStatsTest, Table6CumulativeFrequencySets) {
+  FrequencyStats stats = Example1Stats();
+  const size_t cf1[] = {300, 600, 800, 900, 1000};
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(stats.cf(0, i), cf1[i]) << i;
+  const size_t cf2[] = {500, 800, 900, 940, 975, 1000};
+  for (size_t i = 0; i < 6; ++i) EXPECT_EQ(stats.cf(1, i), cf2[i]) << i;
+  const size_t cf3[] = {700, 900, 950, 960, 970, 980, 990, 995, 998, 1000};
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(stats.cf(2, i), cf3[i]) << i;
+}
+
+TEST(FrequencyStatsTest, Table6CfMaxRow) {
+  FrequencyStats stats = Example1Stats();
+  // cf_i = max_j cf_i^j for i = 1..5: 700, 900, 950, 960, 1000.
+  const size_t cf_max[] = {700, 900, 950, 960, 1000};
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(stats.cf_max(i), cf_max[i]) << i;
+}
+
+TEST(FrequencyStatsTest, Condition1MaxP) {
+  FrequencyStats stats = Example1Stats();
+  // maxP = min(5, 6, 10) = 5 — "p must be less or equal to 5".
+  EXPECT_EQ(stats.MaxP(), 5u);
+}
+
+TEST(FrequencyStatsTest, Condition2MaxGroupsMatchesExample1) {
+  FrequencyStats stats = Example1Stats();
+  // §3: "For p = 2 there are at most 300 groups allowed", p = 3 -> 100,
+  // p = 4 -> 50, and p = 5 -> 25 (the subtle case worked in the paper).
+  EXPECT_EQ(UnwrapOk(stats.MaxGroups(2)), 300u);
+  EXPECT_EQ(UnwrapOk(stats.MaxGroups(3)), 100u);
+  EXPECT_EQ(UnwrapOk(stats.MaxGroups(4)), 50u);
+  EXPECT_EQ(UnwrapOk(stats.MaxGroups(5)), 25u);
+}
+
+TEST(FrequencyStatsTest, MaxGroupsRejectsOutOfRangeP) {
+  FrequencyStats stats = Example1Stats();
+  EXPECT_FALSE(stats.MaxGroups(1).ok());
+  auto too_big = stats.MaxGroups(6);
+  ASSERT_FALSE(too_big.ok());
+  EXPECT_EQ(too_big.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(FrequencyStatsTest, MotivatingExampleFromSection3) {
+  // §3's first illustration: 1000 tuples, one confidential attribute with
+  // frequencies 900, 90, 5, 3, 2; for p = 3 at most 10 groups — "if the
+  // number of such groups is 11 or more this property will never be true".
+  Schema schema = UnwrapOk(Schema::Create(
+      {{"K", ValueType::kInt64, AttributeRole::kKey},
+       {"S", ValueType::kString, AttributeRole::kConfidential}}));
+  Table table(schema);
+  const size_t freqs[] = {900, 90, 5, 3, 2};
+  int64_t row = 0;
+  for (size_t v = 0; v < 5; ++v) {
+    for (size_t c = 0; c < freqs[v]; ++c) {
+      PSK_ASSERT_OK(table.AppendRow(
+          {Value(row++ % 10), Value("v" + std::to_string(v))}));
+    }
+  }
+  FrequencyStats stats = UnwrapOk(FrequencyStats::Compute(table));
+  EXPECT_EQ(stats.MaxP(), 5u);
+  // maxGroups(3) = min(n - cf_2, (n - cf_1)/2) = min(1000-990, 50) = 10.
+  EXPECT_EQ(UnwrapOk(stats.MaxGroups(3)), 10u);
+}
+
+TEST(FrequencyStatsTest, SingleAttributeUniform) {
+  Schema schema = UnwrapOk(Schema::Create(
+      {{"S", ValueType::kString, AttributeRole::kConfidential}}));
+  Table table(schema);
+  for (int i = 0; i < 100; ++i) {
+    PSK_ASSERT_OK(table.AppendRow({Value("v" + std::to_string(i % 4))}));
+  }
+  FrequencyStats stats = UnwrapOk(FrequencyStats::Compute(table));
+  EXPECT_EQ(stats.MaxP(), 4u);
+  // Uniform 25 each: maxGroups(2) = 100 - 25 = 75.
+  EXPECT_EQ(UnwrapOk(stats.MaxGroups(2)), 75u);
+  // maxGroups(4) = min(100-75, (100-50)/2, (100-25)/3) = min(25, 25, 25).
+  EXPECT_EQ(UnwrapOk(stats.MaxGroups(4)), 25u);
+}
+
+TEST(FrequencyStatsTest, NoConfidentialAttributesRejected) {
+  Table table = UnwrapOk(Figure3Table());  // key attributes only
+  EXPECT_FALSE(FrequencyStats::Compute(table).ok());
+}
+
+TEST(FrequencyStatsTest, EmptyTableHasMaxPZero) {
+  Schema schema = UnwrapOk(Schema::Create(
+      {{"S", ValueType::kString, AttributeRole::kConfidential}}));
+  Table table(schema);
+  FrequencyStats stats = UnwrapOk(FrequencyStats::Compute(table));
+  EXPECT_EQ(stats.MaxP(), 0u);
+  EXPECT_EQ(stats.n(), 0u);
+}
+
+TEST(FrequencyStatsTest, ToStringMentionsAllAttributes) {
+  FrequencyStats stats = Example1Stats();
+  std::string s = stats.ToString();
+  EXPECT_NE(s.find("n = 1000"), std::string::npos);
+  EXPECT_NE(s.find("S1"), std::string::npos);
+  EXPECT_NE(s.find("S3"), std::string::npos);
+  EXPECT_NE(s.find("cf_max"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace psk

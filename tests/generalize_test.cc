@@ -1,0 +1,170 @@
+#include "psk/generalize/generalize.h"
+
+#include <gtest/gtest.h>
+
+#include "psk/datagen/paper_tables.h"
+#include "psk/table/group_by.h"
+#include "test_util.h"
+
+namespace psk {
+namespace {
+
+struct Fig3Fixture {
+  Table table;
+  HierarchySet hierarchies;
+
+  Fig3Fixture()
+      : table(UnwrapOk(Figure3Table())),
+        hierarchies(UnwrapOk(Figure3Hierarchies(table.schema()))) {}
+};
+
+TEST(ApplyGeneralizationTest, BottomNodeIsIdentity) {
+  Fig3Fixture f;
+  Table out = UnwrapOk(
+      ApplyGeneralization(f.table, f.hierarchies, LatticeNode{{0, 0}}));
+  ASSERT_EQ(out.num_rows(), f.table.num_rows());
+  for (size_t r = 0; r < out.num_rows(); ++r) {
+    EXPECT_EQ(out.Get(r, 0), f.table.Get(r, 0));
+    EXPECT_EQ(out.Get(r, 1), f.table.Get(r, 1));
+  }
+}
+
+TEST(ApplyGeneralizationTest, GeneralizesZipPrefix) {
+  Fig3Fixture f;
+  Table out = UnwrapOk(
+      ApplyGeneralization(f.table, f.hierarchies, LatticeNode{{0, 1}}));
+  EXPECT_EQ(out.Get(0, 1).AsString(), "410**");  // 41076
+  EXPECT_EQ(out.Get(4, 1).AsString(), "431**");  // 43102
+  EXPECT_EQ(out.Get(8, 1).AsString(), "482**");  // 48202
+  // Sex untouched at level 0.
+  EXPECT_EQ(out.Get(0, 0).AsString(), "M");
+}
+
+TEST(ApplyGeneralizationTest, TopNodeCollapsesEverything) {
+  Fig3Fixture f;
+  Table out = UnwrapOk(
+      ApplyGeneralization(f.table, f.hierarchies, LatticeNode{{1, 2}}));
+  for (size_t r = 0; r < out.num_rows(); ++r) {
+    EXPECT_EQ(out.Get(r, 0).AsString(), "*");
+    EXPECT_EQ(out.Get(r, 1).AsString(), "*");
+  }
+}
+
+TEST(ApplyGeneralizationTest, DropsIdentifiersKeepsConfidential) {
+  Table patient = UnwrapOk(PatientExternalTable2());  // has Name identifier
+  Schema schema = patient.schema();
+  auto age = UnwrapOk(IntervalHierarchy::Create(
+      "Age", {IntervalHierarchy::Level::Bands(10)}));
+  auto sex = std::make_shared<SuppressionHierarchy>("Sex");
+  auto zip = UnwrapOk(PrefixHierarchy::Create("ZipCode", {0, 2, 5}));
+  HierarchySet hierarchies =
+      UnwrapOk(HierarchySet::Create(schema, {age, sex, zip}));
+  Table out = UnwrapOk(
+      ApplyGeneralization(patient, hierarchies, LatticeNode{{1, 0, 0}}));
+  EXPECT_FALSE(out.schema().Contains("Name"));
+  EXPECT_EQ(out.num_columns(), 3u);
+  EXPECT_EQ(out.Get(0, 0).AsString(), "[20-29]");  // Sam, 29
+  // Generalized column re-typed to string.
+  EXPECT_EQ(out.schema().attribute(0).type, ValueType::kString);
+}
+
+TEST(ApplyGeneralizationTest, WrongArityNodeRejected) {
+  Fig3Fixture f;
+  EXPECT_FALSE(
+      ApplyGeneralization(f.table, f.hierarchies, LatticeNode{{0}}).ok());
+}
+
+TEST(ApplyGeneralizationTest, UnknownGroundValueSurfaces) {
+  Schema schema = UnwrapOk(Schema::Create(
+      {{"M", ValueType::kString, AttributeRole::kKey}}));
+  Table table(schema);
+  PSK_ASSERT_OK(table.AppendRow({Value("unseen")}));
+  TaxonomyHierarchy::Builder builder("M", 2);
+  builder.AddValue("known", {"*"});
+  auto h = UnwrapOk(builder.Build());
+  HierarchySet set = UnwrapOk(HierarchySet::Create(schema, {h}));
+  auto result = ApplyGeneralization(table, set, LatticeNode{{1}});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SuppressionTest, RemovesUndersizedGroups) {
+  Fig3Fixture f;
+  // At the bottom node with k = 3, all groups are undersized.
+  size_t suppressed = 0;
+  Table out = UnwrapOk(SuppressUndersizedGroups(
+      f.table, f.table.schema().KeyIndices(), 3, &suppressed));
+  EXPECT_EQ(out.num_rows(), 0u);
+  EXPECT_EQ(suppressed, 10u);
+}
+
+TEST(SuppressionTest, KeepsLargeGroups) {
+  Fig3Fixture f;
+  Table generalized = UnwrapOk(
+      ApplyGeneralization(f.table, f.hierarchies, LatticeNode{{1, 1}}));
+  size_t suppressed = 0;
+  Table out = UnwrapOk(SuppressUndersizedGroups(
+      generalized, generalized.schema().KeyIndices(), 3, &suppressed));
+  // Fig. 3: <S1, Z1> has 2 violating tuples (482**).
+  EXPECT_EQ(suppressed, 2u);
+  EXPECT_EQ(out.num_rows(), 8u);
+  // Remaining table is 3-anonymous.
+  FrequencySet fs = UnwrapOk(
+      FrequencySet::Compute(out, out.schema().KeyIndices()));
+  EXPECT_GE(fs.MinGroupSize(), 3u);
+}
+
+TEST(SuppressionTest, KEqualOneKeepsEverything) {
+  Fig3Fixture f;
+  size_t suppressed = 0;
+  Table out = UnwrapOk(SuppressUndersizedGroups(
+      f.table, f.table.schema().KeyIndices(), 1, &suppressed));
+  EXPECT_EQ(out.num_rows(), 10u);
+  EXPECT_EQ(suppressed, 0u);
+}
+
+TEST(SuppressionTest, KZeroRejected) {
+  Fig3Fixture f;
+  EXPECT_FALSE(
+      SuppressUndersizedGroups(f.table, f.table.schema().KeyIndices(), 0)
+          .ok());
+}
+
+TEST(MaskTest, PipelineProducesKAnonymousTable) {
+  Fig3Fixture f;
+  MaskedMicrodata mm =
+      UnwrapOk(Mask(f.table, f.hierarchies, LatticeNode{{1, 1}}, 3));
+  EXPECT_EQ(mm.suppressed, 2u);
+  EXPECT_EQ(mm.table.num_rows(), 8u);
+  EXPECT_EQ(mm.node, (LatticeNode{{1, 1}}));
+  FrequencySet fs = UnwrapOk(
+      FrequencySet::Compute(mm.table, mm.table.schema().KeyIndices()));
+  EXPECT_GE(fs.MinGroupSize(), 3u);
+}
+
+TEST(MaskTest, KZeroSkipsSuppression) {
+  Fig3Fixture f;
+  MaskedMicrodata mm =
+      UnwrapOk(Mask(f.table, f.hierarchies, LatticeNode{{0, 0}}, 0));
+  EXPECT_EQ(mm.table.num_rows(), 10u);
+  EXPECT_EQ(mm.suppressed, 0u);
+}
+
+TEST(CountTuplesViolatingKTest, MatchesFigure3) {
+  // The full Fig. 3 reproduction lives in samarati_test.cc; spot-check two
+  // nodes here.
+  Fig3Fixture f;
+  Table g00 = UnwrapOk(
+      ApplyGeneralization(f.table, f.hierarchies, LatticeNode{{0, 0}}));
+  EXPECT_EQ(UnwrapOk(CountTuplesViolatingK(
+                g00, g00.schema().KeyIndices(), 3)),
+            10u);
+  Table g11 = UnwrapOk(
+      ApplyGeneralization(f.table, f.hierarchies, LatticeNode{{1, 1}}));
+  EXPECT_EQ(UnwrapOk(CountTuplesViolatingK(
+                g11, g11.schema().KeyIndices(), 3)),
+            2u);
+}
+
+}  // namespace
+}  // namespace psk

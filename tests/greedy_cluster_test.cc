@@ -1,0 +1,151 @@
+#include "psk/algorithms/greedy_cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "psk/algorithms/mondrian.h"
+#include "psk/anonymity/kanonymity.h"
+#include "psk/anonymity/psensitive.h"
+#include "psk/datagen/adult.h"
+#include "psk/datagen/healthcare.h"
+#include "psk/datagen/paper_tables.h"
+#include "psk/metrics/metrics.h"
+#include "test_util.h"
+
+namespace psk {
+namespace {
+
+TEST(GreedyClusterTest, OutputIsKAnonymous) {
+  Table im = UnwrapOk(AdultGenerate(400, /*seed=*/1));
+  GreedyClusterOptions options;
+  options.k = 5;
+  GreedyClusterResult result = UnwrapOk(GreedyClusterAnonymize(im, options));
+  EXPECT_GE(result.num_clusters, 1u);
+  EXPECT_EQ(result.masked.num_rows(), im.num_rows());
+  EXPECT_TRUE(UnwrapOk(IsKAnonymous(result.masked, 5)));
+}
+
+TEST(GreedyClusterTest, OutputSatisfiesPSensitivity) {
+  Table im = UnwrapOk(HealthcareGenerate(500, /*seed=*/2));
+  GreedyClusterOptions options;
+  options.k = 6;
+  options.p = 3;
+  GreedyClusterResult result = UnwrapOk(GreedyClusterAnonymize(im, options));
+  const Table& masked = result.masked;
+  EXPECT_TRUE(UnwrapOk(IsKAnonymous(masked, 6)));
+  EXPECT_TRUE(UnwrapOk(IsPSensitive(masked, masked.schema().KeyIndices(),
+                                    masked.schema().ConfidentialIndices(),
+                                    3)));
+}
+
+TEST(GreedyClusterTest, Deterministic) {
+  Table im = UnwrapOk(HealthcareGenerate(200, /*seed=*/3));
+  GreedyClusterOptions options;
+  options.k = 4;
+  options.p = 2;
+  GreedyClusterResult a = UnwrapOk(GreedyClusterAnonymize(im, options));
+  GreedyClusterResult b = UnwrapOk(GreedyClusterAnonymize(im, options));
+  ASSERT_EQ(a.masked.num_rows(), b.masked.num_rows());
+  EXPECT_EQ(a.num_clusters, b.num_clusters);
+  for (size_t r = 0; r < a.masked.num_rows(); ++r) {
+    for (size_t c = 0; c < a.masked.num_columns(); ++c) {
+      ASSERT_EQ(a.masked.Get(r, c), b.masked.Get(r, c));
+    }
+  }
+}
+
+TEST(GreedyClusterTest, DropsIdentifiers) {
+  Table im = UnwrapOk(HealthcareGenerate(100, /*seed=*/4));
+  GreedyClusterOptions options;
+  options.k = 3;
+  GreedyClusterResult result = UnwrapOk(GreedyClusterAnonymize(im, options));
+  EXPECT_FALSE(result.masked.schema().Contains("PatientId"));
+}
+
+TEST(GreedyClusterTest, HigherKFewerClusters) {
+  Table im = UnwrapOk(AdultGenerate(300, /*seed=*/5));
+  size_t prev = SIZE_MAX;
+  for (size_t k : {2, 5, 15}) {
+    GreedyClusterOptions options;
+    options.k = k;
+    GreedyClusterResult result =
+        UnwrapOk(GreedyClusterAnonymize(im, options));
+    EXPECT_LE(result.num_clusters, prev) << "k=" << k;
+    EXPECT_LE(result.num_clusters, im.num_rows() / k);
+    prev = result.num_clusters;
+  }
+}
+
+TEST(GreedyClusterTest, UtilityComparableToMondrian) {
+  // Clustering should stay within an order of magnitude of Mondrian on
+  // discernibility (both do local recoding).
+  Table im = UnwrapOk(AdultGenerate(600, /*seed=*/6));
+  GreedyClusterOptions cluster_options;
+  cluster_options.k = 5;
+  cluster_options.p = 2;
+  GreedyClusterResult cluster =
+      UnwrapOk(GreedyClusterAnonymize(im, cluster_options));
+  uint64_t dm_cluster = UnwrapOk(DiscernibilityMetric(
+      cluster.masked, cluster.masked.schema().KeyIndices(), 0,
+      im.num_rows()));
+
+  MondrianOptions mondrian_options;
+  mondrian_options.k = 5;
+  mondrian_options.p = 2;
+  MondrianResult mondrian = UnwrapOk(MondrianAnonymize(im, mondrian_options));
+  uint64_t dm_mondrian = UnwrapOk(DiscernibilityMetric(
+      mondrian.masked, mondrian.masked.schema().KeyIndices(), 0,
+      im.num_rows()));
+
+  EXPECT_LT(dm_cluster, dm_mondrian * 12);
+}
+
+TEST(GreedyClusterTest, InfeasibleConstraintsRejected) {
+  Table im = UnwrapOk(PatientTable1());
+  GreedyClusterOptions options;
+  options.k = im.num_rows() + 1;
+  auto too_big = GreedyClusterAnonymize(im, options);
+  ASSERT_FALSE(too_big.ok());
+  EXPECT_EQ(too_big.status().code(), StatusCode::kFailedPrecondition);
+
+  options.k = 6;
+  options.p = 6;  // Illness has 5 distinct values
+  auto condition1 = GreedyClusterAnonymize(im, options);
+  ASSERT_FALSE(condition1.ok());
+  EXPECT_EQ(condition1.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(GreedyClusterTest, InvalidParametersRejected) {
+  Table im = UnwrapOk(PatientTable1());
+  GreedyClusterOptions options;
+  options.k = 0;
+  EXPECT_FALSE(GreedyClusterAnonymize(im, options).ok());
+  options.k = 2;
+  options.p = 3;
+  EXPECT_FALSE(GreedyClusterAnonymize(im, options).ok());
+}
+
+TEST(GreedyClusterTest, TightDiversityStillSatisfied) {
+  // p equal to the global minimum distinct count forces the diversity-
+  // first growth path in (nearly) every cluster.
+  Table im = UnwrapOk(PatientTable3Fixed());  // Illness 3, Income 3 distinct
+  GreedyClusterOptions options;
+  options.k = 3;
+  options.p = 3;
+  GreedyClusterResult result = UnwrapOk(GreedyClusterAnonymize(im, options));
+  const Table& masked = result.masked;
+  EXPECT_TRUE(UnwrapOk(IsPSensitive(masked, masked.schema().KeyIndices(),
+                                    masked.schema().ConfidentialIndices(),
+                                    3)));
+}
+
+TEST(GreedyClusterTest, SingleClusterWhenKEqualsN) {
+  Table im = UnwrapOk(PatientTable1());
+  GreedyClusterOptions options;
+  options.k = im.num_rows();
+  GreedyClusterResult result = UnwrapOk(GreedyClusterAnonymize(im, options));
+  EXPECT_EQ(result.num_clusters, 1u);
+  EXPECT_TRUE(UnwrapOk(IsKAnonymous(result.masked, im.num_rows())));
+}
+
+}  // namespace
+}  // namespace psk

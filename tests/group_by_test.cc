@@ -1,0 +1,120 @@
+#include "psk/table/group_by.h"
+
+#include <gtest/gtest.h>
+
+#include "psk/datagen/paper_tables.h"
+#include "test_util.h"
+
+namespace psk {
+namespace {
+
+Table PatientMM() { return UnwrapOk(PatientTable1()); }
+
+TEST(FrequencySetTest, GroupsPatientTable) {
+  Table table = PatientMM();
+  FrequencySet fs =
+      UnwrapOk(FrequencySet::Compute(table, table.schema().KeyIndices()));
+  // Table 1 has groups (50,43102,M) x2, (30,43102,F) x2, (20,43102,M) x2.
+  EXPECT_EQ(fs.num_groups(), 3u);
+  EXPECT_EQ(fs.num_rows(), 6u);
+  EXPECT_EQ(fs.MinGroupSize(), 2u);
+  for (const Group& group : fs.groups()) {
+    EXPECT_EQ(group.size(), 2u);
+  }
+}
+
+TEST(FrequencySetTest, GroupKeysAreDistinct) {
+  Table table = PatientMM();
+  FrequencySet fs =
+      UnwrapOk(FrequencySet::Compute(table, table.schema().KeyIndices()));
+  for (size_t i = 0; i < fs.num_groups(); ++i) {
+    for (size_t j = i + 1; j < fs.num_groups(); ++j) {
+      EXPECT_NE(fs.groups()[i].key, fs.groups()[j].key);
+    }
+  }
+}
+
+TEST(FrequencySetTest, RowIndicesPartitionTable) {
+  Table table = PatientMM();
+  FrequencySet fs =
+      UnwrapOk(FrequencySet::Compute(table, table.schema().KeyIndices()));
+  std::vector<bool> seen(table.num_rows(), false);
+  for (const Group& group : fs.groups()) {
+    for (size_t row : group.row_indices) {
+      EXPECT_FALSE(seen[row]);
+      seen[row] = true;
+    }
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(FrequencySetTest, SingleColumnGrouping) {
+  Table table = PatientMM();
+  size_t sex = UnwrapOk(table.schema().IndexOf("Sex"));
+  FrequencySet fs = UnwrapOk(FrequencySet::Compute(table, {sex}));
+  EXPECT_EQ(fs.num_groups(), 2u);
+  EXPECT_EQ(fs.SizesDescending(), (std::vector<size_t>{4, 2}));
+}
+
+TEST(FrequencySetTest, EmptyColumnListIsOneGroup) {
+  Table table = PatientMM();
+  FrequencySet fs = UnwrapOk(FrequencySet::Compute(table, {}));
+  EXPECT_EQ(fs.num_groups(), 1u);
+  EXPECT_EQ(fs.groups()[0].size(), table.num_rows());
+}
+
+TEST(FrequencySetTest, EmptyTable) {
+  Table table(UnwrapOk(
+      Schema::Create({{"A", ValueType::kInt64, AttributeRole::kKey}})));
+  FrequencySet fs = UnwrapOk(FrequencySet::Compute(table, {0}));
+  EXPECT_EQ(fs.num_groups(), 0u);
+  EXPECT_EQ(fs.MinGroupSize(), 0u);
+  EXPECT_EQ(fs.RowsInGroupsSmallerThan(2), 0u);
+}
+
+TEST(FrequencySetTest, OutOfRangeColumn) {
+  Table table = PatientMM();
+  EXPECT_FALSE(FrequencySet::Compute(table, {99}).ok());
+}
+
+TEST(FrequencySetTest, RowsInGroupsSmallerThan) {
+  Table table = UnwrapOk(Figure3Table());
+  FrequencySet fs =
+      UnwrapOk(FrequencySet::Compute(table, table.schema().KeyIndices()));
+  // Fig. 3 bottom node: all ten tuples violate 3-anonymity.
+  EXPECT_EQ(fs.RowsInGroupsSmallerThan(3), 10u);
+  // Every tuple trivially satisfies 1-anonymity.
+  EXPECT_EQ(fs.RowsInGroupsSmallerThan(1), 0u);
+}
+
+TEST(FrequencySetTest, GroupOrderIsFirstOccurrence) {
+  Table table = PatientMM();
+  FrequencySet fs =
+      UnwrapOk(FrequencySet::Compute(table, table.schema().KeyIndices()));
+  // First group must be the key of row 0: (50, 43102, M).
+  EXPECT_EQ(fs.groups()[0].key[0].AsInt64(), 50);
+}
+
+TEST(DescendingValueFrequenciesTest, PatientIllness) {
+  Table table = PatientMM();
+  size_t illness = UnwrapOk(table.schema().IndexOf("Illness"));
+  // Diabetes x2, four singletons.
+  EXPECT_EQ(DescendingValueFrequencies(table, illness),
+            (std::vector<size_t>{2, 1, 1, 1, 1}));
+}
+
+TEST(DescendingValueFrequenciesTest, Example1MatchesTable5) {
+  Table table = UnwrapOk(Example1Table());
+  size_t s1 = UnwrapOk(table.schema().IndexOf("S1"));
+  size_t s2 = UnwrapOk(table.schema().IndexOf("S2"));
+  size_t s3 = UnwrapOk(table.schema().IndexOf("S3"));
+  EXPECT_EQ(DescendingValueFrequencies(table, s1),
+            (std::vector<size_t>{300, 300, 200, 100, 100}));
+  EXPECT_EQ(DescendingValueFrequencies(table, s2),
+            (std::vector<size_t>{500, 300, 100, 40, 35, 25}));
+  EXPECT_EQ(DescendingValueFrequencies(table, s3),
+            (std::vector<size_t>{700, 200, 50, 10, 10, 10, 10, 5, 3, 2}));
+}
+
+}  // namespace
+}  // namespace psk

@@ -1,0 +1,110 @@
+#include "psk/datagen/healthcare.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "psk/algorithms/samarati.h"
+#include "psk/anonymity/psensitive.h"
+#include "psk/lattice/lattice.h"
+#include "test_util.h"
+
+namespace psk {
+namespace {
+
+TEST(HealthcareTest, SchemaShape) {
+  Schema schema = UnwrapOk(HealthcareSchema());
+  EXPECT_EQ(schema.IdentifierIndices().size(), 1u);
+  EXPECT_EQ(schema.KeyIndices().size(), 3u);
+  EXPECT_EQ(schema.ConfidentialIndices().size(), 2u);
+}
+
+TEST(HealthcareTest, HierarchiesMatchPaperExamples) {
+  Schema schema = UnwrapOk(HealthcareSchema());
+  HierarchySet hierarchies = UnwrapOk(HealthcareHierarchies(schema));
+  // Age 4 domains, ZipCode 3 (the Fig. 3 hierarchy), Sex 2.
+  EXPECT_EQ(hierarchies.MaxLevels(), (std::vector<int>{3, 2, 1}));
+  GeneralizationLattice lattice(hierarchies);
+  EXPECT_EQ(lattice.NumNodes(), 24u);
+  EXPECT_EQ(lattice.height(), 6);
+}
+
+TEST(HealthcareTest, GeneratorDeterministic) {
+  Table a = UnwrapOk(HealthcareGenerate(200, 3));
+  Table b = UnwrapOk(HealthcareGenerate(200, 3));
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    for (size_t c = 0; c < a.num_columns(); ++c) {
+      ASSERT_EQ(a.Get(r, c), b.Get(r, c));
+    }
+  }
+}
+
+TEST(HealthcareTest, ValuesWellFormed) {
+  Table t = UnwrapOk(HealthcareGenerate(1000, 5));
+  Schema schema = t.schema();
+  size_t age = UnwrapOk(schema.IndexOf("Age"));
+  size_t zip = UnwrapOk(schema.IndexOf("ZipCode"));
+  size_t income = UnwrapOk(schema.IndexOf("Income"));
+  auto illness_hierarchy = UnwrapOk(IllnessCategoryHierarchy());
+  size_t illness = UnwrapOk(schema.IndexOf("Illness"));
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    int64_t a = t.Get(r, age).AsInt64();
+    EXPECT_GE(a, 0);
+    EXPECT_LE(a, 99);
+    const std::string& z = t.Get(r, zip).AsString();
+    EXPECT_EQ(z.size(), 5u);
+    EXPECT_TRUE(z.rfind("410", 0) == 0 || z.rfind("431", 0) == 0 ||
+                z.rfind("482", 0) == 0)
+        << z;
+    EXPECT_EQ(t.Get(r, income).AsInt64() % 1000, 0);
+    // Every diagnosis belongs to the category hierarchy.
+    PSK_ASSERT_OK(
+        illness_hierarchy->Generalize(t.Get(r, illness), 1).status());
+  }
+}
+
+TEST(HealthcareTest, PatientIdsUnique) {
+  Table t = UnwrapOk(HealthcareGenerate(500, 9));
+  EXPECT_EQ(t.DistinctCount(0), t.num_rows());
+}
+
+TEST(HealthcareTest, EndToEndPKSearch) {
+  Table im = UnwrapOk(HealthcareGenerate(1200, 11));
+  HierarchySet hierarchies = UnwrapOk(HealthcareHierarchies(im.schema()));
+  SearchOptions options;
+  options.k = 4;
+  options.p = 2;
+  options.max_suppression = 12;
+  SearchResult result = UnwrapOk(SamaratiSearch(im, hierarchies, options));
+  ASSERT_TRUE(result.found);
+  const Table& mm = result.masked;
+  EXPECT_FALSE(mm.schema().Contains("PatientId"));
+  EXPECT_TRUE(UnwrapOk(IsPSensitive(mm, mm.schema().KeyIndices(),
+                                    mm.schema().ConfidentialIndices(), 2)));
+}
+
+TEST(HealthcareTest, CategoricalSensitivityWeakerThanRaw) {
+  // Groups that look diverse by raw diagnosis often collapse by category,
+  // motivating the extended model. Raw sensitivity >= categorical always;
+  // verify the categorical value is also achievable to measure.
+  Table im = UnwrapOk(HealthcareGenerate(800, 13));
+  HierarchySet hierarchies = UnwrapOk(HealthcareHierarchies(im.schema()));
+  SearchOptions options;
+  options.k = 6;
+  options.p = 2;
+  options.max_suppression = 8;
+  SearchResult result = UnwrapOk(SamaratiSearch(im, hierarchies, options));
+  ASSERT_TRUE(result.found);
+  auto illness_hierarchy = UnwrapOk(IllnessCategoryHierarchy());
+  const Table& mm = result.masked;
+  size_t illness = UnwrapOk(mm.schema().IndexOf("Illness"));
+  size_t raw = UnwrapOk(
+      SensitivityP(mm, mm.schema().KeyIndices(), {illness}));
+  size_t categorical = UnwrapOk(HierarchicalSensitivityP(
+      mm, mm.schema().KeyIndices(), illness, *illness_hierarchy, 1));
+  EXPECT_LE(categorical, raw);
+  EXPECT_GE(raw, 2u);
+}
+
+}  // namespace
+}  // namespace psk

@@ -1,0 +1,273 @@
+#include "psk/hierarchy/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include "psk/table/schema.h"
+#include "test_util.h"
+
+namespace psk {
+namespace {
+
+// --------------------------------------------------------------------------
+// TaxonomyHierarchy
+
+std::shared_ptr<TaxonomyHierarchy> MaritalHierarchy() {
+  TaxonomyHierarchy::Builder builder("MaritalStatus", 3);
+  builder.AddValue("Divorced", {"Single", "*"});
+  builder.AddValue("Never-married", {"Single", "*"});
+  builder.AddValue("Married-civ-spouse", {"Married", "*"});
+  return UnwrapOk(builder.Build());
+}
+
+TEST(TaxonomyTest, GeneralizeLevels) {
+  auto h = MaritalHierarchy();
+  EXPECT_EQ(h->num_levels(), 3);
+  EXPECT_EQ(UnwrapOk(h->Generalize(Value("Divorced"), 0)).AsString(),
+            "Divorced");
+  EXPECT_EQ(UnwrapOk(h->Generalize(Value("Divorced"), 1)).AsString(),
+            "Single");
+  EXPECT_EQ(UnwrapOk(h->Generalize(Value("Divorced"), 2)).AsString(), "*");
+  EXPECT_EQ(UnwrapOk(h->Generalize(Value("Married-civ-spouse"), 1)).AsString(),
+            "Married");
+}
+
+TEST(TaxonomyTest, UnknownValueRejected) {
+  auto h = MaritalHierarchy();
+  auto result = h->Generalize(Value("Widowed"), 1);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(TaxonomyTest, LevelOutOfRange) {
+  auto h = MaritalHierarchy();
+  EXPECT_FALSE(h->Generalize(Value("Divorced"), 3).ok());
+  EXPECT_FALSE(h->Generalize(Value("Divorced"), -1).ok());
+}
+
+TEST(TaxonomyTest, NonStringValueRejectedAboveGround) {
+  auto h = MaritalHierarchy();
+  EXPECT_FALSE(h->Generalize(Value(int64_t{5}), 1).ok());
+  // Level 0 is the identity, any value passes through.
+  EXPECT_EQ(UnwrapOk(h->Generalize(Value(int64_t{5}), 0)).AsInt64(), 5);
+}
+
+TEST(TaxonomyTest, WrongAncestorCountRejected) {
+  TaxonomyHierarchy::Builder builder("X", 3);
+  builder.AddValue("a", {"only-one"});
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(TaxonomyTest, DuplicateGroundValueRejected) {
+  TaxonomyHierarchy::Builder builder("X", 2);
+  builder.AddValue("a", {"*"});
+  builder.AddValue("a", {"*"});
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(TaxonomyTest, EmptyTaxonomyRejected) {
+  TaxonomyHierarchy::Builder builder("X", 2);
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(TaxonomyTest, GroundValues) {
+  auto h = MaritalHierarchy();
+  EXPECT_EQ(h->GroundValues(),
+            (std::vector<std::string>{"Divorced", "Never-married",
+                                      "Married-civ-spouse"}));
+}
+
+// --------------------------------------------------------------------------
+// IntervalHierarchy (the paper's Age hierarchy: bands of 10, <50 / >=50, *)
+
+std::shared_ptr<IntervalHierarchy> AgeHierarchy() {
+  return UnwrapOk(IntervalHierarchy::Create(
+      "Age", {IntervalHierarchy::Level::Bands(10),
+              IntervalHierarchy::Level::Cuts({50}),
+              IntervalHierarchy::Level::Top()}));
+}
+
+TEST(IntervalTest, BandsLevel) {
+  auto h = AgeHierarchy();
+  EXPECT_EQ(h->num_levels(), 4);
+  EXPECT_EQ(UnwrapOk(h->Generalize(Value(int64_t{29}), 1)).AsString(),
+            "[20-29]");
+  EXPECT_EQ(UnwrapOk(h->Generalize(Value(int64_t{30}), 1)).AsString(),
+            "[30-39]");
+  EXPECT_EQ(UnwrapOk(h->Generalize(Value(int64_t{90}), 1)).AsString(),
+            "[90-99]");
+}
+
+TEST(IntervalTest, CutsLevel) {
+  auto h = AgeHierarchy();
+  EXPECT_EQ(UnwrapOk(h->Generalize(Value(int64_t{49}), 2)).AsString(), "<50");
+  EXPECT_EQ(UnwrapOk(h->Generalize(Value(int64_t{50}), 2)).AsString(),
+            ">=50");
+  EXPECT_EQ(UnwrapOk(h->Generalize(Value(int64_t{17}), 2)).AsString(), "<50");
+}
+
+TEST(IntervalTest, TopLevel) {
+  auto h = AgeHierarchy();
+  EXPECT_EQ(UnwrapOk(h->Generalize(Value(int64_t{42}), 3)).AsString(), "*");
+}
+
+TEST(IntervalTest, IdentityAtGround) {
+  auto h = AgeHierarchy();
+  EXPECT_EQ(UnwrapOk(h->Generalize(Value(int64_t{42}), 0)).AsInt64(), 42);
+}
+
+TEST(IntervalTest, MultiCutIntervals) {
+  auto h = UnwrapOk(IntervalHierarchy::Create(
+      "X", {IntervalHierarchy::Level::Cuts({10, 20, 30})}));
+  EXPECT_EQ(UnwrapOk(h->Generalize(Value(int64_t{5}), 1)).AsString(), "<10");
+  EXPECT_EQ(UnwrapOk(h->Generalize(Value(int64_t{15}), 1)).AsString(),
+            "[10-20)");
+  EXPECT_EQ(UnwrapOk(h->Generalize(Value(int64_t{25}), 1)).AsString(),
+            "[20-30)");
+  EXPECT_EQ(UnwrapOk(h->Generalize(Value(int64_t{30}), 1)).AsString(),
+            ">=30");
+}
+
+TEST(IntervalTest, NegativeValuesBandCorrectly) {
+  auto h = UnwrapOk(
+      IntervalHierarchy::Create("X", {IntervalHierarchy::Level::Bands(10)}));
+  EXPECT_EQ(UnwrapOk(h->Generalize(Value(int64_t{-5}), 1)).AsString(),
+            "[-10--1]");
+  EXPECT_EQ(UnwrapOk(h->Generalize(Value(int64_t{-10}), 1)).AsString(),
+            "[-10--1]");
+  EXPECT_EQ(UnwrapOk(h->Generalize(Value(int64_t{-11}), 1)).AsString(),
+            "[-20--11]");
+}
+
+TEST(IntervalTest, DoubleValuesUseNumericView) {
+  auto h = AgeHierarchy();
+  // Hierarchy also accepts doubles.
+  auto dh = UnwrapOk(IntervalHierarchy::Create(
+      "D", {IntervalHierarchy::Level::Cuts({50})}));
+  EXPECT_EQ(UnwrapOk(dh->Generalize(Value(49.9), 1)).AsString(), "<50");
+}
+
+TEST(IntervalTest, StringValueRejected) {
+  auto h = AgeHierarchy();
+  EXPECT_FALSE(h->Generalize(Value("abc"), 1).ok());
+}
+
+TEST(IntervalTest, InvalidSpecsRejected) {
+  EXPECT_FALSE(IntervalHierarchy::Create(
+                   "X", {IntervalHierarchy::Level::Bands(0)})
+                   .ok());
+  EXPECT_FALSE(IntervalHierarchy::Create(
+                   "X", {IntervalHierarchy::Level::Cuts({})})
+                   .ok());
+  EXPECT_FALSE(IntervalHierarchy::Create(
+                   "X", {IntervalHierarchy::Level::Cuts({20, 10})})
+                   .ok());
+  EXPECT_FALSE(IntervalHierarchy::Create(
+                   "X", {IntervalHierarchy::Level::Cuts({10, 10})})
+                   .ok());
+}
+
+// --------------------------------------------------------------------------
+// PrefixHierarchy (the paper's ZipCode hierarchy)
+
+TEST(PrefixTest, FigureOneZipCodes) {
+  // Fig. 3 / Table 4 configuration: 5 digits -> 3-digit prefix -> *.
+  auto h = UnwrapOk(PrefixHierarchy::Create("ZipCode", {0, 2, 5}));
+  EXPECT_EQ(h->num_levels(), 3);
+  EXPECT_EQ(UnwrapOk(h->Generalize(Value("41076"), 0)).AsString(), "41076");
+  EXPECT_EQ(UnwrapOk(h->Generalize(Value("41076"), 1)).AsString(), "410**");
+  EXPECT_EQ(UnwrapOk(h->Generalize(Value("41076"), 2)).AsString(), "*");
+}
+
+TEST(PrefixTest, OneDigitAtATime) {
+  // The "six domains" variant mentioned in §3.
+  auto h =
+      UnwrapOk(PrefixHierarchy::Create("ZipCode", {0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(h->num_levels(), 6);
+  EXPECT_EQ(UnwrapOk(h->Generalize(Value("41076"), 1)).AsString(), "4107*");
+  EXPECT_EQ(UnwrapOk(h->Generalize(Value("41076"), 4)).AsString(), "4****");
+  EXPECT_EQ(UnwrapOk(h->Generalize(Value("41076"), 5)).AsString(), "*");
+}
+
+TEST(PrefixTest, ShortStringFullyMasked) {
+  auto h = UnwrapOk(PrefixHierarchy::Create("Z", {0, 3}));
+  EXPECT_EQ(UnwrapOk(h->Generalize(Value("ab"), 1)).AsString(), "*");
+}
+
+TEST(PrefixTest, InvalidSpecs) {
+  EXPECT_FALSE(PrefixHierarchy::Create("Z", {}).ok());
+  EXPECT_FALSE(PrefixHierarchy::Create("Z", {1, 2}).ok());
+  EXPECT_FALSE(PrefixHierarchy::Create("Z", {0, 2, 2}).ok());
+  EXPECT_FALSE(PrefixHierarchy::Create("Z", {0, 3, 1}).ok());
+}
+
+TEST(PrefixTest, NonStringRejected) {
+  auto h = UnwrapOk(PrefixHierarchy::Create("Z", {0, 2}));
+  EXPECT_FALSE(h->Generalize(Value(int64_t{41076}), 1).ok());
+}
+
+// --------------------------------------------------------------------------
+// SuppressionHierarchy
+
+TEST(SuppressionTest, TwoLevels) {
+  SuppressionHierarchy h("Sex");
+  EXPECT_EQ(h.num_levels(), 2);
+  EXPECT_EQ(UnwrapOk(h.Generalize(Value("M"), 0)).AsString(), "M");
+  EXPECT_EQ(UnwrapOk(h.Generalize(Value("M"), 1)).AsString(), "*");
+  EXPECT_EQ(UnwrapOk(h.Generalize(Value(int64_t{7}), 1)).AsString(), "*");
+  EXPECT_FALSE(h.Generalize(Value("M"), 2).ok());
+}
+
+TEST(HierarchyTest, LevelNames) {
+  SuppressionHierarchy h("Sex");
+  EXPECT_EQ(h.LevelName(0), "S0");
+  EXPECT_EQ(h.LevelName(1), "S1");
+}
+
+// --------------------------------------------------------------------------
+// HierarchySet
+
+Schema TwoKeySchema() {
+  return UnwrapOk(Schema::Create(
+      {{"Sex", ValueType::kString, AttributeRole::kKey},
+       {"ZipCode", ValueType::kString, AttributeRole::kKey},
+       {"Illness", ValueType::kString, AttributeRole::kConfidential}}));
+}
+
+TEST(HierarchySetTest, CreateValid) {
+  Schema schema = TwoKeySchema();
+  auto sex = std::make_shared<SuppressionHierarchy>("Sex");
+  auto zip = UnwrapOk(PrefixHierarchy::Create("ZipCode", {0, 2, 5}));
+  HierarchySet set = UnwrapOk(HierarchySet::Create(schema, {sex, zip}));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.MaxLevels(), (std::vector<int>{1, 2}));
+  EXPECT_EQ(set.hierarchy(1).attribute_name(), "ZipCode");
+}
+
+TEST(HierarchySetTest, CountMismatchRejected) {
+  Schema schema = TwoKeySchema();
+  auto sex = std::make_shared<SuppressionHierarchy>("Sex");
+  EXPECT_FALSE(HierarchySet::Create(schema, {sex}).ok());
+}
+
+TEST(HierarchySetTest, NameMismatchRejected) {
+  Schema schema = TwoKeySchema();
+  auto sex = std::make_shared<SuppressionHierarchy>("Sex");
+  auto wrong = std::make_shared<SuppressionHierarchy>("Zip");
+  EXPECT_FALSE(HierarchySet::Create(schema, {sex, wrong}).ok());
+}
+
+TEST(HierarchySetTest, OrderMustMatchSchema) {
+  Schema schema = TwoKeySchema();
+  auto sex = std::make_shared<SuppressionHierarchy>("Sex");
+  auto zip = UnwrapOk(PrefixHierarchy::Create("ZipCode", {0, 2, 5}));
+  EXPECT_FALSE(HierarchySet::Create(schema, {zip, sex}).ok());
+}
+
+TEST(HierarchySetTest, NullHierarchyRejected) {
+  Schema schema = TwoKeySchema();
+  auto sex = std::make_shared<SuppressionHierarchy>("Sex");
+  EXPECT_FALSE(HierarchySet::Create(schema, {sex, nullptr}).ok());
+}
+
+}  // namespace
+}  // namespace psk

@@ -1,0 +1,80 @@
+#include "psk/common/json_writer.h"
+
+#include <gtest/gtest.h>
+
+namespace psk {
+namespace {
+
+TEST(JsonEscapeTest, PassesPlainText) {
+  EXPECT_EQ(JsonEscape("hello world"), "hello world");
+}
+
+TEST(JsonEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(JsonEscape("tab\there"), "tab\\there");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriterTest, EmptyObjectAndArray) {
+  JsonWriter json;
+  json.BeginObject().EndObject();
+  EXPECT_EQ(json.TakeString(), "{}");
+  json.BeginArray().EndArray();
+  EXPECT_EQ(json.TakeString(), "[]");
+}
+
+TEST(JsonWriterTest, ObjectWithMixedValues) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("s").String("x");
+  json.Key("i").Int(-5);
+  json.Key("u").Uint(7);
+  json.Key("d").Double(1.5);
+  json.Key("b").Bool(true);
+  json.Key("n").Null();
+  json.EndObject();
+  EXPECT_EQ(json.TakeString(),
+            "{\"s\":\"x\",\"i\":-5,\"u\":7,\"d\":1.5,\"b\":true,\"n\":null}");
+}
+
+TEST(JsonWriterTest, NestedStructures) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("rows").BeginArray();
+  json.BeginObject().Key("k").Int(2).EndObject();
+  json.BeginObject().Key("k").Int(3).EndObject();
+  json.EndArray();
+  json.EndObject();
+  EXPECT_EQ(json.TakeString(), "{\"rows\":[{\"k\":2},{\"k\":3}]}");
+}
+
+TEST(JsonWriterTest, ArrayCommaPlacement) {
+  JsonWriter json;
+  json.BeginArray().Int(1).Int(2).Int(3).EndArray();
+  EXPECT_EQ(json.TakeString(), "[1,2,3]");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter json;
+  json.BeginArray().Double(1.0 / 0.0).Double(0.0 / 0.0).EndArray();
+  EXPECT_EQ(json.TakeString(), "[null,null]");
+}
+
+TEST(JsonWriterTest, KeysAreEscaped) {
+  JsonWriter json;
+  json.BeginObject().Key("a\"b").Int(1).EndObject();
+  EXPECT_EQ(json.TakeString(), "{\"a\\\"b\":1}");
+}
+
+TEST(JsonWriterTest, TakeStringResets) {
+  JsonWriter json;
+  json.BeginArray().EndArray();
+  EXPECT_EQ(json.TakeString(), "[]");
+  json.BeginObject().EndObject();
+  EXPECT_EQ(json.TakeString(), "{}");
+}
+
+}  // namespace
+}  // namespace psk

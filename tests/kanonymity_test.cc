@@ -1,0 +1,69 @@
+#include "psk/anonymity/kanonymity.h"
+
+#include <gtest/gtest.h>
+
+#include "psk/datagen/paper_tables.h"
+#include "test_util.h"
+
+namespace psk {
+namespace {
+
+TEST(KAnonymityTest, PatientTable1Is2Anonymous) {
+  Table table = UnwrapOk(PatientTable1());
+  EXPECT_TRUE(UnwrapOk(IsKAnonymous(table, 2)));
+  EXPECT_FALSE(UnwrapOk(IsKAnonymous(table, 3)));
+  EXPECT_EQ(UnwrapOk(AnonymityK(table, table.schema().KeyIndices())), 2u);
+}
+
+TEST(KAnonymityTest, PatientTable3Is3Anonymous) {
+  Table table = UnwrapOk(PatientTable3());
+  EXPECT_TRUE(UnwrapOk(IsKAnonymous(table, 3)));
+  EXPECT_FALSE(UnwrapOk(IsKAnonymous(table, 4)));
+  EXPECT_EQ(UnwrapOk(AnonymityK(table, table.schema().KeyIndices())), 3u);
+}
+
+TEST(KAnonymityTest, Figure3BottomIsOnly1Anonymous) {
+  Table table = UnwrapOk(Figure3Table());
+  EXPECT_TRUE(UnwrapOk(IsKAnonymous(table, 1)));
+  EXPECT_FALSE(UnwrapOk(IsKAnonymous(table, 2)));
+}
+
+TEST(KAnonymityTest, EmptyTableVacuouslyAnonymous) {
+  Table table(UnwrapOk(
+      Schema::Create({{"A", ValueType::kInt64, AttributeRole::kKey}})));
+  EXPECT_TRUE(UnwrapOk(IsKAnonymous(table, {0}, 5)));
+  EXPECT_EQ(UnwrapOk(AnonymityK(table, {0})), 0u);
+}
+
+TEST(KAnonymityTest, KZeroRejected) {
+  Table table = UnwrapOk(PatientTable1());
+  EXPECT_FALSE(IsKAnonymous(table, 0).ok());
+}
+
+TEST(KAnonymityTest, ExplicitKeyIndices) {
+  Table table = UnwrapOk(PatientTable1());
+  size_t sex = UnwrapOk(table.schema().IndexOf("Sex"));
+  // Grouping only by Sex: M x4, F x2 -> 2-anonymous.
+  EXPECT_TRUE(UnwrapOk(IsKAnonymous(table, {sex}, 2)));
+  EXPECT_FALSE(UnwrapOk(IsKAnonymous(table, {sex}, 3)));
+}
+
+TEST(KAnonymityTest, OutOfRangeIndexRejected) {
+  Table table = UnwrapOk(PatientTable1());
+  EXPECT_FALSE(IsKAnonymous(table, {99}, 2).ok());
+}
+
+TEST(KAnonymityTest, KAnonymityIsMonotoneInK) {
+  Table table = UnwrapOk(PatientTable3());
+  auto keys = table.schema().KeyIndices();
+  bool prev = true;
+  for (size_t k = 1; k <= 8; ++k) {
+    bool current = UnwrapOk(IsKAnonymous(table, keys, k));
+    // Once false, stays false.
+    EXPECT_TRUE(prev || !current) << "k=" << k;
+    prev = current;
+  }
+}
+
+}  // namespace
+}  // namespace psk

@@ -1,0 +1,178 @@
+#include "psk/lattice/lattice.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "psk/table/schema.h"
+#include "test_util.h"
+
+namespace psk {
+namespace {
+
+// The Fig. 2 lattice: Sex with 2 domains (S0, S1), ZipCode with 3
+// (Z0, Z1, Z2).
+GeneralizationLattice Fig2Lattice() {
+  return GeneralizationLattice(std::vector<int>{1, 2});
+}
+
+TEST(LatticeNodeTest, Height) {
+  EXPECT_EQ((LatticeNode{{0, 0}}).Height(), 0);
+  EXPECT_EQ((LatticeNode{{1, 0}}).Height(), 1);
+  EXPECT_EQ((LatticeNode{{0, 1}}).Height(), 1);
+  EXPECT_EQ((LatticeNode{{1, 1}}).Height(), 2);
+  EXPECT_EQ((LatticeNode{{1, 2}}).Height(), 3);
+}
+
+TEST(LatticeNodeTest, ToString) {
+  EXPECT_EQ((LatticeNode{{1, 2}}).ToString(), "<1, 2>");
+}
+
+TEST(LatticeNodeTest, ToStringWithHierarchies) {
+  Schema schema = UnwrapOk(Schema::Create(
+      {{"Sex", ValueType::kString, AttributeRole::kKey},
+       {"ZipCode", ValueType::kString, AttributeRole::kKey}}));
+  auto sex = std::make_shared<SuppressionHierarchy>("Sex");
+  auto zip = UnwrapOk(PrefixHierarchy::Create("ZipCode", {0, 2, 5}));
+  HierarchySet set = UnwrapOk(HierarchySet::Create(schema, {sex, zip}));
+  EXPECT_EQ((LatticeNode{{1, 2}}).ToString(set), "<S1, Z2>");
+}
+
+TEST(LatticeTest, Fig2Structure) {
+  GeneralizationLattice lattice = Fig2Lattice();
+  EXPECT_EQ(lattice.num_attributes(), 2u);
+  EXPECT_EQ(lattice.height(), 3);
+  EXPECT_EQ(lattice.NumNodes(), 6u);  // 2 * 3
+  EXPECT_EQ(lattice.Bottom(), (LatticeNode{{0, 0}}));
+  EXPECT_EQ(lattice.Top(), (LatticeNode{{1, 2}}));
+}
+
+TEST(LatticeTest, Fig2HeightsMatchPaper) {
+  // Paper §3: height(<S0,Z0>)=0, height(<S1,Z0>)=1, height(<S0,Z1>)=1,
+  // height(<S1,Z1>)=2, height(<S1,Z2>)=3.
+  GeneralizationLattice lattice = Fig2Lattice();
+  EXPECT_EQ(lattice.NodesAtHeight(0),
+            (std::vector<LatticeNode>{LatticeNode{{0, 0}}}));
+  EXPECT_EQ(lattice.NodesAtHeight(1),
+            (std::vector<LatticeNode>{LatticeNode{{0, 1}},
+                                      LatticeNode{{1, 0}}}));
+  EXPECT_EQ(lattice.NodesAtHeight(2),
+            (std::vector<LatticeNode>{LatticeNode{{0, 2}},
+                                      LatticeNode{{1, 1}}}));
+  EXPECT_EQ(lattice.NodesAtHeight(3),
+            (std::vector<LatticeNode>{LatticeNode{{1, 2}}}));
+  EXPECT_TRUE(lattice.NodesAtHeight(4).empty());
+  EXPECT_TRUE(lattice.NodesAtHeight(-1).empty());
+}
+
+TEST(LatticeTest, AllNodesCoversLattice) {
+  GeneralizationLattice lattice = Fig2Lattice();
+  std::vector<LatticeNode> all = lattice.AllNodes();
+  EXPECT_EQ(all.size(), lattice.NumNodes());
+  std::set<std::vector<int>> unique;
+  for (const LatticeNode& node : all) {
+    EXPECT_TRUE(lattice.Contains(node));
+    unique.insert(node.levels);
+  }
+  EXPECT_EQ(unique.size(), all.size());
+  // Height-major order.
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LE(all[i - 1].Height(), all[i].Height());
+  }
+}
+
+TEST(LatticeTest, Contains) {
+  GeneralizationLattice lattice = Fig2Lattice();
+  EXPECT_TRUE(lattice.Contains(LatticeNode{{1, 2}}));
+  EXPECT_FALSE(lattice.Contains(LatticeNode{{2, 0}}));
+  EXPECT_FALSE(lattice.Contains(LatticeNode{{0, 3}}));
+  EXPECT_FALSE(lattice.Contains(LatticeNode{{0, -1}}));
+  EXPECT_FALSE(lattice.Contains(LatticeNode{{0}}));
+}
+
+TEST(LatticeTest, Successors) {
+  GeneralizationLattice lattice = Fig2Lattice();
+  std::vector<LatticeNode> succ = lattice.Successors(LatticeNode{{0, 0}});
+  EXPECT_EQ(succ, (std::vector<LatticeNode>{LatticeNode{{1, 0}},
+                                            LatticeNode{{0, 1}}}));
+  EXPECT_TRUE(lattice.Successors(lattice.Top()).empty());
+}
+
+TEST(LatticeTest, Predecessors) {
+  GeneralizationLattice lattice = Fig2Lattice();
+  std::vector<LatticeNode> pred = lattice.Predecessors(LatticeNode{{1, 1}});
+  EXPECT_EQ(pred, (std::vector<LatticeNode>{LatticeNode{{0, 1}},
+                                            LatticeNode{{1, 0}}}));
+  EXPECT_TRUE(lattice.Predecessors(lattice.Bottom()).empty());
+}
+
+TEST(LatticeTest, SuccessorPredecessorInverse) {
+  GeneralizationLattice lattice(std::vector<int>{3, 2, 3, 1});
+  for (const LatticeNode& node : lattice.AllNodes()) {
+    for (const LatticeNode& succ : lattice.Successors(node)) {
+      auto preds = lattice.Predecessors(succ);
+      EXPECT_NE(std::find(preds.begin(), preds.end(), node), preds.end());
+    }
+  }
+}
+
+TEST(LatticeTest, IsGeneralizationOf) {
+  EXPECT_TRUE(GeneralizationLattice::IsGeneralizationOf(
+      LatticeNode{{1, 2}}, LatticeNode{{0, 1}}));
+  EXPECT_TRUE(GeneralizationLattice::IsGeneralizationOf(
+      LatticeNode{{1, 1}}, LatticeNode{{1, 1}}));
+  EXPECT_FALSE(GeneralizationLattice::IsGeneralizationOf(
+      LatticeNode{{0, 2}}, LatticeNode{{1, 0}}));
+  EXPECT_FALSE(GeneralizationLattice::IsGeneralizationOf(
+      LatticeNode{{1}}, LatticeNode{{1, 0}}));
+}
+
+TEST(LatticeTest, AdultLatticeShape) {
+  // Table 7 / §4: 4 x 3 x 4 x 2 = 96 nodes, height 9.
+  GeneralizationLattice lattice(std::vector<int>{3, 2, 3, 1});
+  EXPECT_EQ(lattice.NumNodes(), 96u);
+  EXPECT_EQ(lattice.height(), 9);
+  size_t total = 0;
+  for (int h = 0; h <= lattice.height(); ++h) {
+    total += lattice.NodesAtHeight(h).size();
+  }
+  EXPECT_EQ(total, 96u);
+}
+
+TEST(MinimalNodesTest, FiltersDominatedNodes) {
+  std::vector<LatticeNode> nodes = {
+      LatticeNode{{0, 2}}, LatticeNode{{1, 1}}, LatticeNode{{1, 2}}};
+  std::vector<LatticeNode> minimal = MinimalNodes(nodes);
+  EXPECT_EQ(minimal, (std::vector<LatticeNode>{LatticeNode{{0, 2}},
+                                               LatticeNode{{1, 1}}}));
+}
+
+TEST(MinimalNodesTest, EmptyAndSingle) {
+  EXPECT_TRUE(MinimalNodes({}).empty());
+  EXPECT_EQ(MinimalNodes({LatticeNode{{1, 1}}}),
+            (std::vector<LatticeNode>{LatticeNode{{1, 1}}}));
+}
+
+TEST(MinimalNodesTest, IncomparableNodesAllKept) {
+  std::vector<LatticeNode> nodes = {LatticeNode{{2, 0}}, LatticeNode{{0, 2}},
+                                    LatticeNode{{1, 1}}};
+  EXPECT_EQ(MinimalNodes(nodes).size(), 3u);
+}
+
+TEST(LatticeTest, SingleAttributeLattice) {
+  GeneralizationLattice lattice(std::vector<int>{3});
+  EXPECT_EQ(lattice.NumNodes(), 4u);
+  EXPECT_EQ(lattice.height(), 3);
+  EXPECT_EQ(lattice.NodesAtHeight(2),
+            (std::vector<LatticeNode>{LatticeNode{{2}}}));
+}
+
+TEST(LatticeTest, ZeroLevelAttribute) {
+  // An attribute with a single domain contributes nothing to the lattice.
+  GeneralizationLattice lattice(std::vector<int>{0, 2});
+  EXPECT_EQ(lattice.NumNodes(), 3u);
+  EXPECT_EQ(lattice.height(), 2);
+}
+
+}  // namespace
+}  // namespace psk

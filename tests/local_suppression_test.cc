@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "psk/anonymity/kanonymity.h"
+#include "psk/datagen/healthcare.h"
+#include "psk/datagen/paper_tables.h"
+#include "psk/generalize/generalize.h"
+#include "psk/table/group_by.h"
+#include "test_util.h"
+
+namespace psk {
+namespace {
+
+TEST(CellSuppressionTest, MasksInsteadOfDeleting) {
+  // Fig. 3 data generalized to <S1, Z1>: the "482**" group has 2 tuples,
+  // below k = 3. Cell suppression keeps them with keys masked... but the
+  // masked group has only 2 members, still < 3 -> they are deleted.
+  Table fig3 = UnwrapOk(Figure3Table());
+  HierarchySet hierarchies = UnwrapOk(Figure3Hierarchies(fig3.schema()));
+  Table generalized =
+      UnwrapOk(ApplyGeneralization(fig3, hierarchies, LatticeNode{{1, 1}}));
+  size_t cells = 0;
+  size_t deleted = 0;
+  Table out = UnwrapOk(SuppressUndersizedGroupCells(
+      generalized, generalized.schema().KeyIndices(), 3, &cells, &deleted));
+  EXPECT_EQ(deleted, 2u);
+  EXPECT_EQ(cells, 0u);
+  EXPECT_EQ(out.num_rows(), 8u);
+  EXPECT_TRUE(UnwrapOk(IsKAnonymous(out, 3)));
+}
+
+TEST(CellSuppressionTest, ViableStarGroupKeepsRows) {
+  // At the bottom node with k = 3 every tuple violates; masking ALL keys
+  // forms one big "*" group of 10 >= 3, so nothing is deleted.
+  Table fig3 = UnwrapOk(Figure3Table());
+  size_t cells = 0;
+  size_t deleted = 0;
+  Table out = UnwrapOk(SuppressUndersizedGroupCells(
+      fig3, fig3.schema().KeyIndices(), 3, &cells, &deleted));
+  EXPECT_EQ(deleted, 0u);
+  EXPECT_EQ(cells, 10u * 2u);
+  EXPECT_EQ(out.num_rows(), 10u);
+  EXPECT_TRUE(UnwrapOk(IsKAnonymous(out, 3)));
+  for (size_t r = 0; r < out.num_rows(); ++r) {
+    EXPECT_EQ(out.Get(r, 0).AsString(), "*");
+    EXPECT_EQ(out.Get(r, 1).AsString(), "*");
+  }
+}
+
+TEST(CellSuppressionTest, MixedCase) {
+  // k = 2 on the raw Fig. 3 data: groups (M,41076) x2, (M,43102) x2 stay;
+  // the other 6 rows are singletons -> masked into a "*" group of 6 >= 2.
+  Table fig3 = UnwrapOk(Figure3Table());
+  size_t cells = 0;
+  size_t deleted = 0;
+  Table out = UnwrapOk(SuppressUndersizedGroupCells(
+      fig3, fig3.schema().KeyIndices(), 2, &cells, &deleted));
+  EXPECT_EQ(deleted, 0u);
+  EXPECT_EQ(cells, 6u * 2u);
+  EXPECT_EQ(out.num_rows(), 10u);
+  EXPECT_TRUE(UnwrapOk(IsKAnonymous(out, 2)));
+  FrequencySet fs =
+      UnwrapOk(FrequencySet::Compute(out, out.schema().KeyIndices()));
+  EXPECT_EQ(fs.num_groups(), 3u);  // two surviving groups + "*"
+}
+
+TEST(CellSuppressionTest, KeepsMoreRowsThanTupleDeletion) {
+  Table im = UnwrapOk(HealthcareGenerate(400, 21));
+  HierarchySet hierarchies = UnwrapOk(HealthcareHierarchies(im.schema()));
+  Table generalized = UnwrapOk(
+      ApplyGeneralization(im, hierarchies, LatticeNode{{1, 1, 0}}));
+  auto keys = generalized.schema().KeyIndices();
+
+  size_t deleted_tuple_mode = 0;
+  Table deleted = UnwrapOk(SuppressUndersizedGroups(
+      generalized, keys, 5, &deleted_tuple_mode));
+
+  size_t cells = 0;
+  size_t deleted_cell_mode = 0;
+  Table masked = UnwrapOk(SuppressUndersizedGroupCells(
+      generalized, keys, 5, &cells, &deleted_cell_mode));
+
+  EXPECT_TRUE(UnwrapOk(IsKAnonymous(masked, 5)));
+  EXPECT_GE(masked.num_rows(), deleted.num_rows());
+  EXPECT_LE(deleted_cell_mode, deleted_tuple_mode);
+  // Confidential column is untouched in surviving rows.
+  size_t illness = UnwrapOk(masked.schema().IndexOf("Illness"));
+  EXPECT_GT(masked.DistinctCount(illness), 1u);
+}
+
+TEST(CellSuppressionTest, RetypesIntegerKeys) {
+  // Age is an int64 key; masking re-types the column to string.
+  Table im = UnwrapOk(PatientTable1());
+  Table plus_one(im.schema());
+  for (size_t r = 0; r < im.num_rows(); ++r) {
+    PSK_ASSERT_OK(plus_one.AppendRow(im.Row(r)));
+  }
+  // Add a singleton to force masking.
+  PSK_ASSERT_OK(plus_one.AppendRow(
+      {Value(int64_t{99}), Value("99999"), Value("F"), Value("HIV")}));
+  size_t cells = 0;
+  Table out = UnwrapOk(SuppressUndersizedGroupCells(
+      plus_one, plus_one.schema().KeyIndices(), 2, &cells, nullptr));
+  size_t age = UnwrapOk(out.schema().IndexOf("Age"));
+  EXPECT_EQ(out.schema().attribute(age).type, ValueType::kString);
+  // Surviving numeric keys rendered as strings.
+  EXPECT_EQ(out.Get(0, age).AsString(), "50");
+}
+
+TEST(CellSuppressionTest, NoViolationsIsIdentity) {
+  Table t1 = UnwrapOk(PatientTable1());  // already 2-anonymous
+  size_t cells = 0;
+  size_t deleted = 0;
+  Table out = UnwrapOk(SuppressUndersizedGroupCells(
+      t1, t1.schema().KeyIndices(), 2, &cells, &deleted));
+  EXPECT_EQ(cells, 0u);
+  EXPECT_EQ(deleted, 0u);
+  EXPECT_EQ(out.num_rows(), t1.num_rows());
+  // Schema untouched when nothing was masked.
+  EXPECT_EQ(out.schema(), t1.schema());
+}
+
+TEST(CellSuppressionTest, UndersizedPreexistingStarGroupIsDeleted) {
+  // Regression: a group whose keys are already all "*" but smaller than k
+  // must not slip through unmasked and undeleted.
+  Schema schema = UnwrapOk(Schema::Create(
+      {{"Z", ValueType::kString, AttributeRole::kKey},
+       {"S", ValueType::kString, AttributeRole::kConfidential}}));
+  Table t(schema);
+  PSK_ASSERT_OK(t.AppendRow({Value("*"), Value("a")}));  // lone "*" row
+  for (int i = 0; i < 3; ++i) {
+    PSK_ASSERT_OK(t.AppendRow({Value("z1"), Value("b")}));
+  }
+  size_t cells = 0;
+  size_t deleted = 0;
+  Table out = UnwrapOk(
+      SuppressUndersizedGroupCells(t, {0}, 3, &cells, &deleted));
+  EXPECT_EQ(deleted, 1u);
+  EXPECT_EQ(out.num_rows(), 3u);
+  EXPECT_TRUE(UnwrapOk(IsKAnonymous(out, 3)));
+}
+
+TEST(CellSuppressionTest, PreexistingStarGroupAbsorbsMaskedRows) {
+  // The lone "*" row plus two newly masked singletons form a viable group.
+  Schema schema = UnwrapOk(Schema::Create(
+      {{"Z", ValueType::kString, AttributeRole::kKey},
+       {"S", ValueType::kString, AttributeRole::kConfidential}}));
+  Table t(schema);
+  PSK_ASSERT_OK(t.AppendRow({Value("*"), Value("a")}));
+  PSK_ASSERT_OK(t.AppendRow({Value("z1"), Value("b")}));
+  PSK_ASSERT_OK(t.AppendRow({Value("z2"), Value("c")}));
+  for (int i = 0; i < 3; ++i) {
+    PSK_ASSERT_OK(t.AppendRow({Value("z9"), Value("d")}));
+  }
+  size_t cells = 0;
+  size_t deleted = 0;
+  Table out = UnwrapOk(
+      SuppressUndersizedGroupCells(t, {0}, 3, &cells, &deleted));
+  EXPECT_EQ(deleted, 0u);
+  EXPECT_EQ(cells, 2u);
+  EXPECT_EQ(out.num_rows(), 6u);
+  EXPECT_TRUE(UnwrapOk(IsKAnonymous(out, 3)));
+}
+
+TEST(CellSuppressionTest, InvalidArgumentsRejected) {
+  Table t1 = UnwrapOk(PatientTable1());
+  EXPECT_FALSE(
+      SuppressUndersizedGroupCells(t1, t1.schema().KeyIndices(), 0).ok());
+  EXPECT_FALSE(SuppressUndersizedGroupCells(t1, {99}, 2).ok());
+}
+
+}  // namespace
+}  // namespace psk

@@ -1,0 +1,157 @@
+#include "psk/algorithms/mondrian.h"
+
+#include <gtest/gtest.h>
+
+#include "psk/anonymity/kanonymity.h"
+#include "psk/anonymity/psensitive.h"
+#include "psk/datagen/adult.h"
+#include "psk/datagen/paper_tables.h"
+#include "psk/datagen/synthetic.h"
+#include "psk/table/group_by.h"
+#include "test_util.h"
+
+namespace psk {
+namespace {
+
+TEST(MondrianTest, OutputIsKAnonymous) {
+  Table im = UnwrapOk(AdultGenerate(500, /*seed=*/1));
+  MondrianOptions options;
+  options.k = 5;
+  MondrianResult result = UnwrapOk(MondrianAnonymize(im, options));
+  EXPECT_GE(result.num_partitions, 1u);
+  EXPECT_TRUE(UnwrapOk(IsKAnonymous(result.masked, 5)));
+  EXPECT_EQ(result.masked.num_rows(), im.num_rows());  // no suppression
+}
+
+TEST(MondrianTest, OutputSatisfiesPSensitivity) {
+  Table im = UnwrapOk(AdultGenerate(600, /*seed=*/2));
+  MondrianOptions options;
+  options.k = 6;
+  options.p = 2;
+  MondrianResult result = UnwrapOk(MondrianAnonymize(im, options));
+  const Table& masked = result.masked;
+  EXPECT_TRUE(UnwrapOk(IsKAnonymous(masked, 6)));
+  EXPECT_TRUE(UnwrapOk(IsPSensitive(masked, masked.schema().KeyIndices(),
+                                    masked.schema().ConfidentialIndices(),
+                                    2)));
+}
+
+TEST(MondrianTest, PConstraintCoarsensPartitioning) {
+  Table im = UnwrapOk(AdultGenerate(600, /*seed=*/3));
+  MondrianOptions k_only;
+  k_only.k = 4;
+  MondrianOptions with_p;
+  with_p.k = 4;
+  with_p.p = 3;
+  size_t parts_k = UnwrapOk(MondrianAnonymize(im, k_only)).num_partitions;
+  size_t parts_p = UnwrapOk(MondrianAnonymize(im, with_p)).num_partitions;
+  EXPECT_LE(parts_p, parts_k);
+}
+
+TEST(MondrianTest, HigherKMeansFewerPartitions) {
+  Table im = UnwrapOk(AdultGenerate(400, /*seed=*/4));
+  size_t prev = SIZE_MAX;
+  for (size_t k : {2, 5, 10, 25}) {
+    MondrianOptions options;
+    options.k = k;
+    size_t parts = UnwrapOk(MondrianAnonymize(im, options)).num_partitions;
+    EXPECT_LE(parts, prev) << "k=" << k;
+    prev = parts;
+  }
+}
+
+TEST(MondrianTest, LabelsConstantWithinPartition) {
+  Table im = UnwrapOk(AdultGenerate(300, /*seed=*/5));
+  MondrianOptions options;
+  options.k = 10;
+  MondrianResult result = UnwrapOk(MondrianAnonymize(im, options));
+  // Group rows by their full key label vector; the number of distinct key
+  // combinations can be at most the number of partitions.
+  FrequencySet fs = UnwrapOk(FrequencySet::Compute(
+      result.masked, result.masked.schema().KeyIndices()));
+  EXPECT_LE(fs.num_groups(), result.num_partitions);
+}
+
+TEST(MondrianTest, NumericRangesAreWellFormed) {
+  Table im = UnwrapOk(AdultGenerate(200, /*seed=*/6));
+  MondrianOptions options;
+  options.k = 20;
+  MondrianResult result = UnwrapOk(MondrianAnonymize(im, options));
+  size_t age = UnwrapOk(result.masked.schema().IndexOf("Age"));
+  for (size_t r = 0; r < result.masked.num_rows(); ++r) {
+    const std::string& label = result.masked.Get(r, age).AsString();
+    // Either a plain number or "[lo-hi]".
+    EXPECT_TRUE(label.front() == '[' ||
+                (label.find('-') == std::string::npos))
+        << label;
+  }
+}
+
+TEST(MondrianTest, DropsIdentifiers) {
+  Table external = UnwrapOk(PatientExternalTable2());  // Name identifier
+  // Give it a confidential attribute so p can be exercised; reuse as-is
+  // with p = 1.
+  MondrianOptions options;
+  options.k = 2;
+  MondrianResult result = UnwrapOk(MondrianAnonymize(external, options));
+  EXPECT_FALSE(result.masked.schema().Contains("Name"));
+  EXPECT_TRUE(UnwrapOk(IsKAnonymous(result.masked, 2)));
+}
+
+TEST(MondrianTest, InfeasibleConstraintsRejected) {
+  Table im = UnwrapOk(PatientTable1());
+  MondrianOptions options;
+  options.k = im.num_rows() + 1;
+  auto result = MondrianAnonymize(im, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(MondrianTest, InfeasiblePRejected) {
+  Table im = UnwrapOk(PatientTable1());  // Illness has 5 distinct values
+  MondrianOptions options;
+  options.k = 6;
+  options.p = 6;
+  auto result = MondrianAnonymize(im, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(MondrianTest, InvalidParametersRejected) {
+  Table im = UnwrapOk(PatientTable1());
+  MondrianOptions options;
+  options.k = 0;
+  EXPECT_FALSE(MondrianAnonymize(im, options).ok());
+  options.k = 2;
+  options.p = 3;
+  EXPECT_FALSE(MondrianAnonymize(im, options).ok());
+}
+
+TEST(MondrianTest, WholeTableAsSinglePartitionWhenUnsplittable) {
+  // Two rows, k = 2: the only allowable partitioning is the whole table.
+  Schema schema = UnwrapOk(Schema::Create(
+      {{"Age", ValueType::kInt64, AttributeRole::kKey},
+       {"S", ValueType::kString, AttributeRole::kConfidential}}));
+  Table im(schema);
+  PSK_ASSERT_OK(im.AppendRow({Value(int64_t{20}), Value("a")}));
+  PSK_ASSERT_OK(im.AppendRow({Value(int64_t{40}), Value("b")}));
+  MondrianOptions options;
+  options.k = 2;
+  MondrianResult result = UnwrapOk(MondrianAnonymize(im, options));
+  EXPECT_EQ(result.num_partitions, 1u);
+  EXPECT_EQ(result.masked.Get(0, 0).AsString(), "[20-40]");
+  EXPECT_EQ(result.masked.Get(1, 0).AsString(), "[20-40]");
+}
+
+TEST(MondrianTest, PartitionCountScalesWithData) {
+  // Plenty of distinct ages and k = 2: expect many partitions (utility far
+  // better than full-domain generalization).
+  Table im = UnwrapOk(AdultGenerate(1000, /*seed=*/7));
+  MondrianOptions options;
+  options.k = 2;
+  MondrianResult result = UnwrapOk(MondrianAnonymize(im, options));
+  EXPECT_GT(result.num_partitions, 50u);
+}
+
+}  // namespace
+}  // namespace psk

@@ -1,0 +1,149 @@
+// Differential testing of the core property checkers against independent,
+// deliberately naive re-implementations (nested std::map, no early exit,
+// no hashing) — catching any bug the two shared code paths might have in
+// common.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "psk/anonymity/frequency_stats.h"
+#include "psk/anonymity/kanonymity.h"
+#include "psk/anonymity/psensitive.h"
+#include "psk/datagen/synthetic.h"
+#include "test_util.h"
+
+namespace psk {
+namespace {
+
+// String key for a row's projection onto `cols`.
+std::string OracleKey(const Table& t, size_t row,
+                      const std::vector<size_t>& cols) {
+  std::string key;
+  for (size_t c : cols) {
+    key += t.Get(row, c).ToString();
+    key += '\x1f';
+  }
+  return key;
+}
+
+bool OracleIsKAnonymous(const Table& t, const std::vector<size_t>& keys,
+                        size_t k) {
+  std::map<std::string, size_t> counts;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    ++counts[OracleKey(t, r, keys)];
+  }
+  for (const auto& [key, count] : counts) {
+    if (count < k) return false;
+  }
+  return true;
+}
+
+bool OracleIsPSensitive(const Table& t, const std::vector<size_t>& keys,
+                        const std::vector<size_t>& confs, size_t p) {
+  // group -> conf col -> distinct values
+  std::map<std::string, std::map<size_t, std::set<std::string>>> groups;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    std::string key = OracleKey(t, r, keys);
+    for (size_t c : confs) {
+      groups[key][c].insert(t.Get(r, c).ToString());
+    }
+  }
+  for (const auto& [key, per_conf] : groups) {
+    for (size_t c : confs) {
+      auto it = per_conf.find(c);
+      size_t distinct = it == per_conf.end() ? 0 : it->second.size();
+      if (distinct < p) return false;
+    }
+  }
+  return true;
+}
+
+uint64_t OracleMaxGroups(const Table& t, const std::vector<size_t>& confs,
+                         size_t p) {
+  // Literal transcription of Condition 2.
+  size_t n = t.num_rows();
+  std::vector<std::vector<size_t>> freqs;
+  for (size_t c : confs) {
+    std::map<std::string, size_t> counts;
+    for (size_t r = 0; r < n; ++r) ++counts[t.Get(r, c).ToString()];
+    std::vector<size_t> f;
+    for (const auto& [v, count] : counts) f.push_back(count);
+    std::sort(f.rbegin(), f.rend());
+    freqs.push_back(std::move(f));
+  }
+  auto cf = [&](size_t i) {  // 1-based cf_i = max_j cf_i^j
+    size_t best = 0;
+    for (const auto& f : freqs) {
+      size_t acc = 0;
+      for (size_t x = 0; x < i && x < f.size(); ++x) acc += f[x];
+      best = std::max(best, acc);
+    }
+    return best;
+  };
+  uint64_t best = UINT64_MAX;
+  for (size_t i = 1; i <= p - 1; ++i) {
+    best = std::min<uint64_t>(best, (n - cf(p - i)) / i);
+  }
+  return best;
+}
+
+TEST(OracleTest, KAnonymityAgreesOnRandomTables) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    SyntheticSpec spec = MakeUniformSpec(90, 2, 4, 1, 3, 0.6);
+    SyntheticData data = UnwrapOk(SyntheticGenerate(spec, seed));
+    auto keys = data.table.schema().KeyIndices();
+    for (size_t k = 1; k <= 6; ++k) {
+      EXPECT_EQ(UnwrapOk(IsKAnonymous(data.table, keys, k)),
+                OracleIsKAnonymous(data.table, keys, k))
+          << "seed=" << seed << " k=" << k;
+    }
+  }
+}
+
+TEST(OracleTest, PSensitivityAgreesOnRandomTables) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    SyntheticSpec spec = MakeUniformSpec(90, 2, 3, 2, 4, 0.9);
+    SyntheticData data = UnwrapOk(SyntheticGenerate(spec, seed));
+    auto keys = data.table.schema().KeyIndices();
+    auto confs = data.table.schema().ConfidentialIndices();
+    for (size_t p = 1; p <= 4; ++p) {
+      EXPECT_EQ(UnwrapOk(IsPSensitive(data.table, keys, confs, p)),
+                OracleIsPSensitive(data.table, keys, confs, p))
+          << "seed=" << seed << " p=" << p;
+    }
+  }
+}
+
+TEST(OracleTest, MaxGroupsAgreesOnRandomTables) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    SyntheticSpec spec = MakeUniformSpec(200, 1, 3, 3, 6, 1.2);
+    SyntheticData data = UnwrapOk(SyntheticGenerate(spec, seed));
+    auto confs = data.table.schema().ConfidentialIndices();
+    FrequencyStats stats =
+        UnwrapOk(FrequencyStats::Compute(data.table, confs));
+    for (size_t p = 2; p <= stats.MaxP(); ++p) {
+      EXPECT_EQ(UnwrapOk(stats.MaxGroups(p)),
+                OracleMaxGroups(data.table, confs, p))
+          << "seed=" << seed << " p=" << p;
+    }
+  }
+}
+
+TEST(OracleTest, SensitivityPAgreesWithOracleScan) {
+  for (uint64_t seed = 20; seed <= 28; ++seed) {
+    SyntheticSpec spec = MakeUniformSpec(70, 2, 3, 1, 5, 0.4);
+    SyntheticData data = UnwrapOk(SyntheticGenerate(spec, seed));
+    auto keys = data.table.schema().KeyIndices();
+    auto confs = data.table.schema().ConfidentialIndices();
+    size_t fast = UnwrapOk(SensitivityP(data.table, keys, confs));
+    // Oracle: largest p accepted by the naive checker.
+    size_t slow = 0;
+    while (OracleIsPSensitive(data.table, keys, confs, slow + 1)) ++slow;
+    EXPECT_EQ(fast, slow) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace psk

@@ -1,0 +1,74 @@
+#include "psk/datagen/paper_tables.h"
+
+#include <gtest/gtest.h>
+
+#include "psk/anonymity/kanonymity.h"
+#include "test_util.h"
+
+namespace psk {
+namespace {
+
+TEST(PaperTablesTest, Table1Shape) {
+  Table t = UnwrapOk(PatientTable1());
+  EXPECT_EQ(t.num_rows(), 6u);
+  EXPECT_EQ(t.num_columns(), 4u);
+  EXPECT_EQ(t.schema().KeyIndices().size(), 3u);
+  EXPECT_EQ(t.schema().ConfidentialIndices().size(), 1u);
+  EXPECT_EQ(t.Get(0, 3).AsString(), "Colon Cancer");
+  EXPECT_TRUE(UnwrapOk(IsKAnonymous(t, 2)));
+}
+
+TEST(PaperTablesTest, Table2HasIdentifier) {
+  Table t = UnwrapOk(PatientExternalTable2());
+  EXPECT_EQ(t.num_rows(), 6u);
+  EXPECT_EQ(t.schema().IdentifierIndices().size(), 1u);
+  EXPECT_EQ(t.Get(0, 0).AsString(), "Sam");
+  EXPECT_EQ(t.Get(5, 0).AsString(), "Don");
+}
+
+TEST(PaperTablesTest, Table3Variants) {
+  Table original = UnwrapOk(PatientTable3());
+  Table fixed = UnwrapOk(PatientTable3Fixed());
+  EXPECT_EQ(original.num_rows(), 7u);
+  EXPECT_EQ(fixed.num_rows(), 7u);
+  // They differ exactly in the first row's Income.
+  size_t income = UnwrapOk(original.schema().IndexOf("Income"));
+  EXPECT_EQ(original.Get(0, income).AsInt64(), 50000);
+  EXPECT_EQ(fixed.Get(0, income).AsInt64(), 40000);
+  for (size_t r = 1; r < original.num_rows(); ++r) {
+    for (size_t c = 0; c < original.num_columns(); ++c) {
+      EXPECT_EQ(original.Get(r, c), fixed.Get(r, c));
+    }
+  }
+}
+
+TEST(PaperTablesTest, Figure3RowsMatchListing) {
+  Table t = UnwrapOk(Figure3Table());
+  ASSERT_EQ(t.num_rows(), 10u);
+  EXPECT_EQ(t.Get(0, 0).AsString(), "M");
+  EXPECT_EQ(t.Get(0, 1).AsString(), "41076");
+  EXPECT_EQ(t.Get(9, 1).AsString(), "48201");
+}
+
+TEST(PaperTablesTest, Figure3HierarchiesShape) {
+  Table t = UnwrapOk(Figure3Table());
+  HierarchySet h = UnwrapOk(Figure3Hierarchies(t.schema()));
+  EXPECT_EQ(h.MaxLevels(), (std::vector<int>{1, 2}));
+}
+
+TEST(PaperTablesTest, Example1Has1000Rows) {
+  Table t = UnwrapOk(Example1Table());
+  EXPECT_EQ(t.num_rows(), 1000u);
+  EXPECT_EQ(t.schema().ConfidentialIndices().size(), 3u);
+  EXPECT_EQ(t.schema().KeyIndices().size(), 2u);
+  // Distinct counts match Table 5's s_j column.
+  size_t s1 = UnwrapOk(t.schema().IndexOf("S1"));
+  size_t s2 = UnwrapOk(t.schema().IndexOf("S2"));
+  size_t s3 = UnwrapOk(t.schema().IndexOf("S3"));
+  EXPECT_EQ(t.DistinctCount(s1), 5u);
+  EXPECT_EQ(t.DistinctCount(s2), 6u);
+  EXPECT_EQ(t.DistinctCount(s3), 10u);
+}
+
+}  // namespace
+}  // namespace psk

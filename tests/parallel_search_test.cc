@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "psk/algorithms/exhaustive.h"
+#include "psk/algorithms/incognito.h"
+#include "psk/datagen/adult.h"
+#include "psk/datagen/synthetic.h"
+#include "psk/perturb/perturb.h"
+#include "test_util.h"
+
+namespace psk {
+namespace {
+
+TEST(ParallelExhaustiveTest, MatchesSequentialResults) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    SyntheticSpec spec = MakeUniformSpec(150, 3, 5, 2, 4, 0.7);
+    SyntheticData data = UnwrapOk(SyntheticGenerate(spec, seed));
+    SearchOptions sequential;
+    sequential.k = 3;
+    sequential.p = 2;
+    sequential.max_suppression = 2;
+    SearchOptions parallel = sequential;
+    parallel.threads = 4;
+
+    MinimalSetResult a =
+        UnwrapOk(ExhaustiveSearch(data.table, data.hierarchies, sequential));
+    MinimalSetResult b =
+        UnwrapOk(ExhaustiveSearch(data.table, data.hierarchies, parallel));
+    EXPECT_EQ(a.satisfying_nodes, b.satisfying_nodes) << "seed=" << seed;
+    EXPECT_EQ(a.minimal_nodes, b.minimal_nodes) << "seed=" << seed;
+    // Same total node work (each node evaluated exactly once).
+    EXPECT_EQ(a.stats.nodes_generalized, b.stats.nodes_generalized);
+  }
+}
+
+TEST(ParallelExhaustiveTest, MoreThreadsThanNodes) {
+  SyntheticSpec spec = MakeUniformSpec(60, 1, 4, 1, 3, 0.5);
+  SyntheticData data = UnwrapOk(SyntheticGenerate(spec, 5));
+  SearchOptions options;
+  options.k = 2;
+  options.threads = 64;  // lattice has only 3 nodes
+  MinimalSetResult result =
+      UnwrapOk(ExhaustiveSearch(data.table, data.hierarchies, options));
+  SearchOptions sequential = options;
+  sequential.threads = 1;
+  MinimalSetResult expected =
+      UnwrapOk(ExhaustiveSearch(data.table, data.hierarchies, sequential));
+  EXPECT_EQ(result.minimal_nodes, expected.minimal_nodes);
+}
+
+TEST(ParallelExhaustiveTest, AdultWorkload) {
+  Table im = UnwrapOk(AdultGenerate(600, /*seed=*/1));
+  HierarchySet hierarchies = UnwrapOk(AdultHierarchies(im.schema()));
+  SearchOptions options;
+  options.k = 3;
+  options.p = 2;
+  options.max_suppression = 6;
+  SearchOptions parallel = options;
+  parallel.threads = 8;
+  MinimalSetResult a = UnwrapOk(ExhaustiveSearch(im, hierarchies, options));
+  MinimalSetResult b = UnwrapOk(ExhaustiveSearch(im, hierarchies, parallel));
+  EXPECT_EQ(a.minimal_nodes, b.minimal_nodes);
+  EXPECT_EQ(a.satisfying_nodes, b.satisfying_nodes);
+}
+
+TEST(IncognitoPPruningTest, FlagDoesNotChangeResults) {
+  for (uint64_t seed = 10; seed <= 14; ++seed) {
+    SyntheticSpec spec = MakeUniformSpec(150, 2, 5, 2, 4, 0.8);
+    SyntheticData data = UnwrapOk(SyntheticGenerate(spec, seed));
+    SearchOptions options;
+    options.k = 3;
+    options.p = 2;
+    options.max_suppression = 0;
+
+    IncognitoOptions with_pruning;
+    with_pruning.prune_p_on_subsets = true;
+    IncognitoOptions without_pruning;
+    without_pruning.prune_p_on_subsets = false;
+
+    MinimalSetResult a = UnwrapOk(IncognitoSearch(
+        data.table, data.hierarchies, options, with_pruning));
+    MinimalSetResult b = UnwrapOk(IncognitoSearch(
+        data.table, data.hierarchies, options, without_pruning));
+    EXPECT_EQ(a.minimal_nodes, b.minimal_nodes) << "seed=" << seed;
+    // Pruning can only reduce the full-QI evaluations.
+    EXPECT_LE(a.stats.nodes_generalized, b.stats.nodes_generalized)
+        << "seed=" << seed;
+  }
+}
+
+// --------------------------------------------------------------------------
+// SampleRows (lives here to avoid another tiny binary)
+
+TEST(SampleRowsTest, FractionExtremes) {
+  Table im = UnwrapOk(AdultGenerate(200, /*seed=*/2));
+  Table none = UnwrapOk(SampleRows(im, 0.0, 1));
+  EXPECT_EQ(none.num_rows(), 0u);
+  Table all = UnwrapOk(SampleRows(im, 1.0, 1));
+  EXPECT_EQ(all.num_rows(), im.num_rows());
+}
+
+TEST(SampleRowsTest, ApproximateFraction) {
+  Table im = UnwrapOk(AdultGenerate(5000, /*seed=*/3));
+  Table half = UnwrapOk(SampleRows(im, 0.5, 7));
+  EXPECT_NEAR(static_cast<double>(half.num_rows()) / im.num_rows(), 0.5,
+              0.05);
+}
+
+TEST(SampleRowsTest, DeterministicAndOrderPreserving) {
+  Table im = UnwrapOk(AdultGenerate(300, /*seed=*/4));
+  Table a = UnwrapOk(SampleRows(im, 0.3, 11));
+  Table b = UnwrapOk(SampleRows(im, 0.3, 11));
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    for (size_t c = 0; c < a.num_columns(); ++c) {
+      ASSERT_EQ(a.Get(r, c), b.Get(r, c));
+    }
+  }
+}
+
+TEST(SampleRowsTest, InvalidFractionRejected) {
+  Table im = UnwrapOk(AdultGenerate(10, /*seed=*/5));
+  EXPECT_FALSE(SampleRows(im, -0.1, 1).ok());
+  EXPECT_FALSE(SampleRows(im, 1.1, 1).ok());
+}
+
+}  // namespace
+}  // namespace psk

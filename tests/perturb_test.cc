@@ -1,0 +1,203 @@
+#include "psk/perturb/perturb.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "psk/datagen/healthcare.h"
+#include "psk/datagen/paper_tables.h"
+#include "test_util.h"
+
+namespace psk {
+namespace {
+
+// --------------------------------------------------------------------------
+// Rank swapping
+
+TEST(RankSwapTest, PreservesValueMultiset) {
+  Table t = UnwrapOk(HealthcareGenerate(300, 1));
+  size_t income = UnwrapOk(t.schema().IndexOf("Income"));
+  RankSwapOptions options;
+  options.max_rank_distance = 10;
+  Table swapped = UnwrapOk(RankSwapColumn(t, income, options));
+
+  std::multiset<int64_t> before;
+  std::multiset<int64_t> after;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    before.insert(t.Get(r, income).AsInt64());
+    after.insert(swapped.Get(r, income).AsInt64());
+  }
+  EXPECT_EQ(before, after);
+}
+
+TEST(RankSwapTest, ActuallyMovesValues) {
+  Table t = UnwrapOk(HealthcareGenerate(300, 2));
+  size_t income = UnwrapOk(t.schema().IndexOf("Income"));
+  Table swapped = UnwrapOk(RankSwapColumn(t, income, {5, 7}));
+  size_t moved = 0;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    if (!(swapped.Get(r, income) == t.Get(r, income))) ++moved;
+  }
+  EXPECT_GT(moved, t.num_rows() / 4);
+}
+
+TEST(RankSwapTest, RespectsRankWindow) {
+  // With window 1, swapped values must be rank-adjacent: the displaced
+  // value's rank differs by at most 1, so per-row numeric movement is
+  // bounded by the largest adjacent gap.
+  Schema schema = UnwrapOk(Schema::Create(
+      {{"X", ValueType::kInt64, AttributeRole::kConfidential}}));
+  Table t(schema);
+  for (int64_t v : {10, 20, 30, 40, 50, 60}) {
+    PSK_ASSERT_OK(t.AppendRow({Value(v)}));
+  }
+  RankSwapOptions options;
+  options.max_rank_distance = 1;
+  Table swapped = UnwrapOk(RankSwapColumn(t, 0, options));
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    int64_t delta =
+        std::llabs(swapped.Get(r, 0).AsInt64() - t.Get(r, 0).AsInt64());
+    EXPECT_LE(delta, 10) << "row " << r;  // adjacent ranks are 10 apart
+  }
+}
+
+TEST(RankSwapTest, DeterministicAndSeedSensitive) {
+  Table t = UnwrapOk(HealthcareGenerate(120, 3));
+  size_t income = UnwrapOk(t.schema().IndexOf("Income"));
+  Table a = UnwrapOk(RankSwapColumn(t, income, {4, 9}));
+  Table b = UnwrapOk(RankSwapColumn(t, income, {4, 9}));
+  bool all_equal = true;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    ASSERT_EQ(a.Get(r, income), b.Get(r, income));
+  }
+  Table c = UnwrapOk(RankSwapColumn(t, income, {4, 10}));
+  for (size_t r = 0; r < t.num_rows() && all_equal; ++r) {
+    if (!(a.Get(r, income) == c.Get(r, income))) all_equal = false;
+  }
+  EXPECT_FALSE(all_equal);
+}
+
+TEST(RankSwapTest, TinyTablesPassThrough) {
+  Schema schema = UnwrapOk(Schema::Create(
+      {{"X", ValueType::kInt64, AttributeRole::kOther}}));
+  Table t(schema);
+  PSK_ASSERT_OK(t.AppendRow({Value(int64_t{1})}));
+  Table out = UnwrapOk(RankSwapColumn(t, 0, {3, 1}));
+  EXPECT_EQ(out.Get(0, 0).AsInt64(), 1);
+}
+
+TEST(RankSwapTest, InvalidArgs) {
+  Table t = UnwrapOk(PatientTable1());
+  EXPECT_FALSE(RankSwapColumn(t, 99, {3, 1}).ok());
+  RankSwapOptions zero;
+  zero.max_rank_distance = 0;
+  EXPECT_FALSE(RankSwapColumn(t, 0, zero).ok());
+}
+
+// --------------------------------------------------------------------------
+// Additive noise
+
+TEST(NoiseTest, PreservesMeanApproximately) {
+  Table t = UnwrapOk(HealthcareGenerate(5000, 4));
+  size_t income = UnwrapOk(t.schema().IndexOf("Income"));
+  NoiseOptions options;
+  options.sd_fraction = 0.2;
+  Table noisy = UnwrapOk(AddNoiseToColumn(t, income, options));
+  double mean_before = 0.0;
+  double mean_after = 0.0;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    mean_before += t.Get(r, income).AsNumeric();
+    mean_after += noisy.Get(r, income).AsNumeric();
+  }
+  mean_before /= t.num_rows();
+  mean_after /= t.num_rows();
+  EXPECT_NEAR(mean_after / mean_before, 1.0, 0.02);
+}
+
+TEST(NoiseTest, ChangesValuesProportionallyToSd) {
+  Table t = UnwrapOk(HealthcareGenerate(2000, 5));
+  size_t income = UnwrapOk(t.schema().IndexOf("Income"));
+  auto rmse = [&](double sd_fraction) {
+    NoiseOptions options;
+    options.sd_fraction = sd_fraction;
+    Table noisy = UnwrapOk(AddNoiseToColumn(t, income, options));
+    double sum_sq = 0.0;
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      double d =
+          noisy.Get(r, income).AsNumeric() - t.Get(r, income).AsNumeric();
+      sum_sq += d * d;
+    }
+    return std::sqrt(sum_sq / t.num_rows());
+  };
+  double small = rmse(0.05);
+  double large = rmse(0.5);
+  EXPECT_GT(small, 0.0);
+  EXPECT_GT(large, small * 3);
+}
+
+TEST(NoiseTest, IntColumnsStayInt) {
+  Table t = UnwrapOk(HealthcareGenerate(100, 6));
+  size_t income = UnwrapOk(t.schema().IndexOf("Income"));
+  Table noisy = UnwrapOk(AddNoiseToColumn(t, income, {0.3, 9}));
+  for (size_t r = 0; r < noisy.num_rows(); ++r) {
+    EXPECT_EQ(noisy.Get(r, income).type(), ValueType::kInt64);
+  }
+}
+
+TEST(NoiseTest, NonNumericRejected) {
+  Table t = UnwrapOk(PatientTable1());
+  size_t illness = UnwrapOk(t.schema().IndexOf("Illness"));
+  EXPECT_FALSE(AddNoiseToColumn(t, illness, {0.1, 1}).ok());
+  EXPECT_FALSE(AddNoiseToColumn(t, 0, {0.0, 1}).ok());
+}
+
+// --------------------------------------------------------------------------
+// PRAM
+
+TEST(PramTest, RetentionOneIsIdentity) {
+  Table t = UnwrapOk(PatientTable1());
+  size_t illness = UnwrapOk(t.schema().IndexOf("Illness"));
+  Table out = UnwrapOk(PramColumn(t, illness, {1.0, 3}));
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_EQ(out.Get(r, illness), t.Get(r, illness));
+  }
+}
+
+TEST(PramTest, ApproximatelyPreservesMarginal) {
+  Table t = UnwrapOk(HealthcareGenerate(8000, 7));
+  size_t illness = UnwrapOk(t.schema().IndexOf("Illness"));
+  Table out = UnwrapOk(PramColumn(t, illness, {0.5, 11}));
+  std::map<std::string, double> before;
+  std::map<std::string, double> after;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    before[t.Get(r, illness).AsString()] += 1.0;
+    after[out.Get(r, illness).AsString()] += 1.0;
+  }
+  for (const auto& [value, count] : before) {
+    EXPECT_NEAR(after[value] / count, 1.0, 0.15) << value;
+  }
+}
+
+TEST(PramTest, LowRetentionChangesManyCells) {
+  Table t = UnwrapOk(HealthcareGenerate(1000, 8));
+  size_t illness = UnwrapOk(t.schema().IndexOf("Illness"));
+  Table out = UnwrapOk(PramColumn(t, illness, {0.2, 13}));
+  size_t changed = 0;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    if (!(out.Get(r, illness) == t.Get(r, illness))) ++changed;
+  }
+  // ~80% redraw, of which ~(1 - marginal share) actually differ.
+  EXPECT_GT(changed, t.num_rows() / 3);
+}
+
+TEST(PramTest, InvalidArgs) {
+  Table t = UnwrapOk(PatientTable1());
+  EXPECT_FALSE(PramColumn(t, 99, {0.5, 1}).ok());
+  EXPECT_FALSE(PramColumn(t, 0, {-0.1, 1}).ok());
+  EXPECT_FALSE(PramColumn(t, 0, {1.1, 1}).ok());
+}
+
+}  // namespace
+}  // namespace psk

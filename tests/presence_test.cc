@@ -1,0 +1,119 @@
+#include "psk/anonymity/presence.h"
+
+#include <gtest/gtest.h>
+
+#include "psk/datagen/healthcare.h"
+#include "psk/generalize/generalize.h"
+#include "psk/perturb/perturb.h"
+#include "test_util.h"
+
+namespace psk {
+namespace {
+
+Schema OneKeySchema() {
+  return UnwrapOk(Schema::Create(
+      {{"Z", ValueType::kString, AttributeRole::kKey}}));
+}
+
+TEST(DeltaPresenceTest, HandComputedExample) {
+  // Population: z1 x4, z2 x2. Release: z1 x2 (delta 0.5), z2 x2 (delta 1).
+  Table population(OneKeySchema());
+  for (int i = 0; i < 4; ++i) {
+    PSK_ASSERT_OK(population.AppendRow({Value("z1")}));
+  }
+  PSK_ASSERT_OK(population.AppendRow({Value("z2")}));
+  PSK_ASSERT_OK(population.AppendRow({Value("z2")}));
+  Table released(OneKeySchema());
+  PSK_ASSERT_OK(released.AppendRow({Value("z1")}));
+  PSK_ASSERT_OK(released.AppendRow({Value("z1")}));
+  PSK_ASSERT_OK(released.AppendRow({Value("z2")}));
+  PSK_ASSERT_OK(released.AppendRow({Value("z2")}));
+
+  DeltaPresence presence = UnwrapOk(
+      ComputeDeltaPresence(released, {0}, population, {0}));
+  EXPECT_DOUBLE_EQ(presence.delta_min, 0.5);
+  EXPECT_DOUBLE_EQ(presence.delta_max, 1.0);
+  EXPECT_TRUE(UnwrapOk(
+      IsDeltaPresent(released, {0}, population, {0}, 0.5, 1.0)));
+  EXPECT_FALSE(UnwrapOk(
+      IsDeltaPresent(released, {0}, population, {0}, 0.0, 0.9)));
+}
+
+TEST(DeltaPresenceTest, AbsentGroupGivesDeltaZero) {
+  Table population(OneKeySchema());
+  PSK_ASSERT_OK(population.AppendRow({Value("z1")}));
+  PSK_ASSERT_OK(population.AppendRow({Value("z2")}));
+  Table released(OneKeySchema());
+  PSK_ASSERT_OK(released.AppendRow({Value("z1")}));
+  DeltaPresence presence = UnwrapOk(
+      ComputeDeltaPresence(released, {0}, population, {0}));
+  EXPECT_DOUBLE_EQ(presence.delta_min, 0.0);  // z2 absent from release
+  EXPECT_DOUBLE_EQ(presence.delta_max, 1.0);  // z1 fully present
+}
+
+TEST(DeltaPresenceTest, NonSubsetRejected) {
+  Table population(OneKeySchema());
+  PSK_ASSERT_OK(population.AppendRow({Value("z1")}));
+  Table released(OneKeySchema());
+  PSK_ASSERT_OK(released.AppendRow({Value("z1")}));
+  PSK_ASSERT_OK(released.AppendRow({Value("z1")}));  // 2 > 1 in population
+  EXPECT_FALSE(ComputeDeltaPresence(released, {0}, population, {0}).ok());
+
+  Table rogue(OneKeySchema());
+  PSK_ASSERT_OK(rogue.AppendRow({Value("zX")}));  // unknown group
+  EXPECT_FALSE(ComputeDeltaPresence(rogue, {0}, population, {0}).ok());
+}
+
+TEST(DeltaPresenceTest, GeneralizationWidensGroupsNarrowsDelta) {
+  // A sampled hospital release: generalization coarsens groups, pulling
+  // per-group presence ratios toward the overall sampling fraction.
+  Table registry = UnwrapOk(HealthcareGenerate(2000, /*seed=*/5));
+  HierarchySet hierarchies = UnwrapOk(HealthcareHierarchies(registry.schema()));
+  Table sample = UnwrapOk(SampleRows(registry, 0.5, /*seed=*/9));
+
+  auto spread_at = [&](const LatticeNode& node) {
+    Table g_pop = UnwrapOk(ApplyGeneralization(registry, hierarchies, node));
+    Table g_rel = UnwrapOk(ApplyGeneralization(sample, hierarchies, node));
+    DeltaPresence presence = UnwrapOk(ComputeDeltaPresence(
+        g_rel, g_rel.schema().KeyIndices(), g_pop,
+        g_pop.schema().KeyIndices()));
+    return presence.delta_max - presence.delta_min;
+  };
+
+  double fine = spread_at(LatticeNode{{0, 0, 0}});
+  double coarse = spread_at(LatticeNode{{2, 1, 1}});
+  double top = spread_at(LatticeNode{{3, 2, 1}});
+  EXPECT_LE(coarse, fine);
+  EXPECT_LE(top, coarse);
+  // At the lattice top there is a single group: delta spread collapses.
+  EXPECT_NEAR(top, 0.0, 1e-12);
+}
+
+TEST(DeltaPresenceTest, FullReleaseIsDeltaOne) {
+  Table registry = UnwrapOk(HealthcareGenerate(300, /*seed=*/6));
+  auto keys = registry.schema().KeyIndices();
+  DeltaPresence presence = UnwrapOk(
+      ComputeDeltaPresence(registry, keys, registry, keys));
+  EXPECT_DOUBLE_EQ(presence.delta_min, 1.0);
+  EXPECT_DOUBLE_EQ(presence.delta_max, 1.0);
+}
+
+TEST(DeltaPresenceTest, InvalidBoundsRejected) {
+  Table t(OneKeySchema());
+  PSK_ASSERT_OK(t.AppendRow({Value("z1")}));
+  EXPECT_FALSE(IsDeltaPresent(t, {0}, t, {0}, -0.1, 1.0).ok());
+  EXPECT_FALSE(IsDeltaPresent(t, {0}, t, {0}, 0.8, 0.2).ok());
+  EXPECT_FALSE(IsDeltaPresent(t, {0}, t, {0}, 0.0, 1.5).ok());
+}
+
+TEST(DeltaPresenceTest, EmptyPopulation) {
+  Table population(OneKeySchema());
+  Table released(OneKeySchema());
+  DeltaPresence presence = UnwrapOk(
+      ComputeDeltaPresence(released, {0}, population, {0}));
+  EXPECT_DOUBLE_EQ(presence.delta_min, 0.0);
+  EXPECT_DOUBLE_EQ(presence.delta_max, 0.0);
+}
+
+}  // namespace
+}  // namespace psk

@@ -1,0 +1,118 @@
+#include "psk/metrics/query_error.h"
+
+#include <gtest/gtest.h>
+
+#include "psk/datagen/adult.h"
+#include "psk/generalize/generalize.h"
+#include "test_util.h"
+
+namespace psk {
+namespace {
+
+struct AdultFixture {
+  Table im;
+  HierarchySet hierarchies;
+
+  AdultFixture()
+      : im(UnwrapOk(AdultGenerate(1500, /*seed=*/5))),
+        hierarchies(UnwrapOk(AdultHierarchies(im.schema()))) {}
+};
+
+TEST(QueryErrorTest, BottomNodeIsErrorFree) {
+  AdultFixture f;
+  GeneralizationLattice lattice(f.hierarchies);
+  Table masked = UnwrapOk(
+      ApplyGeneralization(f.im, f.hierarchies, lattice.Bottom()));
+  QueryErrorReport report = UnwrapOk(EvaluateQueryError(
+      f.im, masked, f.hierarchies, lattice.Bottom()));
+  EXPECT_GT(report.num_queries, 0u);
+  EXPECT_NEAR(report.mean_relative_error, 0.0, 1e-9);
+  EXPECT_NEAR(report.max_relative_error, 0.0, 1e-9);
+}
+
+TEST(QueryErrorTest, ErrorGrowsWithGeneralization) {
+  AdultFixture f;
+  GeneralizationLattice lattice(f.hierarchies);
+  QueryWorkloadOptions options;
+  options.num_queries = 150;
+  options.seed = 3;
+
+  Table low = UnwrapOk(
+      ApplyGeneralization(f.im, f.hierarchies, LatticeNode{{1, 0, 0, 0}}));
+  QueryErrorReport low_report = UnwrapOk(EvaluateQueryError(
+      f.im, low, f.hierarchies, LatticeNode{{1, 0, 0, 0}}, options));
+
+  Table high = UnwrapOk(
+      ApplyGeneralization(f.im, f.hierarchies, lattice.Top()));
+  QueryErrorReport high_report = UnwrapOk(EvaluateQueryError(
+      f.im, high, f.hierarchies, lattice.Top(), options));
+
+  EXPECT_LT(low_report.mean_relative_error,
+            high_report.mean_relative_error);
+  EXPECT_GT(high_report.mean_relative_error, 0.1);
+}
+
+TEST(QueryErrorTest, EstimatesAreUnbiasedForFullBucketQueries) {
+  // With a single-attribute workload at the node's own granularity the
+  // uniform assumption is exact in aggregate: mean error stays modest.
+  AdultFixture f;
+  LatticeNode node{{1, 1, 1, 1}};
+  Table masked = UnwrapOk(ApplyGeneralization(f.im, f.hierarchies, node));
+  QueryWorkloadOptions options;
+  options.num_queries = 300;
+  options.terms_per_query = 1;
+  QueryErrorReport report =
+      UnwrapOk(EvaluateQueryError(f.im, masked, f.hierarchies, node,
+                                  options));
+  EXPECT_GT(report.num_queries, 0u);
+  EXPECT_GE(report.max_relative_error, report.median_relative_error);
+  EXPECT_GE(report.median_relative_error, 0.0);
+}
+
+TEST(QueryErrorTest, SuppressionAddsError) {
+  AdultFixture f;
+  LatticeNode node{{1, 1, 1, 1}};
+  QueryWorkloadOptions options;
+  options.num_queries = 150;
+  options.seed = 11;
+  Table unsuppressed =
+      UnwrapOk(ApplyGeneralization(f.im, f.hierarchies, node));
+  MaskedMicrodata suppressed =
+      UnwrapOk(Mask(f.im, f.hierarchies, node, /*k=*/25));
+  ASSERT_GT(suppressed.suppressed, 0u);
+  QueryErrorReport base = UnwrapOk(EvaluateQueryError(
+      f.im, unsuppressed, f.hierarchies, node, options));
+  QueryErrorReport lossy = UnwrapOk(EvaluateQueryError(
+      f.im, suppressed.table, f.hierarchies, node, options));
+  EXPECT_GE(lossy.mean_relative_error, base.mean_relative_error);
+}
+
+TEST(QueryErrorTest, DeterministicForSeed) {
+  AdultFixture f;
+  LatticeNode node{{2, 1, 1, 1}};
+  Table masked = UnwrapOk(ApplyGeneralization(f.im, f.hierarchies, node));
+  QueryWorkloadOptions options;
+  options.seed = 77;
+  QueryErrorReport a = UnwrapOk(
+      EvaluateQueryError(f.im, masked, f.hierarchies, node, options));
+  QueryErrorReport b = UnwrapOk(
+      EvaluateQueryError(f.im, masked, f.hierarchies, node, options));
+  EXPECT_DOUBLE_EQ(a.mean_relative_error, b.mean_relative_error);
+  EXPECT_DOUBLE_EQ(a.max_relative_error, b.max_relative_error);
+}
+
+TEST(QueryErrorTest, InvalidInputsRejected) {
+  AdultFixture f;
+  LatticeNode node{{1, 1, 1, 1}};
+  Table masked = UnwrapOk(ApplyGeneralization(f.im, f.hierarchies, node));
+  QueryWorkloadOptions zero;
+  zero.num_queries = 0;
+  EXPECT_FALSE(
+      EvaluateQueryError(f.im, masked, f.hierarchies, node, zero).ok());
+  EXPECT_FALSE(
+      EvaluateQueryError(f.im, masked, f.hierarchies, LatticeNode{{1}})
+          .ok());
+}
+
+}  // namespace
+}  // namespace psk

@@ -1,0 +1,123 @@
+#include "psk/common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace psk {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(1000), b.Uniform(1000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 32; ++i) {
+    if (a.Uniform(1U << 30) != b.Uniform(1U << 30)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    if (v == -3) saw_lo = true;
+    if (v == 3) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInHalfOpenUnit) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughRate) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  double rate = static_cast<double>(hits) / n;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(RngTest, PickWeightedRespectsWeights) {
+  Rng rng(13);
+  std::map<size_t, int> counts;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.PickWeighted({0.7, 0.2, 0.1})];
+  }
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.7, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.2, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.1, 0.02);
+}
+
+TEST(RngTest, PickWeightedZeroWeightNeverPicked) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    size_t pick = rng.PickWeighted({0.0, 1.0, 0.0});
+    EXPECT_EQ(pick, 1u);
+  }
+}
+
+TEST(RngTest, ZipfThetaZeroIsUniform) {
+  Rng rng(19);
+  std::map<size_t, int> counts;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.Zipf(4, 0.0)];
+  }
+  for (size_t r = 0; r < 4; ++r) {
+    EXPECT_NEAR(static_cast<double>(counts[r]) / n, 0.25, 0.02);
+  }
+}
+
+TEST(RngTest, ZipfSkewsTowardLowRanks) {
+  Rng rng(23);
+  std::map<size_t, int> counts;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.Zipf(10, 1.2)];
+  }
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[0], counts[9]);
+  EXPECT_GT(counts[0], n / 4);  // rank 0 dominates
+}
+
+}  // namespace
+}  // namespace psk

@@ -1,0 +1,96 @@
+#include "psk/table/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace psk {
+namespace {
+
+Schema PatientSchema() {
+  return UnwrapOk(Schema::Create(
+      {{"Name", ValueType::kString, AttributeRole::kIdentifier},
+       {"Age", ValueType::kInt64, AttributeRole::kKey},
+       {"ZipCode", ValueType::kString, AttributeRole::kKey},
+       {"Sex", ValueType::kString, AttributeRole::kKey},
+       {"Illness", ValueType::kString, AttributeRole::kConfidential},
+       {"Notes", ValueType::kString, AttributeRole::kOther}}));
+}
+
+TEST(SchemaTest, CreateAndAccess) {
+  Schema schema = PatientSchema();
+  EXPECT_EQ(schema.num_attributes(), 6u);
+  EXPECT_EQ(schema.attribute(0).name, "Name");
+  EXPECT_EQ(schema.attribute(1).type, ValueType::kInt64);
+  EXPECT_EQ(schema.attribute(4).role, AttributeRole::kConfidential);
+}
+
+TEST(SchemaTest, DuplicateNameRejected) {
+  auto result = Schema::Create({{"A", ValueType::kInt64, AttributeRole::kKey},
+                                {"A", ValueType::kInt64, AttributeRole::kKey}});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, EmptyNameRejected) {
+  auto result = Schema::Create({{"", ValueType::kInt64, AttributeRole::kKey}});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, EmptySchemaAllowed) {
+  auto result = Schema::Create({});
+  PSK_ASSERT_OK(result);
+  EXPECT_EQ(result->num_attributes(), 0u);
+}
+
+TEST(SchemaTest, IndexOf) {
+  Schema schema = PatientSchema();
+  EXPECT_EQ(UnwrapOk(schema.IndexOf("Age")), 1u);
+  EXPECT_EQ(UnwrapOk(schema.IndexOf("Illness")), 4u);
+  auto missing = schema.IndexOf("Nope");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(schema.Contains("Sex"));
+  EXPECT_FALSE(schema.Contains("sex"));  // case-sensitive
+}
+
+TEST(SchemaTest, RoleIndices) {
+  Schema schema = PatientSchema();
+  EXPECT_EQ(schema.KeyIndices(), (std::vector<size_t>{1, 2, 3}));
+  EXPECT_EQ(schema.ConfidentialIndices(), (std::vector<size_t>{4}));
+  EXPECT_EQ(schema.IdentifierIndices(), (std::vector<size_t>{0}));
+  EXPECT_EQ(schema.IndicesWithRole(AttributeRole::kOther),
+            (std::vector<size_t>{5}));
+}
+
+TEST(SchemaTest, Project) {
+  Schema schema = PatientSchema();
+  Schema projected = UnwrapOk(schema.Project({4, 1}));
+  ASSERT_EQ(projected.num_attributes(), 2u);
+  EXPECT_EQ(projected.attribute(0).name, "Illness");
+  EXPECT_EQ(projected.attribute(1).name, "Age");
+}
+
+TEST(SchemaTest, ProjectOutOfRange) {
+  Schema schema = PatientSchema();
+  EXPECT_FALSE(schema.Project({99}).ok());
+}
+
+TEST(SchemaTest, Equality) {
+  EXPECT_EQ(PatientSchema(), PatientSchema());
+  Schema other = UnwrapOk(
+      Schema::Create({{"Age", ValueType::kInt64, AttributeRole::kKey}}));
+  EXPECT_NE(PatientSchema(), other);
+}
+
+TEST(AttributeRoleTest, Names) {
+  EXPECT_EQ(AttributeRoleToString(AttributeRole::kIdentifier), "identifier");
+  EXPECT_EQ(AttributeRoleToString(AttributeRole::kKey), "key");
+  EXPECT_EQ(AttributeRoleToString(AttributeRole::kConfidential),
+            "confidential");
+  EXPECT_EQ(AttributeRoleToString(AttributeRole::kOther), "other");
+}
+
+}  // namespace
+}  // namespace psk

@@ -1,0 +1,162 @@
+#include "psk/api/spec_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace psk {
+namespace {
+
+TEST(ParseAttributeSpecTest, Valid) {
+  Attribute a = UnwrapOk(ParseAttributeSpec("Age:int64:key"));
+  EXPECT_EQ(a.name, "Age");
+  EXPECT_EQ(a.type, ValueType::kInt64);
+  EXPECT_EQ(a.role, AttributeRole::kKey);
+  Attribute b = UnwrapOk(ParseAttributeSpec("Name:string:identifier"));
+  EXPECT_EQ(b.role, AttributeRole::kIdentifier);
+  Attribute c = UnwrapOk(ParseAttributeSpec("Score:double:other"));
+  EXPECT_EQ(c.type, ValueType::kDouble);
+  // "int" alias.
+  EXPECT_EQ(UnwrapOk(ParseAttributeSpec("X:int:confidential")).type,
+            ValueType::kInt64);
+}
+
+TEST(ParseAttributeSpecTest, Invalid) {
+  EXPECT_FALSE(ParseAttributeSpec("Age:int64").ok());
+  EXPECT_FALSE(ParseAttributeSpec("Age:float:key").ok());
+  EXPECT_FALSE(ParseAttributeSpec("Age:int64:boss").ok());
+  EXPECT_FALSE(ParseAttributeSpec(":int64:key").ok());
+}
+
+TEST(ParseHierarchySpecTest, Suppress) {
+  auto h = UnwrapOk(ParseHierarchySpec("Sex", "suppress"));
+  EXPECT_EQ(h->num_levels(), 2);
+  EXPECT_EQ(h->attribute_name(), "Sex");
+}
+
+TEST(ParseHierarchySpecTest, Prefix) {
+  auto h = UnwrapOk(ParseHierarchySpec("Zip", "prefix:0,2,5"));
+  EXPECT_EQ(h->num_levels(), 3);
+  EXPECT_EQ(UnwrapOk(h->Generalize(Value("41076"), 1)).AsString(), "410**");
+}
+
+TEST(ParseHierarchySpecTest, Interval) {
+  auto h = UnwrapOk(
+      ParseHierarchySpec("Age", "interval:bands-10/cuts-50/top"));
+  EXPECT_EQ(h->num_levels(), 4);
+  EXPECT_EQ(UnwrapOk(h->Generalize(Value(int64_t{34}), 1)).AsString(),
+            "[30-39]");
+  EXPECT_EQ(UnwrapOk(h->Generalize(Value(int64_t{34}), 2)).AsString(),
+            "<50");
+  EXPECT_EQ(UnwrapOk(h->Generalize(Value(int64_t{34}), 3)).AsString(), "*");
+}
+
+TEST(ParseHierarchySpecTest, IntervalMultiCut) {
+  auto h = UnwrapOk(ParseHierarchySpec("X", "interval:cuts-10-20-30"));
+  EXPECT_EQ(UnwrapOk(h->Generalize(Value(int64_t{15}), 1)).AsString(),
+            "[10-20)");
+}
+
+TEST(ParseHierarchySpecTest, Invalid) {
+  EXPECT_FALSE(ParseHierarchySpec("X", "magic").ok());
+  EXPECT_FALSE(ParseHierarchySpec("X", "prefix:").ok());
+  EXPECT_FALSE(ParseHierarchySpec("X", "prefix:1,2").ok());
+  EXPECT_FALSE(ParseHierarchySpec("X", "interval:wat-3").ok());
+  EXPECT_FALSE(ParseHierarchySpec("X", "file:/nonexistent.csv").ok());
+}
+
+TEST(ParseAlgorithmNameTest, AllNames) {
+  EXPECT_EQ(UnwrapOk(ParseAlgorithmName("samarati")),
+            AnonymizationAlgorithm::kSamarati);
+  EXPECT_EQ(UnwrapOk(ParseAlgorithmName("incognito")),
+            AnonymizationAlgorithm::kIncognito);
+  EXPECT_EQ(UnwrapOk(ParseAlgorithmName("bottomup")),
+            AnonymizationAlgorithm::kBottomUp);
+  EXPECT_EQ(UnwrapOk(ParseAlgorithmName("exhaustive")),
+            AnonymizationAlgorithm::kExhaustive);
+  EXPECT_EQ(UnwrapOk(ParseAlgorithmName("mondrian")),
+            AnonymizationAlgorithm::kMondrian);
+  EXPECT_EQ(UnwrapOk(ParseAlgorithmName("cluster")),
+            AnonymizationAlgorithm::kGreedyCluster);
+  EXPECT_EQ(UnwrapOk(ParseAlgorithmName("ola")),
+            AnonymizationAlgorithm::kOla);
+  EXPECT_FALSE(ParseAlgorithmName("magic").ok());
+}
+
+constexpr char kConfig[] = R"(
+# release configuration
+input = data.csv
+output = masked.csv
+k = 3
+p = 2
+ts = 5
+algorithm = ola
+
+attr Name = string identifier
+attr Age = int64 key hierarchy=interval:bands-10/top
+attr ZipCode = string key hierarchy=prefix:0,2,5
+attr Illness = string confidential
+)";
+
+TEST(ReleaseConfigTest, ParsesFullConfig) {
+  ReleaseConfig config = UnwrapOk(ParseReleaseConfig(kConfig));
+  EXPECT_EQ(config.input, "data.csv");
+  EXPECT_EQ(config.output, "masked.csv");
+  EXPECT_EQ(config.k, 3u);
+  EXPECT_EQ(config.p, 2u);
+  EXPECT_EQ(config.max_suppression, 5u);
+  EXPECT_EQ(config.algorithm, AnonymizationAlgorithm::kOla);
+  ASSERT_EQ(config.attributes.size(), 4u);
+  EXPECT_EQ(config.attributes[0].name, "Name");
+  EXPECT_EQ(config.attributes[1].role, AttributeRole::kKey);
+  ASSERT_EQ(config.hierarchies.size(), 2u);
+  EXPECT_EQ(config.hierarchies[0]->attribute_name(), "Age");
+  EXPECT_EQ(config.hierarchies[1]->attribute_name(), "ZipCode");
+}
+
+TEST(ReleaseConfigTest, DefaultsApply) {
+  ReleaseConfig config = UnwrapOk(
+      ParseReleaseConfig("attr X = string key hierarchy=suppress\n"));
+  EXPECT_EQ(config.k, 2u);
+  EXPECT_EQ(config.p, 1u);
+  EXPECT_EQ(config.algorithm, AnonymizationAlgorithm::kSamarati);
+}
+
+TEST(ReleaseConfigTest, ErrorsCarryLineNumbers) {
+  auto bad_key = ParseReleaseConfig("attr X = string key\nwat = 7\n");
+  ASSERT_FALSE(bad_key.ok());
+  EXPECT_NE(bad_key.status().message().find("line 2"), std::string::npos);
+
+  auto bad_line = ParseReleaseConfig("justtext\n");
+  ASSERT_FALSE(bad_line.ok());
+  EXPECT_NE(bad_line.status().message().find("line 1"), std::string::npos);
+
+  auto bad_k = ParseReleaseConfig("k = banana\nattr X = string key\n");
+  EXPECT_FALSE(bad_k.ok());
+}
+
+TEST(ReleaseConfigTest, DuplicateAttributeRejected) {
+  auto config = ParseReleaseConfig(
+      "attr X = string key\nattr X = string key\n");
+  ASSERT_FALSE(config.ok());
+  EXPECT_NE(config.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(ReleaseConfigTest, UnknownAttributeOptionRejected) {
+  EXPECT_FALSE(
+      ParseReleaseConfig("attr X = string key color=red\n").ok());
+}
+
+TEST(ReleaseConfigTest, NoAttributesRejected) {
+  EXPECT_FALSE(ParseReleaseConfig("k = 3\n").ok());
+  EXPECT_FALSE(ParseReleaseConfig("# only comments\n").ok());
+}
+
+TEST(ReleaseConfigTest, MissingFileIsIOError) {
+  auto config = ParseReleaseConfigFile("/nonexistent/release.cfg");
+  ASSERT_FALSE(config.ok());
+  EXPECT_EQ(config.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace psk

@@ -1,0 +1,88 @@
+#include "psk/table/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "psk/datagen/paper_tables.h"
+#include "test_util.h"
+
+namespace psk {
+namespace {
+
+TEST(TableStatsTest, PatientTable1Profile) {
+  Table t = UnwrapOk(PatientTable1());
+  TableStats stats = UnwrapOk(ComputeTableStats(t));
+  EXPECT_EQ(stats.num_rows, 6u);
+  ASSERT_EQ(stats.columns.size(), 4u);
+
+  const ColumnStats& age = stats.columns[0];
+  EXPECT_EQ(age.name, "Age");
+  EXPECT_EQ(age.role, AttributeRole::kKey);
+  EXPECT_EQ(age.distinct, 3u);  // 20, 30, 50
+  EXPECT_EQ(age.nulls, 0u);
+  ASSERT_TRUE(age.min.has_value());
+  EXPECT_DOUBLE_EQ(*age.min, 20.0);
+  EXPECT_DOUBLE_EQ(*age.max, 50.0);
+  EXPECT_NEAR(*age.mean, (50 + 30 + 30 + 20 + 20 + 50) / 6.0, 1e-12);
+
+  const ColumnStats& illness = stats.columns[3];
+  EXPECT_EQ(illness.distinct, 5u);
+  EXPECT_FALSE(illness.min.has_value());
+  ASSERT_FALSE(illness.top_values.empty());
+  // Diabetes (x2) leads the frequency ranking.
+  EXPECT_EQ(illness.top_values[0].first.AsString(), "Diabetes");
+  EXPECT_EQ(illness.top_values[0].second, 2u);
+}
+
+TEST(TableStatsTest, TopKRespected) {
+  Table t = UnwrapOk(PatientTable1());
+  TableStats stats = UnwrapOk(ComputeTableStats(t, /*top_k=*/2));
+  for (const ColumnStats& cs : stats.columns) {
+    EXPECT_LE(cs.top_values.size(), 2u);
+  }
+}
+
+TEST(TableStatsTest, TiesBrokenDeterministically) {
+  Schema schema = UnwrapOk(Schema::Create(
+      {{"S", ValueType::kString, AttributeRole::kOther}}));
+  Table t(schema);
+  PSK_ASSERT_OK(t.AppendRow({Value("b")}));
+  PSK_ASSERT_OK(t.AppendRow({Value("a")}));
+  TableStats stats = UnwrapOk(ComputeTableStats(t));
+  // Equal counts -> value order.
+  EXPECT_EQ(stats.columns[0].top_values[0].first.AsString(), "a");
+}
+
+TEST(TableStatsTest, NullsCounted) {
+  Schema schema = UnwrapOk(Schema::Create(
+      {{"X", ValueType::kInt64, AttributeRole::kOther}}));
+  Table t(schema);
+  PSK_ASSERT_OK(t.AppendRow({Value(int64_t{1})}));
+  PSK_ASSERT_OK(t.AppendRow({Value::Null()}));
+  PSK_ASSERT_OK(t.AppendRow({Value::Null()}));
+  TableStats stats = UnwrapOk(ComputeTableStats(t));
+  EXPECT_EQ(stats.columns[0].nulls, 2u);
+  EXPECT_EQ(stats.columns[0].non_null, 1u);
+  EXPECT_EQ(stats.columns[0].distinct, 1u);  // null not counted as a value
+}
+
+TEST(TableStatsTest, EmptyTable) {
+  Schema schema = UnwrapOk(Schema::Create(
+      {{"X", ValueType::kInt64, AttributeRole::kOther}}));
+  Table t(schema);
+  TableStats stats = UnwrapOk(ComputeTableStats(t));
+  EXPECT_EQ(stats.num_rows, 0u);
+  EXPECT_EQ(stats.columns[0].distinct, 0u);
+  EXPECT_FALSE(stats.columns[0].min.has_value());
+}
+
+TEST(TableStatsTest, DisplayStringMentionsEverything) {
+  Table t = UnwrapOk(PatientTable1());
+  std::string display = UnwrapOk(ComputeTableStats(t)).ToDisplayString();
+  EXPECT_NE(display.find("6 rows"), std::string::npos);
+  EXPECT_NE(display.find("Age"), std::string::npos);
+  EXPECT_NE(display.find("key"), std::string::npos);
+  EXPECT_NE(display.find("Diabetes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace psk

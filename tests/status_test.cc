@@ -1,0 +1,101 @@
+#include "psk/common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "psk/common/macros.h"
+#include "psk/common/result.h"
+
+namespace psk {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AllFactoryCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_NE(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_NE(Status::NotFound("a"), Status::Internal("a"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.status(), Status::OK());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Result<int> DoubleIfPositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("non-positive");
+  return 2 * x;
+}
+
+Status UseReturnIfError(int x) {
+  PSK_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::OK();
+}
+
+Result<int> UseAssignOrReturn(int x) {
+  PSK_ASSIGN_OR_RETURN(int doubled, DoubleIfPositive(x));
+  return doubled + 1;
+}
+
+TEST(MacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UseReturnIfError(5).ok());
+  EXPECT_EQ(UseReturnIfError(-1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MacrosTest, AssignOrReturnPropagates) {
+  Result<int> ok = UseAssignOrReturn(10);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 21);
+  Result<int> bad = UseAssignOrReturn(0);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace psk

@@ -1,0 +1,133 @@
+// Property-based verification of the paper's Theorems 1 and 2: the
+// Condition 1 / Condition 2 bounds computed on the initial microdata
+// dominate the bounds of any masked microdata derived from it by
+// generalization followed by suppression.
+
+#include <gtest/gtest.h>
+
+#include "psk/anonymity/frequency_stats.h"
+#include "psk/common/random.h"
+#include "psk/datagen/synthetic.h"
+#include "psk/generalize/generalize.h"
+#include "psk/lattice/lattice.h"
+#include "test_util.h"
+
+namespace psk {
+namespace {
+
+struct TheoremParam {
+  size_t num_rows;
+  size_t key_card;
+  size_t conf_card;
+  double conf_theta;
+  size_t k;
+};
+
+class TheoremSweep : public ::testing::TestWithParam<TheoremParam> {};
+
+TEST_P(TheoremSweep, BoundsDominateAllMaskedMicrodata) {
+  const TheoremParam param = GetParam();
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    SyntheticSpec spec =
+        MakeUniformSpec(param.num_rows, /*num_key=*/2, param.key_card,
+                        /*num_conf=*/2, param.conf_card, param.conf_theta);
+    SyntheticData data = UnwrapOk(SyntheticGenerate(spec, seed));
+    const Table& im = data.table;
+
+    FrequencyStats im_stats = UnwrapOk(FrequencyStats::Compute(im));
+    size_t max_p = im_stats.MaxP();
+    ASSERT_GE(max_p, 2u);
+
+    GeneralizationLattice lattice(data.hierarchies);
+    for (const LatticeNode& node : lattice.AllNodes()) {
+      // Generalization followed by suppression, exactly the masking model
+      // of the theorems.
+      MaskedMicrodata mm =
+          UnwrapOk(Mask(im, data.hierarchies, node, param.k));
+      if (mm.table.num_rows() == 0) continue;  // everything suppressed
+
+      FrequencyStats mm_stats = UnwrapOk(FrequencyStats::Compute(mm.table));
+
+      // Theorem 1: maxP >= maxP_M.
+      EXPECT_GE(max_p, mm_stats.MaxP())
+          << "node=" << node.ToString() << " seed=" << seed;
+
+      // Theorem 2: maxGroups(p) >= maxGroups_M(p) for every applicable p.
+      for (size_t p = 2; p <= mm_stats.MaxP() && p <= max_p; ++p) {
+        uint64_t im_bound = UnwrapOk(im_stats.MaxGroups(p));
+        uint64_t mm_bound = UnwrapOk(mm_stats.MaxGroups(p));
+        EXPECT_GE(im_bound, mm_bound)
+            << "p=" << p << " node=" << node.ToString() << " seed=" << seed;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, TheoremSweep,
+    ::testing::Values(TheoremParam{100, 3, 4, 0.0, 2},
+                      TheoremParam{100, 3, 4, 1.2, 2},
+                      TheoremParam{200, 5, 6, 0.8, 3},
+                      TheoremParam{150, 4, 3, 0.5, 4},
+                      TheoremParam{80, 2, 8, 1.5, 2}),
+    [](const ::testing::TestParamInfo<TheoremParam>& info) {
+      const TheoremParam& p = info.param;
+      return "n" + std::to_string(p.num_rows) + "kc" +
+             std::to_string(p.key_card) + "cc" + std::to_string(p.conf_card) +
+             "k" + std::to_string(p.k) + "t" +
+             std::to_string(static_cast<int>(p.conf_theta * 10));
+    });
+
+// The inequality in Theorem 1's proof is driven by suppression alone:
+// generalization never changes confidential values. Verify that the
+// generalized-but-unsuppressed microdata has *identical* frequency stats.
+TEST(TheoremsTest, GeneralizationPreservesConfidentialFrequencies) {
+  SyntheticSpec spec = MakeUniformSpec(150, 2, 4, 2, 5, 0.7);
+  SyntheticData data = UnwrapOk(SyntheticGenerate(spec, 99));
+  const Table& im = data.table;
+  FrequencyStats im_stats = UnwrapOk(FrequencyStats::Compute(im));
+
+  GeneralizationLattice lattice(data.hierarchies);
+  for (const LatticeNode& node : lattice.AllNodes()) {
+    Table generalized =
+        UnwrapOk(ApplyGeneralization(im, data.hierarchies, node));
+    FrequencyStats g_stats = UnwrapOk(FrequencyStats::Compute(generalized));
+    ASSERT_EQ(g_stats.MaxP(), im_stats.MaxP());
+    ASSERT_EQ(g_stats.n(), im_stats.n());
+    for (size_t j = 0; j < im_stats.q(); ++j) {
+      ASSERT_EQ(g_stats.s(j), im_stats.s(j));
+      for (size_t i = 0; i < im_stats.s(j); ++i) {
+        ASSERT_EQ(g_stats.f(j, i), im_stats.f(j, i));
+      }
+    }
+  }
+}
+
+// Suppression of a random subset (the most general form of tuple removal)
+// also respects both bounds — the theorems' proofs only use |removed| <= ts.
+TEST(TheoremsTest, ArbitraryTupleRemovalRespectsBounds) {
+  SyntheticSpec spec = MakeUniformSpec(200, 2, 4, 3, 6, 1.0);
+  SyntheticData data = UnwrapOk(SyntheticGenerate(spec, 7));
+  const Table& im = data.table;
+  FrequencyStats im_stats = UnwrapOk(FrequencyStats::Compute(im));
+
+  Rng rng(123);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<bool> keep(im.num_rows());
+    for (size_t r = 0; r < im.num_rows(); ++r) {
+      keep[r] = rng.Bernoulli(0.8);
+    }
+    Table subset = UnwrapOk(im.FilterByMask(keep));
+    if (subset.num_rows() == 0) continue;
+    FrequencyStats sub_stats = UnwrapOk(FrequencyStats::Compute(subset));
+    EXPECT_GE(im_stats.MaxP(), sub_stats.MaxP());
+    for (size_t p = 2; p <= sub_stats.MaxP(); ++p) {
+      EXPECT_GE(UnwrapOk(im_stats.MaxGroups(p)),
+                UnwrapOk(sub_stats.MaxGroups(p)))
+          << "trial=" << trial << " p=" << p;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace psk
