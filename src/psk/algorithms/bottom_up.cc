@@ -70,7 +70,8 @@ Result<MinimalSetResult> BottomUpSearch(const Table& initial_microdata,
     }
   }
 
-  for (int h = 0; h <= lattice.height(); ++h) {
+  bool stopped = false;
+  for (int h = 0; h <= lattice.height() && !stopped; ++h) {
     for (const LatticeNode& node : lattice.NodesAtHeight(h)) {
       bool below_bound = false;
       for (size_t i = 0; i < lower_bounds.size(); ++i) {
@@ -96,8 +97,17 @@ Result<MinimalSetResult> BottomUpSearch(const Table& initial_microdata,
         ++evaluator.mutable_stats()->nodes_skipped;
         continue;
       }
-      PSK_ASSIGN_OR_RETURN(NodeEvaluation eval, evaluator.Evaluate(node));
-      if (eval.satisfied) {
+      Result<NodeEvaluation> eval = evaluator.Evaluate(node);
+      if (!eval.ok()) {
+        // Budget stop: the minimal nodes collected so far stay valid (every
+        // one was fully evaluated); anything else propagates.
+        if (!AbsorbBudgetStop(eval.status(), evaluator.mutable_stats())) {
+          return eval.status();
+        }
+        stopped = true;
+        break;
+      }
+      if (eval->satisfied) {
         result.minimal_nodes.push_back(node);
         result.satisfying_nodes.push_back(node);
       }

@@ -17,16 +17,22 @@ struct ShardOutcome {
 ShardOutcome EvaluateShard(const Table& im, const HierarchySet& hierarchies,
                            const SearchOptions& options,
                            const std::vector<LatticeNode>& nodes,
+                           std::shared_ptr<BudgetEnforcer> enforcer,
                            size_t shard, size_t stride) {
   ShardOutcome outcome;
   // Each thread owns an evaluator; Init recomputes the Condition bounds,
-  // which is O(n) and negligible next to the sweep itself.
+  // which is O(n) and negligible next to the sweep itself. The budget
+  // enforcer is shared so the limits stay global across shards.
   NodeEvaluator evaluator(im, hierarchies, options);
+  evaluator.set_enforcer(std::move(enforcer));
   outcome.status = evaluator.Init();
   if (!outcome.status.ok()) return outcome;
   for (size_t i = shard; i < nodes.size(); i += stride) {
     Result<NodeEvaluation> eval = evaluator.Evaluate(nodes[i]);
     if (!eval.ok()) {
+      // On a budget stop the shard keeps what it found; the caller merges
+      // the partial flag through SearchStats::Add.
+      if (AbsorbBudgetStop(eval.status(), evaluator.mutable_stats())) break;
       outcome.status = eval.status();
       return outcome;
     }
@@ -56,8 +62,12 @@ Result<MinimalSetResult> ExhaustiveSearch(const Table& initial_microdata,
 
   if (options.threads <= 1) {
     for (const LatticeNode& node : nodes) {
-      PSK_ASSIGN_OR_RETURN(NodeEvaluation eval, evaluator.Evaluate(node));
-      if (eval.satisfied) result.satisfying_nodes.push_back(node);
+      Result<NodeEvaluation> eval = evaluator.Evaluate(node);
+      if (!eval.ok()) {
+        if (AbsorbBudgetStop(eval.status(), evaluator.mutable_stats())) break;
+        return eval.status();
+      }
+      if (eval->satisfied) result.satisfying_nodes.push_back(node);
     }
     result.stats = evaluator.stats();
   } else {
@@ -68,7 +78,7 @@ Result<MinimalSetResult> ExhaustiveSearch(const Table& initial_microdata,
       futures.push_back(std::async(
           std::launch::async, EvaluateShard, std::cref(initial_microdata),
           std::cref(hierarchies), std::cref(options), std::cref(nodes),
-          shard, threads));
+          evaluator.enforcer(), shard, threads));
     }
     // Shard results arrive per-thread in stride order; re-establish the
     // height-major order of `nodes` afterwards.

@@ -170,12 +170,21 @@ Result<GreedyClusterResult> GreedyClusterAnonymize(
   }
 
   DistanceContext ctx = BuildDistanceContext(initial_microdata);
+  BudgetEnforcer enforcer(options.budget);
+  StatusCode stop_reason = StatusCode::kOk;
   std::vector<bool> assigned(n, false);
   size_t unassigned = n;
   std::vector<std::vector<size_t>> clusters;
   size_t previous_seed = 0;
 
   while (unassigned >= options.k) {
+    // Budget checkpoint: seeding scans every record once.
+    Status charged = enforcer.Charge(1, n);
+    if (!charged.ok()) {
+      if (clusters.empty()) return charged;
+      stop_reason = charged.code();
+      break;  // completed clusters absorb the leftovers below
+    }
     // Seed: farthest unassigned record from the previous seed.
     size_t seed = SIZE_MAX;
     double best_d = -1.0;
@@ -200,6 +209,16 @@ Result<GreedyClusterResult> GreedyClusterAnonymize(
 
     bool abandoned = false;
     while (cluster.size() < options.k || !diversity.Satisfied()) {
+      // Budget checkpoint: each growth step scans every record once. A
+      // trip mid-cluster dissolves the incomplete cluster like the
+      // no-candidate case so the output never contains an undersized group.
+      Status grow = enforcer.Charge(1, n);
+      if (!grow.ok()) {
+        if (clusters.empty()) return grow;
+        stop_reason = grow.code();
+        abandoned = true;
+        break;
+      }
       bool need_diversity = !diversity.Satisfied();
       size_t best = SIZE_MAX;
       double best_dist = std::numeric_limits<double>::infinity();
@@ -297,6 +316,8 @@ Result<GreedyClusterResult> GreedyClusterAnonymize(
   GreedyClusterResult result;
   result.masked = std::move(masked);
   result.num_clusters = clusters.size();
+  result.partial = stop_reason != StatusCode::kOk;
+  result.stop_reason = stop_reason;
   return result;
 }
 

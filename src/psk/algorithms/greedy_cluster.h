@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "psk/common/result.h"
+#include "psk/common/run_budget.h"
 #include "psk/table/table.h"
 
 namespace psk {
@@ -14,6 +15,13 @@ struct GreedyClusterOptions {
   size_t k = 2;
   /// p-sensitivity requirement per cluster; 1 disables it.
   size_t p = 1;
+  /// Resource limits. When exhausted mid-run, the in-progress cluster is
+  /// dissolved, no further clusters are formed, and the unassigned records
+  /// join their nearest completed cluster — so the output still satisfies
+  /// k and p, just with fewer (larger) clusters — and the result is
+  /// flagged partial. A budget that trips before the first cluster
+  /// completes fails with the budget's own status.
+  RunBudget budget;
 };
 
 /// Result of a greedy clustering run.
@@ -22,6 +30,10 @@ struct GreedyClusterResult {
   /// "[lo-hi]", categorical sets "{a,b}"); identifiers dropped.
   Table masked;
   size_t num_clusters = 0;
+  /// True when the budget ran out before clustering finished.
+  bool partial = false;
+  /// Why the run stopped early; kOk when it ran to completion.
+  StatusCode stop_reason = StatusCode::kOk;
 };
 
 /// Greedy p-sensitive k-anonymous clustering, in the style of the

@@ -225,11 +225,13 @@ Result<MinimalSetResult> IncognitoSearch(
   // sat[subset] = level vectors (over that subset) that are k-anonymous
   // within the suppression budget.
   std::map<std::vector<size_t>, std::set<std::vector<int>>> sat;
+  bool stopped = false;
 
-  for (size_t size = 1; size <= m; ++size) {
+  for (size_t size = 1; size <= m && !stopped; ++size) {
     std::vector<std::vector<size_t>> subsets;
     Subsets(m, size, &subsets);
     for (const std::vector<size_t>& attrs : subsets) {
+      if (stopped) break;
       std::set<std::vector<int>>& satisfied = sat[attrs];
       for (const std::vector<int>& levels : SubLatticeNodes(attrs,
                                                             max_levels)) {
@@ -264,6 +266,17 @@ Result<MinimalSetResult> IncognitoSearch(
           satisfied.insert(levels);
           ++stats->nodes_skipped;
           continue;
+        }
+        // The subset phases bypass NodeEvaluator, so they account their
+        // work directly; each check scans the whole encoded table.
+        Status charged = evaluator.enforcer()->Charge(1, encoded.num_rows());
+        if (!charged.ok()) {
+          if (!AbsorbBudgetStop(charged, stats)) return charged;
+          // Entries already in `sat` were fully verified, so the final
+          // phase can still mine them for (possibly incomplete) minimal
+          // nodes.
+          stopped = true;
+          break;
         }
         ++stats->subset_nodes_evaluated;
         size_t violating =
@@ -316,8 +329,12 @@ Result<MinimalSetResult> IncognitoSearch(
       result.satisfying_nodes.push_back(node);
       continue;
     }
-    PSK_ASSIGN_OR_RETURN(NodeEvaluation eval, evaluator.Evaluate(node));
-    if (eval.satisfied) {
+    Result<NodeEvaluation> eval = evaluator.Evaluate(node);
+    if (!eval.ok()) {
+      if (!AbsorbBudgetStop(eval.status(), stats)) return eval.status();
+      break;
+    }
+    if (eval->satisfied) {
       result.minimal_nodes.push_back(node);
       result.satisfying_nodes.push_back(node);
     }

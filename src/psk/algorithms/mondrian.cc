@@ -74,12 +74,21 @@ bool MedianSplit(const Table& table, const std::vector<size_t>& rows,
   return !left->empty() && !right->empty();
 }
 
-// Recursively partitions `rows`, appending leaves to `leaves`.
+// Recursively partitions `rows`, appending leaves to `leaves`. When the
+// budget runs out the current partition is kept whole as a leaf — coarser
+// than optimal but still satisfying the constraints its parent satisfied.
 void Partition(const Table& table, std::vector<size_t> rows,
                const std::vector<size_t>& key_indices,
                const std::vector<size_t>& conf_indices,
-               const MondrianOptions& options,
+               const MondrianOptions& options, BudgetEnforcer* enforcer,
+               StatusCode* stop_reason,
                std::vector<std::vector<size_t>>* leaves) {
+  Status charged = enforcer->Charge(1, rows.size());
+  if (!charged.ok()) {
+    if (*stop_reason == StatusCode::kOk) *stop_reason = charged.code();
+    leaves->push_back(std::move(rows));
+    return;
+  }
   // Order candidate split attributes by distinct count, widest first.
   std::vector<std::pair<size_t, size_t>> candidates;  // (distinct, col)
   for (size_t col : key_indices) {
@@ -96,9 +105,9 @@ void Partition(const Table& table, std::vector<size_t> rows,
     if (Allowable(table, left, conf_indices, options) &&
         Allowable(table, right, conf_indices, options)) {
       Partition(table, std::move(left), key_indices, conf_indices, options,
-                leaves);
+                enforcer, stop_reason, leaves);
       Partition(table, std::move(right), key_indices, conf_indices, options,
-                leaves);
+                enforcer, stop_reason, leaves);
       return;
     }
   }
@@ -165,9 +174,11 @@ Result<MondrianResult> MondrianAnonymize(const Table& initial_microdata,
         "exists");
   }
 
+  BudgetEnforcer enforcer(options.budget);
+  StatusCode stop_reason = StatusCode::kOk;
   std::vector<std::vector<size_t>> leaves;
   Partition(initial_microdata, std::move(all_rows), key_indices, conf_indices,
-            options, &leaves);
+            options, &enforcer, &stop_reason, &leaves);
 
   // Build the output schema: identifiers dropped, key attributes re-typed
   // to string (labels).
@@ -205,7 +216,11 @@ Result<MondrianResult> MondrianAnonymize(const Table& initial_microdata,
     }
   }
 
-  MondrianResult result{std::move(masked), leaves.size()};
+  MondrianResult result;
+  result.masked = std::move(masked);
+  result.num_partitions = leaves.size();
+  result.partial = stop_reason != StatusCode::kOk;
+  result.stop_reason = stop_reason;
   return result;
 }
 

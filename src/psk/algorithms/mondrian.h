@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "psk/common/result.h"
+#include "psk/common/run_budget.h"
 #include "psk/table/table.h"
 
 namespace psk {
@@ -14,6 +15,10 @@ struct MondrianOptions {
   size_t k = 2;
   /// p-sensitivity constraint enforced on every partition; 1 disables it.
   size_t p = 1;
+  /// Resource limits. When exhausted mid-run, partitions stop splitting and
+  /// become leaves as-is — still k-anonymous and p-sensitive, just coarser
+  /// than a full run would produce — and the result is flagged partial.
+  RunBudget budget;
 };
 
 /// Result of a Mondrian run.
@@ -25,6 +30,11 @@ struct MondrianResult {
   Table masked;
   /// Number of leaf partitions (QI-groups) produced.
   size_t num_partitions = 0;
+  /// True when the budget ran out before partitioning finished; the output
+  /// still satisfies the constraints but is coarser than optimal.
+  bool partial = false;
+  /// Why the run stopped early; kOk when it ran to completion.
+  StatusCode stop_reason = StatusCode::kOk;
 };
 
 /// Greedy top-down multidimensional partitioning (Mondrian, LeFevre et al.

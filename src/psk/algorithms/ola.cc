@@ -140,17 +140,40 @@ Result<OlaResult> OlaSearch(const Table& initial_microdata,
 
   LatticeNode bottom = lattice.Bottom();
   LatticeNode top = lattice.Top();
-  PSK_ASSIGN_OR_RETURN(bool top_ok, driver.Satisfies(top));
-  if (!top_ok) {
+  Result<bool> top_ok = driver.Satisfies(top);
+  if (!top_ok.ok()) {
+    // Budget spent before even the lattice top was checked: nothing usable.
+    if (!AbsorbBudgetStop(top_ok.status(), evaluator.mutable_stats())) {
+      return top_ok.status();
+    }
+    result.stats = evaluator.stats();
+    return result;
+  }
+  if (!*top_ok) {
     result.stats = evaluator.stats();
     return result;  // nothing satisfies
   }
   std::vector<LatticeNode> candidates;
-  PSK_ASSIGN_OR_RETURN(bool bottom_ok, driver.Satisfies(bottom));
-  if (bottom_ok) {
+  Result<bool> bottom_ok = driver.Satisfies(bottom);
+  if (!bottom_ok.ok()) {
+    if (!AbsorbBudgetStop(bottom_ok.status(), evaluator.mutable_stats())) {
+      return bottom_ok.status();
+    }
+    // The top satisfies and is the only verified node; fall through so the
+    // metric phase can still materialize it.
+    candidates.push_back(top);
+  } else if (*bottom_ok) {
     candidates.push_back(bottom);
   } else {
-    PSK_RETURN_IF_ERROR(driver.Bisect(bottom, top, &candidates));
+    Status bisected = driver.Bisect(bottom, top, &candidates);
+    if (!bisected.ok()) {
+      if (!AbsorbBudgetStop(bisected, evaluator.mutable_stats())) {
+        return bisected;
+      }
+      // Candidates collected before the stop are sub-lattice tops already
+      // known to satisfy; the top of the lattice always qualifies.
+      candidates.push_back(top);
+    }
   }
 
   // Deduplicate, verify each candidate actually satisfies (bisection can
@@ -161,8 +184,16 @@ Result<OlaResult> OlaSearch(const Table& initial_microdata,
                    candidates.end());
   std::vector<LatticeNode> verified;
   for (const LatticeNode& node : candidates) {
-    PSK_ASSIGN_OR_RETURN(bool ok, driver.Satisfies(node));
-    if (ok) verified.push_back(node);
+    Result<bool> ok = driver.Satisfies(node);
+    if (!ok.ok()) {
+      if (!AbsorbBudgetStop(ok.status(), evaluator.mutable_stats())) {
+        return ok.status();
+      }
+      // Unverifiable under the exhausted budget; tag-known candidates are
+      // still resolved without charging, so keep scanning.
+      continue;
+    }
+    if (*ok) verified.push_back(node);
   }
   result.minimal_nodes = MinimalNodes(verified);
   if (result.minimal_nodes.empty()) {

@@ -33,13 +33,23 @@ Result<SearchResult> SamaratiSearch(const Table& initial_microdata,
   int low = 0;
   int high = lattice.height();
   std::optional<LatticeNode> best;
+  bool stopped = false;
 
   while (low < high) {
     int mid = (low + high) / 2;
-    PSK_ASSIGN_OR_RETURN(std::optional<LatticeNode> hit,
-                         ProbeHeight(evaluator, lattice, mid));
-    if (hit.has_value()) {
-      best = hit;
+    Result<std::optional<LatticeNode>> hit =
+        ProbeHeight(evaluator, lattice, mid);
+    if (!hit.ok()) {
+      // A budget stop keeps the best satisfying node seen so far (it is a
+      // valid, if possibly non-minimal, solution); hard errors propagate.
+      if (!AbsorbBudgetStop(hit.status(), evaluator.mutable_stats())) {
+        return hit.status();
+      }
+      stopped = true;
+      break;
+    }
+    if (hit->has_value()) {
+      best = *hit;
       high = mid;
     } else {
       low = mid + 1;
@@ -49,12 +59,18 @@ Result<SearchResult> SamaratiSearch(const Table& initial_microdata,
   // `low` is the candidate minimal height. If the last successful probe was
   // exactly at `low` we already hold a witness; otherwise probe it (this
   // also covers the case where the loop never probed height(GL)).
-  if (!best.has_value() || best->Height() != low) {
+  if (!stopped && (!best.has_value() || best->Height() != low)) {
     for (int h = low; h <= lattice.height(); ++h) {
-      PSK_ASSIGN_OR_RETURN(std::optional<LatticeNode> hit,
-                           ProbeHeight(evaluator, lattice, h));
-      if (hit.has_value()) {
-        best = hit;
+      Result<std::optional<LatticeNode>> hit =
+          ProbeHeight(evaluator, lattice, h);
+      if (!hit.ok()) {
+        if (!AbsorbBudgetStop(hit.status(), evaluator.mutable_stats())) {
+          return hit.status();
+        }
+        break;
+      }
+      if (hit->has_value()) {
+        best = *hit;
         break;
       }
       // Reaching here means the property is non-monotone (p >= 2 with

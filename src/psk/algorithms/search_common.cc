@@ -6,6 +6,15 @@
 
 namespace psk {
 
+bool AbsorbBudgetStop(const Status& status, SearchStats* stats) {
+  if (!IsBudgetExhausted(status)) return false;
+  if (!stats->partial) {
+    stats->partial = true;
+    stats->stop_reason = status.code();
+  }
+  return true;
+}
+
 NodeEvaluator::NodeEvaluator(const Table& initial_microdata,
                              const HierarchySet& hierarchies,
                              SearchOptions options)
@@ -37,6 +46,9 @@ Status NodeEvaluator::Init() {
       PSK_ASSIGN_OR_RETURN(max_groups_, stats.MaxGroups(options_.p));
     }
   }
+  if (enforcer_ == nullptr) {
+    enforcer_ = std::make_shared<BudgetEnforcer>(options_.budget);
+  }
   initialized_ = true;
   return Status::OK();
 }
@@ -49,6 +61,9 @@ Result<NodeEvaluation> NodeEvaluator::Evaluate(const LatticeNode& node) {
     return Status::FailedPrecondition(
         "Condition 1 fails for the requested p; no node can satisfy it");
   }
+  // Budget checkpoint: every node evaluation generalizes the whole table,
+  // so this is the natural unit of work to account.
+  PSK_RETURN_IF_ERROR(enforcer_->Charge(1, im_.num_rows()));
   ++stats_.nodes_generalized;
   PSK_ASSIGN_OR_RETURN(Table generalized,
                        ApplyGeneralization(im_, hierarchies_, node));

@@ -2,6 +2,7 @@
 #define PSK_ALGORITHMS_SEARCH_COMMON_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -9,6 +10,7 @@
 #include "psk/anonymity/frequency_stats.h"
 #include "psk/anonymity/psensitive.h"
 #include "psk/common/result.h"
+#include "psk/common/run_budget.h"
 #include "psk/generalize/generalize.h"
 #include "psk/hierarchy/hierarchy.h"
 #include "psk/lattice/lattice.h"
@@ -35,6 +37,11 @@ struct SearchOptions {
   /// Worker threads for searches that evaluate independent nodes
   /// (currently the exhaustive sweep). 1 = sequential.
   size_t threads = 1;
+  /// Resource limits. When a limit trips mid-search, the search stops and
+  /// returns whatever it found so far, with SearchStats::partial set and
+  /// SearchStats::stop_reason naming the limit — it never hangs and never
+  /// discards a usable best-so-far answer.
+  RunBudget budget;
 };
 
 /// Work counters, used to quantify what the necessary conditions save.
@@ -58,6 +65,12 @@ struct SearchStats {
   /// Subset-lattice nodes evaluated (Incognito's phases over proper
   /// quasi-identifier subsets).
   size_t subset_nodes_evaluated = 0;
+  /// True when the search stopped early on an exhausted budget and the
+  /// result is best-so-far rather than complete.
+  bool partial = false;
+  /// Why the search stopped early (kDeadlineExceeded / kCancelled /
+  /// kResourceExhausted); kOk when it ran to completion.
+  StatusCode stop_reason = StatusCode::kOk;
 
   void Add(const SearchStats& other) {
     nodes_generalized += other.nodes_generalized;
@@ -68,8 +81,18 @@ struct SearchStats {
     nodes_skipped += other.nodes_skipped;
     heights_probed += other.heights_probed;
     subset_nodes_evaluated += other.subset_nodes_evaluated;
+    if (other.partial && !partial) {
+      partial = true;
+      stop_reason = other.stop_reason;
+    }
   }
 };
+
+/// If `status` is a budget stop (IsBudgetExhausted), records it in `stats`
+/// as a partial result and returns true so the search can unwind with its
+/// best-so-far answer; returns false for every other (hard) error, which
+/// the search must propagate.
+bool AbsorbBudgetStop(const Status& status, SearchStats* stats);
 
 /// Verdict for one lattice node.
 struct NodeEvaluation {
@@ -100,6 +123,17 @@ class NodeEvaluator {
   /// confidential attributes (confidential required only when p >= 2).
   Status Init();
 
+  /// Shares a budget accountant across evaluators (the threaded exhaustive
+  /// sweep gives all shards one enforcer so every limit is global). Must
+  /// be called before Init; when absent, Init creates a private enforcer
+  /// from options().budget.
+  void set_enforcer(std::shared_ptr<BudgetEnforcer> enforcer) {
+    enforcer_ = std::move(enforcer);
+  }
+  const std::shared_ptr<BudgetEnforcer>& enforcer() const {
+    return enforcer_;
+  }
+
   /// True iff Condition 1 admits the requested p. When false, no node can
   /// ever satisfy the property and searches should report failure
   /// immediately.
@@ -124,6 +158,7 @@ class NodeEvaluator {
   const Table& im_;
   const HierarchySet& hierarchies_;
   SearchOptions options_;
+  std::shared_ptr<BudgetEnforcer> enforcer_;
   bool initialized_ = false;
   bool condition1_holds_ = true;
   size_t max_p_ = 0;

@@ -51,93 +51,86 @@ const LatticeNode* PickNode(const std::vector<LatticeNode>& nodes) {
   return best;
 }
 
-}  // namespace
+bool NeedsHierarchies(AnonymizationAlgorithm algorithm) {
+  return algorithm != AnonymizationAlgorithm::kMondrian &&
+         algorithm != AnonymizationAlgorithm::kGreedyCluster;
+}
 
-Result<AnonymizationReport> Anonymizer::Run() const {
-  const Schema& schema = initial_microdata_.schema();
-  std::vector<size_t> key_indices = schema.KeyIndices();
-  if (key_indices.empty()) {
-    return Status::FailedPrecondition(
-        "the schema declares no key (quasi-identifier) attributes");
+// A failed stage hands over to the next one only when the failure is about
+// this data/budget, not about the configuration: FailedPrecondition (no
+// satisfying masking exists for this stage) and the overrunnable budget
+// codes continue; cancellation and config errors abort the whole chain.
+bool ContinueChain(StatusCode code) {
+  return code == StatusCode::kFailedPrecondition ||
+         code == StatusCode::kDeadlineExceeded ||
+         code == StatusCode::kResourceExhausted;
+}
+
+// One fallback stage: runs `algorithm` under `budget` and either returns a
+// report (possibly flagged partial, but always holding a masked table that
+// satisfied the stage's own checks) or the reason this stage produced
+// nothing.
+Result<AnonymizationReport> RunStage(const Table& im,
+                                     const HierarchySet* hierarchies,
+                                     AnonymizationAlgorithm algorithm,
+                                     const SearchOptions& base_options,
+                                     const RunBudget& budget) {
+  AnonymizationReport report;
+
+  if (algorithm == AnonymizationAlgorithm::kMondrian) {
+    MondrianOptions options;
+    options.k = base_options.k;
+    options.p = base_options.p;
+    options.budget = budget;
+    PSK_ASSIGN_OR_RETURN(MondrianResult mondrian,
+                         MondrianAnonymize(im, options));
+    report.masked = std::move(mondrian.masked);
+    report.partial = mondrian.partial;
+    report.stats.partial = mondrian.partial;
+    report.stats.stop_reason = mondrian.stop_reason;
+    return report;
   }
-
-  if (algorithm_ == AnonymizationAlgorithm::kMondrian ||
-      algorithm_ == AnonymizationAlgorithm::kGreedyCluster) {
-    AnonymizationReport report;
-    if (algorithm_ == AnonymizationAlgorithm::kMondrian) {
-      MondrianOptions options;
-      options.k = k_;
-      options.p = p_;
-      PSK_ASSIGN_OR_RETURN(MondrianResult mondrian,
-                           MondrianAnonymize(initial_microdata_, options));
-      report.masked = std::move(mondrian.masked);
-    } else {
-      GreedyClusterOptions options;
-      options.k = k_;
-      options.p = p_;
-      PSK_ASSIGN_OR_RETURN(
-          GreedyClusterResult cluster,
-          GreedyClusterAnonymize(initial_microdata_, options));
-      report.masked = std::move(cluster.masked);
-    }
-    PSK_RETURN_IF_ERROR(FillScorecard(initial_microdata_, &report));
-    PSK_ASSIGN_OR_RETURN(
-        report.normalized_avg_group_size,
-        NormalizedAvgGroupSize(report.masked,
-                               report.masked.schema().KeyIndices(), k_));
+  if (algorithm == AnonymizationAlgorithm::kGreedyCluster) {
+    GreedyClusterOptions options;
+    options.k = base_options.k;
+    options.p = base_options.p;
+    options.budget = budget;
+    PSK_ASSIGN_OR_RETURN(GreedyClusterResult cluster,
+                         GreedyClusterAnonymize(im, options));
+    report.masked = std::move(cluster.masked);
+    report.partial = cluster.partial;
+    report.stats.partial = cluster.partial;
+    report.stats.stop_reason = cluster.stop_reason;
     return report;
   }
 
-  // Lattice algorithms need one hierarchy per key attribute. Accept them
-  // in any registration order and sort into schema order by name.
-  std::unordered_map<std::string, std::shared_ptr<const AttributeHierarchy>>
-      by_name;
-  for (const auto& hierarchy : hierarchies_) {
-    if (hierarchy == nullptr) {
-      return Status::InvalidArgument("null hierarchy registered");
-    }
-    if (!by_name.emplace(hierarchy->attribute_name(), hierarchy).second) {
-      return Status::AlreadyExists("duplicate hierarchy for attribute '" +
-                                   hierarchy->attribute_name() + "'");
-    }
+  if (hierarchies == nullptr) {
+    return Status::Internal("lattice stage reached without hierarchies");
   }
-  std::vector<std::shared_ptr<const AttributeHierarchy>> ordered;
-  for (size_t col : key_indices) {
-    auto it = by_name.find(schema.attribute(col).name);
-    if (it == by_name.end()) {
-      return Status::InvalidArgument(
-          "no hierarchy registered for key attribute '" +
-          schema.attribute(col).name + "'");
-    }
-    ordered.push_back(it->second);
-  }
-  if (by_name.size() != key_indices.size()) {
-    return Status::InvalidArgument(
-        "hierarchies registered for non-key attributes");
-  }
-  PSK_ASSIGN_OR_RETURN(HierarchySet hierarchy_set,
-                       HierarchySet::Create(schema, std::move(ordered)));
-  // Preflight: every observed key value must generalize at every level,
-  // so configuration errors surface before the lattice search starts.
-  for (size_t i = 0; i < hierarchy_set.size(); ++i) {
-    PSK_RETURN_IF_ERROR(ValidateHierarchyOverColumn(
-        initial_microdata_, key_indices[i], hierarchy_set.hierarchy(i)));
+  GeneralizationLattice lattice(*hierarchies);
+
+  if (algorithm == AnonymizationAlgorithm::kFullSuppression) {
+    // Last resort: mask at the lattice top. O(n), budget-exempt.
+    LatticeNode top = lattice.Top();
+    PSK_ASSIGN_OR_RETURN(MaskedMicrodata mm,
+                         Mask(im, *hierarchies, top, base_options.k));
+    report.masked = std::move(mm.table);
+    report.node = top;
+    report.suppressed = mm.suppressed;
+    report.precision = Precision(top, *hierarchies);
+    return report;
   }
 
-  SearchOptions options;
-  options.k = k_;
-  options.p = p_;
-  options.max_suppression = max_suppression_;
-  options.use_conditions = use_conditions_;
+  SearchOptions options = base_options;
+  options.budget = budget;
 
   std::optional<LatticeNode> node;
   SearchStats stats;
-  if (algorithm_ == AnonymizationAlgorithm::kOla) {
+  if (algorithm == AnonymizationAlgorithm::kOla) {
     OlaOptions ola_options;
     ola_options.search = options;
-    PSK_ASSIGN_OR_RETURN(
-        OlaResult ola,
-        OlaSearch(initial_microdata_, hierarchy_set, ola_options));
+    PSK_ASSIGN_OR_RETURN(OlaResult ola, OlaSearch(im, *hierarchies,
+                                                  ola_options));
     stats = ola.stats;
     if (ola.condition1_failed) {
       return Status::FailedPrecondition(
@@ -145,36 +138,32 @@ Result<AnonymizationReport> Anonymizer::Run() const {
           "distinct values");
     }
     if (ola.found) node = ola.optimal;
-  } else if (algorithm_ == AnonymizationAlgorithm::kSamarati) {
-    PSK_ASSIGN_OR_RETURN(
-        SearchResult result,
-        SamaratiSearch(initial_microdata_, hierarchy_set, options));
+  } else if (algorithm == AnonymizationAlgorithm::kSamarati) {
+    PSK_ASSIGN_OR_RETURN(SearchResult result,
+                         SamaratiSearch(im, *hierarchies, options));
     stats = result.stats;
-    if (result.found) node = result.node;
     if (result.condition1_failed) {
       return Status::FailedPrecondition(
           "Condition 1 fails: some confidential attribute has fewer than p "
           "distinct values");
     }
+    if (result.found) node = result.node;
   } else {
     MinimalSetResult result;
-    switch (algorithm_) {
+    switch (algorithm) {
       case AnonymizationAlgorithm::kIncognito: {
-        PSK_ASSIGN_OR_RETURN(
-            result,
-            IncognitoSearch(initial_microdata_, hierarchy_set, options));
+        PSK_ASSIGN_OR_RETURN(result,
+                             IncognitoSearch(im, *hierarchies, options));
         break;
       }
       case AnonymizationAlgorithm::kBottomUp: {
-        PSK_ASSIGN_OR_RETURN(
-            result,
-            BottomUpSearch(initial_microdata_, hierarchy_set, options));
+        PSK_ASSIGN_OR_RETURN(result,
+                             BottomUpSearch(im, *hierarchies, options));
         break;
       }
       case AnonymizationAlgorithm::kExhaustive: {
-        PSK_ASSIGN_OR_RETURN(
-            result,
-            ExhaustiveSearch(initial_microdata_, hierarchy_set, options));
+        PSK_ASSIGN_OR_RETURN(result,
+                             ExhaustiveSearch(im, *hierarchies, options));
         break;
       }
       default:
@@ -192,26 +181,155 @@ Result<AnonymizationReport> Anonymizer::Run() const {
   }
 
   if (!node.has_value()) {
+    if (stats.partial) {
+      // The budget ran out before the search reached any satisfying node;
+      // surface the budget's own status so the caller (or the next
+      // fallback stage) knows time, not feasibility, was the problem.
+      return Status(stats.stop_reason,
+                    "budget exhausted before any satisfying generalization "
+                    "was found");
+    }
     return Status::FailedPrecondition(
         "no full-domain generalization satisfies the requested k/p within "
         "the suppression budget");
   }
 
-  PSK_ASSIGN_OR_RETURN(
-      MaskedMicrodata mm,
-      Mask(initial_microdata_, hierarchy_set, *node, k_));
-  AnonymizationReport report;
+  PSK_ASSIGN_OR_RETURN(MaskedMicrodata mm,
+                       Mask(im, *hierarchies, *node, base_options.k));
   report.masked = std::move(mm.table);
   report.node = *node;
   report.suppressed = mm.suppressed;
   report.stats = stats;
-  report.precision = Precision(*node, hierarchy_set);
-  PSK_RETURN_IF_ERROR(FillScorecard(initial_microdata_, &report));
-  PSK_ASSIGN_OR_RETURN(
-      report.normalized_avg_group_size,
-      NormalizedAvgGroupSize(report.masked,
-                             report.masked.schema().KeyIndices(), k_));
+  report.partial = stats.partial;
+  report.precision = Precision(*node, *hierarchies);
   return report;
+}
+
+}  // namespace
+
+Result<AnonymizationReport> Anonymizer::Run() const {
+  const Schema& schema = initial_microdata_.schema();
+  std::vector<size_t> key_indices = schema.KeyIndices();
+  if (key_indices.empty()) {
+    return Status::FailedPrecondition(
+        "the schema declares no key (quasi-identifier) attributes");
+  }
+  size_t n = initial_microdata_.num_rows();
+  if (k_ > n) {
+    return Status::FailedPrecondition(
+        "k=" + std::to_string(k_) + " exceeds the number of rows (n=" +
+        std::to_string(n) + "); no QI-group can ever reach k");
+  }
+
+  std::vector<AnonymizationAlgorithm> chain;
+  chain.push_back(algorithm_);
+  chain.insert(chain.end(), fallback_chain_.begin(), fallback_chain_.end());
+
+  // Lattice stages need one hierarchy per key attribute. Accept them in
+  // any registration order and sort into schema order by name. Skipped
+  // entirely for a pure local-recoding chain, which needs no hierarchies.
+  bool needs_hierarchies = false;
+  for (AnonymizationAlgorithm algorithm : chain) {
+    if (NeedsHierarchies(algorithm)) needs_hierarchies = true;
+  }
+  std::optional<HierarchySet> hierarchy_set;
+  if (needs_hierarchies) {
+    std::unordered_map<std::string, std::shared_ptr<const AttributeHierarchy>>
+        by_name;
+    for (const auto& hierarchy : hierarchies_) {
+      if (hierarchy == nullptr) {
+        return Status::InvalidArgument("null hierarchy registered");
+      }
+      if (!by_name.emplace(hierarchy->attribute_name(), hierarchy).second) {
+        return Status::AlreadyExists("duplicate hierarchy for attribute '" +
+                                     hierarchy->attribute_name() + "'");
+      }
+    }
+    std::vector<std::shared_ptr<const AttributeHierarchy>> ordered;
+    for (size_t col : key_indices) {
+      auto it = by_name.find(schema.attribute(col).name);
+      if (it == by_name.end()) {
+        return Status::InvalidArgument(
+            "no hierarchy registered for key attribute '" +
+            schema.attribute(col).name + "'");
+      }
+      ordered.push_back(it->second);
+    }
+    if (by_name.size() != key_indices.size()) {
+      return Status::InvalidArgument(
+          "hierarchies registered for non-key attributes");
+    }
+    PSK_ASSIGN_OR_RETURN(hierarchy_set,
+                         HierarchySet::Create(schema, std::move(ordered)));
+    // Preflight: every observed key value must generalize at every level,
+    // so configuration errors surface before the lattice search starts.
+    for (size_t i = 0; i < hierarchy_set->size(); ++i) {
+      PSK_RETURN_IF_ERROR(ValidateHierarchyOverColumn(
+          initial_microdata_, key_indices[i], hierarchy_set->hierarchy(i)));
+    }
+  }
+
+  SearchOptions base_options;
+  base_options.k = k_;
+  base_options.p = p_;
+  base_options.max_suppression = max_suppression_;
+  base_options.use_conditions = use_conditions_;
+
+  // One clock for the whole Run: every stage gets the time still left when
+  // it starts, so a slow primary cannot starve the chain of its own limit
+  // accounting (a stage entered with zero remaining trips immediately and
+  // falls through). Node/row caps apply per stage.
+  BudgetEnforcer overall(budget_);
+
+  Status last_error = Status::OK();
+  for (size_t stage = 0; stage < chain.size(); ++stage) {
+    RunBudget stage_budget = budget_;
+    if (budget_.deadline.has_value()) {
+      stage_budget.deadline = overall.Remaining();
+    }
+    Result<AnonymizationReport> attempt =
+        RunStage(initial_microdata_,
+                 hierarchy_set.has_value() ? &*hierarchy_set : nullptr,
+                 chain[stage], base_options, stage_budget);
+    if (!attempt.ok()) {
+      last_error = attempt.status();
+      if (!ContinueChain(last_error.code())) return last_error;
+      continue;
+    }
+
+    AnonymizationReport report = std::move(*attempt);
+    report.algorithm_used = chain[stage];
+    report.fallback_stage = stage;
+
+    if (release_transform_ != nullptr) {
+      PSK_ASSIGN_OR_RETURN(report.masked,
+                           release_transform_(std::move(report.masked)));
+    }
+    if (guard_enabled_) {
+      GuardPolicy policy;
+      if (guard_policy_.has_value()) {
+        policy = *guard_policy_;
+      } else {
+        policy.k = k_;
+        policy.p = p_;
+        policy.max_suppression = max_suppression_;
+        // p-sensitivity with p >= 2 implies zero attribute disclosures;
+        // hold every release to that.
+        if (p_ >= 2) policy.max_attribute_disclosures = 0;
+      }
+      // Guard refusal is final — a violating release must not escape, and
+      // falling back to a *weaker* algorithm could not fix it anyway.
+      PSK_RETURN_IF_ERROR(EnforceRelease(report.masked, n, policy,
+                                         &report.guard));
+    }
+    PSK_RETURN_IF_ERROR(FillScorecard(initial_microdata_, &report));
+    PSK_ASSIGN_OR_RETURN(
+        report.normalized_avg_group_size,
+        NormalizedAvgGroupSize(report.masked,
+                               report.masked.schema().KeyIndices(), k_));
+    return report;
+  }
+  return last_error;
 }
 
 }  // namespace psk

@@ -1,6 +1,8 @@
 #ifndef PSK_API_ANONYMIZER_H_
 #define PSK_API_ANONYMIZER_H_
 
+#include <chrono>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -8,6 +10,8 @@
 
 #include "psk/algorithms/search_common.h"
 #include "psk/common/result.h"
+#include "psk/common/run_budget.h"
+#include "psk/guard/guard.h"
 #include "psk/hierarchy/hierarchy.h"
 #include "psk/table/table.h"
 
@@ -33,6 +37,11 @@ enum class AnonymizationAlgorithm {
   /// OLA: optimal lattice anonymization — among all minimal nodes, picks
   /// the one minimizing the discernibility metric.
   kOla = 6,
+  /// Last-resort degradation: generalize every key attribute to the top of
+  /// its hierarchy (one QI-group holding the whole table). Maximally
+  /// private, minimally useful, and O(n) — it ignores the run budget, so a
+  /// fallback chain ending here always produces *some* release.
+  kFullSuppression = 7,
 };
 
 /// The outcome of one anonymization run: the masked microdata plus the
@@ -57,6 +66,20 @@ struct AnonymizationReport {
   double precision = 1.0;
 
   SearchStats stats;
+
+  // Provenance: how the release was produced.
+  /// The algorithm that actually produced the release (differs from the
+  /// configured one when a fallback stage took over).
+  AnonymizationAlgorithm algorithm_used = AnonymizationAlgorithm::kSamarati;
+  /// Index into the chain {primary, fallbacks...}: 0 = the configured
+  /// algorithm, 1 = first fallback, and so on.
+  size_t fallback_stage = 0;
+  /// True when the producing stage stopped on an exhausted budget and
+  /// released its best-so-far answer (stats.stop_reason says why).
+  bool partial = false;
+  /// The release guard's independent measurements (populated unless the
+  /// guard was disabled).
+  GuardReport guard;
 };
 
 /// One-stop API over the whole library: configure the dataset, the
@@ -108,9 +131,61 @@ class Anonymizer {
     return *this;
   }
 
-  /// Runs the configured algorithm. Fails with FailedPrecondition when no
-  /// masking satisfies the requirements (the message says which gate
-  /// failed), or InvalidArgument for inconsistent configuration.
+  /// Wall-clock deadline for the whole Run, fallback stages included
+  /// (sugar for set_budget with only the deadline set).
+  Anonymizer& set_deadline(std::chrono::milliseconds deadline) {
+    budget_.deadline = deadline;
+    return *this;
+  }
+  /// Full resource budget (deadline, node and row caps, cancellation) for
+  /// the whole Run. Each stage of the fallback chain runs under the time
+  /// remaining when it starts; the node/row caps apply per stage.
+  Anonymizer& set_budget(RunBudget budget) {
+    budget_ = std::move(budget);
+    return *this;
+  }
+  /// Algorithms to try, in order, when the configured one fails to produce
+  /// a release (no satisfying node, or budget exhausted empty-handed).
+  /// Configuration errors and cancellation abort the chain. A typical
+  /// chain degrades from exact search to local recoding to full
+  /// suppression:
+  ///   anonymizer.set_fallback_chain({
+  ///       AnonymizationAlgorithm::kGreedyCluster,
+  ///       AnonymizationAlgorithm::kFullSuppression});
+  Anonymizer& set_fallback_chain(std::vector<AnonymizationAlgorithm> chain) {
+    fallback_chain_ = std::move(chain);
+    return *this;
+  }
+  /// The release guard independently re-checks every release before Run
+  /// returns it (on by default). Disable only for measurement runs whose
+  /// output is never released.
+  Anonymizer& set_guard_enabled(bool enabled) {
+    guard_enabled_ = enabled;
+    return *this;
+  }
+  /// Overrides the guard policy. By default the guard enforces the
+  /// configured k, p and suppression threshold, plus zero attribute
+  /// disclosures when p >= 2 (which p-sensitivity implies).
+  Anonymizer& set_guard_policy(GuardPolicy policy) {
+    guard_policy_ = std::move(policy);
+    return *this;
+  }
+  /// Post-processing hook applied to the masked table after the algorithm
+  /// and before the guard — the guard sees (and vets) the transformed
+  /// table, so a transform that breaks the privacy properties is refused.
+  Anonymizer& set_release_transform(
+      std::function<Result<Table>(Table)> transform) {
+    release_transform_ = std::move(transform);
+    return *this;
+  }
+
+  /// Runs the configured algorithm, then each fallback in turn if it
+  /// cannot produce a release, then the release guard. Fails with
+  /// FailedPrecondition when no stage satisfies the requirements or the
+  /// guard refuses the release (the message says which gate failed),
+  /// InvalidArgument for inconsistent configuration, or the budget's own
+  /// status (DeadlineExceeded / ResourceExhausted / Cancelled) when the
+  /// budget ran out before any stage produced a usable result.
   Result<AnonymizationReport> Run() const;
 
  private:
@@ -121,6 +196,11 @@ class Anonymizer {
   size_t max_suppression_ = 0;
   AnonymizationAlgorithm algorithm_ = AnonymizationAlgorithm::kSamarati;
   bool use_conditions_ = true;
+  RunBudget budget_;
+  std::vector<AnonymizationAlgorithm> fallback_chain_;
+  bool guard_enabled_ = true;
+  std::optional<GuardPolicy> guard_policy_;
+  std::function<Result<Table>(Table)> release_transform_;
 };
 
 }  // namespace psk

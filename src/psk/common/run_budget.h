@@ -1,0 +1,120 @@
+#ifndef PSK_COMMON_RUN_BUDGET_H_
+#define PSK_COMMON_RUN_BUDGET_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "psk/common/status.h"
+
+namespace psk {
+
+/// Cooperative cancellation flag shared between a caller and a running
+/// anonymization. The caller keeps one reference (e.g. wired to a signal
+/// handler or an RPC context) and hands another to RunBudget::cancel; the
+/// search observes the flag at every budget checkpoint and unwinds with
+/// kCancelled. Thread-safe.
+class CancelToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Resource limits for one anonymization run. Default-constructed budgets
+/// are unlimited, so existing callers pay only an atomic increment per
+/// lattice node.
+///
+/// The lattice is exponential in the number of key attributes, so a
+/// hostile schema can make any of the searches run effectively forever; a
+/// budget turns "forever" into a clean kDeadlineExceeded /
+/// kResourceExhausted status carrying whatever best-so-far result the
+/// search had (see SearchStats::partial).
+struct RunBudget {
+  /// Wall-clock limit, measured from the moment the enforcer is created
+  /// (i.e. from the start of the search, not of process).
+  std::optional<std::chrono::milliseconds> deadline;
+  /// Budget checkpoints between wall-clock reads. 1 (the default) reads
+  /// the clock at every checkpoint — a steady_clock read is tens of
+  /// nanoseconds, negligible next to evaluating a lattice node. Raise it
+  /// only for workloads with very cheap checkpoints.
+  uint64_t check_interval = 1;
+  /// Cap on lattice nodes expanded (generalizations applied). For the
+  /// clustering algorithms this counts splits/growth steps instead.
+  std::optional<uint64_t> max_nodes_expanded;
+  /// Cap on total rows materialized across all node evaluations — a proxy
+  /// for peak memory/CPU spent on intermediate tables.
+  std::optional<uint64_t> max_rows_materialized;
+  /// Optional cooperative cancellation; may be shared across runs.
+  std::shared_ptr<CancelToken> cancel;
+
+  /// True when no limit of any kind is configured.
+  bool Unlimited() const {
+    return !deadline.has_value() && !max_nodes_expanded.has_value() &&
+           !max_rows_materialized.has_value() && cancel == nullptr;
+  }
+};
+
+/// Thread-safe accountant for one run. Created when a search starts (the
+/// deadline clock starts ticking at construction) and charged at every
+/// checkpoint; the first exceeded limit makes every subsequent Charge()
+/// fail, so a search cannot accidentally keep working after a stop.
+///
+/// One enforcer may be shared by several NodeEvaluators (the threaded
+/// exhaustive sweep), making every limit global across threads.
+class BudgetEnforcer {
+ public:
+  explicit BudgetEnforcer(RunBudget budget);
+
+  /// Records `nodes` expanded and `rows` materialized, then checks every
+  /// configured limit. Returns OK, or kResourceExhausted /
+  /// kDeadlineExceeded / kCancelled naming the limit and its value.
+  Status Charge(uint64_t nodes = 1, uint64_t rows = 0);
+
+  /// Checks deadline and cancellation without advancing any counter (for
+  /// loops that do bookkeeping between node evaluations).
+  Status Check();
+
+  uint64_t nodes_expanded() const {
+    return nodes_.load(std::memory_order_relaxed);
+  }
+  uint64_t rows_materialized() const {
+    return rows_.load(std::memory_order_relaxed);
+  }
+
+  /// Wall-clock spent since construction.
+  std::chrono::milliseconds Elapsed() const;
+
+  /// Deadline left, clamped at zero; nullopt when no deadline is set.
+  /// Used to re-budget the later stages of a fallback chain.
+  std::optional<std::chrono::milliseconds> Remaining() const;
+
+  const RunBudget& budget() const { return budget_; }
+
+ private:
+  Status Trip(Status status);
+
+  RunBudget budget_;
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<uint64_t> nodes_{0};
+  std::atomic<uint64_t> rows_{0};
+  std::atomic<uint64_t> checks_{0};
+  /// StatusCode of the first exceeded limit; kOk while within budget.
+  std::atomic<int> tripped_code_{0};
+};
+
+/// True iff `status` is one of the budget-stop codes (kDeadlineExceeded,
+/// kCancelled, kResourceExhausted) — the statuses a search absorbs into a
+/// best-so-far partial result rather than propagating as a hard error.
+bool IsBudgetExhausted(const Status& status);
+bool IsBudgetExhausted(StatusCode code);
+
+}  // namespace psk
+
+#endif  // PSK_COMMON_RUN_BUDGET_H_

@@ -22,8 +22,23 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kIOError:
       return "IOError";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
+}
+
+std::optional<StatusCode> StatusCodeFromString(std::string_view name) {
+  for (int raw = static_cast<int>(StatusCode::kOk);
+       raw <= static_cast<int>(StatusCode::kResourceExhausted); ++raw) {
+    StatusCode code = static_cast<StatusCode>(raw);
+    if (StatusCodeToString(code) == name) return code;
+  }
+  return std::nullopt;
 }
 
 std::string Status::ToString() const {

@@ -1,6 +1,7 @@
 #ifndef PSK_COMMON_STATUS_H_
 #define PSK_COMMON_STATUS_H_
 
+#include <optional>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -22,11 +23,20 @@ enum class StatusCode {
   kUnimplemented = 6,
   kInternal = 7,
   kIOError = 8,
+  /// A run exceeded its wall-clock budget (RunBudget::deadline).
+  kDeadlineExceeded = 9,
+  /// A run was cooperatively cancelled through a CancelToken.
+  kCancelled = 10,
+  /// A run exceeded a resource cap (nodes expanded / rows materialized).
+  kResourceExhausted = 11,
 };
 
 /// Returns a stable, human-readable name for a status code ("OK",
 /// "InvalidArgument", ...).
 std::string_view StatusCodeToString(StatusCode code);
+
+/// Inverse of StatusCodeToString; nullopt for unrecognized names.
+std::optional<StatusCode> StatusCodeFromString(std::string_view name);
 
 /// Value-semantic error carrier, modeled after the Status idiom used by
 /// RocksDB / Arrow / Abseil.
@@ -76,6 +86,15 @@ class Status {
   }
   static Status IOError(std::string message) {
     return Status(StatusCode::kIOError, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status Cancelled(std::string message) {
+    return Status(StatusCode::kCancelled, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
   }
 
   /// True iff this status represents success.

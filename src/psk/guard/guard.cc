@@ -1,0 +1,134 @@
+#include "psk/guard/guard.h"
+
+#include "psk/anonymity/kanonymity.h"
+#include "psk/anonymity/psensitive.h"
+
+namespace psk {
+namespace {
+
+std::string Num(size_t value) { return std::to_string(value); }
+
+void AddViolation(GuardReport* report, GuardCheck check,
+                  std::string message) {
+  report->violations.push_back(GuardViolation{check, std::move(message)});
+}
+
+}  // namespace
+
+const char* GuardCheckName(GuardCheck check) {
+  switch (check) {
+    case GuardCheck::kKAnonymity:
+      return "k-anonymity";
+    case GuardCheck::kPSensitivity:
+      return "p-sensitivity";
+    case GuardCheck::kSuppression:
+      return "suppression";
+    case GuardCheck::kAttributeDisclosure:
+      return "attribute-disclosure";
+  }
+  return "unknown";
+}
+
+std::string GuardReport::Summary() const {
+  if (violations.empty()) {
+    return "release passed: k=" + Num(observed_k) + ", p=" +
+           Num(observed_p) + ", suppressed=" + Num(suppressed);
+  }
+  std::string out;
+  for (const GuardViolation& v : violations) {
+    if (!out.empty()) out += "; ";
+    out += "[";
+    out += GuardCheckName(v.check);
+    out += "] ";
+    out += v.message;
+  }
+  return out;
+}
+
+Result<GuardReport> VerifyRelease(const Table& masked, size_t original_rows,
+                                  const GuardPolicy& policy) {
+  if (policy.k < 1) return Status::InvalidArgument("guard k must be >= 1");
+  if (policy.p < 1) return Status::InvalidArgument("guard p must be >= 1");
+  if (masked.num_rows() > original_rows) {
+    return Status::InvalidArgument(
+        "release has " + Num(masked.num_rows()) +
+        " rows but the original microdata had only " + Num(original_rows));
+  }
+
+  GuardReport report;
+  report.suppressed = original_rows - masked.num_rows();
+
+  std::vector<size_t> key_indices = masked.schema().KeyIndices();
+  std::vector<size_t> conf_indices = masked.schema().ConfidentialIndices();
+
+  // k-anonymity (Definition 1). An empty release is vacuously anonymous —
+  // the suppression cap below is what stops "suppress everything" from
+  // being a free pass.
+  if (!key_indices.empty() && masked.num_rows() > 0) {
+    PSK_ASSIGN_OR_RETURN(report.observed_k,
+                         AnonymityK(masked, key_indices));
+    if (report.observed_k < policy.k) {
+      AddViolation(&report, GuardCheck::kKAnonymity,
+                   "smallest QI-group has " + Num(report.observed_k) +
+                       " tuples; policy requires k=" + Num(policy.k));
+    }
+  }
+
+  // p-sensitivity (Definition 2).
+  if (policy.p >= 2) {
+    if (conf_indices.empty()) {
+      AddViolation(&report, GuardCheck::kPSensitivity,
+                   "policy requires p=" + Num(policy.p) +
+                       " but the release has no confidential attributes");
+    } else if (!key_indices.empty() && masked.num_rows() > 0) {
+      PSK_ASSIGN_OR_RETURN(
+          report.observed_p,
+          SensitivityP(masked, key_indices, conf_indices));
+      if (report.observed_p < policy.p) {
+        AddViolation(
+            &report, GuardCheck::kPSensitivity,
+            "some QI-group has only " + Num(report.observed_p) +
+                " distinct confidential values; policy requires p=" +
+                Num(policy.p));
+      }
+    }
+  }
+
+  // Suppression cap.
+  if (policy.max_suppression.has_value() &&
+      report.suppressed > *policy.max_suppression) {
+    AddViolation(&report, GuardCheck::kSuppression,
+                 Num(report.suppressed) +
+                     " tuples suppressed; policy allows at most " +
+                     Num(*policy.max_suppression));
+  }
+
+  // Residual attribute disclosures (Table 8 of the paper).
+  if (policy.max_attribute_disclosures.has_value() && !key_indices.empty() &&
+      !conf_indices.empty() && masked.num_rows() > 0) {
+    PSK_ASSIGN_OR_RETURN(
+        report.attribute_disclosures,
+        CountAttributeDisclosures(masked, key_indices, conf_indices));
+    if (report.attribute_disclosures > *policy.max_attribute_disclosures) {
+      AddViolation(&report, GuardCheck::kAttributeDisclosure,
+                   Num(report.attribute_disclosures) +
+                       " attribute disclosures; policy allows at most " +
+                       Num(*policy.max_attribute_disclosures));
+    }
+  }
+
+  report.passed = report.violations.empty();
+  return report;
+}
+
+Status EnforceRelease(const Table& masked, size_t original_rows,
+                      const GuardPolicy& policy, GuardReport* report) {
+  PSK_ASSIGN_OR_RETURN(GuardReport verified,
+                       VerifyRelease(masked, original_rows, policy));
+  if (report != nullptr) *report = verified;
+  if (verified.passed) return Status::OK();
+  return Status::FailedPrecondition("release guard refused the release: " +
+                                    verified.Summary());
+}
+
+}  // namespace psk

@@ -1,8 +1,10 @@
 #include "psk/hierarchy/hierarchy.h"
 
 #include <algorithm>
+#include <map>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "psk/table/schema.h"
 #include "psk/table/table.h"
@@ -37,6 +39,10 @@ TaxonomyHierarchy::Builder::Build() {
     return Status::InvalidArgument("taxonomy has no ground values");
   }
   std::unordered_map<std::string, bool> seen;
+  // parent_of[(level, value)] — for detecting chains that disagree about a
+  // value's generalization.
+  std::map<std::pair<int, std::string>, std::string> parent_of;
+  const std::string* root = nullptr;
   for (const auto& [value, ancestors] : entries_) {
     if (ancestors.size() != static_cast<size_t>(num_levels_ - 1)) {
       return Status::InvalidArgument(
@@ -48,6 +54,53 @@ TaxonomyHierarchy::Builder::Build() {
       return Status::AlreadyExists("duplicate ground value: " + value);
     }
     seen[value] = true;
+
+    // chain[l] = the value's generalization at level l.
+    std::vector<const std::string*> chain;
+    chain.reserve(ancestors.size() + 1);
+    chain.push_back(&value);
+    for (const std::string& ancestor : ancestors) chain.push_back(&ancestor);
+
+    // Cycle check: a value may repeat only on *consecutive* levels (which
+    // just means "unchanged at this level", e.g. White;White;*); coming
+    // back after generalizing away means the chain loops.
+    std::unordered_map<std::string, size_t> last_level;
+    for (size_t l = 0; l < chain.size(); ++l) {
+      auto it = last_level.find(*chain[l]);
+      if (it != last_level.end() && it->second + 1 != l) {
+        return Status::InvalidArgument(
+            "cycle in the generalization chain of ground value '" + value +
+            "': '" + *chain[l] + "' reappears at level " + std::to_string(l) +
+            " after level " + std::to_string(it->second));
+      }
+      last_level[*chain[l]] = l;
+    }
+
+    // Consistency check: the same value at the same level must generalize
+    // identically in every chain, or generalization is not a function.
+    for (size_t l = 0; l + 1 < chain.size(); ++l) {
+      auto [it, inserted] = parent_of.try_emplace(
+          {static_cast<int>(l), *chain[l]}, *chain[l + 1]);
+      if (!inserted && it->second != *chain[l + 1]) {
+        return Status::InvalidArgument(
+            "conflicting generalization: '" + *chain[l] + "' at level " +
+            std::to_string(l) + " maps to both '" + it->second + "' and '" +
+            *chain[l + 1] + "'");
+      }
+    }
+
+    // Root check: every chain must converge on one top-level value, or the
+    // hierarchy has no common root and full generalization cannot merge
+    // all tuples.
+    if (num_levels_ >= 2) {
+      if (root == nullptr) {
+        root = chain.back();
+      } else if (*root != *chain.back()) {
+        return Status::InvalidArgument(
+            "taxonomy has no single root: top level holds both '" + *root +
+            "' and '" + *chain.back() + "'");
+      }
+    }
   }
   auto hierarchy =
       std::shared_ptr<TaxonomyHierarchy>(new TaxonomyHierarchy());

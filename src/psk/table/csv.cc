@@ -10,11 +10,17 @@ namespace {
 
 // Splits one logical CSV record into fields, honoring quotes. `pos` points
 // at the start of the record and is advanced past its trailing newline.
+// `start_line` (1-based) is where this record begins; `lines_consumed`
+// receives the number of newlines swallowed, counting those embedded in
+// quoted fields, so callers can keep reported line numbers accurate.
 Result<std::vector<std::string>> ParseRecord(std::string_view text,
-                                             size_t* pos, char sep) {
+                                             size_t* pos, char sep,
+                                             size_t start_line,
+                                             size_t* lines_consumed) {
   std::vector<std::string> fields;
   std::string field;
   bool in_quotes = false;
+  *lines_consumed = 0;
   size_t i = *pos;
   for (; i < text.size(); ++i) {
     char c = text[i];
@@ -27,6 +33,7 @@ Result<std::vector<std::string>> ParseRecord(std::string_view text,
           in_quotes = false;
         }
       } else {
+        if (c == '\n') ++*lines_consumed;
         field.push_back(c);
       }
     } else if (c == '"') {
@@ -35,6 +42,7 @@ Result<std::vector<std::string>> ParseRecord(std::string_view text,
       fields.push_back(std::move(field));
       field.clear();
     } else if (c == '\n') {
+      ++*lines_consumed;
       ++i;
       break;
     } else if (c == '\r') {
@@ -44,7 +52,9 @@ Result<std::vector<std::string>> ParseRecord(std::string_view text,
     }
   }
   if (in_quotes) {
-    return Status::InvalidArgument("unterminated quoted field in CSV");
+    return Status::InvalidArgument(
+        "unterminated quoted field in CSV record starting at line " +
+        std::to_string(start_line));
   }
   fields.push_back(std::move(field));
   *pos = i;
@@ -73,19 +83,29 @@ std::string QuoteField(const std::string& field) {
 Result<Table> ReadCsvString(std::string_view text, const Schema& schema,
                             const CsvOptions& options) {
   size_t pos = 0;
+  size_t line = 1;
+  size_t consumed = 0;
   // Column j of the file maps to schema attribute file_to_schema[j].
   std::vector<size_t> file_to_schema;
   if (options.has_header) {
     if (pos >= text.size()) {
       return Status::InvalidArgument("CSV is empty but a header was expected");
     }
-    PSK_ASSIGN_OR_RETURN(std::vector<std::string> header,
-                         ParseRecord(text, &pos, options.separator));
+    PSK_ASSIGN_OR_RETURN(
+        std::vector<std::string> header,
+        ParseRecord(text, &pos, options.separator, line, &consumed));
     std::vector<bool> seen(schema.num_attributes(), false);
     for (const std::string& name : header) {
-      PSK_ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(Trim(name)));
+      auto idx_result = schema.IndexOf(Trim(name));
+      if (!idx_result.ok()) {
+        return Status::InvalidArgument("CSV header (line 1): " +
+                                       idx_result.status().message());
+      }
+      size_t idx = idx_result.value();
       if (seen[idx]) {
-        return Status::InvalidArgument("duplicate CSV column: " + name);
+        return Status::InvalidArgument(
+            "CSV header (line 1): duplicate column '" +
+            std::string(Trim(name)) + "'");
       }
       seen[idx] = true;
       file_to_schema.push_back(idx);
@@ -96,6 +116,7 @@ Result<Table> ReadCsvString(std::string_view text, const Schema& schema,
                                        schema.attribute(i).name + "'");
       }
     }
+    line += consumed;
   } else {
     for (size_t i = 0; i < schema.num_attributes(); ++i) {
       file_to_schema.push_back(i);
@@ -103,15 +124,20 @@ Result<Table> ReadCsvString(std::string_view text, const Schema& schema,
   }
 
   Table table(schema);
-  size_t line = options.has_header ? 2 : 1;
   while (pos < text.size()) {
     // Skip blank lines (common at end of file).
-    if (text[pos] == '\n' || text[pos] == '\r') {
+    if (text[pos] == '\n') {
+      ++pos;
+      ++line;
+      continue;
+    }
+    if (text[pos] == '\r') {
       ++pos;
       continue;
     }
-    PSK_ASSIGN_OR_RETURN(std::vector<std::string> fields,
-                         ParseRecord(text, &pos, options.separator));
+    PSK_ASSIGN_OR_RETURN(
+        std::vector<std::string> fields,
+        ParseRecord(text, &pos, options.separator, line, &consumed));
     if (fields.size() != file_to_schema.size()) {
       return Status::InvalidArgument(
           "CSV line " + std::to_string(line) + " has " +
@@ -130,7 +156,7 @@ Result<Table> ReadCsvString(std::string_view text, const Schema& schema,
       row[attr] = std::move(value).value();
     }
     PSK_RETURN_IF_ERROR(table.AppendRow(std::move(row)));
-    ++line;
+    line += consumed > 0 ? consumed : 1;
   }
   return table;
 }

@@ -211,5 +211,135 @@ TEST(AnonymizerTest, HierarchyOrderIrrelevant) {
   EXPECT_EQ(*report.node, (LatticeNode{{0, 2}}));  // Table 4, TS = 0
 }
 
+TEST(AnonymizerTest, KExceedingRowCountNamesTheGate) {
+  AdultFixture fixture(50, 3);
+  Anonymizer anonymizer = fixture.MakeAnonymizer();
+  anonymizer.set_k(51);
+  auto result = anonymizer.Run();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(result.status().message().find("exceeds the number of rows"),
+            std::string::npos);
+}
+
+TEST(AnonymizerTest, MissingHierarchyNamesTheAttribute) {
+  AdultFixture fixture;
+  Anonymizer anonymizer(fixture.table);
+  anonymizer.AddHierarchy(AdultFixture::AdultHierarchy(0));  // Age only
+  anonymizer.set_k(2);
+  auto result = anonymizer.Run();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("MaritalStatus"),
+            std::string::npos);
+}
+
+TEST(AnonymizerTest, ProvenanceFieldsOnDirectSuccess) {
+  AdultFixture fixture(300, 5);
+  Anonymizer anonymizer = fixture.MakeAnonymizer();
+  anonymizer.set_k(3).set_p(2).set_max_suppression(6);
+  AnonymizationReport report = UnwrapOk(anonymizer.Run());
+  EXPECT_EQ(report.algorithm_used, AnonymizationAlgorithm::kSamarati);
+  EXPECT_EQ(report.fallback_stage, 0u);
+  EXPECT_FALSE(report.partial);
+  EXPECT_TRUE(report.guard.passed) << report.guard.Summary();
+  EXPECT_EQ(report.guard.observed_k, report.achieved_k);
+  EXPECT_EQ(report.guard.observed_p, report.achieved_p);
+}
+
+TEST(AnonymizerTest, FallbackStageRecordedWhenPrimaryRunsOutOfBudget) {
+  AdultFixture fixture(60, 3);
+  Anonymizer anonymizer = fixture.MakeAnonymizer();
+  RunBudget budget;
+  budget.max_nodes_expanded = 1;  // exhaustive trips before finding anything
+  anonymizer.set_k(4).set_p(2).set_max_suppression(6);
+  anonymizer.set_algorithm(AnonymizationAlgorithm::kExhaustive);
+  anonymizer.set_budget(budget);
+  anonymizer.set_fallback_chain({AnonymizationAlgorithm::kFullSuppression});
+  AnonymizationReport report = UnwrapOk(anonymizer.Run());
+  EXPECT_EQ(report.algorithm_used, AnonymizationAlgorithm::kFullSuppression);
+  EXPECT_EQ(report.fallback_stage, 1u);
+  EXPECT_TRUE(report.guard.passed) << report.guard.Summary();
+}
+
+TEST(AnonymizerTest, GuardRefusesReleaseTamperedBelowK) {
+  AdultFixture fixture(200, 5);
+  Anonymizer anonymizer = fixture.MakeAnonymizer();
+  anonymizer.set_k(3).set_p(2).set_max_suppression(6);
+  // Keep only the first row of the masked table: a lone QI-group of size
+  // 1 can never be 3-anonymous. The guard must catch it even though the
+  // algorithm's own answer was fine.
+  anonymizer.set_release_transform([](Table masked) -> Result<Table> {
+    Table out(masked.schema());
+    std::vector<Value> row;
+    for (size_t c = 0; c < masked.schema().num_attributes(); ++c) {
+      row.push_back(masked.Get(0, c));
+    }
+    PSK_RETURN_IF_ERROR(out.AppendRow(std::move(row)));
+    return out;
+  });
+  GuardPolicy policy;
+  policy.k = 3;
+  policy.p = 1;  // isolate the k gate
+  anonymizer.set_guard_policy(policy);
+  auto result = anonymizer.Run();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(result.status().message().find("release guard"),
+            std::string::npos);
+  EXPECT_NE(result.status().message().find("k-anonymity"),
+            std::string::npos);
+}
+
+TEST(AnonymizerTest, GuardRefusesReleaseTamperedBelowP) {
+  AdultFixture fixture(200, 5);
+  Anonymizer anonymizer = fixture.MakeAnonymizer();
+  anonymizer.set_k(3).set_p(2).set_max_suppression(6);
+  // Flatten one confidential attribute to a constant: every QI-group drops
+  // to one distinct Pay value, violating p = 2 without changing any group
+  // size or the row count.
+  anonymizer.set_release_transform([](Table masked) -> Result<Table> {
+    PSK_ASSIGN_OR_RETURN(size_t pay, masked.schema().IndexOf("Pay"));
+    Table out(masked.schema());
+    for (size_t r = 0; r < masked.num_rows(); ++r) {
+      std::vector<Value> row;
+      for (size_t c = 0; c < masked.schema().num_attributes(); ++c) {
+        row.push_back(c == pay ? Value("Same") : masked.Get(r, c));
+      }
+      PSK_RETURN_IF_ERROR(out.AppendRow(std::move(row)));
+    }
+    return out;
+  });
+  auto result = anonymizer.Run();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(result.status().message().find("p-sensitivity"),
+            std::string::npos);
+}
+
+TEST(AnonymizerTest, DisabledGuardReleasesEvenTamperedOutput) {
+  // Documented footgun: with the guard off, the tampered release from the
+  // previous test sails through — set_guard_enabled(false) really does
+  // remove the safety net.
+  AdultFixture fixture(200, 5);
+  Anonymizer anonymizer = fixture.MakeAnonymizer();
+  anonymizer.set_k(3).set_p(2).set_max_suppression(6);
+  anonymizer.set_release_transform([](Table masked) -> Result<Table> {
+    PSK_ASSIGN_OR_RETURN(size_t pay, masked.schema().IndexOf("Pay"));
+    Table out(masked.schema());
+    for (size_t r = 0; r < masked.num_rows(); ++r) {
+      std::vector<Value> row;
+      for (size_t c = 0; c < masked.schema().num_attributes(); ++c) {
+        row.push_back(c == pay ? Value("Same") : masked.Get(r, c));
+      }
+      PSK_RETURN_IF_ERROR(out.AppendRow(std::move(row)));
+    }
+    return out;
+  });
+  anonymizer.set_guard_enabled(false);
+  AnonymizationReport report = UnwrapOk(anonymizer.Run());
+  EXPECT_EQ(report.achieved_p, 1u);  // the scorecard still tells the truth
+}
+
 }  // namespace
 }  // namespace psk

@@ -1,0 +1,167 @@
+#include "psk/guard/guard.h"
+
+#include <gtest/gtest.h>
+
+#include "psk/table/schema.h"
+#include "test_util.h"
+
+namespace psk {
+namespace {
+
+// A 4-row release: one QI-group ("A") of 2 rows with 2 distinct illnesses,
+// one QI-group ("B") of 2 rows with 2 distinct illnesses.
+Table GoodRelease() {
+  Schema schema = UnwrapOk(Schema::Create(
+      {{"Zip", ValueType::kString, AttributeRole::kKey},
+       {"Illness", ValueType::kString, AttributeRole::kConfidential}}));
+  Table table(std::move(schema));
+  EXPECT_TRUE(table.AppendRow({Value("A"), Value("Flu")}).ok());
+  EXPECT_TRUE(table.AppendRow({Value("A"), Value("Cold")}).ok());
+  EXPECT_TRUE(table.AppendRow({Value("B"), Value("Flu")}).ok());
+  EXPECT_TRUE(table.AppendRow({Value("B"), Value("Ulcer")}).ok());
+  return table;
+}
+
+// Like GoodRelease but group "B" holds a single tuple (k violation) and
+// group "A" carries one illness twice (p violation and a disclosure).
+Table BadRelease() {
+  Schema schema = UnwrapOk(Schema::Create(
+      {{"Zip", ValueType::kString, AttributeRole::kKey},
+       {"Illness", ValueType::kString, AttributeRole::kConfidential}}));
+  Table table(std::move(schema));
+  EXPECT_TRUE(table.AppendRow({Value("A"), Value("Flu")}).ok());
+  EXPECT_TRUE(table.AppendRow({Value("A"), Value("Flu")}).ok());
+  EXPECT_TRUE(table.AppendRow({Value("B"), Value("Ulcer")}).ok());
+  return table;
+}
+
+TEST(GuardTest, CleanReleasePasses) {
+  GuardPolicy policy;
+  policy.k = 2;
+  policy.p = 2;
+  policy.max_suppression = 0;
+  policy.max_attribute_disclosures = 0;
+  GuardReport report = UnwrapOk(VerifyRelease(GoodRelease(), 4, policy));
+  EXPECT_TRUE(report.passed);
+  EXPECT_TRUE(report.violations.empty());
+  EXPECT_EQ(report.observed_k, 2u);
+  EXPECT_EQ(report.observed_p, 2u);
+  EXPECT_EQ(report.suppressed, 0u);
+  EXPECT_EQ(report.attribute_disclosures, 0u);
+  EXPECT_NE(report.Summary().find("passed"), std::string::npos);
+  PSK_EXPECT_OK(EnforceRelease(GoodRelease(), 4, policy));
+}
+
+TEST(GuardTest, EveryCheckCanFailAtOnce) {
+  GuardPolicy policy;
+  policy.k = 2;
+  policy.p = 2;
+  policy.max_suppression = 0;   // 1 row was suppressed
+  policy.max_attribute_disclosures = 0;
+  GuardReport report = UnwrapOk(VerifyRelease(BadRelease(), 4, policy));
+  EXPECT_FALSE(report.passed);
+  // k (group B has 1 tuple), p (group A has 1 distinct illness),
+  // suppression (4 - 3 = 1 > 0), disclosures (A->Flu and B->Ulcer).
+  ASSERT_EQ(report.violations.size(), 4u);
+  EXPECT_EQ(report.observed_k, 1u);
+  EXPECT_EQ(report.observed_p, 1u);
+  EXPECT_EQ(report.suppressed, 1u);
+  EXPECT_EQ(report.attribute_disclosures, 2u);
+}
+
+TEST(GuardTest, EnforceNamesEveryViolatedGate) {
+  GuardPolicy policy;
+  policy.k = 2;
+  policy.p = 2;
+  policy.max_suppression = 0;
+  policy.max_attribute_disclosures = 0;
+  GuardReport report;
+  Status s = EnforceRelease(BadRelease(), 4, policy, &report);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(s.message().find("k-anonymity"), std::string::npos);
+  EXPECT_NE(s.message().find("p-sensitivity"), std::string::npos);
+  EXPECT_NE(s.message().find("suppression"), std::string::npos);
+  EXPECT_NE(s.message().find("attribute-disclosure"), std::string::npos);
+  EXPECT_FALSE(report.passed);
+}
+
+TEST(GuardTest, UncheckedLimitsAreIgnored) {
+  // Without max_suppression / max_attribute_disclosures the same release
+  // fails only on k and p.
+  GuardPolicy policy;
+  policy.k = 2;
+  policy.p = 2;
+  GuardReport report = UnwrapOk(VerifyRelease(BadRelease(), 4, policy));
+  ASSERT_EQ(report.violations.size(), 2u);
+  EXPECT_EQ(report.violations[0].check, GuardCheck::kKAnonymity);
+  EXPECT_EQ(report.violations[1].check, GuardCheck::kPSensitivity);
+}
+
+TEST(GuardTest, PEqualOneSkipsSensitivity) {
+  GuardPolicy policy;
+  policy.k = 1;
+  policy.p = 1;
+  GuardReport report = UnwrapOk(VerifyRelease(BadRelease(), 3, policy));
+  EXPECT_TRUE(report.passed);
+  EXPECT_EQ(report.observed_p, 0u);  // not measured
+}
+
+TEST(GuardTest, EmptyReleaseIsVacuouslyAnonymousButSuppressionCapCatches) {
+  Schema schema = UnwrapOk(Schema::Create(
+      {{"Zip", ValueType::kString, AttributeRole::kKey},
+       {"Illness", ValueType::kString, AttributeRole::kConfidential}}));
+  Table empty(std::move(schema));
+  GuardPolicy lax;
+  lax.k = 5;
+  lax.p = 2;
+  GuardReport vacuous = UnwrapOk(VerifyRelease(empty, 10, lax));
+  EXPECT_TRUE(vacuous.passed);
+  EXPECT_EQ(vacuous.suppressed, 10u);
+
+  GuardPolicy capped = lax;
+  capped.max_suppression = 3;
+  GuardReport refused = UnwrapOk(VerifyRelease(empty, 10, capped));
+  EXPECT_FALSE(refused.passed);
+  ASSERT_EQ(refused.violations.size(), 1u);
+  EXPECT_EQ(refused.violations[0].check, GuardCheck::kSuppression);
+}
+
+TEST(GuardTest, MoreRowsThanOriginalIsMalformed) {
+  Status s = EnforceRelease(GoodRelease(), 2, GuardPolicy{});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GuardTest, InvalidPolicyRejected) {
+  GuardPolicy zero_k;
+  zero_k.k = 0;
+  EXPECT_FALSE(VerifyRelease(GoodRelease(), 4, zero_k).ok());
+  GuardPolicy zero_p;
+  zero_p.p = 0;
+  EXPECT_FALSE(VerifyRelease(GoodRelease(), 4, zero_p).ok());
+}
+
+TEST(GuardTest, MissingConfidentialAttributesViolatesPPolicy) {
+  Schema schema = UnwrapOk(Schema::Create(
+      {{"Zip", ValueType::kString, AttributeRole::kKey}}));
+  Table table(std::move(schema));
+  EXPECT_TRUE(table.AppendRow({Value("A")}).ok());
+  EXPECT_TRUE(table.AppendRow({Value("A")}).ok());
+  GuardPolicy policy;
+  policy.k = 2;
+  policy.p = 2;
+  GuardReport report = UnwrapOk(VerifyRelease(table, 2, policy));
+  EXPECT_FALSE(report.passed);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].check, GuardCheck::kPSensitivity);
+}
+
+TEST(GuardTest, CheckNamesAreStable) {
+  EXPECT_STREQ(GuardCheckName(GuardCheck::kKAnonymity), "k-anonymity");
+  EXPECT_STREQ(GuardCheckName(GuardCheck::kPSensitivity), "p-sensitivity");
+  EXPECT_STREQ(GuardCheckName(GuardCheck::kSuppression), "suppression");
+  EXPECT_STREQ(GuardCheckName(GuardCheck::kAttributeDisclosure),
+               "attribute-disclosure");
+}
+
+}  // namespace
+}  // namespace psk

@@ -33,6 +33,41 @@ TEST(StatusTest, AllFactoryCodes) {
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(StatusTest, BudgetCodesRenderNames) {
+  EXPECT_EQ(Status::DeadlineExceeded("t").ToString(),
+            "DeadlineExceeded: t");
+  EXPECT_EQ(Status::Cancelled("t").ToString(), "Cancelled: t");
+  EXPECT_EQ(Status::ResourceExhausted("t").ToString(),
+            "ResourceExhausted: t");
+}
+
+TEST(StatusTest, CodeNamesRoundTripThroughStrings) {
+  const StatusCode codes[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,     StatusCode::kOutOfRange,
+      StatusCode::kAlreadyExists, StatusCode::kFailedPrecondition,
+      StatusCode::kUnimplemented, StatusCode::kInternal,
+      StatusCode::kIOError,      StatusCode::kDeadlineExceeded,
+      StatusCode::kCancelled,    StatusCode::kResourceExhausted,
+  };
+  for (StatusCode code : codes) {
+    std::string_view name = StatusCodeToString(code);
+    std::optional<StatusCode> parsed = StatusCodeFromString(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, code) << name;
+  }
+}
+
+TEST(StatusTest, UnknownCodeNameDoesNotParse) {
+  EXPECT_FALSE(StatusCodeFromString("NoSuchCode").has_value());
+  EXPECT_FALSE(StatusCodeFromString("").has_value());
 }
 
 TEST(StatusTest, Equality) {
