@@ -112,6 +112,8 @@ Result<MinimalSetResult> BottomUpSearch(const Table& initial_microdata,
         result.satisfying_nodes.push_back(node);
       }
     }
+    // A completed height is the BFS's crash-recovery boundary.
+    evaluator.FlushCheckpoint();
   }
   std::sort(result.minimal_nodes.begin(), result.minimal_nodes.end());
   result.stats = evaluator.stats();

@@ -60,7 +60,14 @@ Result<MinimalSetResult> ExhaustiveSearch(const Table& initial_microdata,
   GeneralizationLattice lattice(hierarchies);
   std::vector<LatticeNode> nodes = lattice.AllNodes();
 
-  if (options.threads <= 1) {
+  // The crash-recovery snapshot is accumulated by a single evaluator and
+  // is not thread-safe; a checkpointed sweep therefore runs sequentially.
+  // (Shards would also interleave non-deterministically, which resume's
+  // deterministic-replay guarantee forbids.)
+  bool checkpointed = options.restore != nullptr ||
+                      options.checkpoint_sink != nullptr;
+
+  if (options.threads <= 1 || checkpointed) {
     for (const LatticeNode& node : nodes) {
       Result<NodeEvaluation> eval = evaluator.Evaluate(node);
       if (!eval.ok()) {
@@ -69,6 +76,7 @@ Result<MinimalSetResult> ExhaustiveSearch(const Table& initial_microdata,
       }
       if (eval->satisfied) result.satisfying_nodes.push_back(node);
     }
+    evaluator.FlushCheckpoint();
     result.stats = evaluator.stats();
   } else {
     size_t threads = std::min(options.threads, nodes.size());

@@ -258,6 +258,7 @@ Result<GreedyClusterResult> GreedyClusterAnonymize(
       break;  // remaining records go to nearest clusters below
     }
     clusters.push_back(std::move(cluster));
+    if (options.checkpoint) options.checkpoint(clusters.size());
   }
 
   if (clusters.empty()) {

@@ -2,6 +2,7 @@
 #define PSK_ALGORITHMS_GREEDY_CLUSTER_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "psk/common/result.h"
@@ -15,6 +16,12 @@ struct GreedyClusterOptions {
   size_t k = 2;
   /// p-sensitivity requirement per cluster; 1 disables it.
   size_t p = 1;
+  /// Crash-recovery heartbeat, invoked after each completed cluster with
+  /// the number of clusters formed so far. The clustering is deterministic
+  /// given the same table and options, so the job layer (psk/jobs)
+  /// re-derives it on resume; the hook persists durable progress records
+  /// at cluster boundaries, the run's natural checkpoint cadence.
+  std::function<void(size_t clusters_done)> checkpoint;
   /// Resource limits. When exhausted mid-run, the in-progress cluster is
   /// dissolved, no further clusters are formed, and the unassigned records
   /// join their nearest completed cluster — so the output still satisfies

@@ -177,6 +177,23 @@ std::vector<std::vector<int>> SubLatticeNodes(
   return nodes;
 }
 
+// Snapshot fact key for one subset-phase verdict — distinct from full-node
+// verdict keys so the two caches can share one SearchSnapshot.
+std::string SubsetFactKey(const std::vector<size_t>& attrs,
+                          const std::vector<int>& levels) {
+  std::string key = "s";
+  for (size_t a : attrs) {
+    key.push_back(':');
+    key += std::to_string(a);
+  }
+  key.push_back('|');
+  for (size_t i = 0; i < levels.size(); ++i) {
+    if (i > 0) key.push_back(',');
+    key += std::to_string(levels[i]);
+  }
+  return key;
+}
+
 // All subsets of {0..m-1} of the given size, each sorted ascending.
 void Subsets(size_t m, size_t size, std::vector<std::vector<size_t>>* out) {
   std::vector<size_t> current;
@@ -267,29 +284,43 @@ Result<MinimalSetResult> IncognitoSearch(
           ++stats->nodes_skipped;
           continue;
         }
-        // The subset phases bypass NodeEvaluator, so they account their
-        // work directly; each check scans the whole encoded table.
-        Status charged = evaluator.enforcer()->Charge(1, encoded.num_rows());
-        if (!charged.ok()) {
-          if (!AbsorbBudgetStop(charged, stats)) return charged;
-          // Entries already in `sat` were fully verified, so the final
-          // phase can still mine them for (possibly incomplete) minimal
-          // nodes.
-          stopped = true;
-          break;
+        std::string fact_key = SubsetFactKey(attrs, levels);
+        bool ok;
+        if (evaluator.LookupFact(fact_key, &ok)) {
+          // Resume fast-forward: this subset node was decided by the
+          // interrupted run — reuse its verdict without re-scanning the
+          // encoded table or charging the budget.
+          ++stats->subset_nodes_evaluated;
+        } else {
+          // The subset phases bypass NodeEvaluator, so they account their
+          // work directly; each check scans the whole encoded table.
+          Status charged =
+              evaluator.enforcer()->Charge(1, encoded.num_rows());
+          if (!charged.ok()) {
+            if (!AbsorbBudgetStop(charged, stats)) return charged;
+            // Entries already in `sat` were fully verified, so the final
+            // phase can still mine them for (possibly incomplete) minimal
+            // nodes.
+            stopped = true;
+            break;
+          }
+          ++stats->subset_nodes_evaluated;
+          size_t violating =
+              encoded.ViolationCount(attrs, levels, options.k);
+          ok = violating <= options.max_suppression;
+          if (ok && incognito_options.prune_p_on_subsets &&
+              options.p >= 2 && options.max_suppression == 0) {
+            ok = encoded.PSensitiveOk(attrs, levels, options.p);
+          }
+          evaluator.RecordFact(fact_key, ok);
         }
-        ++stats->subset_nodes_evaluated;
-        size_t violating =
-            encoded.ViolationCount(attrs, levels, options.k);
-        bool ok = violating <= options.max_suppression;
-        if (ok && incognito_options.prune_p_on_subsets && options.p >= 2 &&
-            options.max_suppression == 0) {
-          ok = encoded.PSensitiveOk(attrs, levels, options.p);
-        }
+        evaluator.TickCheckpoint();
         if (ok) {
           satisfied.insert(levels);
         }
       }
+      // A finished subset is Incognito's crash-recovery boundary.
+      evaluator.FlushCheckpoint();
     }
   }
 

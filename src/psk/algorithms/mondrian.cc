@@ -87,6 +87,7 @@ void Partition(const Table& table, std::vector<size_t> rows,
   if (!charged.ok()) {
     if (*stop_reason == StatusCode::kOk) *stop_reason = charged.code();
     leaves->push_back(std::move(rows));
+    if (options.checkpoint) options.checkpoint(leaves->size());
     return;
   }
   // Order candidate split attributes by distinct count, widest first.
@@ -112,6 +113,7 @@ void Partition(const Table& table, std::vector<size_t> rows,
     }
   }
   leaves->push_back(std::move(rows));
+  if (options.checkpoint) options.checkpoint(leaves->size());
 }
 
 // Label for one key attribute over a leaf partition.

@@ -2,6 +2,7 @@
 #define PSK_ALGORITHMS_MONDRIAN_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "psk/common/result.h"
@@ -19,6 +20,13 @@ struct MondrianOptions {
   /// become leaves as-is — still k-anonymous and p-sensitive, just coarser
   /// than a full run would produce — and the result is flagged partial.
   RunBudget budget;
+  /// Crash-recovery heartbeat, invoked after each partition boundary (a
+  /// leaf finalized) with the number of leaves completed so far. Mondrian
+  /// is deterministic given the same table and options, so the job layer
+  /// (psk/jobs) re-derives the partitioning on resume; this hook exists to
+  /// persist durable progress records at the natural cadence rather than
+  /// per split candidate.
+  std::function<void(size_t leaves_done)> checkpoint;
 };
 
 /// Result of a Mondrian run.

@@ -166,6 +166,9 @@ Result<OlaResult> OlaSearch(const Table& initial_microdata,
     candidates.push_back(bottom);
   } else {
     Status bisected = driver.Bisect(bottom, top, &candidates);
+    // Bisection is the bulk of OLA's work; make its verdicts durable
+    // before the verification and metric phases re-consume them.
+    evaluator.FlushCheckpoint();
     if (!bisected.ok()) {
       if (!AbsorbBudgetStop(bisected, evaluator.mutable_stats())) {
         return bisected;

@@ -3,14 +3,20 @@
 namespace psk {
 namespace {
 
-// Evaluates every node at height h until one satisfies; returns it.
+// Evaluates every node at height h until one satisfies; returns it. A
+// probed height is a natural crash-recovery boundary: its verdicts decide
+// one whole step of the binary search, so they are flushed together.
 Result<std::optional<LatticeNode>> ProbeHeight(
     NodeEvaluator& evaluator, const GeneralizationLattice& lattice, int h) {
   ++evaluator.mutable_stats()->heights_probed;
   for (const LatticeNode& node : lattice.NodesAtHeight(h)) {
     PSK_ASSIGN_OR_RETURN(NodeEvaluation eval, evaluator.Evaluate(node));
-    if (eval.satisfied) return std::optional<LatticeNode>(node);
+    if (eval.satisfied) {
+      evaluator.FlushCheckpoint();
+      return std::optional<LatticeNode>(node);
+    }
   }
+  evaluator.FlushCheckpoint();
   return std::optional<LatticeNode>(std::nullopt);
 }
 

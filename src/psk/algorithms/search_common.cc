@@ -1,10 +1,20 @@
 #include "psk/algorithms/search_common.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "psk/table/group_by.h"
 
 namespace psk {
+
+std::string SnapshotNodeKey(const LatticeNode& node) {
+  std::string key;
+  for (size_t i = 0; i < node.levels.size(); ++i) {
+    if (i > 0) key.push_back(',');
+    key += std::to_string(node.levels[i]);
+  }
+  return key;
+}
 
 bool AbsorbBudgetStop(const Status& status, SearchStats* stats) {
   if (!IsBudgetExhausted(status)) return false;
@@ -49,8 +59,38 @@ Status NodeEvaluator::Init() {
   if (enforcer_ == nullptr) {
     enforcer_ = std::make_shared<BudgetEnforcer>(options_.budget);
   }
+  checkpointing_ =
+      options_.restore != nullptr || options_.checkpoint_sink != nullptr;
+  if (options_.restore != nullptr) snapshot_ = *options_.restore;
   initialized_ = true;
   return Status::OK();
+}
+
+bool NodeEvaluator::LookupFact(const std::string& key, bool* value) const {
+  auto it = snapshot_.facts.find(key);
+  if (it == snapshot_.facts.end()) return false;
+  *value = it->second;
+  return true;
+}
+
+void NodeEvaluator::RecordFact(const std::string& key, bool value) {
+  if (!checkpointing_) return;
+  snapshot_.facts[key] = value;
+}
+
+void NodeEvaluator::TickCheckpoint() {
+  if (options_.checkpoint_sink == nullptr) return;
+  if (++ticks_since_checkpoint_ < std::max<uint64_t>(
+          options_.checkpoint_interval, 1)) {
+    return;
+  }
+  FlushCheckpoint();
+}
+
+void NodeEvaluator::FlushCheckpoint() {
+  if (options_.checkpoint_sink == nullptr) return;
+  ticks_since_checkpoint_ = 0;
+  options_.checkpoint_sink(snapshot_);
 }
 
 Result<NodeEvaluation> NodeEvaluator::Evaluate(const LatticeNode& node) {
@@ -60,6 +100,35 @@ Result<NodeEvaluation> NodeEvaluator::Evaluate(const LatticeNode& node) {
   if (!condition1_holds_) {
     return Status::FailedPrecondition(
         "Condition 1 fails for the requested p; no node can satisfy it");
+  }
+  std::string key;
+  if (checkpointing_) {
+    key = SnapshotNodeKey(node);
+    auto cached = snapshot_.verdicts.find(key);
+    if (cached != snapshot_.verdicts.end()) {
+      // Resume fast-forward: recount the stored verdict into the stats
+      // exactly as the original evaluation did, so a resumed run finishes
+      // with the same counters as an uninterrupted one. No budget charge —
+      // no table was generalized.
+      const NodeEvaluation& eval = cached->second;
+      ++stats_.nodes_generalized;
+      switch (eval.stage) {
+        case CheckStage::kKAnonymity:
+          ++stats_.nodes_rejected_kanonymity;
+          break;
+        case CheckStage::kCondition2:
+          ++stats_.nodes_pruned_condition2;
+          break;
+        case CheckStage::kGroupDetail:
+          ++stats_.nodes_rejected_detail;
+          break;
+        default:
+          break;
+      }
+      if (eval.satisfied) ++stats_.nodes_satisfied;
+      TickCheckpoint();
+      return eval;
+    }
   }
   // Budget checkpoint: every node evaluation generalizes the whole table,
   // so this is the natural unit of work to account.
@@ -74,6 +143,14 @@ Result<NodeEvaluation> NodeEvaluator::Evaluate(const LatticeNode& node) {
                        FrequencySet::Compute(generalized, key_indices));
 
   NodeEvaluation eval;
+  // Completed verdicts enter the snapshot so the next checkpoint persists
+  // them; a budget stop above never reaches here, keeping the snapshot
+  // free of half-finished evaluations.
+  auto finish = [&](const NodeEvaluation& done) -> NodeEvaluation {
+    if (checkpointing_) snapshot_.verdicts.emplace(std::move(key), done);
+    TickCheckpoint();
+    return done;
+  };
 
   // k-anonymity gate: suppression may remove at most TS tuples.
   size_t violating = fs.RowsInGroupsSmallerThan(options_.k);
@@ -81,7 +158,7 @@ Result<NodeEvaluation> NodeEvaluator::Evaluate(const LatticeNode& node) {
   if (violating > options_.max_suppression) {
     eval.stage = CheckStage::kKAnonymity;
     ++stats_.nodes_rejected_kanonymity;
-    return eval;
+    return finish(eval);
   }
 
   // Surviving groups form the masked microdata.
@@ -100,7 +177,7 @@ Result<NodeEvaluation> NodeEvaluator::Evaluate(const LatticeNode& node) {
         static_cast<uint64_t>(num_groups) > max_groups_) {
       eval.stage = CheckStage::kCondition2;
       ++stats_.nodes_pruned_condition2;
-      return eval;
+      return finish(eval);
     }
     // Detailed per-group scan over the surviving groups (row indices still
     // reference `generalized`, which suppression does not disturb).
@@ -116,7 +193,7 @@ Result<NodeEvaluation> NodeEvaluator::Evaluate(const LatticeNode& node) {
         if (seen.size() < options_.p) {
           eval.stage = CheckStage::kGroupDetail;
           ++stats_.nodes_rejected_detail;
-          return eval;
+          return finish(eval);
         }
       }
     }
@@ -125,7 +202,7 @@ Result<NodeEvaluation> NodeEvaluator::Evaluate(const LatticeNode& node) {
   eval.satisfied = true;
   eval.stage = CheckStage::kPassed;
   ++stats_.nodes_satisfied;
-  return eval;
+  return finish(eval);
 }
 
 Result<MaskedMicrodata> NodeEvaluator::Materialize(

@@ -2,9 +2,11 @@
 #define PSK_ALGORITHMS_SEARCH_COMMON_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "psk/anonymity/frequency_stats.h"
@@ -17,6 +19,38 @@
 #include "psk/table/table.h"
 
 namespace psk {
+
+/// Verdict for one lattice node.
+struct NodeEvaluation {
+  bool satisfied = false;
+  CheckStage stage = CheckStage::kPassed;
+  /// Tuples that suppression removed (valid when the k-anonymity gate was
+  /// reached).
+  size_t suppressed = 0;
+  /// Number of QI-groups of the masked microdata (post-suppression).
+  size_t num_groups = 0;
+};
+
+/// Durable search state for crash-safe checkpoint/resume (see psk/jobs).
+///
+/// `verdicts` holds every completed node evaluation, keyed by
+/// SnapshotNodeKey; `facts` holds engine-specific boolean conclusions
+/// (e.g. Incognito's subset-phase k-anonymity verdicts) under
+/// engine-chosen keys. A verdict is a pure function of (initial microdata,
+/// hierarchies, k, p, TS), independent of which engine asked — so one
+/// snapshot stays valid across every lattice engine and every stage of a
+/// fallback chain, and a resumed run that replays its deterministic
+/// enumeration against the snapshot reaches the exact state the
+/// interrupted run was in.
+struct SearchSnapshot {
+  std::unordered_map<std::string, NodeEvaluation> verdicts;
+  std::unordered_map<std::string, bool> facts;
+
+  bool empty() const { return verdicts.empty() && facts.empty(); }
+};
+
+/// Snapshot key of a lattice node: its levels joined with ',' ("1,0,2").
+std::string SnapshotNodeKey(const LatticeNode& node);
 
 /// Parameters shared by every lattice search.
 ///
@@ -42,6 +76,26 @@ struct SearchOptions {
   /// SearchStats::stop_reason naming the limit — it never hangs and never
   /// discards a usable best-so-far answer.
   RunBudget budget;
+
+  // Crash-safe checkpoint/resume hooks (see psk/jobs/JobRunner). Both
+  // default off, in which case the hot path pays nothing.
+  /// Search state recorded by a previous, interrupted run. The search
+  /// replays its deterministic enumeration; every preloaded node resolves
+  /// from the snapshot — with its stats recounted exactly as a fresh
+  /// evaluation would have — instead of re-generalizing the table, so the
+  /// run fast-forwards to the crash point and completes with output and
+  /// stats byte-identical to an uninterrupted run. Cache hits do not
+  /// charge the budget (they cost no real work), so node/row caps meter
+  /// only the work actually redone. Must outlive the search.
+  const SearchSnapshot* restore = nullptr;
+  /// Invoked with the accumulated snapshot every `checkpoint_interval`
+  /// completed evaluations — piggybacking on the BudgetEnforcer checkpoint
+  /// already charged per node — and at engine-specific boundaries (after a
+  /// probed height, a finished subset phase, ...). The sink persists the
+  /// snapshot durably; it must not re-enter the search.
+  std::function<void(const SearchSnapshot&)> checkpoint_sink;
+  /// Completed evaluations between checkpoint_sink invocations.
+  uint64_t checkpoint_interval = 64;
 };
 
 /// Work counters, used to quantify what the necessary conditions save.
@@ -94,17 +148,6 @@ struct SearchStats {
 /// the search must propagate.
 bool AbsorbBudgetStop(const Status& status, SearchStats* stats);
 
-/// Verdict for one lattice node.
-struct NodeEvaluation {
-  bool satisfied = false;
-  CheckStage stage = CheckStage::kPassed;
-  /// Tuples that suppression removed (valid when the k-anonymity gate was
-  /// reached).
-  size_t suppressed = 0;
-  /// Number of QI-groups of the masked microdata (post-suppression).
-  size_t num_groups = 0;
-};
-
 /// Evaluates lattice nodes against a fixed initial microdata: generalize,
 /// suppress up to TS, then test p-sensitive k-anonymity, with Condition 1
 /// checked once up front and Condition 2 applied per node (Theorems 1-2
@@ -142,8 +185,30 @@ class NodeEvaluator {
   size_t max_p() const { return max_p_; }
   uint64_t max_groups() const { return max_groups_; }
 
-  /// Evaluates one node, updating stats().
+  /// Evaluates one node, updating stats(). When checkpointing is active
+  /// (options().restore or options().checkpoint_sink set), a node already
+  /// present in the snapshot is resolved from it — its counters recounted
+  /// identically, the budget not charged — and fresh verdicts are recorded
+  /// into the snapshot for the next checkpoint.
   Result<NodeEvaluation> Evaluate(const LatticeNode& node);
+
+  /// Engine-specific snapshot facts (e.g. Incognito's subset verdicts).
+  /// Only meaningful while checkpointing is active; LookupFact always
+  /// misses otherwise.
+  bool LookupFact(const std::string& key, bool* value) const;
+  void RecordFact(const std::string& key, bool value);
+
+  /// Counts one completed unit of search work toward the checkpoint
+  /// cadence, invoking options().checkpoint_sink when due. Evaluate calls
+  /// this itself; engines call it for work units that bypass Evaluate.
+  void TickCheckpoint();
+  /// Invokes the sink immediately (engines call this at coarse boundaries
+  /// — after a probed height, a finished subset phase — so a crash loses
+  /// at most one boundary's work).
+  void FlushCheckpoint();
+
+  /// The accumulated crash-recovery state (empty unless checkpointing).
+  const SearchSnapshot& snapshot() const { return snapshot_; }
 
   /// Produces the masked microdata (generalized + suppressed) for a node —
   /// used to materialize the winning node once a search finishes.
@@ -164,6 +229,10 @@ class NodeEvaluator {
   size_t max_p_ = 0;
   uint64_t max_groups_ = 0;
   SearchStats stats_;
+  /// True when a restore snapshot or a checkpoint sink is configured.
+  bool checkpointing_ = false;
+  SearchSnapshot snapshot_;
+  uint64_t ticks_since_checkpoint_ = 0;
 };
 
 /// Outcome of a single-solution lattice search (Samarati binary search).

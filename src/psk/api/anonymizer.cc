@@ -70,11 +70,11 @@ bool ContinueChain(StatusCode code) {
 // report (possibly flagged partial, but always holding a masked table that
 // satisfied the stage's own checks) or the reason this stage produced
 // nothing.
-Result<AnonymizationReport> RunStage(const Table& im,
-                                     const HierarchySet* hierarchies,
-                                     AnonymizationAlgorithm algorithm,
-                                     const SearchOptions& base_options,
-                                     const RunBudget& budget) {
+Result<AnonymizationReport> RunStage(
+    const Table& im, const HierarchySet* hierarchies,
+    AnonymizationAlgorithm algorithm, const SearchOptions& base_options,
+    const RunBudget& budget,
+    const std::function<void(size_t)>& progress_heartbeat) {
   AnonymizationReport report;
 
   if (algorithm == AnonymizationAlgorithm::kMondrian) {
@@ -82,6 +82,7 @@ Result<AnonymizationReport> RunStage(const Table& im,
     options.k = base_options.k;
     options.p = base_options.p;
     options.budget = budget;
+    options.checkpoint = progress_heartbeat;
     PSK_ASSIGN_OR_RETURN(MondrianResult mondrian,
                          MondrianAnonymize(im, options));
     report.masked = std::move(mondrian.masked);
@@ -95,6 +96,7 @@ Result<AnonymizationReport> RunStage(const Table& im,
     options.k = base_options.k;
     options.p = base_options.p;
     options.budget = budget;
+    options.checkpoint = progress_heartbeat;
     PSK_ASSIGN_OR_RETURN(GreedyClusterResult cluster,
                          GreedyClusterAnonymize(im, options));
     report.masked = std::move(cluster.masked);
@@ -274,6 +276,11 @@ Result<AnonymizationReport> Anonymizer::Run() const {
   base_options.p = p_;
   base_options.max_suppression = max_suppression_;
   base_options.use_conditions = use_conditions_;
+  // Crash-recovery hooks: node verdicts are pure functions of the data and
+  // (k, p, TS), so one snapshot serves every lattice stage of the chain.
+  base_options.restore = restore_snapshot_;
+  base_options.checkpoint_sink = checkpoint_sink_;
+  base_options.checkpoint_interval = checkpoint_interval_;
 
   // One clock for the whole Run: every stage gets the time still left when
   // it starts, so a slow primary cannot starve the chain of its own limit
@@ -290,7 +297,8 @@ Result<AnonymizationReport> Anonymizer::Run() const {
     Result<AnonymizationReport> attempt =
         RunStage(initial_microdata_,
                  hierarchy_set.has_value() ? &*hierarchy_set : nullptr,
-                 chain[stage], base_options, stage_budget);
+                 chain[stage], base_options, stage_budget,
+                 progress_heartbeat_);
     if (!attempt.ok()) {
       last_error = attempt.status();
       if (!ContinueChain(last_error.code())) return last_error;

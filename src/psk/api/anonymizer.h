@@ -179,6 +179,34 @@ class Anonymizer {
     return *this;
   }
 
+  // Crash-safe checkpoint/resume hooks — normally driven by
+  // psk/jobs/JobRunner rather than called directly.
+  /// Preloads search state recorded by an interrupted run; the lattice
+  /// engines fast-forward through it (see SearchOptions::restore). The
+  /// snapshot must outlive Run().
+  Anonymizer& set_restore_snapshot(const SearchSnapshot* snapshot) {
+    restore_snapshot_ = snapshot;
+    return *this;
+  }
+  /// Receives the accumulated search snapshot every `interval` completed
+  /// node evaluations and at engine boundaries, for durable persistence.
+  Anonymizer& set_checkpoint_sink(
+      std::function<void(const SearchSnapshot&)> sink,
+      uint64_t interval = 64) {
+    checkpoint_sink_ = std::move(sink);
+    checkpoint_interval_ = interval;
+    return *this;
+  }
+  /// Progress heartbeat for the local-recoding engines (Mondrian and
+  /// GreedyCluster), invoked at partition/cluster boundaries with the
+  /// count completed so far. Those engines re-derive their output
+  /// deterministically on resume, so the heartbeat carries liveness, not
+  /// state.
+  Anonymizer& set_progress_heartbeat(std::function<void(size_t)> heartbeat) {
+    progress_heartbeat_ = std::move(heartbeat);
+    return *this;
+  }
+
   /// Runs the configured algorithm, then each fallback in turn if it
   /// cannot produce a release, then the release guard. Fails with
   /// FailedPrecondition when no stage satisfies the requirements or the
@@ -201,6 +229,10 @@ class Anonymizer {
   bool guard_enabled_ = true;
   std::optional<GuardPolicy> guard_policy_;
   std::function<Result<Table>(Table)> release_transform_;
+  const SearchSnapshot* restore_snapshot_ = nullptr;
+  std::function<void(const SearchSnapshot&)> checkpoint_sink_;
+  uint64_t checkpoint_interval_ = 64;
+  std::function<void(size_t)> progress_heartbeat_;
 };
 
 }  // namespace psk

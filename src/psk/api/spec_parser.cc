@@ -102,7 +102,32 @@ Result<AnonymizationAlgorithm> ParseAlgorithmName(const std::string& name) {
   if (name == "mondrian") return AnonymizationAlgorithm::kMondrian;
   if (name == "cluster") return AnonymizationAlgorithm::kGreedyCluster;
   if (name == "ola") return AnonymizationAlgorithm::kOla;
+  if (name == "fullsuppression") {
+    return AnonymizationAlgorithm::kFullSuppression;
+  }
   return Status::InvalidArgument("unknown algorithm: " + name);
+}
+
+std::string_view AlgorithmName(AnonymizationAlgorithm algorithm) {
+  switch (algorithm) {
+    case AnonymizationAlgorithm::kSamarati:
+      return "samarati";
+    case AnonymizationAlgorithm::kIncognito:
+      return "incognito";
+    case AnonymizationAlgorithm::kBottomUp:
+      return "bottomup";
+    case AnonymizationAlgorithm::kExhaustive:
+      return "exhaustive";
+    case AnonymizationAlgorithm::kMondrian:
+      return "mondrian";
+    case AnonymizationAlgorithm::kGreedyCluster:
+      return "cluster";
+    case AnonymizationAlgorithm::kOla:
+      return "ola";
+    case AnonymizationAlgorithm::kFullSuppression:
+      return "fullsuppression";
+  }
+  return "unknown";
 }
 
 Result<ReleaseConfig> ParseReleaseConfig(std::string_view text) {

@@ -30,8 +30,13 @@ Result<std::shared_ptr<const AttributeHierarchy>> ParseHierarchySpec(
     const std::string& attribute, const std::string& spec);
 
 /// "samarati" | "incognito" | "bottomup" | "exhaustive" | "mondrian" |
-/// "cluster" | "ola".
+/// "cluster" | "ola" | "fullsuppression".
 Result<AnonymizationAlgorithm> ParseAlgorithmName(const std::string& name);
+
+/// Stable name for an algorithm; inverse of ParseAlgorithmName. Used by
+/// the job journal and the JSON report writer, so renaming a value here
+/// breaks resumability of on-disk jobs.
+std::string_view AlgorithmName(AnonymizationAlgorithm algorithm);
 
 /// A parsed release configuration file. Format: one `key = value` pair per
 /// line; `#` starts a comment; attribute lines use

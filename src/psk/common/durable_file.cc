@@ -1,0 +1,154 @@
+#include "psk/common/durable_file.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace psk {
+namespace {
+
+// Durability steps remaining before the process SIGKILLs itself; negative
+// disables the hook. Relaxed ordering suffices — the tests arm it before
+// starting the run, from the same thread.
+std::atomic<int64_t> g_fault_countdown{-1};
+
+// One durability step: decrements the countdown and, at zero, delivers an
+// un-catchable SIGKILL so the crash-injection tests can stop the process
+// at this exact point in the commit protocol.
+void FaultPoint() {
+  if (g_fault_countdown.load(std::memory_order_relaxed) < 0) return;
+  if (g_fault_countdown.fetch_sub(1, std::memory_order_relaxed) == 0) {
+    kill(getpid(), SIGKILL);
+  }
+}
+
+std::string Errno(const std::string& what, const std::string& path) {
+  return what + " '" + path + "': " + std::strerror(errno);
+}
+
+// Writes all of `contents` to `fd`, retrying partial writes.
+bool WriteAll(int fd, std::string_view contents) {
+  size_t written = 0;
+  while (written < contents.size()) {
+    ssize_t n = write(fd, contents.data() + written,
+                      contents.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// fsyncs the directory containing `path` so a rename inside it is durable.
+Status SyncParentDirectory(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int fd = open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IOError(Errno("cannot open directory", dir));
+  }
+  int rc = fsync(fd);
+  close(fd);
+  if (rc != 0) {
+    return Status::DataLoss(Errno("cannot fsync directory", dir));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  int fd = open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no such file: " + path);
+    }
+    return Status::IOError(Errno("cannot open file", path));
+  }
+  std::string out;
+  char buffer[1 << 16];
+  while (true) {
+    ssize_t n = read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      close(fd);
+      return Status::IOError(Errno("error reading", path));
+    }
+    if (n == 0) break;
+    out.append(buffer, static_cast<size_t>(n));
+  }
+  close(fd);
+  return out;
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return stat(path.c_str(), &st) == 0;
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  int fd = open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError(Errno("cannot create temp file", tmp));
+  }
+  if (!WriteAll(fd, contents)) {
+    Status status = Status::DataLoss(Errno("short write to", tmp));
+    close(fd);
+    unlink(tmp.c_str());
+    return status;
+  }
+  FaultPoint();  // bytes written, not yet durable
+  if (fsync(fd) != 0) {
+    Status status = Status::DataLoss(Errno("cannot fsync", tmp));
+    close(fd);
+    unlink(tmp.c_str());
+    return status;
+  }
+  if (close(fd) != 0) {
+    unlink(tmp.c_str());
+    return Status::DataLoss(Errno("cannot close", tmp));
+  }
+  FaultPoint();  // temp durable, final path still old
+  if (rename(tmp.c_str(), path.c_str()) != 0) {
+    Status status = Status::IOError(Errno("cannot rename over", path));
+    unlink(tmp.c_str());
+    return status;
+  }
+  FaultPoint();  // renamed, directory entry not yet durable
+  return SyncParentDirectory(path);
+}
+
+Status EnsureDirectory(const std::string& path) {
+  if (path.empty()) return Status::InvalidArgument("empty directory path");
+  std::string partial;
+  for (const char* p = path.c_str();; ++p) {
+    if (*p != '/' && *p != '\0') {
+      partial.push_back(*p);
+      continue;
+    }
+    if (!partial.empty() && mkdir(partial.c_str(), 0755) != 0 &&
+        errno != EEXIST) {
+      return Status::IOError(Errno("cannot create directory", partial));
+    }
+    if (*p == '\0') break;
+    partial.push_back('/');
+  }
+  return Status::OK();
+}
+
+void TestOnlySetDurableFaultCountdown(int64_t countdown) {
+  g_fault_countdown.store(countdown, std::memory_order_relaxed);
+}
+
+}  // namespace psk

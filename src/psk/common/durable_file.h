@@ -1,0 +1,46 @@
+#ifndef PSK_COMMON_DURABLE_FILE_H_
+#define PSK_COMMON_DURABLE_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "psk/common/result.h"
+
+namespace psk {
+
+/// Reads a whole file into a string. kNotFound when the path does not
+/// exist, kIOError for any other failure.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// True iff `path` exists (any file type).
+bool FileExists(const std::string& path);
+
+/// Atomically replaces `path` with `contents`: the bytes are written to
+/// `path.tmp`, fsync'd, renamed over `path`, and the containing directory
+/// is fsync'd so the rename itself is durable. A reader (or a process that
+/// crashes and restarts) therefore observes either the old file or the new
+/// one, never a torn mixture; a crash mid-write leaves at most a stale
+/// `path.tmp`, which the next AtomicWriteFile overwrites.
+///
+/// Returns kIOError when the temp file cannot be created or renamed and
+/// kDataLoss when the bytes could not be made durable (short write or
+/// failed fsync) — on kDataLoss the temp file is removed so a truncated
+/// artifact cannot be mistaken for a committed one.
+Status AtomicWriteFile(const std::string& path, std::string_view contents);
+
+/// Creates the directory (and any missing parents). OK when it already
+/// exists.
+Status EnsureDirectory(const std::string& path);
+
+/// Crash-injection hook for the fault-tolerance tests: after `countdown`
+/// more durability steps (a step is one write/fsync/rename inside
+/// AtomicWriteFile), the process kills itself with SIGKILL — an
+/// un-catchable stop at a precise point in the commit protocol. Pass a
+/// negative value (the default state) to disable. Test-only; never enable
+/// in production code.
+void TestOnlySetDurableFaultCountdown(int64_t countdown);
+
+}  // namespace psk
+
+#endif  // PSK_COMMON_DURABLE_FILE_H_

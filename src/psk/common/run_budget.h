@@ -16,12 +16,22 @@ namespace psk {
 /// handler or an RPC context) and hands another to RunBudget::cancel; the
 /// search observes the flag at every budget checkpoint and unwinds with
 /// kCancelled. Thread-safe.
+///
+/// Sharing semantics: the flag is sticky. Once Cancel() is called, every
+/// run sharing the token — including runs started later — observes it as
+/// cancelled until Reset() is called. A token reused across sequential
+/// runs must therefore be Reset() between them; for concurrent runs,
+/// prefer one token per run unless "cancel them all" is the intent.
 class CancelToken {
  public:
   void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
   bool cancelled() const {
     return cancelled_.load(std::memory_order_relaxed);
   }
+  /// Re-arms a cancelled token for the next run. Do not call while a run
+  /// sharing this token is still in flight: the racing run may miss the
+  /// cancellation entirely.
+  void Reset() { cancelled_.store(false, std::memory_order_relaxed); }
 
  private:
   std::atomic<bool> cancelled_{false};

@@ -28,13 +28,15 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Cancelled";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }
 
 std::optional<StatusCode> StatusCodeFromString(std::string_view name) {
   for (int raw = static_cast<int>(StatusCode::kOk);
-       raw <= static_cast<int>(StatusCode::kResourceExhausted); ++raw) {
+       raw <= static_cast<int>(StatusCode::kDataLoss); ++raw) {
     StatusCode code = static_cast<StatusCode>(raw);
     if (StatusCodeToString(code) == name) return code;
   }

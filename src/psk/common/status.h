@@ -29,6 +29,11 @@ enum class StatusCode {
   kCancelled = 10,
   /// A run exceeded a resource cap (nodes expanded / rows materialized).
   kResourceExhausted = 11,
+  /// Data written to durable storage could not be made durable (short
+  /// write, failed fsync, torn file detected on read-back). Unlike
+  /// kIOError, which covers transient open/read failures, kDataLoss means
+  /// the bytes on disk must not be trusted.
+  kDataLoss = 12,
 };
 
 /// Returns a stable, human-readable name for a status code ("OK",
@@ -95,6 +100,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string message) {
     return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status DataLoss(std::string message) {
+    return Status(StatusCode::kDataLoss, std::move(message));
   }
 
   /// True iff this status represents success.

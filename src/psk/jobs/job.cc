@@ -1,0 +1,363 @@
+#include "psk/jobs/job.h"
+
+#include <utility>
+
+#include "psk/api/spec_parser.h"
+#include "psk/common/durable_file.h"
+#include "psk/common/string_util.h"
+#include "psk/guard/guard.h"
+#include "psk/jobs/checkpoint_io.h"
+#include "psk/jobs/report_io.h"
+#include "psk/table/csv.h"
+#include "psk/table/schema.h"
+
+namespace psk {
+namespace {
+
+std::string JoinAlgorithmNames(
+    const std::vector<AnonymizationAlgorithm>& chain) {
+  std::string out;
+  for (size_t i = 0; i < chain.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::string(AlgorithmName(chain[i]));
+  }
+  return out;
+}
+
+Result<uint64_t> ParseJournalUint(std::string_view value, size_t line_no) {
+  PSK_ASSIGN_OR_RETURN(int64_t parsed, ParseInt64(value));
+  if (parsed < 0) {
+    return Status::InvalidArgument("journal line " + std::to_string(line_no) +
+                                   ": value must be non-negative");
+  }
+  return static_cast<uint64_t>(parsed);
+}
+
+}  // namespace
+
+uint64_t JobSpecHash(const JobSpec& spec) {
+  // Canonical rendering of every requirement that shapes the search. The
+  // wall-clock deadline is deliberately absent (elapsed time cannot survive
+  // a crash); the node/row caps are present because a budgeted search
+  // visits different nodes under different caps.
+  std::string canonical = "psk_job_v1;";
+  canonical += "k=" + std::to_string(spec.k) + ";";
+  canonical += "p=" + std::to_string(spec.p) + ";";
+  canonical += "ts=" + std::to_string(spec.max_suppression) + ";";
+  canonical += "alg=" + std::string(AlgorithmName(spec.algorithm)) + ";";
+  canonical += "chain=" + JoinAlgorithmNames(spec.fallback_chain) + ";";
+  canonical += "guard=" + std::string(spec.guard_enabled ? "1" : "0") + ";";
+  canonical += "seed=" + std::to_string(spec.seed) + ";";
+  if (spec.budget.max_nodes_expanded.has_value()) {
+    canonical +=
+        "max_nodes=" + std::to_string(*spec.budget.max_nodes_expanded) + ";";
+  }
+  if (spec.budget.max_rows_materialized.has_value()) {
+    canonical += "max_rows=" +
+                 std::to_string(*spec.budget.max_rows_materialized) + ";";
+  }
+  for (const Attribute& attr : spec.input.schema().attributes()) {
+    canonical += "attr=" + attr.name + ":" +
+                 std::string(ValueTypeToString(attr.type)) + ":" +
+                 std::string(AttributeRoleToString(attr.role)) + ";";
+  }
+  for (const auto& hierarchy : spec.hierarchies) {
+    if (hierarchy == nullptr) continue;
+    canonical += "hier=" + hierarchy->attribute_name() + ":" +
+                 std::to_string(hierarchy->num_levels()) + ";";
+  }
+  return Fnv1aHash(canonical);
+}
+
+uint64_t TableDigest(const Table& table) {
+  return Fnv1aHash(WriteCsvString(table));
+}
+
+std::string SerializeJobJournal(const JobJournal& journal) {
+  std::string out = "psk_job_version = 1\n";
+  out += "state = " + std::string(journal.committed ? "committed" : "running") +
+         "\n";
+  out += "spec_hash = " + HashToHex(journal.spec_hash) + "\n";
+  out += "input_digest = " + HashToHex(journal.input_digest) + "\n";
+  out += "input_rows = " + std::to_string(journal.input_rows) + "\n";
+  out += "seed = " + std::to_string(journal.seed) + "\n";
+  out += "k = " + std::to_string(journal.k) + "\n";
+  out += "p = " + std::to_string(journal.p) + "\n";
+  out += "ts = " + std::to_string(journal.max_suppression) + "\n";
+  out += "algorithm = " + journal.algorithm + "\n";
+  if (!journal.fallback.empty()) {
+    out += "fallback = " + journal.fallback + "\n";
+  }
+  if (journal.max_nodes_expanded.has_value()) {
+    out += "max_nodes = " + std::to_string(*journal.max_nodes_expanded) + "\n";
+  }
+  if (journal.max_rows_materialized.has_value()) {
+    out += "max_rows = " + std::to_string(*journal.max_rows_materialized) +
+           "\n";
+  }
+  if (journal.deadline_ms.has_value()) {
+    out += "deadline_ms = " + std::to_string(*journal.deadline_ms) + "\n";
+  }
+  return out;
+}
+
+Result<JobJournal> ParseJobJournal(std::string_view text) {
+  JobJournal journal;
+  bool version_seen = false;
+  bool state_seen = false;
+  bool spec_hash_seen = false;
+  bool digest_seen = false;
+  size_t line_no = 0;
+  for (const std::string& raw : Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = Trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument("journal line " +
+                                     std::to_string(line_no) +
+                                     ": expected 'key = value'");
+    }
+    std::string_view key = Trim(line.substr(0, eq));
+    std::string_view value = Trim(line.substr(eq + 1));
+    if (key == "psk_job_version") {
+      if (value != "1") {
+        return Status::InvalidArgument("unsupported journal version: " +
+                                       std::string(value));
+      }
+      version_seen = true;
+    } else if (key == "state") {
+      if (value != "running" && value != "committed") {
+        return Status::InvalidArgument("journal line " +
+                                       std::to_string(line_no) +
+                                       ": unknown state '" +
+                                       std::string(value) + "'");
+      }
+      journal.committed = value == "committed";
+      state_seen = true;
+    } else if (key == "spec_hash") {
+      PSK_ASSIGN_OR_RETURN(journal.spec_hash, ParseHexHash(value));
+      spec_hash_seen = true;
+    } else if (key == "input_digest") {
+      PSK_ASSIGN_OR_RETURN(journal.input_digest, ParseHexHash(value));
+      digest_seen = true;
+    } else if (key == "input_rows") {
+      PSK_ASSIGN_OR_RETURN(journal.input_rows,
+                           ParseJournalUint(value, line_no));
+    } else if (key == "seed") {
+      PSK_ASSIGN_OR_RETURN(journal.seed, ParseJournalUint(value, line_no));
+    } else if (key == "k") {
+      PSK_ASSIGN_OR_RETURN(uint64_t k, ParseJournalUint(value, line_no));
+      journal.k = static_cast<size_t>(k);
+    } else if (key == "p") {
+      PSK_ASSIGN_OR_RETURN(uint64_t p, ParseJournalUint(value, line_no));
+      journal.p = static_cast<size_t>(p);
+    } else if (key == "ts") {
+      PSK_ASSIGN_OR_RETURN(uint64_t ts, ParseJournalUint(value, line_no));
+      journal.max_suppression = static_cast<size_t>(ts);
+    } else if (key == "algorithm") {
+      journal.algorithm = std::string(value);
+    } else if (key == "fallback") {
+      journal.fallback = std::string(value);
+    } else if (key == "max_nodes") {
+      PSK_ASSIGN_OR_RETURN(uint64_t nodes, ParseJournalUint(value, line_no));
+      journal.max_nodes_expanded = nodes;
+    } else if (key == "max_rows") {
+      PSK_ASSIGN_OR_RETURN(uint64_t rows, ParseJournalUint(value, line_no));
+      journal.max_rows_materialized = rows;
+    } else if (key == "deadline_ms") {
+      PSK_ASSIGN_OR_RETURN(uint64_t ms, ParseJournalUint(value, line_no));
+      journal.deadline_ms = ms;
+    } else {
+      return Status::InvalidArgument("journal line " +
+                                     std::to_string(line_no) +
+                                     ": unknown key '" + std::string(key) +
+                                     "'");
+    }
+  }
+  if (!version_seen || !state_seen || !spec_hash_seen || !digest_seen) {
+    return Status::InvalidArgument(
+        "journal is missing a required header "
+        "(version/state/spec_hash/input_digest)");
+  }
+  return journal;
+}
+
+Status JobRunner::WriteJournal(const JobSpec& spec, bool committed) {
+  JobJournal journal;
+  journal.committed = committed;
+  journal.spec_hash = JobSpecHash(spec);
+  journal.input_digest = TableDigest(spec.input);
+  journal.input_rows = spec.input.num_rows();
+  journal.seed = spec.seed;
+  journal.k = spec.k;
+  journal.p = spec.p;
+  journal.max_suppression = spec.max_suppression;
+  journal.algorithm = std::string(AlgorithmName(spec.algorithm));
+  journal.fallback = JoinAlgorithmNames(spec.fallback_chain);
+  journal.max_nodes_expanded = spec.budget.max_nodes_expanded;
+  journal.max_rows_materialized = spec.budget.max_rows_materialized;
+  if (spec.budget.deadline.has_value()) {
+    journal.deadline_ms = static_cast<uint64_t>(spec.budget.deadline->count());
+  }
+  return AtomicWriteFile(journal_path(), SerializeJobJournal(journal));
+}
+
+Result<JobOutcome> JobRunner::Run(const JobSpec& spec) {
+  PSK_RETURN_IF_ERROR(EnsureDirectory(job_dir_));
+  // Write-ahead: the journal must be durable before any search work, so a
+  // crash at any later point leaves enough on disk to Resume().
+  PSK_RETURN_IF_ERROR(WriteJournal(spec, /*committed=*/false));
+  return Execute(spec, /*restore=*/nullptr);
+}
+
+Result<JobOutcome> JobRunner::Resume(const JobSpec& spec) {
+  Result<std::string> journal_text = ReadFileToString(journal_path());
+  if (!journal_text.ok()) return journal_text.status();
+  PSK_ASSIGN_OR_RETURN(JobJournal journal, ParseJobJournal(*journal_text));
+
+  // The journal must describe *this* spec and *this* input: resuming a
+  // different configuration from a stale checkpoint would silently produce
+  // a release nobody asked for.
+  uint64_t spec_hash = JobSpecHash(spec);
+  if (journal.spec_hash != spec_hash) {
+    return Status::FailedPrecondition(
+        "journal was written for a different job spec (hash " +
+        HashToHex(journal.spec_hash) + ", this spec is " +
+        HashToHex(spec_hash) + ")");
+  }
+  uint64_t digest = TableDigest(spec.input);
+  if (journal.input_digest != digest) {
+    return Status::FailedPrecondition(
+        "journal was written for different input data (digest " +
+        HashToHex(journal.input_digest) + ", this input is " +
+        HashToHex(digest) + ")");
+  }
+
+  if (journal.committed && FileExists(release_path())) {
+    return VerifyCommitted(spec);
+  }
+
+  // Interrupted mid-run: reload the last durable checkpoint, if any, and
+  // replay. The engines enumerate deterministically and fast-forward
+  // through cached verdicts, so the resumed run's release and stats are
+  // byte-identical to an uninterrupted run's.
+  SearchSnapshot snapshot;
+  bool have_checkpoint = false;
+  Result<std::string> checkpoint_text = ReadFileToString(checkpoint_path());
+  if (checkpoint_text.ok()) {
+    PSK_ASSIGN_OR_RETURN(snapshot, ParseSnapshot(*checkpoint_text, spec_hash));
+    have_checkpoint = !snapshot.verdicts.empty() || !snapshot.facts.empty();
+  } else if (checkpoint_text.status().code() != StatusCode::kNotFound) {
+    return checkpoint_text.status();
+  }
+  PSK_ASSIGN_OR_RETURN(
+      JobOutcome outcome,
+      Execute(spec, have_checkpoint ? &snapshot : nullptr));
+  outcome.resumed_from_checkpoint = have_checkpoint;
+  return outcome;
+}
+
+Result<JobOutcome> JobRunner::Execute(const JobSpec& spec,
+                                      const SearchSnapshot* restore) {
+  uint64_t spec_hash = JobSpecHash(spec);
+  Anonymizer anonymizer(spec.input);
+  for (const auto& hierarchy : spec.hierarchies) {
+    anonymizer.AddHierarchy(hierarchy);
+  }
+  anonymizer.set_k(spec.k)
+      .set_p(spec.p)
+      .set_max_suppression(spec.max_suppression)
+      .set_algorithm(spec.algorithm)
+      .set_budget(spec.budget)
+      .set_guard_enabled(spec.guard_enabled);
+  if (!spec.fallback_chain.empty()) {
+    anonymizer.set_fallback_chain(spec.fallback_chain);
+  }
+  if (restore != nullptr) {
+    anonymizer.set_restore_snapshot(restore);
+  }
+  // Checkpoints are best-effort: a failed write costs resume progress,
+  // never correctness, so its status is deliberately dropped.
+  std::string checkpoint_file = checkpoint_path();
+  anonymizer.set_checkpoint_sink(
+      [checkpoint_file, spec_hash](const SearchSnapshot& snapshot) {
+        (void)AtomicWriteFile(checkpoint_file,
+                              SerializeSnapshot(snapshot, spec_hash));
+      },
+      spec.checkpoint_interval);
+  std::string progress_file = progress_path();
+  anonymizer.set_progress_heartbeat([progress_file](size_t done) {
+    (void)AtomicWriteFile(
+        progress_file,
+        "boundaries_completed = " + std::to_string(done) + "\n");
+  });
+
+  PSK_ASSIGN_OR_RETURN(AnonymizationReport report, anonymizer.Run());
+
+  // Commit protocol, in dependency order: release bytes, then the report
+  // describing them, then the journal flips to committed. Each step is
+  // individually atomic+durable; a crash between any two leaves
+  // state=running, and the deterministic re-run overwrites both artifacts
+  // with identical bytes.
+  PSK_RETURN_IF_ERROR(WriteCsvFile(report.masked, release_path()));
+  PSK_RETURN_IF_ERROR(AtomicWriteFile(report_path(), ReportToJson(report)));
+  PSK_RETURN_IF_ERROR(WriteJournal(spec, /*committed=*/true));
+
+  JobOutcome outcome;
+  outcome.report = std::move(report);
+  outcome.release_path = release_path();
+  outcome.report_path = report_path();
+  return outcome;
+}
+
+Result<JobOutcome> JobRunner::VerifyCommitted(const JobSpec& spec) {
+  // Reconstruct the release's schema from the input's: every engine drops
+  // identifier attributes, and masking renders key attributes as labels
+  // (intervals, taxonomy nodes), so all surviving attributes are re-read
+  // as strings — equality of rendered values is exactly the grouping the
+  // guard needs.
+  std::vector<Attribute> attributes;
+  for (const Attribute& attr : spec.input.schema().attributes()) {
+    if (attr.role == AttributeRole::kIdentifier) continue;
+    Attribute released = attr;
+    released.type = ValueType::kString;
+    attributes.push_back(std::move(released));
+  }
+  PSK_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(attributes)));
+  PSK_ASSIGN_OR_RETURN(Table masked, ReadCsvFile(release_path(), schema));
+
+  JobOutcome outcome;
+  if (spec.guard_enabled) {
+    // Re-verify the committed artifact itself — the file's own bytes, not
+    // the in-memory table the original run released — so a corrupted or
+    // tampered release.csv is refused instead of handed back.
+    GuardPolicy policy;
+    policy.k = spec.k;
+    policy.p = spec.p;
+    policy.max_suppression = spec.max_suppression;
+    if (spec.p >= 2) policy.max_attribute_disclosures = 0;
+    PSK_RETURN_IF_ERROR(EnforceRelease(masked, spec.input.num_rows(), policy,
+                                       &outcome.report.guard));
+  }
+
+  PSK_ASSIGN_OR_RETURN(std::string report_json,
+                       ReadFileToString(report_path()));
+  PSK_ASSIGN_OR_RETURN(ReportProvenance provenance,
+                       ParseReportProvenance(report_json));
+  outcome.report.masked = std::move(masked);
+  outcome.report.algorithm_used = provenance.algorithm_used;
+  outcome.report.fallback_stage = provenance.fallback_stage;
+  outcome.report.partial = provenance.partial;
+  outcome.report.stats.partial = provenance.partial;
+  outcome.report.stats.stop_reason = provenance.stop_reason;
+  outcome.report.suppressed = provenance.suppressed;
+  outcome.report.achieved_k = provenance.achieved_k;
+  outcome.report.achieved_p = provenance.achieved_p;
+  outcome.release_path = release_path();
+  outcome.report_path = report_path();
+  outcome.already_committed = true;
+  return outcome;
+}
+
+}  // namespace psk

@@ -1,0 +1,149 @@
+#ifndef PSK_JOBS_JOB_H_
+#define PSK_JOBS_JOB_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "psk/api/anonymizer.h"
+#include "psk/common/result.h"
+#include "psk/common/run_budget.h"
+#include "psk/hierarchy/hierarchy.h"
+#include "psk/table/table.h"
+
+namespace psk {
+
+/// Everything one anonymization job needs: the input microdata, the
+/// privacy requirements, and the execution knobs. A JobSpec is the unit
+/// the journal fingerprints — Resume() refuses to continue a job whose
+/// spec or input no longer matches what the journal recorded.
+struct JobSpec {
+  Table input;
+  std::vector<std::shared_ptr<const AttributeHierarchy>> hierarchies;
+  size_t k = 2;
+  size_t p = 1;
+  size_t max_suppression = 0;
+  AnonymizationAlgorithm algorithm = AnonymizationAlgorithm::kSamarati;
+  std::vector<AnonymizationAlgorithm> fallback_chain;
+  /// Resource limits for the run. The wall-clock deadline is excluded from
+  /// the spec fingerprint: elapsed time does not survive a crash, so a
+  /// resumed run re-arms the full deadline. The node/row caps are
+  /// fingerprinted — they shape which nodes a budgeted search visits.
+  RunBudget budget;
+  /// Recorded in the journal for provenance. The engines are fully
+  /// deterministic today; the seed exists so future randomized stages
+  /// (sampling, perturbation) stay replayable from the journal alone.
+  uint64_t seed = 0;
+  /// Completed node evaluations between durable checkpoints.
+  uint64_t checkpoint_interval = 64;
+  bool guard_enabled = true;
+};
+
+/// Fingerprint of the requirements half of a spec (k, p, TS, algorithm,
+/// fallback chain, guard, seed, node/row caps, schema, hierarchy shapes).
+/// Stable across processes; stored in the journal and in every
+/// checkpoint.
+uint64_t JobSpecHash(const JobSpec& spec);
+
+/// Content digest of a table (FNV-1a over its canonical CSV rendering).
+/// Stored in the journal so Resume() can prove it is looking at the same
+/// input the interrupted run was anonymizing.
+uint64_t TableDigest(const Table& table);
+
+/// The write-ahead record of one job, persisted to job.journal before any
+/// search work starts and atomically rewritten with committed=true only
+/// after the release and report are durable. Scalar requirement fields are
+/// duplicated in clear text for auditability; the hashes are what Resume()
+/// validates.
+struct JobJournal {
+  bool committed = false;
+  uint64_t spec_hash = 0;
+  uint64_t input_digest = 0;
+  uint64_t input_rows = 0;
+  uint64_t seed = 0;
+  size_t k = 2;
+  size_t p = 1;
+  size_t max_suppression = 0;
+  std::string algorithm;
+  /// Comma-joined fallback algorithm names; empty when no chain is set.
+  std::string fallback;
+  std::optional<uint64_t> max_nodes_expanded;
+  std::optional<uint64_t> max_rows_materialized;
+  std::optional<uint64_t> deadline_ms;
+};
+
+/// Journal (de)serialization — text, `key = value` per line, always
+/// written through AtomicWriteFile so a reader never sees a torn journal.
+std::string SerializeJobJournal(const JobJournal& journal);
+Result<JobJournal> ParseJobJournal(std::string_view text);
+
+/// What a completed (or resumed-to-completion) job hands back.
+struct JobOutcome {
+  AnonymizationReport report;
+  std::string release_path;
+  std::string report_path;
+  /// True when Resume() fast-forwarded through a checkpoint rather than
+  /// recomputing from scratch.
+  bool resumed_from_checkpoint = false;
+  /// True when Resume() found the job already committed and only
+  /// re-verified the released artifact.
+  bool already_committed = false;
+};
+
+/// Crash-safe execution of one anonymization job inside a job directory:
+///
+///   job_dir/job.journal   write-ahead record (spec hash, input digest,
+///                         seed, budget, state)
+///   job_dir/checkpoint    latest search snapshot (atomically replaced)
+///   job_dir/progress      partition/cluster heartbeat (local recoding)
+///   job_dir/release.csv   the release — only ever appears atomically
+///   job_dir/report.json   scorecard + provenance, committed with it
+///
+/// Run() journals the spec, executes Anonymizer::Run under periodic
+/// durable checkpoints, and commits the release atomically (temp file,
+/// fsync, rename, directory fsync): a reader — or a process that crashed
+/// and restarted — never observes a torn release at the final path.
+///
+/// Resume() validates the journal against the caller's spec and input
+/// (refusing mismatches with kFailedPrecondition), replays the search
+/// from the last checkpoint, and produces a release byte-identical to an
+/// uninterrupted run; if the job had already committed, it independently
+/// re-verifies the released artifact (guard re-check on the file's own
+/// bytes) instead of recomputing. SIGKILL at any point between — or in
+/// the middle of — any of the durable writes is recoverable.
+class JobRunner {
+ public:
+  explicit JobRunner(std::string job_dir) : job_dir_(std::move(job_dir)) {}
+
+  /// Starts (or restarts from scratch) the job in job_dir, creating the
+  /// directory if needed. Any previous journal/checkpoint for the
+  /// directory is overwritten.
+  Result<JobOutcome> Run(const JobSpec& spec);
+
+  /// Continues an interrupted job. Fails with kNotFound when job_dir holds
+  /// no journal and kFailedPrecondition when the journal was written for a
+  /// different spec or input.
+  Result<JobOutcome> Resume(const JobSpec& spec);
+
+  const std::string& job_dir() const { return job_dir_; }
+  std::string journal_path() const { return job_dir_ + "/job.journal"; }
+  std::string checkpoint_path() const { return job_dir_ + "/checkpoint"; }
+  std::string progress_path() const { return job_dir_ + "/progress"; }
+  std::string release_path() const { return job_dir_ + "/release.csv"; }
+  std::string report_path() const { return job_dir_ + "/report.json"; }
+
+ private:
+  Result<JobOutcome> Execute(const JobSpec& spec,
+                             const SearchSnapshot* restore);
+  Result<JobOutcome> VerifyCommitted(const JobSpec& spec);
+  Status WriteJournal(const JobSpec& spec, bool committed);
+
+  std::string job_dir_;
+};
+
+}  // namespace psk
+
+#endif  // PSK_JOBS_JOB_H_

@@ -1,0 +1,147 @@
+#include "psk/jobs/report_io.h"
+
+#include "psk/api/spec_parser.h"
+#include "psk/common/json_writer.h"
+#include "psk/common/string_util.h"
+
+namespace psk {
+namespace {
+
+// Finds the raw token following `"key":` at any nesting depth. Reports
+// use unique key names, so a flat scan is unambiguous.
+Result<std::string> FindJsonValue(std::string_view json,
+                                  std::string_view key) {
+  std::string needle = "\"" + std::string(key) + "\":";
+  size_t pos = json.find(needle);
+  if (pos == std::string_view::npos) {
+    return Status::InvalidArgument("report is missing field '" +
+                                   std::string(key) + "'");
+  }
+  pos += needle.size();
+  while (pos < json.size() && json[pos] == ' ') ++pos;
+  if (pos >= json.size()) {
+    return Status::InvalidArgument("report field '" + std::string(key) +
+                                   "' has no value");
+  }
+  if (json[pos] == '"') {
+    size_t end = json.find('"', pos + 1);
+    if (end == std::string_view::npos) {
+      return Status::InvalidArgument("unterminated string for field '" +
+                                     std::string(key) + "'");
+    }
+    return std::string(json.substr(pos + 1, end - pos - 1));
+  }
+  size_t end = pos;
+  while (end < json.size() && json[end] != ',' && json[end] != '}' &&
+         json[end] != ']' && json[end] != '\n') {
+    ++end;
+  }
+  return std::string(Trim(json.substr(pos, end - pos)));
+}
+
+Result<size_t> FindJsonSize(std::string_view json, std::string_view key) {
+  PSK_ASSIGN_OR_RETURN(std::string raw, FindJsonValue(json, key));
+  PSK_ASSIGN_OR_RETURN(int64_t value, ParseInt64(raw));
+  if (value < 0) {
+    return Status::InvalidArgument("field '" + std::string(key) +
+                                   "' must be non-negative");
+  }
+  return static_cast<size_t>(value);
+}
+
+}  // namespace
+
+std::string ReportToJson(const AnonymizationReport& report) {
+  JsonWriter json;
+  json.BeginObject();
+
+  // Provenance first: how the release was produced is the part a resumed
+  // job and an auditor read before anything else.
+  json.Key("algorithm_used");
+  json.String(std::string(AlgorithmName(report.algorithm_used)));
+  json.Key("fallback_stage").Uint(report.fallback_stage);
+  json.Key("partial").Bool(report.partial);
+  json.Key("stop_reason");
+  json.String(std::string(StatusCodeToString(report.stats.stop_reason)));
+  if (report.node.has_value()) {
+    json.Key("node").String(report.node->ToString());
+  }
+
+  json.Key("privacy").BeginObject();
+  json.Key("achieved_k").Uint(report.achieved_k);
+  json.Key("achieved_p").Uint(report.achieved_p);
+  json.Key("suppressed").Uint(report.suppressed);
+  json.Key("attribute_disclosures").Uint(report.attribute_disclosures);
+  json.Key("reidentification_risk").Double(report.reidentification_risk);
+  json.EndObject();
+
+  json.Key("utility").BeginObject();
+  json.Key("discernibility").Uint(report.discernibility);
+  json.Key("normalized_avg_group_size")
+      .Double(report.normalized_avg_group_size);
+  json.Key("precision").Double(report.precision);
+  json.EndObject();
+
+  json.Key("stats").BeginObject();
+  json.Key("nodes_generalized").Uint(report.stats.nodes_generalized);
+  json.Key("nodes_pruned_condition2")
+      .Uint(report.stats.nodes_pruned_condition2);
+  json.Key("nodes_rejected_kanonymity")
+      .Uint(report.stats.nodes_rejected_kanonymity);
+  json.Key("nodes_rejected_detail").Uint(report.stats.nodes_rejected_detail);
+  json.Key("nodes_satisfied").Uint(report.stats.nodes_satisfied);
+  json.Key("nodes_skipped").Uint(report.stats.nodes_skipped);
+  json.Key("heights_probed").Uint(report.stats.heights_probed);
+  json.Key("subset_nodes_evaluated")
+      .Uint(report.stats.subset_nodes_evaluated);
+  json.EndObject();
+
+  json.Key("guard").BeginObject();
+  json.Key("passed").Bool(report.guard.passed);
+  json.Key("observed_k").Uint(report.guard.observed_k);
+  json.Key("observed_p").Uint(report.guard.observed_p);
+  json.Key("guard_suppressed").Uint(report.guard.suppressed);
+  json.Key("guard_attribute_disclosures")
+      .Uint(report.guard.attribute_disclosures);
+  json.EndObject();
+
+  json.EndObject();
+  return json.TakeString();
+}
+
+Result<ReportProvenance> ParseReportProvenance(std::string_view json) {
+  ReportProvenance provenance;
+
+  PSK_ASSIGN_OR_RETURN(std::string algorithm,
+                       FindJsonValue(json, "algorithm_used"));
+  PSK_ASSIGN_OR_RETURN(provenance.algorithm_used,
+                       ParseAlgorithmName(algorithm));
+
+  PSK_ASSIGN_OR_RETURN(provenance.fallback_stage,
+                       FindJsonSize(json, "fallback_stage"));
+
+  PSK_ASSIGN_OR_RETURN(std::string partial, FindJsonValue(json, "partial"));
+  if (partial != "true" && partial != "false") {
+    return Status::InvalidArgument("field 'partial' must be true or false");
+  }
+  provenance.partial = partial == "true";
+
+  PSK_ASSIGN_OR_RETURN(std::string stop_reason,
+                       FindJsonValue(json, "stop_reason"));
+  std::optional<StatusCode> code = StatusCodeFromString(stop_reason);
+  if (!code.has_value()) {
+    return Status::InvalidArgument("unknown stop_reason '" + stop_reason +
+                                   "'");
+  }
+  provenance.stop_reason = *code;
+
+  PSK_ASSIGN_OR_RETURN(provenance.suppressed,
+                       FindJsonSize(json, "suppressed"));
+  PSK_ASSIGN_OR_RETURN(provenance.achieved_k,
+                       FindJsonSize(json, "achieved_k"));
+  PSK_ASSIGN_OR_RETURN(provenance.achieved_p,
+                       FindJsonSize(json, "achieved_p"));
+  return provenance;
+}
+
+}  // namespace psk

@@ -1,0 +1,43 @@
+#ifndef PSK_JOBS_REPORT_IO_H_
+#define PSK_JOBS_REPORT_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "psk/api/anonymizer.h"
+#include "psk/common/result.h"
+
+namespace psk {
+
+/// Serializes the full scorecard and provenance of a release as JSON — the
+/// machine-readable artifact committed next to release.csv. The masked
+/// table itself is not embedded (it lives in the CSV); everything a
+/// reviewer or a resumed job needs to interpret the release is:
+/// algorithm_used, fallback_stage, partial, the stop reason, the
+/// privacy/utility scores, the search stats, and the guard's independent
+/// measurements.
+std::string ReportToJson(const AnonymizationReport& report);
+
+/// The provenance fields a resumed job (or an auditor) must recover from a
+/// committed report. Kept as a separate struct so the round-trip contract
+/// is explicit: every field here must survive
+/// ReportToJson -> ParseReportProvenance unchanged.
+struct ReportProvenance {
+  AnonymizationAlgorithm algorithm_used = AnonymizationAlgorithm::kSamarati;
+  size_t fallback_stage = 0;
+  bool partial = false;
+  StatusCode stop_reason = StatusCode::kOk;
+  size_t suppressed = 0;
+  size_t achieved_k = 0;
+  size_t achieved_p = 0;
+};
+
+/// Extracts the provenance fields from a report produced by ReportToJson.
+/// This is a narrow field extractor for the library's own reports, not a
+/// general JSON parser (the library otherwise only writes JSON); it fails
+/// with kInvalidArgument when a required field is missing or malformed.
+Result<ReportProvenance> ParseReportProvenance(std::string_view json);
+
+}  // namespace psk
+
+#endif  // PSK_JOBS_REPORT_IO_H_

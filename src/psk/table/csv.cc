@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "psk/common/durable_file.h"
 #include "psk/common/string_util.h"
 
 namespace psk {
@@ -196,15 +197,7 @@ std::string WriteCsvString(const Table& table, const CsvOptions& options) {
 
 Status WriteCsvFile(const Table& table, const std::string& path,
                     const CsvOptions& options) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    return Status::IOError("cannot open file for writing: " + path);
-  }
-  out << WriteCsvString(table, options);
-  if (!out) {
-    return Status::IOError("error while writing: " + path);
-  }
-  return Status::OK();
+  return AtomicWriteFile(path, WriteCsvString(table, options));
 }
 
 }  // namespace psk

@@ -33,7 +33,10 @@ Result<Table> ReadCsvFile(const std::string& path, const Schema& schema,
 /// separator, quotes, or newlines are quoted.
 std::string WriteCsvString(const Table& table, const CsvOptions& options = {});
 
-/// Writes a table to a CSV file on disk.
+/// Writes a table to a CSV file on disk, atomically: the CSV is staged at
+/// `path`.tmp, fsync'd, and renamed over `path` (see AtomicWriteFile), so
+/// a crash mid-write can never leave a truncated-but-parseable CSV at the
+/// final path. Returns kDataLoss when the bytes could not be made durable.
 Status WriteCsvFile(const Table& table, const std::string& path,
                     const CsvOptions& options = {});
 

@@ -1,0 +1,479 @@
+// Crash-safe job layer: journal/checkpoint round-trips, atomic durable
+// writes, resume preconditions, and the committed fast path that
+// re-verifies the released artifact instead of recomputing it.
+
+#include "psk/jobs/job.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "psk/common/durable_file.h"
+#include "psk/datagen/adult.h"
+#include "psk/jobs/checkpoint_io.h"
+#include "psk/jobs/report_io.h"
+#include "psk/table/csv.h"
+#include "test_util.h"
+
+namespace psk {
+namespace {
+
+std::string TestDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "psk_jobs_test_" + name;
+  // Start from a clean slate: tests re-run in the same TempDir.
+  std::remove((dir + "/job.journal").c_str());
+  std::remove((dir + "/checkpoint").c_str());
+  std::remove((dir + "/progress").c_str());
+  std::remove((dir + "/release.csv").c_str());
+  std::remove((dir + "/report.json").c_str());
+  return dir;
+}
+
+JobSpec MakeSpec(size_t rows = 200, uint64_t seed = 1) {
+  JobSpec spec;
+  spec.input = UnwrapOk(AdultGenerate(rows, seed));
+  HierarchySet hierarchies = UnwrapOk(AdultHierarchies(spec.input.schema()));
+  for (size_t i = 0; i < hierarchies.size(); ++i) {
+    spec.hierarchies.push_back(hierarchies.hierarchy_ptr(i));
+  }
+  spec.k = 3;
+  spec.p = 2;
+  spec.max_suppression = 6;
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Durable file primitives.
+
+TEST(DurableFileTest, AtomicWriteLeavesNoTempFile) {
+  std::string path = ::testing::TempDir() + "psk_durable_atomic.txt";
+  PSK_ASSERT_OK(AtomicWriteFile(path, "first"));
+  EXPECT_EQ(UnwrapOk(ReadFileToString(path)), "first");
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+  // Overwrite is equally atomic.
+  PSK_ASSERT_OK(AtomicWriteFile(path, "second"));
+  EXPECT_EQ(UnwrapOk(ReadFileToString(path)), "second");
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+}
+
+TEST(DurableFileTest, ReadMissingFileIsNotFound) {
+  auto result = ReadFileToString(::testing::TempDir() + "psk_no_such_file");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DurableFileTest, EnsureDirectoryCreatesAndTolerallyExists) {
+  std::string dir = ::testing::TempDir() + "psk_jobs_ensure_dir";
+  PSK_ASSERT_OK(EnsureDirectory(dir));
+  PSK_ASSERT_OK(EnsureDirectory(dir));  // idempotent
+  PSK_ASSERT_OK(AtomicWriteFile(dir + "/probe", "x"));
+}
+
+// ---------------------------------------------------------------------------
+// Hash helpers.
+
+TEST(CheckpointIoTest, HexHashRoundTrip) {
+  for (uint64_t hash : {0ULL, 1ULL, 0xdeadbeefcafef00dULL, ~0ULL}) {
+    EXPECT_EQ(UnwrapOk(ParseHexHash(HashToHex(hash))), hash);
+  }
+  EXPECT_FALSE(ParseHexHash("short").ok());
+  EXPECT_FALSE(ParseHexHash("zzzzzzzzzzzzzzzz").ok());
+}
+
+TEST(CheckpointIoTest, Fnv1aDistinguishesInputs) {
+  EXPECT_NE(Fnv1aHash("k=2;"), Fnv1aHash("k=3;"));
+  EXPECT_EQ(Fnv1aHash("same"), Fnv1aHash("same"));
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint (SearchSnapshot) serialization.
+
+SearchSnapshot MakeSnapshot() {
+  SearchSnapshot snapshot;
+  NodeEvaluation satisfied;
+  satisfied.satisfied = true;
+  satisfied.stage = CheckStage::kGroupDetail;
+  satisfied.suppressed = 3;
+  satisfied.num_groups = 17;
+  snapshot.verdicts["1,0,2"] = satisfied;
+  NodeEvaluation rejected;
+  rejected.satisfied = false;
+  rejected.stage = CheckStage::kKAnonymity;
+  rejected.suppressed = 99;
+  rejected.num_groups = 60;
+  snapshot.verdicts["0,0,0"] = rejected;
+  snapshot.facts["s:0:1|2,0"] = true;
+  snapshot.facts["s:0:1|0,0"] = false;
+  return snapshot;
+}
+
+TEST(CheckpointIoTest, SnapshotRoundTrip) {
+  SearchSnapshot snapshot = MakeSnapshot();
+  std::string text = SerializeSnapshot(snapshot, /*spec_hash=*/42);
+  SearchSnapshot parsed = UnwrapOk(ParseSnapshot(text, /*spec_hash=*/42));
+  ASSERT_EQ(parsed.verdicts.size(), 2u);
+  ASSERT_EQ(parsed.facts.size(), 2u);
+  const NodeEvaluation& eval = parsed.verdicts.at("1,0,2");
+  EXPECT_TRUE(eval.satisfied);
+  EXPECT_EQ(eval.stage, CheckStage::kGroupDetail);
+  EXPECT_EQ(eval.suppressed, 3u);
+  EXPECT_EQ(eval.num_groups, 17u);
+  EXPECT_FALSE(parsed.verdicts.at("0,0,0").satisfied);
+  EXPECT_TRUE(parsed.facts.at("s:0:1|2,0"));
+  EXPECT_FALSE(parsed.facts.at("s:0:1|0,0"));
+}
+
+TEST(CheckpointIoTest, SnapshotSerializationIsDeterministic) {
+  SearchSnapshot snapshot = MakeSnapshot();
+  EXPECT_EQ(SerializeSnapshot(snapshot, 7), SerializeSnapshot(snapshot, 7));
+}
+
+TEST(CheckpointIoTest, SnapshotRejectsWrongSpecHash) {
+  std::string text = SerializeSnapshot(MakeSnapshot(), /*spec_hash=*/42);
+  auto parsed = ParseSnapshot(text, /*spec_hash=*/43);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CheckpointIoTest, SnapshotRejectsMalformedInput) {
+  EXPECT_EQ(ParseSnapshot("", 1).status().code(),
+            StatusCode::kInvalidArgument);
+  std::string header =
+      "psk_checkpoint_version = 1\nspec_hash = " + HashToHex(1) + "\n";
+  EXPECT_EQ(ParseSnapshot(header + "verdict 1,0 = 1 0\n", 1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseSnapshot(header + "fact f = 2\n", 1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseSnapshot(header + "mystery = 1\n", 1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      ParseSnapshot("psk_checkpoint_version = 9\n", 1).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Journal serialization.
+
+TEST(JobJournalTest, RoundTripAllFields) {
+  JobJournal journal;
+  journal.committed = true;
+  journal.spec_hash = 0x1122334455667788ULL;
+  journal.input_digest = 0x99aabbccddeeff00ULL;
+  journal.input_rows = 600;
+  journal.seed = 7;
+  journal.k = 4;
+  journal.p = 3;
+  journal.max_suppression = 12;
+  journal.algorithm = "ola";
+  journal.fallback = "cluster,fullsuppression";
+  journal.max_nodes_expanded = 5000;
+  journal.max_rows_materialized = 123456;
+  journal.deadline_ms = 2500;
+  JobJournal parsed = UnwrapOk(ParseJobJournal(SerializeJobJournal(journal)));
+  EXPECT_TRUE(parsed.committed);
+  EXPECT_EQ(parsed.spec_hash, journal.spec_hash);
+  EXPECT_EQ(parsed.input_digest, journal.input_digest);
+  EXPECT_EQ(parsed.input_rows, 600u);
+  EXPECT_EQ(parsed.seed, 7u);
+  EXPECT_EQ(parsed.k, 4u);
+  EXPECT_EQ(parsed.p, 3u);
+  EXPECT_EQ(parsed.max_suppression, 12u);
+  EXPECT_EQ(parsed.algorithm, "ola");
+  EXPECT_EQ(parsed.fallback, "cluster,fullsuppression");
+  EXPECT_EQ(parsed.max_nodes_expanded, 5000u);
+  EXPECT_EQ(parsed.max_rows_materialized, 123456u);
+  EXPECT_EQ(parsed.deadline_ms, 2500u);
+}
+
+TEST(JobJournalTest, RoundTripMinimalFields) {
+  JobJournal journal;
+  journal.spec_hash = 1;
+  journal.input_digest = 2;
+  journal.algorithm = "samarati";
+  JobJournal parsed = UnwrapOk(ParseJobJournal(SerializeJobJournal(journal)));
+  EXPECT_FALSE(parsed.committed);
+  EXPECT_TRUE(parsed.fallback.empty());
+  EXPECT_FALSE(parsed.max_nodes_expanded.has_value());
+  EXPECT_FALSE(parsed.max_rows_materialized.has_value());
+  EXPECT_FALSE(parsed.deadline_ms.has_value());
+}
+
+TEST(JobJournalTest, RejectsMalformedJournals) {
+  EXPECT_EQ(ParseJobJournal("").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseJobJournal("psk_job_version = 2\n").status().code(),
+            StatusCode::kInvalidArgument);
+  JobJournal journal;
+  journal.spec_hash = 1;
+  journal.input_digest = 2;
+  std::string good = SerializeJobJournal(journal);
+  EXPECT_EQ(ParseJobJournal(good + "mystery = 1\n").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseJobJournal(good + "state = half-done\n").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Spec hashing.
+
+TEST(JobSpecHashTest, SensitiveToRequirementsNotDeadline) {
+  JobSpec spec = MakeSpec();
+  uint64_t base = JobSpecHash(spec);
+  EXPECT_EQ(JobSpecHash(spec), base);
+
+  JobSpec different_k = MakeSpec();
+  different_k.k = spec.k + 1;
+  EXPECT_NE(JobSpecHash(different_k), base);
+
+  JobSpec different_algorithm = MakeSpec();
+  different_algorithm.algorithm = AnonymizationAlgorithm::kOla;
+  EXPECT_NE(JobSpecHash(different_algorithm), base);
+
+  JobSpec with_chain = MakeSpec();
+  with_chain.fallback_chain = {AnonymizationAlgorithm::kFullSuppression};
+  EXPECT_NE(JobSpecHash(with_chain), base);
+
+  JobSpec with_caps = MakeSpec();
+  with_caps.budget.max_nodes_expanded = 1000;
+  EXPECT_NE(JobSpecHash(with_caps), base);
+
+  // The wall-clock deadline cannot survive a crash, so it must not pin the
+  // spec identity: a resumed run re-arms the full deadline.
+  JobSpec with_deadline = MakeSpec();
+  with_deadline.budget.deadline = std::chrono::milliseconds(1000);
+  EXPECT_EQ(JobSpecHash(with_deadline), base);
+}
+
+TEST(JobSpecHashTest, TableDigestTracksContents) {
+  Table a = UnwrapOk(AdultGenerate(100, 1));
+  Table b = UnwrapOk(AdultGenerate(100, 2));
+  EXPECT_EQ(TableDigest(a), TableDigest(UnwrapOk(AdultGenerate(100, 1))));
+  EXPECT_NE(TableDigest(a), TableDigest(b));
+}
+
+// ---------------------------------------------------------------------------
+// Report provenance round-trip.
+
+TEST(ReportIoTest, ProvenanceRoundTrip) {
+  AnonymizationReport report;
+  report.algorithm_used = AnonymizationAlgorithm::kOla;
+  report.fallback_stage = 2;
+  report.partial = true;
+  report.stats.stop_reason = StatusCode::kDeadlineExceeded;
+  report.suppressed = 5;
+  report.achieved_k = 4;
+  report.achieved_p = 2;
+  ReportProvenance provenance =
+      UnwrapOk(ParseReportProvenance(ReportToJson(report)));
+  EXPECT_EQ(provenance.algorithm_used, AnonymizationAlgorithm::kOla);
+  EXPECT_EQ(provenance.fallback_stage, 2u);
+  EXPECT_TRUE(provenance.partial);
+  EXPECT_EQ(provenance.stop_reason, StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(provenance.suppressed, 5u);
+  EXPECT_EQ(provenance.achieved_k, 4u);
+  EXPECT_EQ(provenance.achieved_p, 2u);
+}
+
+TEST(ReportIoTest, ProvenanceRoundTripEveryAlgorithmAndStopReason) {
+  for (auto algorithm :
+       {AnonymizationAlgorithm::kSamarati, AnonymizationAlgorithm::kIncognito,
+        AnonymizationAlgorithm::kBottomUp, AnonymizationAlgorithm::kExhaustive,
+        AnonymizationAlgorithm::kMondrian,
+        AnonymizationAlgorithm::kGreedyCluster, AnonymizationAlgorithm::kOla,
+        AnonymizationAlgorithm::kFullSuppression}) {
+    for (auto reason : {StatusCode::kOk, StatusCode::kDeadlineExceeded,
+                        StatusCode::kResourceExhausted,
+                        StatusCode::kCancelled}) {
+      AnonymizationReport report;
+      report.algorithm_used = algorithm;
+      report.stats.stop_reason = reason;
+      report.partial = reason != StatusCode::kOk;
+      ReportProvenance provenance =
+          UnwrapOk(ParseReportProvenance(ReportToJson(report)));
+      EXPECT_EQ(provenance.algorithm_used, algorithm);
+      EXPECT_EQ(provenance.stop_reason, reason);
+      EXPECT_EQ(provenance.partial, report.partial);
+    }
+  }
+}
+
+TEST(ReportIoTest, ProvenanceParserRejectsMissingFields) {
+  auto result = ParseReportProvenance("{\"algorithm_used\": \"samarati\"}");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// JobRunner end-to-end.
+
+TEST(JobRunnerTest, RunCommitsReleaseReportAndJournal) {
+  std::string dir = TestDir("run_commits");
+  JobSpec spec = MakeSpec();
+  JobRunner runner(dir);
+  JobOutcome outcome = UnwrapOk(runner.Run(spec));
+
+  EXPECT_FALSE(outcome.resumed_from_checkpoint);
+  EXPECT_FALSE(outcome.already_committed);
+  EXPECT_TRUE(outcome.report.guard.passed);
+  EXPECT_GE(outcome.report.achieved_k, spec.k);
+  EXPECT_TRUE(FileExists(runner.release_path()));
+  EXPECT_TRUE(FileExists(runner.report_path()));
+  EXPECT_FALSE(FileExists(runner.release_path() + ".tmp"));
+
+  JobJournal journal = UnwrapOk(
+      ParseJobJournal(UnwrapOk(ReadFileToString(runner.journal_path()))));
+  EXPECT_TRUE(journal.committed);
+  EXPECT_EQ(journal.spec_hash, JobSpecHash(spec));
+  EXPECT_EQ(journal.input_digest, TableDigest(spec.input));
+  EXPECT_EQ(journal.input_rows, spec.input.num_rows());
+  EXPECT_EQ(journal.algorithm, "samarati");
+}
+
+TEST(JobRunnerTest, ResumeOfCommittedJobReVerifiesArtifact) {
+  std::string dir = TestDir("resume_committed");
+  JobSpec spec = MakeSpec();
+  JobRunner runner(dir);
+  JobOutcome first = UnwrapOk(runner.Run(spec));
+
+  JobOutcome resumed = UnwrapOk(runner.Resume(spec));
+  EXPECT_TRUE(resumed.already_committed);
+  EXPECT_TRUE(resumed.report.guard.passed);
+  EXPECT_GE(resumed.report.guard.observed_k, spec.k);
+  EXPECT_EQ(resumed.report.algorithm_used, first.report.algorithm_used);
+  EXPECT_EQ(resumed.report.fallback_stage, first.report.fallback_stage);
+  EXPECT_EQ(resumed.report.partial, first.report.partial);
+  EXPECT_EQ(resumed.report.suppressed, first.report.suppressed);
+  EXPECT_EQ(resumed.report.masked.num_rows(),
+            first.report.masked.num_rows());
+}
+
+TEST(JobRunnerTest, ResumeRefusesTamperedCommittedRelease) {
+  std::string dir = TestDir("resume_tampered");
+  JobSpec spec = MakeSpec();
+  JobRunner runner(dir);
+  PSK_ASSERT_OK(runner.Run(spec).status());
+
+  // Corrupt the committed artifact: keep the header, drop all data rows.
+  std::string csv = UnwrapOk(ReadFileToString(runner.release_path()));
+  std::string header = csv.substr(0, csv.find('\n') + 1);
+  std::string one_row =
+      csv.substr(header.size(),
+                 csv.find('\n', header.size()) + 1 - header.size());
+  PSK_ASSERT_OK(AtomicWriteFile(runner.release_path(), header + one_row));
+
+  auto resumed = runner.Resume(spec);
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(JobRunnerTest, ResumeWithoutJournalIsNotFound) {
+  JobRunner runner(TestDir("resume_missing"));
+  auto resumed = runner.Resume(MakeSpec());
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.status().code(), StatusCode::kNotFound);
+}
+
+TEST(JobRunnerTest, ResumeRefusesDifferentSpec) {
+  std::string dir = TestDir("resume_wrong_spec");
+  JobSpec spec = MakeSpec();
+  JobRunner runner(dir);
+  PSK_ASSERT_OK(runner.Run(spec).status());
+
+  JobSpec different = MakeSpec();
+  different.k = spec.k + 1;
+  auto resumed = runner.Resume(different);
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(resumed.status().message().find("different job spec"),
+            std::string::npos);
+}
+
+TEST(JobRunnerTest, ResumeRefusesDifferentInput) {
+  std::string dir = TestDir("resume_wrong_input");
+  JobSpec spec = MakeSpec(200, 1);
+  JobRunner runner(dir);
+  PSK_ASSERT_OK(runner.Run(spec).status());
+
+  JobSpec different = MakeSpec(200, 2);  // same shape, different rows
+  auto resumed = runner.Resume(different);
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(resumed.status().message().find("different input"),
+            std::string::npos);
+}
+
+TEST(JobRunnerTest, ResumeFromCheckpointReproducesReleaseByteForByte) {
+  std::string dir = TestDir("resume_byte_identical");
+  JobSpec spec = MakeSpec();
+  spec.checkpoint_interval = 4;  // checkpoint often on this small lattice
+  JobRunner runner(dir);
+  PSK_ASSERT_OK(runner.Run(spec).status());
+  std::string release = UnwrapOk(ReadFileToString(runner.release_path()));
+  std::string report = UnwrapOk(ReadFileToString(runner.report_path()));
+  ASSERT_TRUE(FileExists(runner.checkpoint_path()));
+
+  // Simulate a crash after the last checkpoint but before commit: flip the
+  // journal back to running; release/report stay behind as stale partials.
+  JobJournal journal = UnwrapOk(
+      ParseJobJournal(UnwrapOk(ReadFileToString(runner.journal_path()))));
+  journal.committed = false;
+  PSK_ASSERT_OK(
+      AtomicWriteFile(runner.journal_path(), SerializeJobJournal(journal)));
+
+  JobOutcome resumed = UnwrapOk(runner.Resume(spec));
+  EXPECT_TRUE(resumed.resumed_from_checkpoint);
+  EXPECT_FALSE(resumed.already_committed);
+  EXPECT_EQ(UnwrapOk(ReadFileToString(runner.release_path())), release);
+  EXPECT_EQ(UnwrapOk(ReadFileToString(runner.report_path())), report);
+  // The replayed run re-commits.
+  EXPECT_TRUE(UnwrapOk(ParseJobJournal(UnwrapOk(
+                           ReadFileToString(runner.journal_path()))))
+                  .committed);
+}
+
+TEST(JobRunnerTest, ResumeRefusesCheckpointFromOtherSpec) {
+  std::string dir = TestDir("resume_foreign_checkpoint");
+  JobSpec spec = MakeSpec();
+  JobRunner runner(dir);
+  PSK_ASSERT_OK(runner.Run(spec).status());
+
+  JobJournal journal = UnwrapOk(
+      ParseJobJournal(UnwrapOk(ReadFileToString(runner.journal_path()))));
+  journal.committed = false;
+  PSK_ASSERT_OK(
+      AtomicWriteFile(runner.journal_path(), SerializeJobJournal(journal)));
+  // A checkpoint stamped with a different spec hash must be refused, not
+  // silently used to seed the search.
+  PSK_ASSERT_OK(AtomicWriteFile(
+      runner.checkpoint_path(),
+      SerializeSnapshot(SearchSnapshot{}, JobSpecHash(spec) + 1)));
+
+  auto resumed = runner.Resume(spec);
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(JobRunnerTest, MondrianJobWritesProgressHeartbeat) {
+  std::string dir = TestDir("mondrian_progress");
+  JobSpec spec = MakeSpec();
+  spec.algorithm = AnonymizationAlgorithm::kMondrian;
+  spec.hierarchies.clear();  // Mondrian needs none
+  JobRunner runner(dir);
+  JobOutcome outcome = UnwrapOk(runner.Run(spec));
+  EXPECT_TRUE(outcome.report.guard.passed);
+  EXPECT_TRUE(FileExists(runner.progress_path()));
+
+  // Mondrian re-derives its partitioning deterministically on resume.
+  JobJournal journal = UnwrapOk(
+      ParseJobJournal(UnwrapOk(ReadFileToString(runner.journal_path()))));
+  journal.committed = false;
+  PSK_ASSERT_OK(
+      AtomicWriteFile(runner.journal_path(), SerializeJobJournal(journal)));
+  std::string release = UnwrapOk(ReadFileToString(runner.release_path()));
+  JobOutcome resumed = UnwrapOk(runner.Resume(spec));
+  EXPECT_EQ(UnwrapOk(ReadFileToString(runner.release_path())), release);
+}
+
+}  // namespace
+}  // namespace psk

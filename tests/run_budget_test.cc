@@ -88,6 +88,41 @@ TEST(RunBudgetTest, CancelTokenTripsCancelled) {
   EXPECT_EQ(s.code(), StatusCode::kCancelled);
 }
 
+TEST(RunBudgetTest, CancelTokenIsStickyUntilReset) {
+  // The flag is sticky: an enforcer created *after* Cancel() still
+  // observes the token as cancelled — the reuse hazard Reset() exists for.
+  RunBudget budget;
+  budget.cancel = std::make_shared<CancelToken>();
+  budget.cancel->Cancel();
+  BudgetEnforcer stale(budget);
+  EXPECT_EQ(stale.Charge().code(), StatusCode::kCancelled);
+
+  budget.cancel->Reset();
+  EXPECT_FALSE(budget.cancel->cancelled());
+  BudgetEnforcer fresh(budget);
+  PSK_ASSERT_OK(fresh.Charge());
+}
+
+TEST(RunBudgetTest, ResetArmsTokenForSequentialRuns) {
+  // Cancel run 1, Reset, run 2 to completion, cancel run 3: each
+  // sequential run sharing the token sees only its own cancellation.
+  RunBudget budget;
+  budget.cancel = std::make_shared<CancelToken>();
+
+  BudgetEnforcer first(budget);
+  budget.cancel->Cancel();
+  EXPECT_EQ(first.Charge().code(), StatusCode::kCancelled);
+
+  budget.cancel->Reset();
+  BudgetEnforcer second(budget);
+  for (int i = 0; i < 10; ++i) PSK_ASSERT_OK(second.Charge());
+
+  BudgetEnforcer third(budget);
+  PSK_ASSERT_OK(third.Charge());
+  budget.cancel->Cancel();
+  EXPECT_EQ(third.Charge().code(), StatusCode::kCancelled);
+}
+
 TEST(RunBudgetTest, FirstTripLatchesItsCode) {
   // Once a deadline trips, later charges keep reporting DeadlineExceeded
   // even if a node cap would also be violated by then.
