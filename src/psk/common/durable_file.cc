@@ -9,6 +9,7 @@
 #include <atomic>
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 namespace psk {
@@ -97,10 +98,19 @@ bool FileExists(const std::string& path) {
 }
 
 Status AtomicWriteFile(const std::string& path, std::string_view contents) {
-  const std::string tmp = path + ".tmp";
-  int fd = open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  // mkstemp gives every call its own staging file: two writers racing on
+  // the same target each commit a complete file (last rename wins) instead
+  // of interleaving write/fsync/rename on one shared ".tmp" path.
+  std::string tmp = path + ".tmp.XXXXXX";
+  int fd = mkstemp(tmp.data());
   if (fd < 0) {
     return Status::IOError(Errno("cannot create temp file", tmp));
+  }
+  if (fchmod(fd, 0644) != 0) {
+    Status status = Status::IOError(Errno("cannot chmod temp file", tmp));
+    close(fd);
+    unlink(tmp.c_str());
+    return status;
   }
   if (!WriteAll(fd, contents)) {
     Status status = Status::DataLoss(Errno("short write to", tmp));
@@ -126,6 +136,14 @@ Status AtomicWriteFile(const std::string& path, std::string_view contents) {
     return status;
   }
   FaultPoint();  // renamed, directory entry not yet durable
+  return SyncParentDirectory(path);
+}
+
+Status RemoveFileDurably(const std::string& path) {
+  if (unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::IOError(Errno("cannot remove", path));
+  }
+  FaultPoint();  // unlinked, directory entry removal not yet durable
   return SyncParentDirectory(path);
 }
 

@@ -16,18 +16,25 @@ Result<std::string> ReadFileToString(const std::string& path);
 /// True iff `path` exists (any file type).
 bool FileExists(const std::string& path);
 
-/// Atomically replaces `path` with `contents`: the bytes are written to
-/// `path.tmp`, fsync'd, renamed over `path`, and the containing directory
-/// is fsync'd so the rename itself is durable. A reader (or a process that
-/// crashes and restarts) therefore observes either the old file or the new
-/// one, never a torn mixture; a crash mid-write leaves at most a stale
-/// `path.tmp`, which the next AtomicWriteFile overwrites.
+/// Atomically replaces `path` with `contents`: the bytes are written to a
+/// unique `path.tmp.XXXXXX` staging file (mkstemp — concurrent writers of
+/// the same target never share a temp file), fsync'd, renamed over `path`,
+/// and the containing directory is fsync'd so the rename itself is
+/// durable. A reader (or a process that crashes and restarts) therefore
+/// observes either the old file or the new one, never a torn mixture; a
+/// crash mid-write leaves at most a stale `path.tmp.XXXXXX`, which is
+/// harmless (it is never read and never renamed).
 ///
 /// Returns kIOError when the temp file cannot be created or renamed and
 /// kDataLoss when the bytes could not be made durable (short write or
 /// failed fsync) — on kDataLoss the temp file is removed so a truncated
 /// artifact cannot be mistaken for a committed one.
 Status AtomicWriteFile(const std::string& path, std::string_view contents);
+
+/// Durably removes `path`: unlinks it (OK when it does not exist) and
+/// fsyncs the containing directory so the removal survives a crash — the
+/// counterpart of AtomicWriteFile for retiring stale artifacts.
+Status RemoveFileDurably(const std::string& path);
 
 /// Creates the directory (and any missing parents). OK when it already
 /// exists.

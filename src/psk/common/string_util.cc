@@ -65,6 +65,29 @@ Result<int64_t> ParseInt64(std::string_view input) {
   return static_cast<int64_t>(v);
 }
 
+Result<uint64_t> ParseUint64(std::string_view input) {
+  std::string buf(Trim(input));
+  if (buf.empty()) {
+    return Status::InvalidArgument("cannot parse empty string as uint64");
+  }
+  // strtoull silently negates "-1" instead of failing; reject signs here.
+  if (buf[0] == '-' || buf[0] == '+') {
+    return Status::InvalidArgument("sign not allowed in unsigned integer: '" +
+                                   buf + "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(buf.c_str(), &end, 10);
+  if (errno == ERANGE) {
+    return Status::OutOfRange("integer out of range: '" + buf + "'");
+  }
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("trailing characters in integer: '" + buf +
+                                   "'");
+  }
+  return static_cast<uint64_t>(v);
+}
+
 Result<double> ParseDouble(std::string_view input) {
   std::string buf(Trim(input));
   if (buf.empty()) {

@@ -22,6 +22,11 @@ std::string_view Trim(std::string_view input);
 /// Parses a base-10 signed integer; the whole string must be consumed.
 Result<int64_t> ParseInt64(std::string_view input);
 
+/// Parses a base-10 unsigned integer covering the full uint64 range
+/// (values >= 2^63 parse fine); rejects a leading '-'. The whole string
+/// must be consumed.
+Result<uint64_t> ParseUint64(std::string_view input);
+
 /// Parses a floating point number; the whole string must be consumed.
 Result<double> ParseDouble(std::string_view input);
 

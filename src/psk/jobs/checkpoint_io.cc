@@ -90,9 +90,10 @@ Result<uint64_t> ParseHexHash(std::string_view hex) {
 }
 
 std::string SerializeSnapshot(const SearchSnapshot& snapshot,
-                              uint64_t spec_hash) {
+                              uint64_t spec_hash, uint64_t input_digest) {
   std::string out = "psk_checkpoint_version = 1\n";
   out += "spec_hash = " + HashToHex(spec_hash) + "\n";
+  out += "input_digest = " + HashToHex(input_digest) + "\n";
   // Sorted emission keeps the file deterministic for a given snapshot —
   // useful for tests and for content-addressed storage of checkpoints.
   std::map<std::string, const NodeEvaluation*> verdicts;
@@ -111,10 +112,12 @@ std::string SerializeSnapshot(const SearchSnapshot& snapshot,
 }
 
 Result<SearchSnapshot> ParseSnapshot(std::string_view text,
-                                     uint64_t expected_spec_hash) {
+                                     uint64_t expected_spec_hash,
+                                     uint64_t expected_input_digest) {
   SearchSnapshot snapshot;
   bool version_seen = false;
   bool hash_seen = false;
+  bool digest_seen = false;
   size_t line_no = 0;
   for (const std::string& raw : Split(text, '\n')) {
     ++line_no;
@@ -143,6 +146,15 @@ Result<SearchSnapshot> ParseSnapshot(std::string_view text,
             HashToHex(expected_spec_hash) + ")");
       }
       hash_seen = true;
+    } else if (key == "input_digest") {
+      PSK_ASSIGN_OR_RETURN(uint64_t digest, ParseHexHash(value));
+      if (digest != expected_input_digest) {
+        return Status::FailedPrecondition(
+            "checkpoint was computed over different input data (digest " +
+            std::string(value) + ", expected " +
+            HashToHex(expected_input_digest) + ")");
+      }
+      digest_seen = true;
     } else if (StartsWith(key, "verdict ")) {
       PSK_ASSIGN_OR_RETURN(NodeEvaluation eval,
                            ParseVerdictPayload(value, line_no));
@@ -161,9 +173,10 @@ Result<SearchSnapshot> ParseSnapshot(std::string_view text,
                                      "'");
     }
   }
-  if (!version_seen || !hash_seen) {
+  if (!version_seen || !hash_seen || !digest_seen) {
     return Status::InvalidArgument(
-        "checkpoint is missing its version or spec_hash header");
+        "checkpoint is missing a required header "
+        "(version/spec_hash/input_digest)");
   }
   return snapshot;
 }

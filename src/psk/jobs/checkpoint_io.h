@@ -15,22 +15,27 @@ namespace psk {
 ///
 ///   psk_checkpoint_version = 1
 ///   spec_hash = 1f2e3d4c5b6a7988
+///   input_digest = 8899aabbccddeeff
 ///   verdict 1,0,2 = 1 0 0 5     # satisfied stage suppressed num_groups
 ///   fact s:0:1|2,0 = 1
 ///
 /// `spec_hash` binds the checkpoint to the job spec that produced it
-/// (JobSpecHash), so a stale checkpoint from a different configuration can
-/// never seed a resumed search. The whole file is always rewritten
-/// atomically (AtomicWriteFile), so a reader observes either a complete
-/// checkpoint or none.
+/// (JobSpecHash) and `input_digest` to the microdata it was computed over
+/// (TableDigest): cached verdicts are functions of (data, requirements),
+/// so a stale checkpoint from a different configuration *or different
+/// input* can never seed a resumed search. The whole file is always
+/// rewritten atomically (AtomicWriteFile), so a reader observes either a
+/// complete checkpoint or none.
 std::string SerializeSnapshot(const SearchSnapshot& snapshot,
-                              uint64_t spec_hash);
+                              uint64_t spec_hash, uint64_t input_digest);
 
 /// Inverse of SerializeSnapshot. Fails with kFailedPrecondition when the
-/// embedded spec hash differs from `expected_spec_hash` (the checkpoint
-/// belongs to a different spec) and kInvalidArgument on malformed input.
+/// embedded spec hash or input digest differs from the expected value (the
+/// checkpoint belongs to a different spec or different input data) and
+/// kInvalidArgument on malformed input.
 Result<SearchSnapshot> ParseSnapshot(std::string_view text,
-                                     uint64_t expected_spec_hash);
+                                     uint64_t expected_spec_hash,
+                                     uint64_t expected_input_digest);
 
 /// FNV-1a 64-bit hash of `text`, optionally chained from a previous hash.
 /// Shared by the spec hash and the input digest of the job journal.

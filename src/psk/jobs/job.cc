@@ -1,5 +1,6 @@
 #include "psk/jobs/job.h"
 
+#include <map>
 #include <utility>
 
 #include "psk/api/spec_parser.h"
@@ -25,12 +26,43 @@ std::string JoinAlgorithmNames(
 }
 
 Result<uint64_t> ParseJournalUint(std::string_view value, size_t line_no) {
-  PSK_ASSIGN_OR_RETURN(int64_t parsed, ParseInt64(value));
-  if (parsed < 0) {
+  // Full-range unsigned parse: fields like seed are uint64 and must round-
+  // trip even at values >= 2^63, or the journal becomes unresumable.
+  Result<uint64_t> parsed = ParseUint64(value);
+  if (!parsed.ok()) {
     return Status::InvalidArgument("journal line " + std::to_string(line_no) +
-                                   ": value must be non-negative");
+                                   ": " + parsed.status().message());
   }
-  return static_cast<uint64_t>(parsed);
+  return parsed;
+}
+
+// Digest of one hierarchy's observed generalization mapping: every
+// distinct ground value of its input column, generalized at every level.
+// Cached node verdicts are functions of these mappings, so two
+// hierarchies that agree on attribute name and depth but group values
+// differently must fingerprint apart — name and num_levels alone would
+// let Resume() replay verdicts computed under a different grouping.
+uint64_t HierarchyMappingDigest(const Table& input,
+                                const AttributeHierarchy& hierarchy) {
+  Result<size_t> col = input.schema().IndexOf(hierarchy.attribute_name());
+  if (!col.ok()) return Fnv1aHash("no-such-column");
+  // Keyed by rendering so emission order is deterministic across runs.
+  std::map<std::string, const Value*> distinct;
+  for (const Value& value : input.column(*col)) {
+    distinct.emplace(value.ToString(), &value);
+  }
+  std::string canonical;
+  for (const auto& [rendered, value] : distinct) {
+    canonical += rendered;
+    for (int level = 1; level < hierarchy.num_levels(); ++level) {
+      Result<Value> generalized = hierarchy.Generalize(*value, level);
+      canonical += "|";
+      canonical += generalized.ok() ? generalized->ToString()
+                                    : generalized.status().message();
+    }
+    canonical += ";";
+  }
+  return Fnv1aHash(canonical);
 }
 
 }  // namespace
@@ -64,7 +96,9 @@ uint64_t JobSpecHash(const JobSpec& spec) {
   for (const auto& hierarchy : spec.hierarchies) {
     if (hierarchy == nullptr) continue;
     canonical += "hier=" + hierarchy->attribute_name() + ":" +
-                 std::to_string(hierarchy->num_levels()) + ";";
+                 std::to_string(hierarchy->num_levels()) + ":" +
+                 HashToHex(HierarchyMappingDigest(spec.input, *hierarchy)) +
+                 ";";
   }
   return Fnv1aHash(canonical);
 }
@@ -205,6 +239,12 @@ Status JobRunner::WriteJournal(const JobSpec& spec, bool committed) {
 
 Result<JobOutcome> JobRunner::Run(const JobSpec& spec) {
   PSK_RETURN_IF_ERROR(EnsureDirectory(job_dir_));
+  // Retire any previous run's checkpoint/progress *before* journaling the
+  // new spec: a crash after the journal lands but before the first
+  // checkpoint flush must not let Resume() pair the fresh journal with a
+  // stale snapshot from an earlier occupant of this directory.
+  PSK_RETURN_IF_ERROR(RemoveFileDurably(checkpoint_path()));
+  PSK_RETURN_IF_ERROR(RemoveFileDurably(progress_path()));
   // Write-ahead: the journal must be durable before any search work, so a
   // crash at any later point leaves enough on disk to Resume().
   PSK_RETURN_IF_ERROR(WriteJournal(spec, /*committed=*/false));
@@ -219,19 +259,22 @@ Result<JobOutcome> JobRunner::Resume(const JobSpec& spec) {
   // The journal must describe *this* spec and *this* input: resuming a
   // different configuration from a stale checkpoint would silently produce
   // a release nobody asked for.
-  uint64_t spec_hash = JobSpecHash(spec);
-  if (journal.spec_hash != spec_hash) {
-    return Status::FailedPrecondition(
-        "journal was written for a different job spec (hash " +
-        HashToHex(journal.spec_hash) + ", this spec is " +
-        HashToHex(spec_hash) + ")");
-  }
+  // Input first: the spec hash also covers the hierarchies' observed
+  // value mappings, so a changed input usually perturbs both — report the
+  // root cause, not the side effect.
   uint64_t digest = TableDigest(spec.input);
   if (journal.input_digest != digest) {
     return Status::FailedPrecondition(
         "journal was written for different input data (digest " +
         HashToHex(journal.input_digest) + ", this input is " +
         HashToHex(digest) + ")");
+  }
+  uint64_t spec_hash = JobSpecHash(spec);
+  if (journal.spec_hash != spec_hash) {
+    return Status::FailedPrecondition(
+        "journal was written for a different job spec (hash " +
+        HashToHex(journal.spec_hash) + ", this spec is " +
+        HashToHex(spec_hash) + ")");
   }
 
   if (journal.committed && FileExists(release_path())) {
@@ -246,7 +289,8 @@ Result<JobOutcome> JobRunner::Resume(const JobSpec& spec) {
   bool have_checkpoint = false;
   Result<std::string> checkpoint_text = ReadFileToString(checkpoint_path());
   if (checkpoint_text.ok()) {
-    PSK_ASSIGN_OR_RETURN(snapshot, ParseSnapshot(*checkpoint_text, spec_hash));
+    PSK_ASSIGN_OR_RETURN(snapshot,
+                         ParseSnapshot(*checkpoint_text, spec_hash, digest));
     have_checkpoint = !snapshot.verdicts.empty() || !snapshot.facts.empty();
   } else if (checkpoint_text.status().code() != StatusCode::kNotFound) {
     return checkpoint_text.status();
@@ -280,10 +324,13 @@ Result<JobOutcome> JobRunner::Execute(const JobSpec& spec,
   // Checkpoints are best-effort: a failed write costs resume progress,
   // never correctness, so its status is deliberately dropped.
   std::string checkpoint_file = checkpoint_path();
+  uint64_t input_digest = TableDigest(spec.input);
   anonymizer.set_checkpoint_sink(
-      [checkpoint_file, spec_hash](const SearchSnapshot& snapshot) {
-        (void)AtomicWriteFile(checkpoint_file,
-                              SerializeSnapshot(snapshot, spec_hash));
+      [checkpoint_file, spec_hash,
+       input_digest](const SearchSnapshot& snapshot) {
+        (void)AtomicWriteFile(
+            checkpoint_file,
+            SerializeSnapshot(snapshot, spec_hash, input_digest));
       },
       spec.checkpoint_interval);
   std::string progress_file = progress_path();

@@ -43,9 +43,10 @@ struct JobSpec {
 };
 
 /// Fingerprint of the requirements half of a spec (k, p, TS, algorithm,
-/// fallback chain, guard, seed, node/row caps, schema, hierarchy shapes).
-/// Stable across processes; stored in the journal and in every
-/// checkpoint.
+/// fallback chain, guard, seed, node/row caps, schema, and each
+/// hierarchy's actual generalization mapping over the input's observed
+/// values — not just its name and depth). Stable across processes; stored
+/// in the journal and in every checkpoint.
 uint64_t JobSpecHash(const JobSpec& spec);
 
 /// Content digest of a table (FNV-1a over its canonical CSV rendering).
@@ -119,8 +120,11 @@ class JobRunner {
   explicit JobRunner(std::string job_dir) : job_dir_(std::move(job_dir)) {}
 
   /// Starts (or restarts from scratch) the job in job_dir, creating the
-  /// directory if needed. Any previous journal/checkpoint for the
-  /// directory is overwritten.
+  /// directory if needed. Any previous checkpoint/progress file is
+  /// durably removed *before* the new journal is written, so a crash at
+  /// any point can never pair this run's journal with a stale snapshot
+  /// from an earlier occupant of the directory; the journal itself is
+  /// then overwritten.
   Result<JobOutcome> Run(const JobSpec& spec);
 
   /// Continues an interrupted job. Fails with kNotFound when job_dir holds

@@ -57,6 +57,26 @@ TEST(DurableFileTest, AtomicWriteLeavesNoTempFile) {
   EXPECT_FALSE(FileExists(path + ".tmp"));
 }
 
+TEST(DurableFileTest, AtomicWriteDoesNotShareAFixedTempPath) {
+  // Each call stages in its own mkstemp file; a bystander file at the old
+  // fixed "path.tmp" location must survive untouched (the previous scheme
+  // truncated it and renamed it over the target).
+  std::string path = ::testing::TempDir() + "psk_durable_unique.txt";
+  std::string foreign = path + ".tmp";
+  PSK_ASSERT_OK(AtomicWriteFile(foreign, "foreign"));
+  PSK_ASSERT_OK(AtomicWriteFile(path, "payload"));
+  EXPECT_EQ(UnwrapOk(ReadFileToString(path)), "payload");
+  EXPECT_EQ(UnwrapOk(ReadFileToString(foreign)), "foreign");
+}
+
+TEST(DurableFileTest, RemoveFileDurablyIsIdempotent) {
+  std::string path = ::testing::TempDir() + "psk_durable_remove.txt";
+  PSK_ASSERT_OK(AtomicWriteFile(path, "x"));
+  PSK_ASSERT_OK(RemoveFileDurably(path));
+  EXPECT_FALSE(FileExists(path));
+  PSK_ASSERT_OK(RemoveFileDurably(path));  // missing file is OK
+}
+
 TEST(DurableFileTest, ReadMissingFileIsNotFound) {
   auto result = ReadFileToString(::testing::TempDir() + "psk_no_such_file");
   ASSERT_FALSE(result.ok());
@@ -110,8 +130,10 @@ SearchSnapshot MakeSnapshot() {
 
 TEST(CheckpointIoTest, SnapshotRoundTrip) {
   SearchSnapshot snapshot = MakeSnapshot();
-  std::string text = SerializeSnapshot(snapshot, /*spec_hash=*/42);
-  SearchSnapshot parsed = UnwrapOk(ParseSnapshot(text, /*spec_hash=*/42));
+  std::string text =
+      SerializeSnapshot(snapshot, /*spec_hash=*/42, /*input_digest=*/7);
+  SearchSnapshot parsed =
+      UnwrapOk(ParseSnapshot(text, /*spec_hash=*/42, /*input_digest=*/7));
   ASSERT_EQ(parsed.verdicts.size(), 2u);
   ASSERT_EQ(parsed.facts.size(), 2u);
   const NodeEvaluation& eval = parsed.verdicts.at("1,0,2");
@@ -126,30 +148,54 @@ TEST(CheckpointIoTest, SnapshotRoundTrip) {
 
 TEST(CheckpointIoTest, SnapshotSerializationIsDeterministic) {
   SearchSnapshot snapshot = MakeSnapshot();
-  EXPECT_EQ(SerializeSnapshot(snapshot, 7), SerializeSnapshot(snapshot, 7));
+  EXPECT_EQ(SerializeSnapshot(snapshot, 7, 9),
+            SerializeSnapshot(snapshot, 7, 9));
 }
 
 TEST(CheckpointIoTest, SnapshotRejectsWrongSpecHash) {
-  std::string text = SerializeSnapshot(MakeSnapshot(), /*spec_hash=*/42);
-  auto parsed = ParseSnapshot(text, /*spec_hash=*/43);
+  std::string text =
+      SerializeSnapshot(MakeSnapshot(), /*spec_hash=*/42, /*input_digest=*/7);
+  auto parsed = ParseSnapshot(text, /*spec_hash=*/43, /*input_digest=*/7);
   ASSERT_FALSE(parsed.ok());
   EXPECT_EQ(parsed.status().code(), StatusCode::kFailedPrecondition);
 }
 
+TEST(CheckpointIoTest, SnapshotRejectsWrongInputDigest) {
+  // A checkpoint is bound to the microdata its verdicts were computed
+  // over; the same spec over different input must refuse the snapshot.
+  std::string text =
+      SerializeSnapshot(MakeSnapshot(), /*spec_hash=*/42, /*input_digest=*/7);
+  auto parsed = ParseSnapshot(text, /*spec_hash=*/42, /*input_digest=*/8);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(parsed.status().message().find("different input"),
+            std::string::npos);
+}
+
 TEST(CheckpointIoTest, SnapshotRejectsMalformedInput) {
-  EXPECT_EQ(ParseSnapshot("", 1).status().code(),
+  EXPECT_EQ(ParseSnapshot("", 1, 1).status().code(),
             StatusCode::kInvalidArgument);
-  std::string header =
-      "psk_checkpoint_version = 1\nspec_hash = " + HashToHex(1) + "\n";
-  EXPECT_EQ(ParseSnapshot(header + "verdict 1,0 = 1 0\n", 1).status().code(),
+  std::string header = "psk_checkpoint_version = 1\nspec_hash = " +
+                       HashToHex(1) + "\ninput_digest = " + HashToHex(1) +
+                       "\n";
+  EXPECT_EQ(
+      ParseSnapshot(header + "verdict 1,0 = 1 0\n", 1, 1).status().code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseSnapshot(header + "fact f = 2\n", 1, 1).status().code(),
             StatusCode::kInvalidArgument);
-  EXPECT_EQ(ParseSnapshot(header + "fact f = 2\n", 1).status().code(),
-            StatusCode::kInvalidArgument);
-  EXPECT_EQ(ParseSnapshot(header + "mystery = 1\n", 1).status().code(),
+  EXPECT_EQ(ParseSnapshot(header + "mystery = 1\n", 1, 1).status().code(),
             StatusCode::kInvalidArgument);
   EXPECT_EQ(
-      ParseSnapshot("psk_checkpoint_version = 9\n", 1).status().code(),
+      ParseSnapshot("psk_checkpoint_version = 9\n", 1, 1).status().code(),
       StatusCode::kInvalidArgument);
+  // A checkpoint that predates input binding (no input_digest header) is
+  // refused rather than trusted.
+  EXPECT_EQ(ParseSnapshot("psk_checkpoint_version = 1\nspec_hash = " +
+                              HashToHex(1) + "\n",
+                          1, 1)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
 }
 
 // ---------------------------------------------------------------------------
@@ -184,6 +230,20 @@ TEST(JobJournalTest, RoundTripAllFields) {
   EXPECT_EQ(parsed.max_nodes_expanded, 5000u);
   EXPECT_EQ(parsed.max_rows_materialized, 123456u);
   EXPECT_EQ(parsed.deadline_ms, 2500u);
+}
+
+TEST(JobJournalTest, RoundTripFullRangeUint64Seed) {
+  // seed is uint64; a value >= 2^63 must parse back or the job becomes
+  // permanently unresumable.
+  JobJournal journal;
+  journal.spec_hash = 1;
+  journal.input_digest = 2;
+  journal.algorithm = "samarati";
+  journal.seed = 0xFFFFFFFFFFFFFFFFULL;
+  journal.max_nodes_expanded = 0x8000000000000001ULL;
+  JobJournal parsed = UnwrapOk(ParseJobJournal(SerializeJobJournal(journal)));
+  EXPECT_EQ(parsed.seed, 0xFFFFFFFFFFFFFFFFULL);
+  EXPECT_EQ(parsed.max_nodes_expanded, 0x8000000000000001ULL);
 }
 
 TEST(JobJournalTest, RoundTripMinimalFields) {
@@ -243,6 +303,24 @@ TEST(JobSpecHashTest, SensitiveToRequirementsNotDeadline) {
   JobSpec with_deadline = MakeSpec();
   with_deadline.budget.deadline = std::chrono::milliseconds(1000);
   EXPECT_EQ(JobSpecHash(with_deadline), base);
+}
+
+TEST(JobSpecHashTest, SensitiveToHierarchyContents) {
+  // Same attribute name, same number of levels, different groupings: the
+  // cached verdicts differ, so the fingerprints must too.
+  JobSpec spec = MakeSpec();
+  uint64_t base = JobSpecHash(spec);
+
+  JobSpec regrouped = MakeSpec();
+  auto coarser_age = UnwrapOk(IntervalHierarchy::Create(
+      "Age", {IntervalHierarchy::Level::Bands(20),
+              IntervalHierarchy::Level::Cuts({40}),
+              IntervalHierarchy::Level::Top()}));
+  for (auto& hierarchy : regrouped.hierarchies) {
+    if (hierarchy->attribute_name() == "Age") hierarchy = coarser_age;
+  }
+  ASSERT_EQ(regrouped.hierarchies.size(), spec.hierarchies.size());
+  EXPECT_NE(JobSpecHash(regrouped), base);
 }
 
 TEST(JobSpecHashTest, TableDigestTracksContents) {
@@ -447,11 +525,63 @@ TEST(JobRunnerTest, ResumeRefusesCheckpointFromOtherSpec) {
   // silently used to seed the search.
   PSK_ASSERT_OK(AtomicWriteFile(
       runner.checkpoint_path(),
-      SerializeSnapshot(SearchSnapshot{}, JobSpecHash(spec) + 1)));
+      SerializeSnapshot(SearchSnapshot{}, JobSpecHash(spec) + 1,
+                        TableDigest(spec.input))));
 
   auto resumed = runner.Resume(spec);
   ASSERT_FALSE(resumed.ok());
   EXPECT_EQ(resumed.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(JobRunnerTest, ResumeRefusesCheckpointFromDifferentInput) {
+  std::string dir = TestDir("resume_checkpoint_other_input");
+  JobSpec spec = MakeSpec(200, 1);
+  JobRunner runner(dir);
+  PSK_ASSERT_OK(runner.Run(spec).status());
+
+  JobJournal journal = UnwrapOk(
+      ParseJobJournal(UnwrapOk(ReadFileToString(runner.journal_path()))));
+  journal.committed = false;
+  PSK_ASSERT_OK(
+      AtomicWriteFile(runner.journal_path(), SerializeJobJournal(journal)));
+  // Right spec hash, but verdicts computed over *different* microdata:
+  // replaying them would silently release a wrong table.
+  Table other = UnwrapOk(AdultGenerate(200, 2));
+  PSK_ASSERT_OK(AtomicWriteFile(
+      runner.checkpoint_path(),
+      SerializeSnapshot(SearchSnapshot{}, JobSpecHash(spec),
+                        TableDigest(other))));
+
+  auto resumed = runner.Resume(spec);
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(resumed.status().message().find("different input"),
+            std::string::npos);
+}
+
+TEST(JobRunnerTest, RunRetiresStaleCheckpointBeforeJournaling) {
+  std::string dir = TestDir("run_retires_checkpoint");
+  JobSpec spec = MakeSpec();
+  spec.checkpoint_interval = 4;
+  JobRunner runner(dir);
+  PSK_ASSERT_OK(runner.Run(spec).status());
+  ASSERT_TRUE(FileExists(runner.checkpoint_path()));
+
+  // Leave a checkpoint that would poison a later run over different data,
+  // then hand the directory to a new job: Run() must remove it before the
+  // new journal lands, so no crash window pairs them.
+  JobSpec other = MakeSpec(200, 2);
+  PSK_ASSERT_OK(runner.Run(other).status());
+  JobJournal journal = UnwrapOk(
+      ParseJobJournal(UnwrapOk(ReadFileToString(runner.journal_path()))));
+  EXPECT_EQ(journal.input_digest, TableDigest(other.input));
+  // The surviving checkpoint (if any) belongs to the new input.
+  Result<std::string> checkpoint = ReadFileToString(runner.checkpoint_path());
+  if (checkpoint.ok()) {
+    PSK_ASSERT_OK(ParseSnapshot(*checkpoint, JobSpecHash(other),
+                                TableDigest(other.input))
+                      .status());
+  }
 }
 
 TEST(JobRunnerTest, MondrianJobWritesProgressHeartbeat) {

@@ -58,6 +58,30 @@ TEST(ParseInt64Test, OutOfRange) {
   EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
 }
 
+TEST(ParseUint64Test, Valid) {
+  EXPECT_EQ(*ParseUint64("42"), 42u);
+  EXPECT_EQ(*ParseUint64(" 13 "), 13u);
+  EXPECT_EQ(*ParseUint64("0"), 0u);
+  // The upper half of the uint64 range, unreachable through ParseInt64.
+  EXPECT_EQ(*ParseUint64("9223372036854775808"), 9223372036854775808ULL);
+  EXPECT_EQ(*ParseUint64("18446744073709551615"), 18446744073709551615ULL);
+}
+
+TEST(ParseUint64Test, Invalid) {
+  EXPECT_FALSE(ParseUint64("").ok());
+  EXPECT_FALSE(ParseUint64("12x").ok());
+  EXPECT_FALSE(ParseUint64("1.5").ok());
+  // strtoull would silently negate these; the wrapper must not.
+  EXPECT_FALSE(ParseUint64("-1").ok());
+  EXPECT_FALSE(ParseUint64("+1").ok());
+}
+
+TEST(ParseUint64Test, OutOfRange) {
+  auto r = ParseUint64("18446744073709551616");  // 2^64
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
 TEST(ParseDoubleTest, Valid) {
   EXPECT_DOUBLE_EQ(*ParseDouble("2.5"), 2.5);
   EXPECT_DOUBLE_EQ(*ParseDouble("-1e3"), -1000.0);
