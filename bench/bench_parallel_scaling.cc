@@ -1,0 +1,146 @@
+// Parallel-sweep scaling: every lattice engine at 1/2/4/8 worker threads
+// on the Adult workload. Emits machine-readable results (wall time,
+// nodes/s, speedup vs sequential) as BENCH_parallel.json for the CI
+// scaling gate.
+//
+//   bench_parallel_scaling [rows] [out.json]
+//
+// Defaults: 4000 rows, ./BENCH_parallel.json.
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "psk/algorithms/exhaustive.h"
+#include "psk/algorithms/incognito.h"
+#include "psk/algorithms/ola.h"
+#include "psk/algorithms/samarati.h"
+#include "psk/common/check.h"
+#include "psk/common/json_writer.h"
+#include "psk/datagen/adult.h"
+
+namespace psk {
+namespace {
+
+struct RunResult {
+  std::string engine;
+  size_t threads = 0;
+  double wall_ms = 0.0;
+  size_t nodes_generalized = 0;
+};
+
+SearchOptions MakeOptions(size_t rows, size_t threads) {
+  SearchOptions options;
+  options.k = 3;
+  options.p = 2;
+  options.max_suppression = rows / 100;
+  options.threads = threads;
+  return options;
+}
+
+template <typename Fn>
+RunResult Measure(const std::string& engine, size_t threads, Fn&& fn) {
+  auto start = std::chrono::steady_clock::now();
+  SearchStats stats = fn();
+  auto end = std::chrono::steady_clock::now();
+  RunResult r;
+  r.engine = engine;
+  r.threads = threads;
+  r.wall_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  r.nodes_generalized = stats.nodes_generalized;
+  return r;
+}
+
+int Main(int argc, char** argv) {
+  size_t rows = argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 4000;
+  std::string out_path = argc > 2 ? argv[2] : "BENCH_parallel.json";
+
+  auto table = AdultGenerate(rows, /*seed=*/1);
+  PSK_CHECK(table.ok());
+  auto hierarchies = AdultHierarchies(table->schema());
+  PSK_CHECK(hierarchies.ok());
+  const Table& im = *table;
+  const HierarchySet& hs = *hierarchies;
+
+  const std::vector<size_t> thread_counts = {1, 2, 4, 8};
+  std::vector<RunResult> results;
+  for (size_t threads : thread_counts) {
+    SearchOptions options = MakeOptions(rows, threads);
+    results.push_back(Measure("exhaustive", threads, [&] {
+      auto r = ExhaustiveSearch(im, hs, options);
+      PSK_CHECK(r.ok());
+      return r->stats;
+    }));
+    results.push_back(Measure("samarati", threads, [&] {
+      auto r = SamaratiSearch(im, hs, options);
+      PSK_CHECK(r.ok());
+      return r->stats;
+    }));
+    results.push_back(Measure("ola", threads, [&] {
+      OlaOptions ola;
+      ola.search = options;
+      auto r = OlaSearch(im, hs, ola);
+      PSK_CHECK(r.ok());
+      return r->stats;
+    }));
+    results.push_back(Measure("incognito", threads, [&] {
+      auto r = IncognitoSearch(im, hs, options);
+      PSK_CHECK(r.ok());
+      return r->stats;
+    }));
+  }
+
+  // Sequential baseline per engine, for the speedup column.
+  auto baseline_ms = [&](const std::string& engine) {
+    for (const RunResult& r : results) {
+      if (r.engine == engine && r.threads == 1) return r.wall_ms;
+    }
+    return 0.0;
+  };
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("benchmark").String("parallel_scaling");
+  json.Key("workload").String("adult");
+  json.Key("rows").Uint(rows);
+  json.Key("hardware_concurrency")
+      .Uint(std::thread::hardware_concurrency());
+  json.Key("results").BeginArray();
+  for (const RunResult& r : results) {
+    double secs = r.wall_ms / 1000.0;
+    json.BeginObject();
+    json.Key("engine").String(r.engine);
+    json.Key("threads").Uint(r.threads);
+    json.Key("wall_ms").Double(r.wall_ms);
+    json.Key("nodes_generalized").Uint(r.nodes_generalized);
+    json.Key("nodes_per_sec")
+        .Double(secs > 0 ? static_cast<double>(r.nodes_generalized) / secs
+                         : 0.0);
+    json.Key("speedup_vs_1")
+        .Double(r.wall_ms > 0 ? baseline_ms(r.engine) / r.wall_ms : 0.0);
+    json.EndObject();
+    std::cout << r.engine << " threads=" << r.threads << " wall_ms="
+              << r.wall_ms << " nodes=" << r.nodes_generalized << "\n";
+  }
+  json.EndArray();
+  json.EndObject();
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << "\n";
+    return 1;
+  }
+  out << json.TakeString() << "\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace psk
+
+int main(int argc, char** argv) { return psk::Main(argc, argv); }

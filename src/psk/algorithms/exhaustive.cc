@@ -1,113 +1,52 @@
 #include "psk/algorithms/exhaustive.h"
 
-#include <future>
-#include <unordered_map>
+#include <optional>
 #include <vector>
 
 namespace psk {
-namespace {
-
-// Work done by one thread: evaluates a strided shard of `nodes`.
-struct ShardOutcome {
-  Status status;
-  std::vector<LatticeNode> satisfying;
-  SearchStats stats;
-};
-
-ShardOutcome EvaluateShard(const Table& im, const HierarchySet& hierarchies,
-                           const SearchOptions& options,
-                           const std::vector<LatticeNode>& nodes,
-                           std::shared_ptr<BudgetEnforcer> enforcer,
-                           size_t shard, size_t stride) {
-  ShardOutcome outcome;
-  // Each thread owns an evaluator; Init recomputes the Condition bounds,
-  // which is O(n) and negligible next to the sweep itself. The budget
-  // enforcer is shared so the limits stay global across shards.
-  NodeEvaluator evaluator(im, hierarchies, options);
-  evaluator.set_enforcer(std::move(enforcer));
-  outcome.status = evaluator.Init();
-  if (!outcome.status.ok()) return outcome;
-  for (size_t i = shard; i < nodes.size(); i += stride) {
-    Result<NodeEvaluation> eval = evaluator.Evaluate(nodes[i]);
-    if (!eval.ok()) {
-      // On a budget stop the shard keeps what it found; the caller merges
-      // the partial flag through SearchStats::Add.
-      if (AbsorbBudgetStop(eval.status(), evaluator.mutable_stats())) break;
-      outcome.status = eval.status();
-      return outcome;
-    }
-    if (eval->satisfied) outcome.satisfying.push_back(nodes[i]);
-  }
-  outcome.stats = evaluator.stats();
-  return outcome;
-}
-
-}  // namespace
 
 Result<MinimalSetResult> ExhaustiveSearch(const Table& initial_microdata,
                                           const HierarchySet& hierarchies,
                                           const SearchOptions& options) {
-  NodeEvaluator evaluator(initial_microdata, hierarchies, options);
-  PSK_RETURN_IF_ERROR(evaluator.Init());
+  NodeSweeper sweeper(initial_microdata, hierarchies, options);
+  PSK_RETURN_IF_ERROR(sweeper.Init());
 
   MinimalSetResult result;
-  if (!evaluator.Condition1Holds()) {
+  if (!sweeper.primary().Condition1Holds()) {
     result.condition1_failed = true;
-    result.stats = evaluator.stats();
+    result.stats = sweeper.MergedStats();
     return result;
   }
 
   GeneralizationLattice lattice(hierarchies);
-  std::vector<LatticeNode> nodes = lattice.AllNodes();
 
-  // The crash-recovery snapshot is accumulated by a single evaluator and
-  // is not thread-safe; a checkpointed sweep therefore runs sequentially.
-  // (Shards would also interleave non-deterministically, which resume's
-  // deterministic-replay guarantee forbids.)
-  bool checkpointed = options.restore != nullptr ||
-                      options.checkpoint_sink != nullptr;
-
-  if (options.threads <= 1 || checkpointed) {
-    for (const LatticeNode& node : nodes) {
-      Result<NodeEvaluation> eval = evaluator.Evaluate(node);
-      if (!eval.ok()) {
-        if (AbsorbBudgetStop(eval.status(), evaluator.mutable_stats())) break;
-        return eval.status();
+  // One sweep per lattice height, enumerated lazily: a budget that trips
+  // early never pays for materializing the rest of an exponential lattice.
+  // The sweeper evaluates every node of a wave whatever the thread count,
+  // verdicts land in height-major node order, and worker stats survive
+  // every outcome — including a hard error in one shard, which previously
+  // dropped that shard's counters (and the other shards' entirely).
+  for (int h = 0; h <= lattice.height(); ++h) {
+    std::vector<LatticeNode> nodes = lattice.NodesAtHeight(h);
+    std::vector<std::optional<NodeEvaluation>> evals;
+    Status swept = sweeper.Sweep(nodes, &evals);
+    if (!swept.ok()) {
+      if (!AbsorbBudgetStop(swept, sweeper.primary().mutable_stats())) {
+        return sweeper.PropagateHardError(swept);
       }
-      if (eval->satisfied) result.satisfying_nodes.push_back(node);
-    }
-    evaluator.FlushCheckpoint();
-    result.stats = evaluator.stats();
-  } else {
-    size_t threads = std::min(options.threads, nodes.size());
-    std::vector<std::future<ShardOutcome>> futures;
-    futures.reserve(threads);
-    for (size_t shard = 0; shard < threads; ++shard) {
-      futures.push_back(std::async(
-          std::launch::async, EvaluateShard, std::cref(initial_microdata),
-          std::cref(hierarchies), std::cref(options), std::cref(nodes),
-          evaluator.enforcer(), shard, threads));
-    }
-    // Shard results arrive per-thread in stride order; re-establish the
-    // height-major order of `nodes` afterwards.
-    std::vector<ShardOutcome> outcomes;
-    outcomes.reserve(threads);
-    for (auto& future : futures) outcomes.push_back(future.get());
-    for (const ShardOutcome& outcome : outcomes) {
-      PSK_RETURN_IF_ERROR(outcome.status);
-      result.stats.Add(outcome.stats);
-    }
-    std::unordered_map<LatticeNode, bool, LatticeNodeHash> satisfied;
-    for (const ShardOutcome& outcome : outcomes) {
-      for (const LatticeNode& node : outcome.satisfying) {
-        satisfied[node] = true;
+      for (size_t i = 0; i < nodes.size(); ++i) {
+        if (evals[i].has_value() && evals[i]->satisfied) {
+          result.satisfying_nodes.push_back(nodes[i]);
+        }
       }
+      break;
     }
-    for (const LatticeNode& node : nodes) {
-      if (satisfied.count(node) > 0) result.satisfying_nodes.push_back(node);
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      if (evals[i]->satisfied) result.satisfying_nodes.push_back(nodes[i]);
     }
   }
-
+  sweeper.primary().FlushCheckpoint();
+  result.stats = sweeper.MergedStats();
   result.minimal_nodes = MinimalNodes(result.satisfying_nodes);
   return result;
 }

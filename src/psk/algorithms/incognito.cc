@@ -1,12 +1,15 @@
 #include "psk/algorithms/incognito.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
+#include <optional>
 #include <set>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "psk/common/check.h"
+#include "psk/common/thread_pool.h"
 #include "psk/table/group_by.h"
 
 namespace psk {
@@ -223,13 +226,14 @@ Result<MinimalSetResult> IncognitoSearch(
     const Table& initial_microdata, const HierarchySet& hierarchies,
     const SearchOptions& options,
     const IncognitoOptions& incognito_options) {
-  NodeEvaluator evaluator(initial_microdata, hierarchies, options);
-  PSK_RETURN_IF_ERROR(evaluator.Init());
+  NodeSweeper sweeper(initial_microdata, hierarchies, options);
+  PSK_RETURN_IF_ERROR(sweeper.Init());
+  NodeEvaluator& evaluator = sweeper.primary();
 
   MinimalSetResult result;
   if (!evaluator.Condition1Holds()) {
     result.condition1_failed = true;
-    result.stats = evaluator.stats();
+    result.stats = sweeper.MergedStats();
     return result;
   }
 
@@ -238,11 +242,24 @@ Result<MinimalSetResult> IncognitoSearch(
   std::vector<int> max_levels = hierarchies.MaxLevels();
   size_t m = max_levels.size();
   SearchStats* stats = evaluator.mutable_stats();
+  // The subset phases bypass NodeEvaluator, so they shard over the pool
+  // directly. Like the node sweeps, parallelism engages only when
+  // checkpointing is off (subset facts feed the sequential snapshot).
+  bool checkpointed = options.restore != nullptr ||
+                      options.checkpoint_sink != nullptr;
+  size_t subset_workers =
+      (checkpointed || options.threads <= 1) ? 1 : options.threads;
 
   // sat[subset] = level vectors (over that subset) that are k-anonymous
   // within the suppression budget.
   std::map<std::vector<size_t>, std::set<std::vector<int>>> sat;
   bool stopped = false;
+
+  auto level_height = [](const std::vector<int>& levels) {
+    int h = 0;
+    for (int level : levels) h += level;
+    return h;
+  };
 
   for (size_t size = 1; size <= m && !stopped; ++size) {
     std::vector<std::vector<size_t>> subsets;
@@ -250,74 +267,158 @@ Result<MinimalSetResult> IncognitoSearch(
     for (const std::vector<size_t>& attrs : subsets) {
       if (stopped) break;
       std::set<std::vector<int>>& satisfied = sat[attrs];
-      for (const std::vector<int>& levels : SubLatticeNodes(attrs,
-                                                            max_levels)) {
-        // Apriori: every (size-1)-subset projection must have satisfied.
-        bool pruned = false;
-        if (size > 1) {
-          for (size_t drop = 0; drop < size && !pruned; ++drop) {
-            std::vector<size_t> parent_attrs;
-            std::vector<int> parent_levels;
-            for (size_t i = 0; i < size; ++i) {
-              if (i == drop) continue;
-              parent_attrs.push_back(attrs[i]);
-              parent_levels.push_back(levels[i]);
+      std::vector<std::vector<int>> nodes =
+          SubLatticeNodes(attrs, max_levels);
+      // The sublattice is enumerated height-major; nodes at one height are
+      // independent (apriori consults finished subsets, rollup consults
+      // strictly lower heights), so each height segment is filtered
+      // sequentially and the surviving nodes are scanned as one parallel
+      // wave. The evaluated set is identical for every thread count.
+      size_t seg_begin = 0;
+      while (seg_begin < nodes.size() && !stopped) {
+        int height = level_height(nodes[seg_begin]);
+        size_t seg_end = seg_begin;
+        while (seg_end < nodes.size() &&
+               level_height(nodes[seg_end]) == height) {
+          ++seg_end;
+        }
+        std::vector<const std::vector<int>*> pending;
+        for (size_t n = seg_begin; n < seg_end && !stopped; ++n) {
+          const std::vector<int>& levels = nodes[n];
+          // Apriori: every (size-1)-subset projection must have satisfied.
+          bool pruned = false;
+          if (size > 1) {
+            for (size_t drop = 0; drop < size && !pruned; ++drop) {
+              std::vector<size_t> parent_attrs;
+              std::vector<int> parent_levels;
+              for (size_t i = 0; i < size; ++i) {
+                if (i == drop) continue;
+                parent_attrs.push_back(attrs[i]);
+                parent_levels.push_back(levels[i]);
+              }
+              if (sat[parent_attrs].count(parent_levels) == 0) pruned = true;
             }
-            if (sat[parent_attrs].count(parent_levels) == 0) pruned = true;
           }
+          if (pruned) {
+            ++stats->nodes_skipped;
+            continue;
+          }
+          // Rollup: a direct predecessor (one level lower in one
+          // attribute) that satisfied implies this node satisfies.
+          bool rolled_up = false;
+          for (size_t i = 0; i < size && !rolled_up; ++i) {
+            if (levels[i] == 0) continue;
+            std::vector<int> pred = levels;
+            --pred[i];
+            if (satisfied.count(pred) > 0) rolled_up = true;
+          }
+          if (rolled_up) {
+            satisfied.insert(levels);
+            ++stats->nodes_skipped;
+            continue;
+          }
+          if (checkpointed) {
+            std::string fact_key = SubsetFactKey(attrs, levels);
+            bool ok;
+            if (evaluator.LookupFact(fact_key, &ok)) {
+              // Resume fast-forward: this subset node was decided by the
+              // interrupted run — reuse its verdict without re-scanning
+              // the encoded table or charging the budget. Deadline and
+              // cancellation are still polled so a replay of a large
+              // snapshot can be stopped.
+              Status replay = evaluator.TickReplay();
+              if (!replay.ok()) {
+                if (!AbsorbBudgetStop(replay, stats)) {
+                  return sweeper.PropagateHardError(replay);
+                }
+                stopped = true;
+                break;
+              }
+              ++stats->subset_nodes_evaluated;
+              evaluator.TickCheckpoint();
+              if (ok) satisfied.insert(levels);
+              continue;
+            }
+          }
+          pending.push_back(&levels);
         }
-        if (pruned) {
-          ++stats->nodes_skipped;
-          continue;
-        }
-        // Rollup: a direct predecessor (one level lower in one attribute)
-        // that satisfied implies this node satisfies.
-        bool rolled_up = false;
-        for (size_t i = 0; i < size && !rolled_up; ++i) {
-          if (levels[i] == 0) continue;
-          std::vector<int> pred = levels;
-          --pred[i];
-          if (satisfied.count(pred) > 0) rolled_up = true;
-        }
-        if (rolled_up) {
-          satisfied.insert(levels);
-          ++stats->nodes_skipped;
-          continue;
-        }
-        std::string fact_key = SubsetFactKey(attrs, levels);
-        bool ok;
-        if (evaluator.LookupFact(fact_key, &ok)) {
-          // Resume fast-forward: this subset node was decided by the
-          // interrupted run — reuse its verdict without re-scanning the
-          // encoded table or charging the budget.
-          ++stats->subset_nodes_evaluated;
-        } else {
-          // The subset phases bypass NodeEvaluator, so they account their
-          // work directly; each check scans the whole encoded table.
-          Status charged =
-              evaluator.enforcer()->Charge(1, encoded.num_rows());
-          if (!charged.ok()) {
-            if (!AbsorbBudgetStop(charged, stats)) return charged;
-            // Entries already in `sat` were fully verified, so the final
-            // phase can still mine them for (possibly incomplete) minimal
-            // nodes.
+
+        // Scan the wave: each check scans the whole encoded table, charged
+        // directly against the shared enforcer.
+        size_t wave_workers = std::min(subset_workers, pending.size());
+        if (wave_workers <= 1) {
+          for (const std::vector<int>* levels : pending) {
+            if (stopped) break;
+            Status charged =
+                evaluator.enforcer()->Charge(1, encoded.num_rows());
+            if (!charged.ok()) {
+              if (!AbsorbBudgetStop(charged, stats)) {
+                return sweeper.PropagateHardError(charged);
+              }
+              // Entries already in `sat` were fully verified, so the
+              // final phase can still mine them for (possibly incomplete)
+              // minimal nodes.
+              stopped = true;
+              break;
+            }
+            ++stats->subset_nodes_evaluated;
+            size_t violating =
+                encoded.ViolationCount(attrs, *levels, options.k);
+            bool ok = violating <= options.max_suppression;
+            if (ok && incognito_options.prune_p_on_subsets &&
+                options.p >= 2 && options.max_suppression == 0) {
+              ok = encoded.PSensitiveOk(attrs, *levels, options.p);
+            }
+            evaluator.RecordFact(SubsetFactKey(attrs, *levels), ok);
+            evaluator.TickCheckpoint();
+            if (ok) satisfied.insert(*levels);
+          }
+        } else if (!pending.empty()) {
+          std::vector<char> ok_flags(pending.size(), 0);
+          std::vector<char> scanned(pending.size(), 0);
+          std::atomic<bool> stop{false};
+          std::vector<Status> worker_status(wave_workers, Status::OK());
+          ThreadPool::Shared().ParallelFor(
+              pending.size(), wave_workers,
+              [&](size_t worker, size_t index) {
+                if (stop.load(std::memory_order_relaxed)) return;
+                Status charged =
+                    evaluator.enforcer()->Charge(1, encoded.num_rows());
+                if (!charged.ok()) {
+                  if (worker_status[worker].ok()) {
+                    worker_status[worker] = charged;
+                  }
+                  stop.store(true, std::memory_order_relaxed);
+                  return;
+                }
+                const std::vector<int>& levels = *pending[index];
+                size_t violating =
+                    encoded.ViolationCount(attrs, levels, options.k);
+                bool ok = violating <= options.max_suppression;
+                if (ok && incognito_options.prune_p_on_subsets &&
+                    options.p >= 2 && options.max_suppression == 0) {
+                  ok = encoded.PSensitiveOk(attrs, levels, options.p);
+                }
+                ok_flags[index] = ok ? 1 : 0;
+                scanned[index] = 1;
+              });
+          // Merge the wave: counters and satisfied verdicts first, so a
+          // budget stop never discards completed work.
+          for (size_t i = 0; i < pending.size(); ++i) {
+            if (scanned[i] == 0) continue;
+            ++stats->subset_nodes_evaluated;
+            if (ok_flags[i] != 0) satisfied.insert(*pending[i]);
+          }
+          for (const Status& status : worker_status) {
+            if (status.ok()) continue;
+            if (!AbsorbBudgetStop(status, stats)) {
+              return sweeper.PropagateHardError(status);
+            }
             stopped = true;
             break;
           }
-          ++stats->subset_nodes_evaluated;
-          size_t violating =
-              encoded.ViolationCount(attrs, levels, options.k);
-          ok = violating <= options.max_suppression;
-          if (ok && incognito_options.prune_p_on_subsets &&
-              options.p >= 2 && options.max_suppression == 0) {
-            ok = encoded.PSensitiveOk(attrs, levels, options.p);
-          }
-          evaluator.RecordFact(fact_key, ok);
         }
-        evaluator.TickCheckpoint();
-        if (ok) {
-          satisfied.insert(levels);
-        }
+        seg_begin = seg_end;
       }
       // A finished subset is Incognito's crash-recovery boundary.
       evaluator.FlushCheckpoint();
@@ -341,38 +442,64 @@ Result<MinimalSetResult> IncognitoSearch(
               return ha != hb ? ha < hb : a < b;
             });
 
-  for (const LatticeNode& node : candidates) {
-    bool dominated = false;
-    for (const LatticeNode& minimal : result.minimal_nodes) {
-      if (GeneralizationLattice::IsGeneralizationOf(node, minimal)) {
-        dominated = true;
-        break;
+  // Dominance against accepted minimal nodes only ever reaches down to
+  // strictly lower heights (equal-height nodes are incomparable), so the
+  // candidates are processed in per-height waves: filter sequentially,
+  // then evaluate the survivors of one height as a single parallel sweep.
+  // The evaluated set matches the sequential node-at-a-time scan exactly.
+  size_t wave_begin = 0;
+  bool final_stopped = false;
+  while (wave_begin < candidates.size() && !final_stopped) {
+    int height = candidates[wave_begin].Height();
+    size_t wave_end = wave_begin;
+    while (wave_end < candidates.size() &&
+           candidates[wave_end].Height() == height) {
+      ++wave_end;
+    }
+    std::vector<LatticeNode> pending;
+    for (size_t i = wave_begin; i < wave_end; ++i) {
+      const LatticeNode& node = candidates[i];
+      bool dominated = false;
+      for (const LatticeNode& minimal : result.minimal_nodes) {
+        if (GeneralizationLattice::IsGeneralizationOf(node, minimal)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (dominated) {
+        ++stats->nodes_skipped;
+        if (options.p < 2) result.satisfying_nodes.push_back(node);
+        continue;
+      }
+      if (options.p < 2) {
+        // Already known k-anonymous within budget.
+        result.minimal_nodes.push_back(node);
+        result.satisfying_nodes.push_back(node);
+        continue;
+      }
+      pending.push_back(node);
+    }
+    if (!pending.empty()) {
+      std::vector<std::optional<NodeEvaluation>> evals;
+      Status swept = sweeper.Sweep(pending, &evals);
+      if (!swept.ok()) {
+        if (!AbsorbBudgetStop(swept, stats)) {
+          return sweeper.PropagateHardError(swept);
+        }
+        final_stopped = true;
+      }
+      for (size_t i = 0; i < pending.size(); ++i) {
+        if (evals[i].has_value() && evals[i]->satisfied) {
+          result.minimal_nodes.push_back(pending[i]);
+          result.satisfying_nodes.push_back(pending[i]);
+        }
       }
     }
-    if (dominated) {
-      ++stats->nodes_skipped;
-      if (options.p < 2) result.satisfying_nodes.push_back(node);
-      continue;
-    }
-    if (options.p < 2) {
-      // Already known k-anonymous within budget.
-      result.minimal_nodes.push_back(node);
-      result.satisfying_nodes.push_back(node);
-      continue;
-    }
-    Result<NodeEvaluation> eval = evaluator.Evaluate(node);
-    if (!eval.ok()) {
-      if (!AbsorbBudgetStop(eval.status(), stats)) return eval.status();
-      break;
-    }
-    if (eval->satisfied) {
-      result.minimal_nodes.push_back(node);
-      result.satisfying_nodes.push_back(node);
-    }
+    wave_begin = wave_end;
   }
   std::sort(result.minimal_nodes.begin(), result.minimal_nodes.end());
   std::sort(result.satisfying_nodes.begin(), result.satisfying_nodes.end());
-  result.stats = evaluator.stats();
+  result.stats = sweeper.MergedStats();
   return result;
 }
 

@@ -78,16 +78,17 @@ std::vector<LatticeNode> NodesAtIntervalHeight(const LatticeNode& bottom,
 
 class OlaDriver {
  public:
-  OlaDriver(NodeEvaluator& evaluator, TagStore& tags)
-      : evaluator_(evaluator), tags_(tags) {}
+  OlaDriver(NodeSweeper& sweeper, TagStore& tags)
+      : sweeper_(sweeper), tags_(tags) {}
 
   Result<bool> Satisfies(const LatticeNode& node) {
     TagStore::Tag tag = tags_.Lookup(node);
     if (tag != TagStore::Tag::kUnknown) {
-      ++evaluator_.mutable_stats()->nodes_skipped;
+      ++sweeper_.primary().mutable_stats()->nodes_skipped;
       return tag == TagStore::Tag::kSatisfied;
     }
-    PSK_ASSIGN_OR_RETURN(NodeEvaluation eval, evaluator_.Evaluate(node));
+    PSK_ASSIGN_OR_RETURN(NodeEvaluation eval,
+                         sweeper_.primary().Evaluate(node));
     tags_.Record(node, eval.satisfied);
     return eval.satisfied;
   }
@@ -95,6 +96,13 @@ class OlaDriver {
   // Recursive bisection of the sub-lattice [bottom, top]; `bottom` is
   // assumed failing (or is the global bottom, checked by the caller) and
   // `top` satisfying.
+  //
+  // Each recursion level resolves its whole mid-height in two passes:
+  // predictive tags first (monotone closure, free), then ONE sweep over
+  // the remaining unknown nodes — the engine's parallel unit. Nodes at one
+  // interval height are pairwise incomparable, so no sibling's verdict can
+  // tag another sibling; resolving them together is semantically clean and
+  // makes the evaluated set independent of the thread count.
   Status Bisect(const LatticeNode& bottom, const LatticeNode& top,
                 std::vector<LatticeNode>* candidates) {
     int height = top.Height() - bottom.Height();
@@ -103,19 +111,41 @@ class OlaDriver {
       return Status::OK();
     }
     int mid = height / 2;
-    for (const LatticeNode& node : NodesAtIntervalHeight(bottom, top, mid)) {
-      PSK_ASSIGN_OR_RETURN(bool ok, Satisfies(node));
-      if (ok) {
-        PSK_RETURN_IF_ERROR(Bisect(bottom, node, candidates));
+    std::vector<LatticeNode> nodes = NodesAtIntervalHeight(bottom, top, mid);
+    std::vector<char> satisfies(nodes.size(), 0);
+    std::vector<size_t> unknown;
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      TagStore::Tag tag = tags_.Lookup(nodes[i]);
+      if (tag == TagStore::Tag::kUnknown) {
+        unknown.push_back(i);
       } else {
-        PSK_RETURN_IF_ERROR(Bisect(node, top, candidates));
+        ++sweeper_.primary().mutable_stats()->nodes_skipped;
+        satisfies[i] = tag == TagStore::Tag::kSatisfied ? 1 : 0;
+      }
+    }
+    if (!unknown.empty()) {
+      std::vector<LatticeNode> pending;
+      pending.reserve(unknown.size());
+      for (size_t i : unknown) pending.push_back(nodes[i]);
+      std::vector<std::optional<NodeEvaluation>> evals;
+      PSK_RETURN_IF_ERROR(sweeper_.Sweep(pending, &evals));
+      for (size_t j = 0; j < unknown.size(); ++j) {
+        tags_.Record(pending[j], evals[j]->satisfied);
+        satisfies[unknown[j]] = evals[j]->satisfied ? 1 : 0;
+      }
+    }
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      if (satisfies[i] != 0) {
+        PSK_RETURN_IF_ERROR(Bisect(bottom, nodes[i], candidates));
+      } else {
+        PSK_RETURN_IF_ERROR(Bisect(nodes[i], top, candidates));
       }
     }
     return Status::OK();
   }
 
  private:
-  NodeEvaluator& evaluator_;
+  NodeSweeper& sweeper_;
   TagStore& tags_;
 };
 
@@ -124,19 +154,20 @@ class OlaDriver {
 Result<OlaResult> OlaSearch(const Table& initial_microdata,
                             const HierarchySet& hierarchies,
                             const OlaOptions& options) {
-  NodeEvaluator evaluator(initial_microdata, hierarchies, options.search);
-  PSK_RETURN_IF_ERROR(evaluator.Init());
+  NodeSweeper sweeper(initial_microdata, hierarchies, options.search);
+  PSK_RETURN_IF_ERROR(sweeper.Init());
+  NodeEvaluator& evaluator = sweeper.primary();
 
   OlaResult result;
   if (!evaluator.Condition1Holds()) {
     result.condition1_failed = true;
-    result.stats = evaluator.stats();
+    result.stats = sweeper.MergedStats();
     return result;
   }
 
   GeneralizationLattice lattice(hierarchies);
   TagStore tags;
-  OlaDriver driver(evaluator, tags);
+  OlaDriver driver(sweeper, tags);
 
   LatticeNode bottom = lattice.Bottom();
   LatticeNode top = lattice.Top();
@@ -144,20 +175,20 @@ Result<OlaResult> OlaSearch(const Table& initial_microdata,
   if (!top_ok.ok()) {
     // Budget spent before even the lattice top was checked: nothing usable.
     if (!AbsorbBudgetStop(top_ok.status(), evaluator.mutable_stats())) {
-      return top_ok.status();
+      return sweeper.PropagateHardError(top_ok.status());
     }
-    result.stats = evaluator.stats();
+    result.stats = sweeper.MergedStats();
     return result;
   }
   if (!*top_ok) {
-    result.stats = evaluator.stats();
+    result.stats = sweeper.MergedStats();
     return result;  // nothing satisfies
   }
   std::vector<LatticeNode> candidates;
   Result<bool> bottom_ok = driver.Satisfies(bottom);
   if (!bottom_ok.ok()) {
     if (!AbsorbBudgetStop(bottom_ok.status(), evaluator.mutable_stats())) {
-      return bottom_ok.status();
+      return sweeper.PropagateHardError(bottom_ok.status());
     }
     // The top satisfies and is the only verified node; fall through so the
     // metric phase can still materialize it.
@@ -171,7 +202,7 @@ Result<OlaResult> OlaSearch(const Table& initial_microdata,
     evaluator.FlushCheckpoint();
     if (!bisected.ok()) {
       if (!AbsorbBudgetStop(bisected, evaluator.mutable_stats())) {
-        return bisected;
+        return sweeper.PropagateHardError(bisected);
       }
       // Candidates collected before the stop are sub-lattice tops already
       // known to satisfy; the top of the lattice always qualifies.
@@ -190,7 +221,7 @@ Result<OlaResult> OlaSearch(const Table& initial_microdata,
     Result<bool> ok = driver.Satisfies(node);
     if (!ok.ok()) {
       if (!AbsorbBudgetStop(ok.status(), evaluator.mutable_stats())) {
-        return ok.status();
+        return sweeper.PropagateHardError(ok.status());
       }
       // Unverifiable under the exhausted budget; tag-known candidates are
       // still resolved without charging, so keep scanning.
@@ -200,14 +231,18 @@ Result<OlaResult> OlaSearch(const Table& initial_microdata,
   }
   result.minimal_nodes = MinimalNodes(verified);
   if (result.minimal_nodes.empty()) {
-    result.stats = evaluator.stats();
+    result.stats = sweeper.MergedStats();
     return result;
   }
 
   // Metric-optimal node among the minimal ones.
   bool first = true;
   for (const LatticeNode& node : result.minimal_nodes) {
-    PSK_ASSIGN_OR_RETURN(MaskedMicrodata mm, evaluator.Materialize(node));
+    Result<MaskedMicrodata> materialized = evaluator.Materialize(node);
+    if (!materialized.ok()) {
+      return sweeper.PropagateHardError(materialized.status());
+    }
+    MaskedMicrodata mm = std::move(materialized).value();
     double metric;
     switch (options.metric) {
       case OlaMetric::kDiscernibility: {
@@ -235,7 +270,7 @@ Result<OlaResult> OlaSearch(const Table& initial_microdata,
     }
   }
   result.found = true;
-  result.stats = evaluator.stats();
+  result.stats = sweeper.MergedStats();
   return result;
 }
 

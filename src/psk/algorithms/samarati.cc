@@ -1,22 +1,52 @@
 #include "psk/algorithms/samarati.h"
 
+#include <algorithm>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
 namespace psk {
 namespace {
 
-// Evaluates every node at height h until one satisfies; returns it. A
-// probed height is a natural crash-recovery boundary: its verdicts decide
-// one whole step of the binary search, so they are flushed together.
+// Nodes per probe batch. Fixed — independent of the thread count — so the
+// set of evaluated nodes (and with it every stats counter) is identical
+// for sequential and parallel runs: a probe scans whole chunks and stops
+// after the first chunk containing a satisfying node, instead of the
+// first satisfying node. The over-evaluation per successful probe is
+// bounded by one chunk.
+constexpr size_t kProbeChunk = 64;
+
+// Evaluates every node at height h chunk by chunk until a chunk contains a
+// satisfying node; returns the lexicographically first one (heights are
+// enumerated in lexicographic order, so this is the same witness the old
+// node-at-a-time scan produced). A probed height is a natural
+// crash-recovery boundary: its verdicts decide one whole step of the
+// binary search, so they are flushed together.
+//
+// `probed` dedups the height counter: a height the binary search already
+// probed is not counted again by the confirmation scan (its node verdicts
+// are re-served by the VerdictCache without re-generalizing the table).
 Result<std::optional<LatticeNode>> ProbeHeight(
-    NodeEvaluator& evaluator, const GeneralizationLattice& lattice, int h) {
-  ++evaluator.mutable_stats()->heights_probed;
-  for (const LatticeNode& node : lattice.NodesAtHeight(h)) {
-    PSK_ASSIGN_OR_RETURN(NodeEvaluation eval, evaluator.Evaluate(node));
-    if (eval.satisfied) {
-      evaluator.FlushCheckpoint();
-      return std::optional<LatticeNode>(node);
+    NodeSweeper& sweeper, const GeneralizationLattice& lattice, int h,
+    std::unordered_set<int>& probed) {
+  if (probed.insert(h).second) {
+    ++sweeper.primary().mutable_stats()->heights_probed;
+  }
+  std::vector<LatticeNode> nodes = lattice.NodesAtHeight(h);
+  std::vector<std::optional<NodeEvaluation>> evals;
+  for (size_t begin = 0; begin < nodes.size(); begin += kProbeChunk) {
+    size_t end = std::min(begin + kProbeChunk, nodes.size());
+    std::vector<LatticeNode> chunk(nodes.begin() + begin,
+                                   nodes.begin() + end);
+    PSK_RETURN_IF_ERROR(sweeper.Sweep(chunk, &evals));
+    for (size_t i = 0; i < chunk.size(); ++i) {
+      if (evals[i].has_value() && evals[i]->satisfied) {
+        sweeper.primary().FlushCheckpoint();
+        return std::optional<LatticeNode>(chunk[i]);
+      }
     }
   }
-  evaluator.FlushCheckpoint();
+  sweeper.primary().FlushCheckpoint();
   return std::optional<LatticeNode>(std::nullopt);
 }
 
@@ -25,13 +55,14 @@ Result<std::optional<LatticeNode>> ProbeHeight(
 Result<SearchResult> SamaratiSearch(const Table& initial_microdata,
                                     const HierarchySet& hierarchies,
                                     const SearchOptions& options) {
-  NodeEvaluator evaluator(initial_microdata, hierarchies, options);
-  PSK_RETURN_IF_ERROR(evaluator.Init());
+  NodeSweeper sweeper(initial_microdata, hierarchies, options);
+  PSK_RETURN_IF_ERROR(sweeper.Init());
+  NodeEvaluator& evaluator = sweeper.primary();
 
   SearchResult result;
   if (!evaluator.Condition1Holds()) {
     result.condition1_failed = true;
-    result.stats = evaluator.stats();
+    result.stats = sweeper.MergedStats();
     return result;
   }
 
@@ -40,16 +71,17 @@ Result<SearchResult> SamaratiSearch(const Table& initial_microdata,
   int high = lattice.height();
   std::optional<LatticeNode> best;
   bool stopped = false;
+  std::unordered_set<int> probed;
 
   while (low < high) {
     int mid = (low + high) / 2;
     Result<std::optional<LatticeNode>> hit =
-        ProbeHeight(evaluator, lattice, mid);
+        ProbeHeight(sweeper, lattice, mid, probed);
     if (!hit.ok()) {
       // A budget stop keeps the best satisfying node seen so far (it is a
       // valid, if possibly non-minimal, solution); hard errors propagate.
       if (!AbsorbBudgetStop(hit.status(), evaluator.mutable_stats())) {
-        return hit.status();
+        return sweeper.PropagateHardError(hit.status());
       }
       stopped = true;
       break;
@@ -64,14 +96,16 @@ Result<SearchResult> SamaratiSearch(const Table& initial_microdata,
 
   // `low` is the candidate minimal height. If the last successful probe was
   // exactly at `low` we already hold a witness; otherwise probe it (this
-  // also covers the case where the loop never probed height(GL)).
+  // also covers the case where the loop never probed height(GL)). Any
+  // height the binary search touched resolves from the verdict cache
+  // without re-generalizing a single node.
   if (!stopped && (!best.has_value() || best->Height() != low)) {
     for (int h = low; h <= lattice.height(); ++h) {
       Result<std::optional<LatticeNode>> hit =
-          ProbeHeight(evaluator, lattice, h);
+          ProbeHeight(sweeper, lattice, h, probed);
       if (!hit.ok()) {
         if (!AbsorbBudgetStop(hit.status(), evaluator.mutable_stats())) {
-          return hit.status();
+          return sweeper.PropagateHardError(hit.status());
         }
         break;
       }
@@ -85,13 +119,14 @@ Result<SearchResult> SamaratiSearch(const Table& initial_microdata,
   }
 
   if (best.has_value()) {
-    PSK_ASSIGN_OR_RETURN(MaskedMicrodata mm, evaluator.Materialize(*best));
+    Result<MaskedMicrodata> mm = evaluator.Materialize(*best);
+    if (!mm.ok()) return sweeper.PropagateHardError(mm.status());
     result.found = true;
     result.node = *best;
-    result.masked = std::move(mm.table);
-    result.suppressed = mm.suppressed;
+    result.masked = std::move(mm->table);
+    result.suppressed = mm->suppressed;
   }
-  result.stats = evaluator.stats();
+  result.stats = sweeper.MergedStats();
   return result;
 }
 

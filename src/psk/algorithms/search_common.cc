@@ -1,8 +1,10 @@
 #include "psk/algorithms/search_common.h"
 
 #include <algorithm>
+#include <atomic>
 #include <unordered_set>
 
+#include "psk/common/thread_pool.h"
 #include "psk/table/group_by.h"
 
 namespace psk {
@@ -78,6 +80,14 @@ void NodeEvaluator::RecordFact(const std::string& key, bool value) {
   snapshot_.facts[key] = value;
 }
 
+Status NodeEvaluator::TickReplay() {
+  if (++replay_hits_since_check_ < kReplayCheckInterval) return Status::OK();
+  replay_hits_since_check_ = 0;
+  // Deadline/cancellation only — a fast-forward costs no real work, so the
+  // node/row budget is not charged.
+  return enforcer_->Check();
+}
+
 void NodeEvaluator::TickCheckpoint() {
   if (options_.checkpoint_sink == nullptr) return;
   if (++ticks_since_checkpoint_ < std::max<uint64_t>(
@@ -102,14 +112,16 @@ Result<NodeEvaluation> NodeEvaluator::Evaluate(const LatticeNode& node) {
         "Condition 1 fails for the requested p; no node can satisfy it");
   }
   std::string key;
+  if (checkpointing_ || cache_ != nullptr) key = SnapshotNodeKey(node);
   if (checkpointing_) {
-    key = SnapshotNodeKey(node);
     auto cached = snapshot_.verdicts.find(key);
     if (cached != snapshot_.verdicts.end()) {
       // Resume fast-forward: recount the stored verdict into the stats
       // exactly as the original evaluation did, so a resumed run finishes
       // with the same counters as an uninterrupted one. No budget charge —
-      // no table was generalized.
+      // no table was generalized — but deadline and cancellation are still
+      // polled so a replay of a large snapshot can be stopped.
+      PSK_RETURN_IF_ERROR(TickReplay());
       const NodeEvaluation& eval = cached->second;
       ++stats_.nodes_generalized;
       switch (eval.stage) {
@@ -126,8 +138,21 @@ Result<NodeEvaluation> NodeEvaluator::Evaluate(const LatticeNode& node) {
           break;
       }
       if (eval.satisfied) ++stats_.nodes_satisfied;
+      // Replayed once; any further request this run is a plain re-request
+      // and must not recount, so it goes to the skip-semantics cache.
+      if (cache_ != nullptr) cache_->Insert(key, eval);
       TickCheckpoint();
       return eval;
+    }
+  }
+  if (cache_ != nullptr) {
+    NodeEvaluation hit;
+    if (cache_->Lookup(key, &hit)) {
+      // Already evaluated (and counted) once in this run — re-serve the
+      // verdict for free, still honoring deadline/cancellation.
+      PSK_RETURN_IF_ERROR(TickReplay());
+      ++stats_.nodes_cache_hits;
+      return hit;
     }
   }
   // Budget checkpoint: every node evaluation generalizes the whole table,
@@ -147,6 +172,7 @@ Result<NodeEvaluation> NodeEvaluator::Evaluate(const LatticeNode& node) {
   // them; a budget stop above never reaches here, keeping the snapshot
   // free of half-finished evaluations.
   auto finish = [&](const NodeEvaluation& done) -> NodeEvaluation {
+    if (cache_ != nullptr) cache_->Insert(key, done);
     if (checkpointing_) snapshot_.verdicts.emplace(std::move(key), done);
     TickCheckpoint();
     return done;
@@ -208,6 +234,110 @@ Result<NodeEvaluation> NodeEvaluator::Evaluate(const LatticeNode& node) {
 Result<MaskedMicrodata> NodeEvaluator::Materialize(
     const LatticeNode& node) const {
   return Mask(im_, hierarchies_, node, options_.k);
+}
+
+NodeSweeper::NodeSweeper(const Table& initial_microdata,
+                         const HierarchySet& hierarchies,
+                         SearchOptions options)
+    : im_(initial_microdata),
+      hierarchies_(hierarchies),
+      options_(std::move(options)) {}
+
+Status NodeSweeper::Init() {
+  // Checkpointed runs stay sequential: the snapshot is accumulated by one
+  // evaluator, and resume's deterministic-replay guarantee forbids
+  // non-deterministic shard interleaving.
+  bool checkpointed = options_.restore != nullptr ||
+                      options_.checkpoint_sink != nullptr;
+  size_t num_workers =
+      (checkpointed || options_.threads <= 1) ? 1 : options_.threads;
+
+  auto cache = std::make_shared<VerdictCache>();
+  workers_.clear();
+  workers_.reserve(num_workers);
+
+  workers_.push_back(
+      std::make_unique<NodeEvaluator>(im_, hierarchies_, options_));
+  workers_.front()->set_verdict_cache(cache);
+  PSK_RETURN_IF_ERROR(workers_.front()->Init());
+
+  // Secondary workers share the primary's enforcer (limits stay global)
+  // and cache; they never checkpoint (num_workers > 1 implies
+  // checkpointing is off, but clear the hooks anyway for belt and braces).
+  SearchOptions worker_options = options_;
+  worker_options.restore = nullptr;
+  worker_options.checkpoint_sink = nullptr;
+  for (size_t w = 1; w < num_workers; ++w) {
+    workers_.push_back(
+        std::make_unique<NodeEvaluator>(im_, hierarchies_, worker_options));
+    workers_.back()->set_enforcer(workers_.front()->enforcer());
+    workers_.back()->set_verdict_cache(cache);
+    PSK_RETURN_IF_ERROR(workers_.back()->Init());
+  }
+  return Status::OK();
+}
+
+Status NodeSweeper::Sweep(const std::vector<LatticeNode>& nodes,
+                          std::vector<std::optional<NodeEvaluation>>* evals) {
+  evals->assign(nodes.size(), std::nullopt);
+  size_t active = std::min(workers_.size(), nodes.size());
+
+  if (active <= 1) {
+    NodeEvaluator& evaluator = *workers_.front();
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      Result<NodeEvaluation> eval = evaluator.Evaluate(nodes[i]);
+      if (!eval.ok()) return eval.status();
+      (*evals)[i] = *eval;
+    }
+    return Status::OK();
+  }
+
+  // Dynamic scheduling is safe for determinism because every node is
+  // evaluated regardless of which worker draws it; verdicts land in
+  // per-index slots and counter sums are order-independent.
+  std::atomic<bool> stop{false};
+  std::vector<Status> worker_status(active, Status::OK());
+  ThreadPool::Shared().ParallelFor(
+      nodes.size(), active, [&](size_t worker, size_t index) {
+        if (stop.load(std::memory_order_relaxed)) return;  // drain fast
+        Result<NodeEvaluation> eval = workers_[worker]->Evaluate(nodes[index]);
+        if (!eval.ok()) {
+          if (worker_status[worker].ok()) {
+            worker_status[worker] = eval.status();
+          }
+          // A tripped enforcer poisons every later Charge anyway; the flag
+          // just skips the pointless evaluations in between.
+          stop.store(true, std::memory_order_relaxed);
+          return;
+        }
+        (*evals)[index] = *eval;
+      });
+
+  // Hard errors (first by worker order) outrank budget stops: they must
+  // propagate, while a budget stop is a valid partial result.
+  Status budget_stop = Status::OK();
+  for (const Status& status : worker_status) {
+    if (status.ok()) continue;
+    if (IsBudgetExhausted(status)) {
+      if (budget_stop.ok()) budget_stop = status;
+    } else {
+      return status;
+    }
+  }
+  return budget_stop;
+}
+
+SearchStats NodeSweeper::MergedStats() const {
+  SearchStats merged;
+  for (const auto& worker : workers_) merged.Add(worker->stats());
+  return merged;
+}
+
+Status NodeSweeper::PropagateHardError(Status status) const {
+  if (options_.failure_stats != nullptr) {
+    *options_.failure_stats = MergedStats();
+  }
+  return status;
 }
 
 }  // namespace psk

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -52,6 +53,46 @@ struct SearchSnapshot {
 /// Snapshot key of a lattice node: its levels joined with ',' ("1,0,2").
 std::string SnapshotNodeKey(const LatticeNode& node);
 
+/// Thread-safe in-memory verdict cache, shared by every NodeEvaluator of
+/// one search (all workers of a parallel sweep, and every phase of a
+/// multi-phase engine). A verdict is a pure function of (initial
+/// microdata, hierarchies, k, p, TS), so once any worker has evaluated a
+/// node, no other request in the same search ever generalizes the table
+/// for it again — e.g. Samarati's confirmation scan resolves heights the
+/// binary search already probed for free.
+///
+/// Unlike the crash-recovery snapshot (whose hits *recount* stats so a
+/// resumed run converges on the uninterrupted run's counters), a cache hit
+/// is work already counted in this run: it increments only
+/// SearchStats::nodes_cache_hits and charges no budget.
+class VerdictCache {
+ public:
+  /// True and fills *out when `key` has a cached verdict.
+  bool Lookup(const std::string& key, NodeEvaluation* out) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end()) return false;
+    *out = it->second;
+    return true;
+  }
+
+  void Insert(const std::string& key, const NodeEvaluation& eval) {
+    std::lock_guard<std::mutex> lock(mu_);
+    map_.emplace(key, eval);
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, NodeEvaluation> map_;
+};
+
+struct SearchStats;
+
 /// Parameters shared by every lattice search.
 ///
 /// p = 1 degenerates to the plain k-anonymity search of Samarati [19]
@@ -68,8 +109,16 @@ struct SearchOptions {
   /// additions). Turning this off gives the unpruned baseline used in the
   /// ablation benchmarks.
   bool use_conditions = true;
-  /// Worker threads for searches that evaluate independent nodes
-  /// (currently the exhaustive sweep). 1 = sequential.
+  /// Worker threads for searches that evaluate independent nodes — every
+  /// lattice engine (exhaustive sweep, Samarati, OLA, Incognito) shards its
+  /// per-height / per-level / per-subset node sweeps over the shared
+  /// ThreadPool. 1 = sequential. Results are deterministic: the set of
+  /// evaluated nodes, the release, and every SearchStats counter are
+  /// identical for any thread count (budget-tripped partial results may
+  /// differ, since a limit trips at a thread-timing-dependent node).
+  /// Parallelism engages only when checkpointing (restore /
+  /// checkpoint_sink) is off; checkpointed runs stay sequential to keep
+  /// the deterministic-replay guarantee.
   size_t threads = 1;
   /// Resource limits. When a limit trips mid-search, the search stops and
   /// returns whatever it found so far, with SearchStats::partial set and
@@ -96,6 +145,13 @@ struct SearchOptions {
   std::function<void(const SearchSnapshot&)> checkpoint_sink;
   /// Completed evaluations between checkpoint_sink invocations.
   uint64_t checkpoint_interval = 64;
+
+  /// When a search unwinds with a *hard* error (anything other than a
+  /// budget stop), the work counters accumulated up to the failure —
+  /// merged across every parallel shard — are stored here before the error
+  /// propagates, so observability survives failures. Untouched when the
+  /// search returns a result. Optional; must outlive the search.
+  SearchStats* failure_stats = nullptr;
 };
 
 /// Work counters, used to quantify what the necessary conditions save.
@@ -114,6 +170,10 @@ struct SearchStats {
   /// Nodes skipped without generalization (dominance or lower-bound
   /// pruning in the bottom-up search).
   size_t nodes_skipped = 0;
+  /// Node requests resolved from the in-memory VerdictCache — work already
+  /// counted once in this run, re-served for free (no generalization, no
+  /// budget charge).
+  size_t nodes_cache_hits = 0;
   /// Lattice heights probed (binary search).
   size_t heights_probed = 0;
   /// Subset-lattice nodes evaluated (Incognito's phases over proper
@@ -133,6 +193,7 @@ struct SearchStats {
     nodes_rejected_detail += other.nodes_rejected_detail;
     nodes_satisfied += other.nodes_satisfied;
     nodes_skipped += other.nodes_skipped;
+    nodes_cache_hits += other.nodes_cache_hits;
     heights_probed += other.heights_probed;
     subset_nodes_evaluated += other.subset_nodes_evaluated;
     if (other.partial && !partial) {
@@ -177,6 +238,18 @@ class NodeEvaluator {
     return enforcer_;
   }
 
+  /// Shares an in-memory verdict cache across evaluators (all workers of a
+  /// parallel sweep, all phases of one engine). May be set any time before
+  /// the first Evaluate. A cached node is re-served without generalizing
+  /// the table, without charging the budget, counting only
+  /// SearchStats::nodes_cache_hits.
+  void set_verdict_cache(std::shared_ptr<VerdictCache> cache) {
+    cache_ = std::move(cache);
+  }
+  const std::shared_ptr<VerdictCache>& verdict_cache() const {
+    return cache_;
+  }
+
   /// True iff Condition 1 admits the requested p. When false, no node can
   /// ever satisfy the property and searches should report failure
   /// immediately.
@@ -197,6 +270,21 @@ class NodeEvaluator {
   /// misses otherwise.
   bool LookupFact(const std::string& key, bool* value) const;
   void RecordFact(const std::string& key, bool value);
+
+  /// Counts one budget-free fast-forward (a snapshot replay hit or a
+  /// VerdictCache hit) and polls BudgetEnforcer::Check() every
+  /// kReplayCheckInterval hits — without charging node/row budget — so a
+  /// resume replaying a large snapshot still honors its deadline and can
+  /// be cancelled before the first uncached node. Evaluate calls this on
+  /// its own hit paths; engines call it for fast-forwards that bypass
+  /// Evaluate (Incognito's subset facts). A non-OK status is a budget stop
+  /// to absorb (or a hard enforcer error to propagate).
+  Status TickReplay();
+
+  /// Fast-forwards between budget polls in TickReplay. Small enough that
+  /// even a replay cancelled immediately does at most this many map
+  /// lookups past the request.
+  static constexpr uint64_t kReplayCheckInterval = 32;
 
   /// Counts one completed unit of search work toward the checkpoint
   /// cadence, invoking options().checkpoint_sink when due. Evaluate calls
@@ -224,6 +312,7 @@ class NodeEvaluator {
   const HierarchySet& hierarchies_;
   SearchOptions options_;
   std::shared_ptr<BudgetEnforcer> enforcer_;
+  std::shared_ptr<VerdictCache> cache_;
   bool initialized_ = false;
   bool condition1_holds_ = true;
   size_t max_p_ = 0;
@@ -233,6 +322,68 @@ class NodeEvaluator {
   bool checkpointing_ = false;
   SearchSnapshot snapshot_;
   uint64_t ticks_since_checkpoint_ = 0;
+  uint64_t replay_hits_since_check_ = 0;
+};
+
+/// Parallel (or sequential) evaluator over batches of independent lattice
+/// nodes — the shared engine room of every lattice search.
+///
+/// A sweeper owns one NodeEvaluator per worker. Worker 0 ("primary") holds
+/// the checkpointing state and is the evaluator engines use for
+/// engine-level bookkeeping (heights_probed, snapshot facts, Materialize).
+/// All workers share the primary's BudgetEnforcer (limits stay global) and
+/// one VerdictCache (no node is generalized twice in a search, regardless
+/// of which worker or phase asks).
+///
+/// Determinism contract: Sweep evaluates *every* node it is given (no
+/// early exit), so the set of evaluated nodes — and therefore the merged
+/// SearchStats and the engine's release — is identical for every thread
+/// count. Engines that want early exit batch their nodes into fixed-size
+/// chunks (independent of the thread count) and stop between chunks.
+/// Checkpointed runs (restore / checkpoint_sink set) get exactly one
+/// worker, preserving the sequential deterministic-replay guarantee.
+class NodeSweeper {
+ public:
+  /// `initial_microdata` and `hierarchies` must outlive the sweeper.
+  NodeSweeper(const Table& initial_microdata, const HierarchySet& hierarchies,
+              SearchOptions options);
+
+  /// Builds and initializes the workers. Fails like NodeEvaluator::Init.
+  Status Init();
+
+  /// Worker 0 — the evaluator carrying checkpoint state and engine-level
+  /// counters. Valid after Init.
+  NodeEvaluator& primary() { return *workers_.front(); }
+
+  /// True when Sweep may use more than one worker.
+  bool parallel() const { return workers_.size() > 1; }
+
+  /// Evaluates every node, writing per-node verdicts into (*evals)[i]
+  /// (nullopt = not evaluated because the sweep stopped early). Returns:
+  ///  - OK when every node was evaluated;
+  ///  - the budget-stop status when a shared limit tripped mid-sweep (the
+  ///    caller decides whether to absorb it via AbsorbBudgetStop);
+  ///  - otherwise the first hard error by worker order. Worker stats are
+  ///    never lost on any path: they stay in the worker evaluators and are
+  ///    all merged by MergedStats.
+  Status Sweep(const std::vector<LatticeNode>& nodes,
+               std::vector<std::optional<NodeEvaluation>>* evals);
+
+  /// Work counters summed over every worker (deterministic: per-counter
+  /// sums are order-independent; partial/stop_reason are first-wins in
+  /// worker order).
+  SearchStats MergedStats() const;
+
+  /// Records MergedStats into options().failure_stats (when configured)
+  /// and returns `status` — engines route every hard-error return through
+  /// this so counters survive failures.
+  Status PropagateHardError(Status status) const;
+
+ private:
+  const Table& im_;
+  const HierarchySet& hierarchies_;
+  SearchOptions options_;
+  std::vector<std::unique_ptr<NodeEvaluator>> workers_;
 };
 
 /// Outcome of a single-solution lattice search (Samarati binary search).

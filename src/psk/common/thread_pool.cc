@@ -1,0 +1,105 @@
+#include "psk/common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace psk {
+namespace {
+
+// State shared between one ParallelFor call and its helper tasks. Owned by
+// shared_ptr so a helper that outlives the call's stack frame (it cannot —
+// the call blocks — but the type system doesn't know that) stays valid.
+struct ForState {
+  std::atomic<size_t> next{0};
+  size_t count = 0;
+  const std::function<void(size_t, size_t)>* fn = nullptr;
+  std::mutex mu;
+  std::condition_variable done;
+  size_t live_helpers = 0;
+};
+
+void DrainIndices(ForState& state, size_t worker) {
+  while (true) {
+    size_t i = state.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= state.count) return;
+    (*state.fn)(worker, i);
+  }
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = [] {
+    size_t hw = std::thread::hardware_concurrency();
+    size_t workers = std::max<size_t>(hw, 8) - 1;
+    return new ThreadPool(workers);
+  }();
+  return *pool;
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(
+    size_t count, size_t workers,
+    const std::function<void(size_t worker, size_t index)>& fn) {
+  if (count == 0) return;
+  workers = std::min(std::max<size_t>(workers, 1), count);
+  size_t helpers = std::min(workers - 1, num_threads());
+
+  auto state = std::make_shared<ForState>();
+  state->count = count;
+  state->fn = &fn;
+  state->live_helpers = helpers;
+
+  if (helpers > 0) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (size_t h = 1; h <= helpers; ++h) {
+        queue_.push_back([state, h] {
+          DrainIndices(*state, h);
+          std::lock_guard<std::mutex> lock(state->mu);
+          if (--state->live_helpers == 0) state->done.notify_one();
+        });
+      }
+    }
+    cv_.notify_all();
+  }
+
+  DrainIndices(*state, /*worker=*/0);
+
+  if (helpers > 0) {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->done.wait(lock, [&] { return state->live_helpers == 0; });
+  }
+}
+
+}  // namespace psk
