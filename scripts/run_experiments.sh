@@ -30,6 +30,7 @@ run "$BUILD/bench/bench_table8_attribute_disclosure" table8_results.json
 # Extension experiments.
 run "$BUILD/bench/bench_query_error"
 run "$BUILD/bench/bench_ru_frontier"
+run "$BUILD/bench/bench_encoded_eval" 4000 5 BENCH_encoded.json
 
 # Timed ablations (google-benchmark; pass a smaller min_time for a quick
 # look).

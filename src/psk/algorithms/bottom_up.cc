@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "psk/table/encoded.h"
 #include "psk/table/group_by.h"
 
 namespace psk {
@@ -52,17 +53,27 @@ Result<MinimalSetResult> BottomUpSearch(const Table& initial_microdata,
 
   // Per-attribute level lower bounds from the subset/rollup property: if
   // {A_i} at level l already forces more than TS suppressions, so does any
-  // full node with levels[i] == l.
+  // full node with levels[i] == l. On the encoded core the per-attribute
+  // grouping is a single-column code pass; the legacy column scan remains
+  // the fallback.
   std::vector<int> lower_bounds(hierarchies.size(), 0);
   if (bu_options.use_subset_lower_bounds) {
+    const EncodedTable* encoded = evaluator.encoded_table().get();
+    EncodedWorkspace ws;
     for (size_t i = 0; i < hierarchies.size(); ++i) {
       const AttributeHierarchy& hierarchy = hierarchies.hierarchy(i);
       int level = 0;
       while (level < hierarchy.num_levels() - 1) {
-        PSK_ASSIGN_OR_RETURN(
-            size_t violating,
-            SingleAttributeViolations(initial_microdata, key_indices[i],
-                                      hierarchy, level, options.k));
+        size_t violating;
+        if (encoded != nullptr) {
+          encoded->GroupBySubset({i}, {level}, &ws);
+          violating = ws.groups.RowsInGroupsSmallerThan(options.k);
+        } else {
+          PSK_ASSIGN_OR_RETURN(
+              violating,
+              SingleAttributeViolations(initial_microdata, key_indices[i],
+                                        hierarchy, level, options.k));
+        }
         if (violating <= options.max_suppression) break;
         ++level;
       }

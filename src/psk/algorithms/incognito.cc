@@ -3,167 +3,17 @@
 #include <algorithm>
 #include <atomic>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
-#include <unordered_map>
-#include <unordered_set>
 
-#include "psk/common/check.h"
+#include "psk/anonymity/psensitive.h"
 #include "psk/common/thread_pool.h"
+#include "psk/table/encoded.h"
 #include "psk/table/group_by.h"
 
 namespace psk {
 namespace {
-
-// Dictionary-encoded generalization cache: codes[attr][level][row] is a
-// dense id of the generalized value of key attribute `attr` at `level`.
-// Subset k-anonymity checks then reduce to hashing small integer tuples.
-class EncodedColumns {
- public:
-  static Result<EncodedColumns> Build(const Table& im,
-                                      const HierarchySet& hierarchies) {
-    EncodedColumns enc;
-    // Dictionary-encode the confidential columns once (for the optional
-    // subset p-sensitivity pruning).
-    for (size_t col : im.schema().ConfidentialIndices()) {
-      std::vector<uint32_t> codes(im.num_rows());
-      std::unordered_map<Value, uint32_t, ValueHash> dictionary;
-      for (size_t row = 0; row < im.num_rows(); ++row) {
-        auto [it, inserted] = dictionary.try_emplace(
-            im.Get(row, col), static_cast<uint32_t>(dictionary.size()));
-        codes[row] = it->second;
-      }
-      enc.conf_codes_.push_back(std::move(codes));
-    }
-    std::vector<size_t> key_cols = im.schema().KeyIndices();
-    enc.codes_.resize(key_cols.size());
-    for (size_t a = 0; a < key_cols.size(); ++a) {
-      const AttributeHierarchy& h = hierarchies.hierarchy(a);
-      enc.codes_[a].resize(h.num_levels());
-      for (int level = 0; level < h.num_levels(); ++level) {
-        std::vector<uint32_t>& column = enc.codes_[a][level];
-        column.resize(im.num_rows());
-        std::unordered_map<Value, uint32_t, ValueHash> dictionary;
-        std::unordered_map<Value, Value, ValueHash> memo;
-        for (size_t row = 0; row < im.num_rows(); ++row) {
-          const Value& ground = im.Get(row, key_cols[a]);
-          auto m = memo.find(ground);
-          if (m == memo.end()) {
-            PSK_ASSIGN_OR_RETURN(Value generalized,
-                                 h.Generalize(ground, level));
-            m = memo.emplace(ground, std::move(generalized)).first;
-          }
-          auto [it, inserted] = dictionary.try_emplace(
-              m->second, static_cast<uint32_t>(dictionary.size()));
-          column[row] = it->second;
-        }
-      }
-    }
-    enc.num_rows_ = im.num_rows();
-    return enc;
-  }
-
-  size_t num_rows() const { return num_rows_; }
-
-  /// Tuples violating k when grouping by the given (attr, level) pairs.
-  size_t ViolationCount(const std::vector<size_t>& attrs,
-                        const std::vector<int>& levels, size_t k) const {
-    PSK_DCHECK(attrs.size() == levels.size());
-    // Pack the per-row code tuple into a single 64-bit key when it fits
-    // (4 attrs x 16 bits covers every realistic hierarchy); fall back to
-    // string keys otherwise.
-    std::unordered_map<uint64_t, uint32_t> counts;
-    counts.reserve(num_rows_);
-    bool packable = attrs.size() <= 4;
-    if (packable) {
-      for (size_t a = 0; a < attrs.size(); ++a) {
-        // Count distinct codes at this level conservatively via the column
-        // max; dictionaries are dense so max+1 = cardinality.
-        const auto& column = codes_[attrs[a]][levels[a]];
-        uint32_t max_code = 0;
-        for (uint32_t c : column) max_code = std::max(max_code, c);
-        if (max_code >= (1u << 16)) {
-          packable = false;
-          break;
-        }
-      }
-    }
-    if (packable) {
-      for (size_t row = 0; row < num_rows_; ++row) {
-        uint64_t key = 0;
-        for (size_t a = 0; a < attrs.size(); ++a) {
-          key = (key << 16) | codes_[attrs[a]][levels[a]][row];
-        }
-        ++counts[key];
-      }
-    } else {
-      std::unordered_map<std::string, uint32_t> wide_counts;
-      wide_counts.reserve(num_rows_);
-      for (size_t row = 0; row < num_rows_; ++row) {
-        std::string key;
-        for (size_t a = 0; a < attrs.size(); ++a) {
-          uint32_t code = codes_[attrs[a]][levels[a]][row];
-          key.append(reinterpret_cast<const char*>(&code), sizeof(code));
-        }
-        ++wide_counts[key];
-      }
-      size_t violating = 0;
-      for (const auto& [key, count] : wide_counts) {
-        if (count < k) violating += count;
-      }
-      return violating;
-    }
-    size_t violating = 0;
-    for (const auto& [key, count] : counts) {
-      if (count < k) violating += count;
-    }
-    return violating;
-  }
-
-  /// True iff, grouping by the given (attr, level) pairs, every group has
-  /// >= p distinct values of every confidential attribute. Sound as a
-  /// subset-pruning predicate only without suppression (see
-  /// IncognitoOptions).
-  bool PSensitiveOk(const std::vector<size_t>& attrs,
-                    const std::vector<int>& levels, size_t p) const {
-    if (conf_codes_.empty()) return true;
-    // Group id per row.
-    std::unordered_map<std::string, uint32_t> gid_of;
-    gid_of.reserve(num_rows_);
-    std::vector<uint32_t> gid(num_rows_);
-    for (size_t row = 0; row < num_rows_; ++row) {
-      std::string key;
-      for (size_t a = 0; a < attrs.size(); ++a) {
-        uint32_t code = codes_[attrs[a]][levels[a]][row];
-        key.append(reinterpret_cast<const char*>(&code), sizeof(code));
-      }
-      auto [it, inserted] =
-          gid_of.try_emplace(std::move(key),
-                             static_cast<uint32_t>(gid_of.size()));
-      gid[row] = it->second;
-    }
-    size_t num_groups = gid_of.size();
-    for (const std::vector<uint32_t>& conf : conf_codes_) {
-      std::unordered_set<uint64_t> seen_pairs;
-      seen_pairs.reserve(num_rows_);
-      std::vector<uint32_t> distinct(num_groups, 0);
-      for (size_t row = 0; row < num_rows_; ++row) {
-        uint64_t pair =
-            (static_cast<uint64_t>(gid[row]) << 32) | conf[row];
-        if (seen_pairs.insert(pair).second) ++distinct[gid[row]];
-      }
-      for (uint32_t d : distinct) {
-        if (d < p) return false;
-      }
-    }
-    return true;
-  }
-
- private:
-  std::vector<std::vector<std::vector<uint32_t>>> codes_;
-  std::vector<std::vector<uint32_t>> conf_codes_;
-  size_t num_rows_ = 0;
-};
 
 // Enumerates the nodes of the sub-lattice spanned by `attrs` in
 // height-major order.
@@ -237,8 +87,17 @@ Result<MinimalSetResult> IncognitoSearch(
     return result;
   }
 
-  PSK_ASSIGN_OR_RETURN(EncodedColumns encoded,
-                       EncodedColumns::Build(initial_microdata, hierarchies));
+  // The subset phases run on the shared encoded core. When the sweeper's
+  // evaluators fell back to the legacy path (encoding failed or
+  // use_encoded_core is off), build the encoding here with the error
+  // propagated eagerly — Incognito has always encoded its subset phase up
+  // front, and an unencodable value fails the whole search either way.
+  std::shared_ptr<const EncodedTable> encoded = evaluator.encoded_table();
+  if (encoded == nullptr) {
+    PSK_ASSIGN_OR_RETURN(EncodedTable built,
+                         EncodedTable::Build(initial_microdata, hierarchies));
+    encoded = std::make_shared<const EncodedTable>(std::move(built));
+  }
   std::vector<int> max_levels = hierarchies.MaxLevels();
   size_t m = max_levels.size();
   SearchStats* stats = evaluator.mutable_stats();
@@ -249,6 +108,27 @@ Result<MinimalSetResult> IncognitoSearch(
                       options.checkpoint_sink != nullptr;
   size_t subset_workers =
       (checkpointed || options.threads <= 1) ? 1 : options.threads;
+  // Per-worker grouping scratch (workspace reuse across waves; the encoded
+  // table itself is immutable and shared).
+  std::vector<EncodedWorkspace> subset_ws(subset_workers);
+  std::vector<EncodedDistinctScratch> subset_scratch(subset_workers);
+  // One subset check: group by the projected (attr, level) pairs, gate on
+  // the suppression budget, then (optionally) the subset p-sensitivity
+  // prune. Sound as a pruning predicate only without suppression — see
+  // IncognitoOptions::prune_p_on_subsets.
+  auto subset_ok = [&](const std::vector<size_t>& attrs,
+                       const std::vector<int>& levels, size_t worker) {
+    EncodedWorkspace& ws = subset_ws[worker];
+    encoded->GroupBySubset(attrs, levels, &ws);
+    size_t violating = ws.groups.RowsInGroupsSmallerThan(options.k);
+    bool ok = violating <= options.max_suppression;
+    if (ok && incognito_options.prune_p_on_subsets && options.p >= 2 &&
+        options.max_suppression == 0) {
+      ok = IsPSensitiveEncoded(ws.groups, *encoded, options.p,
+                               /*min_group_size=*/1, &subset_scratch[worker]);
+    }
+    return ok;
+  };
 
   // sat[subset] = level vectors (over that subset) that are k-anonymous
   // within the suppression budget.
@@ -350,7 +230,7 @@ Result<MinimalSetResult> IncognitoSearch(
           for (const std::vector<int>* levels : pending) {
             if (stopped) break;
             Status charged =
-                evaluator.enforcer()->Charge(1, encoded.num_rows());
+                evaluator.enforcer()->Charge(1, encoded->num_rows());
             if (!charged.ok()) {
               if (!AbsorbBudgetStop(charged, stats)) {
                 return sweeper.PropagateHardError(charged);
@@ -362,13 +242,7 @@ Result<MinimalSetResult> IncognitoSearch(
               break;
             }
             ++stats->subset_nodes_evaluated;
-            size_t violating =
-                encoded.ViolationCount(attrs, *levels, options.k);
-            bool ok = violating <= options.max_suppression;
-            if (ok && incognito_options.prune_p_on_subsets &&
-                options.p >= 2 && options.max_suppression == 0) {
-              ok = encoded.PSensitiveOk(attrs, *levels, options.p);
-            }
+            bool ok = subset_ok(attrs, *levels, /*worker=*/0);
             evaluator.RecordFact(SubsetFactKey(attrs, *levels), ok);
             evaluator.TickCheckpoint();
             if (ok) satisfied.insert(*levels);
@@ -383,7 +257,7 @@ Result<MinimalSetResult> IncognitoSearch(
               [&](size_t worker, size_t index) {
                 if (stop.load(std::memory_order_relaxed)) return;
                 Status charged =
-                    evaluator.enforcer()->Charge(1, encoded.num_rows());
+                    evaluator.enforcer()->Charge(1, encoded->num_rows());
                 if (!charged.ok()) {
                   if (worker_status[worker].ok()) {
                     worker_status[worker] = charged;
@@ -391,15 +265,8 @@ Result<MinimalSetResult> IncognitoSearch(
                   stop.store(true, std::memory_order_relaxed);
                   return;
                 }
-                const std::vector<int>& levels = *pending[index];
-                size_t violating =
-                    encoded.ViolationCount(attrs, levels, options.k);
-                bool ok = violating <= options.max_suppression;
-                if (ok && incognito_options.prune_p_on_subsets &&
-                    options.p >= 2 && options.max_suppression == 0) {
-                  ok = encoded.PSensitiveOk(attrs, levels, options.p);
-                }
-                ok_flags[index] = ok ? 1 : 0;
+                ok_flags[index] =
+                    subset_ok(attrs, *pending[index], worker) ? 1 : 0;
                 scanned[index] = 1;
               });
           // Merge the wave: counters and satisfied verdicts first, so a

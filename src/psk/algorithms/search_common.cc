@@ -44,6 +44,17 @@ Status NodeEvaluator::Init() {
     return Status::FailedPrecondition(
         "the schema declares no key (quasi-identifier) attributes");
   }
+  // Build the dictionary-encoded evaluation core. A failed build (e.g. a
+  // value some hierarchy cannot generalize) falls back to the legacy Value
+  // path silently: the legacy path reproduces the error lazily if — and
+  // only if — an affected level is actually evaluated, which keeps error
+  // behavior identical to pre-encoded builds.
+  if (options_.use_encoded_core && encoded_ == nullptr && !encoded_external_) {
+    Result<EncodedTable> built = EncodedTable::Build(im_, hierarchies_);
+    if (built.ok()) {
+      encoded_ = std::make_shared<const EncodedTable>(std::move(*built));
+    }
+  }
   if (options_.p >= 2) {
     if (im_.schema().ConfidentialIndices().empty()) {
       return Status::FailedPrecondition(
@@ -51,7 +62,12 @@ Status NodeEvaluator::Init() {
     }
     // Theorems 1 and 2: bounds computed on the initial microdata are valid
     // for every masked microdata derived by generalization + suppression.
-    PSK_ASSIGN_OR_RETURN(FrequencyStats stats, FrequencyStats::Compute(im_));
+    // The encoded overload counts over dictionary codes and yields the
+    // same statistics as the Value path.
+    PSK_ASSIGN_OR_RETURN(FrequencyStats stats,
+                         encoded_ != nullptr
+                             ? FrequencyStats::Compute(*encoded_)
+                             : FrequencyStats::Compute(im_));
     max_p_ = stats.MaxP();
     condition1_holds_ = options_.p <= max_p_;
     if (condition1_holds_) {
@@ -155,6 +171,23 @@ Result<NodeEvaluation> NodeEvaluator::Evaluate(const LatticeNode& node) {
       return hit;
     }
   }
+  // Both bodies charge the same budget (1 node, num_rows rows) and bump
+  // the same counters in the same order, so SearchStats are identical
+  // between the encoded and legacy paths.
+  Result<NodeEvaluation> body =
+      encoded_ != nullptr ? EvaluateEncoded(node) : EvaluateLegacy(node);
+  if (!body.ok()) return body.status();
+  // Completed verdicts enter the snapshot so the next checkpoint persists
+  // them; a budget stop inside the body never reaches here, keeping the
+  // snapshot free of half-finished evaluations.
+  NodeEvaluation eval = *body;
+  if (cache_ != nullptr) cache_->Insert(key, eval);
+  if (checkpointing_) snapshot_.verdicts.emplace(std::move(key), eval);
+  TickCheckpoint();
+  return eval;
+}
+
+Result<NodeEvaluation> NodeEvaluator::EvaluateLegacy(const LatticeNode& node) {
   // Budget checkpoint: every node evaluation generalizes the whole table,
   // so this is the natural unit of work to account.
   PSK_RETURN_IF_ERROR(enforcer_->Charge(1, im_.num_rows()));
@@ -168,23 +201,13 @@ Result<NodeEvaluation> NodeEvaluator::Evaluate(const LatticeNode& node) {
                        FrequencySet::Compute(generalized, key_indices));
 
   NodeEvaluation eval;
-  // Completed verdicts enter the snapshot so the next checkpoint persists
-  // them; a budget stop above never reaches here, keeping the snapshot
-  // free of half-finished evaluations.
-  auto finish = [&](const NodeEvaluation& done) -> NodeEvaluation {
-    if (cache_ != nullptr) cache_->Insert(key, done);
-    if (checkpointing_) snapshot_.verdicts.emplace(std::move(key), done);
-    TickCheckpoint();
-    return done;
-  };
-
   // k-anonymity gate: suppression may remove at most TS tuples.
   size_t violating = fs.RowsInGroupsSmallerThan(options_.k);
   eval.suppressed = violating;
   if (violating > options_.max_suppression) {
     eval.stage = CheckStage::kKAnonymity;
     ++stats_.nodes_rejected_kanonymity;
-    return finish(eval);
+    return eval;
   }
 
   // Surviving groups form the masked microdata.
@@ -203,7 +226,7 @@ Result<NodeEvaluation> NodeEvaluator::Evaluate(const LatticeNode& node) {
         static_cast<uint64_t>(num_groups) > max_groups_) {
       eval.stage = CheckStage::kCondition2;
       ++stats_.nodes_pruned_condition2;
-      return finish(eval);
+      return eval;
     }
     // Detailed per-group scan over the surviving groups (row indices still
     // reference `generalized`, which suppression does not disturb).
@@ -219,7 +242,7 @@ Result<NodeEvaluation> NodeEvaluator::Evaluate(const LatticeNode& node) {
         if (seen.size() < options_.p) {
           eval.stage = CheckStage::kGroupDetail;
           ++stats_.nodes_rejected_detail;
-          return finish(eval);
+          return eval;
         }
       }
     }
@@ -228,11 +251,64 @@ Result<NodeEvaluation> NodeEvaluator::Evaluate(const LatticeNode& node) {
   eval.satisfied = true;
   eval.stage = CheckStage::kPassed;
   ++stats_.nodes_satisfied;
-  return finish(eval);
+  return eval;
+}
+
+Result<NodeEvaluation> NodeEvaluator::EvaluateEncoded(
+    const LatticeNode& node) {
+  // Same budget charge as the legacy body; the unit of work is the node.
+  PSK_RETURN_IF_ERROR(enforcer_->Charge(1, im_.num_rows()));
+  ++stats_.nodes_generalized;
+  PSK_RETURN_IF_ERROR(encoded_->GroupByNode(node, &ws_));
+  const EncodedGroups& groups = ws_.groups;
+
+  NodeEvaluation eval;
+  // k-anonymity gate: suppression may remove at most TS tuples.
+  size_t violating = groups.RowsInGroupsSmallerThan(options_.k);
+  eval.suppressed = violating;
+  if (violating > options_.max_suppression) {
+    eval.stage = CheckStage::kKAnonymity;
+    ++stats_.nodes_rejected_kanonymity;
+    return eval;
+  }
+
+  // Surviving groups form the masked microdata.
+  size_t num_groups = groups.GroupsAtLeast(options_.k);
+  eval.num_groups = num_groups;
+
+  if (options_.p >= 2) {
+    // Condition 2 on the post-suppression group count (see EvaluateLegacy
+    // for why this is sound against the Theorem 2 bound).
+    if (options_.use_conditions &&
+        static_cast<uint64_t>(num_groups) > max_groups_) {
+      eval.stage = CheckStage::kCondition2;
+      ++stats_.nodes_pruned_condition2;
+      return eval;
+    }
+    // Counting-sort distinct scan over surviving groups; early exit at p
+    // mirrors the legacy per-group break.
+    if (!IsPSensitiveEncoded(groups, *encoded_, options_.p, options_.k,
+                             &distinct_scratch_)) {
+      eval.stage = CheckStage::kGroupDetail;
+      ++stats_.nodes_rejected_detail;
+      return eval;
+    }
+  }
+
+  eval.satisfied = true;
+  eval.stage = CheckStage::kPassed;
+  ++stats_.nodes_satisfied;
+  return eval;
 }
 
 Result<MaskedMicrodata> NodeEvaluator::Materialize(
     const LatticeNode& node) const {
+  if (encoded_ != nullptr) {
+    // Decode exactly once from the code vectors; byte-identical to the
+    // legacy Mask (same memoized generalization, same row order).
+    EncodedWorkspace ws;
+    return DecodeMasked(*encoded_, node, options_.k, &ws);
+  }
   return Mask(im_, hierarchies_, node, options_.k);
 }
 
@@ -256,9 +332,22 @@ Status NodeSweeper::Init() {
   workers_.clear();
   workers_.reserve(num_workers);
 
+  // Encode the table once and share it across workers — the encoding is
+  // immutable after Build, so concurrent GroupByNode calls (each with a
+  // per-worker workspace) are race-free. A failed build pins every worker
+  // to the legacy path (see NodeEvaluator::Init for the error semantics).
+  std::shared_ptr<const EncodedTable> encoded;
+  if (options_.use_encoded_core) {
+    Result<EncodedTable> built = EncodedTable::Build(im_, hierarchies_);
+    if (built.ok()) {
+      encoded = std::make_shared<const EncodedTable>(std::move(*built));
+    }
+  }
+
   workers_.push_back(
       std::make_unique<NodeEvaluator>(im_, hierarchies_, options_));
   workers_.front()->set_verdict_cache(cache);
+  workers_.front()->set_encoded_table(encoded);
   PSK_RETURN_IF_ERROR(workers_.front()->Init());
 
   // Secondary workers share the primary's enforcer (limits stay global)
@@ -272,6 +361,7 @@ Status NodeSweeper::Init() {
         std::make_unique<NodeEvaluator>(im_, hierarchies_, worker_options));
     workers_.back()->set_enforcer(workers_.front()->enforcer());
     workers_.back()->set_verdict_cache(cache);
+    workers_.back()->set_encoded_table(encoded);
     PSK_RETURN_IF_ERROR(workers_.back()->Init());
   }
   return Status::OK();

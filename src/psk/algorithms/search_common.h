@@ -17,6 +17,7 @@
 #include "psk/generalize/generalize.h"
 #include "psk/hierarchy/hierarchy.h"
 #include "psk/lattice/lattice.h"
+#include "psk/table/encoded.h"
 #include "psk/table/table.h"
 
 namespace psk {
@@ -120,6 +121,17 @@ struct SearchOptions {
   /// checkpoint_sink) is off; checkpointed runs stay sequential to keep
   /// the deterministic-replay guarantee.
   size_t threads = 1;
+  /// Evaluate lattice nodes through the dictionary-encoded core
+  /// (EncodedTable): grouping and distinct-confidential counting run over
+  /// dense integer codes, and no generalized Table is materialized per
+  /// node — the winning release is decoded exactly once at the end. The
+  /// legacy Value pipeline is kept as the oracle: verdicts, SearchStats
+  /// and the release are identical on both paths (the equivalence suite
+  /// asserts this), so this switch only trades speed. When encoding fails
+  /// (a QI value that does not generalize at some level), the evaluator
+  /// silently falls back to the legacy path, which reproduces the same
+  /// error lazily if the offending level is actually reached.
+  bool use_encoded_core = true;
   /// Resource limits. When a limit trips mid-search, the search stops and
   /// returns whatever it found so far, with SearchStats::partial set and
   /// SearchStats::stop_reason naming the limit — it never hangs and never
@@ -250,6 +262,20 @@ class NodeEvaluator {
     return cache_;
   }
 
+  /// Shares a prebuilt encoded table across evaluators (NodeSweeper
+  /// encodes once and hands the same immutable EncodedTable to every
+  /// worker). Must be called before Init. Passing nullptr pins this
+  /// evaluator to the legacy Value path (Init will not encode on its own
+  /// then — the owner already decided).
+  void set_encoded_table(std::shared_ptr<const EncodedTable> encoded) {
+    encoded_ = std::move(encoded);
+    encoded_external_ = true;
+  }
+  /// The encoded core this evaluator runs on; null on the legacy path.
+  const std::shared_ptr<const EncodedTable>& encoded_table() const {
+    return encoded_;
+  }
+
   /// True iff Condition 1 admits the requested p. When false, no node can
   /// ever satisfy the property and searches should report failure
   /// immediately.
@@ -308,11 +334,24 @@ class NodeEvaluator {
   const SearchOptions& options() const { return options_; }
 
  private:
+  /// The charged evaluation bodies behind Evaluate (cache/checkpoint
+  /// handling lives in Evaluate itself). The encoded body is
+  /// counter-for-counter and verdict-for-verdict identical to the legacy
+  /// one; the legacy body is kept as the oracle.
+  Result<NodeEvaluation> EvaluateEncoded(const LatticeNode& node);
+  Result<NodeEvaluation> EvaluateLegacy(const LatticeNode& node);
+
   const Table& im_;
   const HierarchySet& hierarchies_;
   SearchOptions options_;
   std::shared_ptr<BudgetEnforcer> enforcer_;
   std::shared_ptr<VerdictCache> cache_;
+  std::shared_ptr<const EncodedTable> encoded_;
+  /// True once set_encoded_table decided the path (even with nullptr).
+  bool encoded_external_ = false;
+  /// Per-evaluator scratch for the encoded path (never shared).
+  EncodedWorkspace ws_;
+  EncodedDistinctScratch distinct_scratch_;
   bool initialized_ = false;
   bool condition1_holds_ = true;
   size_t max_p_ = 0;

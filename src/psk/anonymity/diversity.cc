@@ -47,6 +47,13 @@ Result<bool> IsDistinctLDiverse(const Table& table,
   return IsPSensitive(table, key_indices, confidential_indices, l);
 }
 
+bool IsDistinctLDiverseEncoded(const EncodedGroups& groups,
+                               const EncodedTable& encoded, size_t l,
+                               EncodedDistinctScratch* scratch) {
+  return IsPSensitiveEncoded(groups, encoded, l, /*min_group_size=*/1,
+                             scratch);
+}
+
 Result<bool> IsEntropyLDiverse(const Table& table,
                                const std::vector<size_t>& key_indices,
                                const std::vector<size_t>& confidential_indices,

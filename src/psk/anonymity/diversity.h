@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "psk/anonymity/psensitive.h"
 #include "psk/common/result.h"
 #include "psk/table/table.h"
 
@@ -23,6 +24,13 @@ Result<bool> IsDistinctLDiverse(const Table& table,
                                 const std::vector<size_t>& key_indices,
                                 const std::vector<size_t>& confidential_indices,
                                 size_t l);
+
+/// Code-path overload of distinct l-diversity over an encoded
+/// QI-partition; identical to IsPSensitiveEncoded with p = l over every
+/// group (distinct l-diversity == p-sensitivity with p = l).
+bool IsDistinctLDiverseEncoded(const EncodedGroups& groups,
+                               const EncodedTable& encoded, size_t l,
+                               EncodedDistinctScratch* scratch);
 
 /// Entropy l-diversity: for every QI-group and confidential attribute,
 /// the entropy of the value distribution within the group is at least

@@ -48,6 +48,38 @@ Result<FrequencyStats> FrequencyStats::Compute(const Table& table) {
   return Compute(table, table.schema().ConfidentialIndices());
 }
 
+Result<FrequencyStats> FrequencyStats::Compute(const EncodedTable& encoded) {
+  if (encoded.num_confidential() == 0) {
+    return Status::InvalidArgument(
+        "at least one confidential attribute is required");
+  }
+  FrequencyStats stats;
+  stats.n_ = encoded.num_rows();
+  stats.freq_.reserve(encoded.num_confidential());
+  stats.cum_freq_.reserve(encoded.num_confidential());
+  for (size_t j = 0; j < encoded.num_confidential(); ++j) {
+    std::vector<size_t> counts(encoded.confidential_cardinality(j), 0);
+    for (uint32_t code : encoded.confidential_codes(j)) ++counts[code];
+    std::sort(counts.begin(), counts.end(), std::greater<size_t>());
+    std::vector<size_t> cf(counts.size());
+    size_t acc = 0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+      acc += counts[i];
+      cf[i] = acc;
+    }
+    stats.freq_.push_back(std::move(counts));
+    stats.cum_freq_.push_back(std::move(cf));
+  }
+  size_t max_p = stats.MaxP();
+  stats.cf_max_.resize(max_p, 0);
+  for (size_t i = 0; i < max_p; ++i) {
+    for (size_t j = 0; j < stats.q(); ++j) {
+      stats.cf_max_[i] = std::max(stats.cf_max_[i], stats.cum_freq_[j][i]);
+    }
+  }
+  return stats;
+}
+
 size_t FrequencyStats::MaxP() const {
   size_t max_p = SIZE_MAX;
   for (const auto& f : freq_) {

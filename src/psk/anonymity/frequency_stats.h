@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "psk/common/result.h"
+#include "psk/table/encoded.h"
 #include "psk/table/table.h"
 
 namespace psk {
@@ -29,6 +30,13 @@ class FrequencyStats {
 
   /// Convenience overload using the schema's confidential attributes.
   static Result<FrequencyStats> Compute(const Table& table);
+
+  /// Code-path overload: frequencies counted over the dictionary codes of
+  /// the encoded confidential columns (a counting array instead of a
+  /// Value-keyed hash map). Codes deduplicate by Value equality, so the
+  /// resulting statistics — and the Condition 1/2 bounds derived from
+  /// them — are identical to the Value-path overloads.
+  static Result<FrequencyStats> Compute(const EncodedTable& encoded);
 
   /// Number of tuples (the paper's n).
   size_t n() const { return n_; }

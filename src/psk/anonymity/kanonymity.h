@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "psk/common/result.h"
+#include "psk/table/group_by.h"
 #include "psk/table/table.h"
 
 namespace psk {
@@ -17,6 +18,12 @@ Result<bool> IsKAnonymous(const Table& table,
 
 /// Convenience overload using the schema's key attributes.
 Result<bool> IsKAnonymous(const Table& table, size_t k);
+
+/// Code-path overload over an encoded QI-partition (EncodedTable::
+/// GroupByNode / GroupByCodes): agrees exactly with the Value-keyed check
+/// over the equivalent grouping. An empty partition is vacuously
+/// k-anonymous.
+Result<bool> IsKAnonymousEncoded(const EncodedGroups& groups, size_t k);
 
 /// The largest k for which `table` is k-anonymous — the size of the
 /// smallest QI-group. Returns 0 for an empty table.

@@ -53,6 +53,60 @@ Result<CheckOutcome> DetailedCheck(const Table& table, const FrequencySet& fs,
 
 }  // namespace
 
+bool IsPSensitiveEncoded(const EncodedGroups& groups,
+                         const EncodedTable& encoded, size_t p,
+                         size_t min_group_size,
+                         EncodedDistinctScratch* scratch) {
+  if (p <= 1 || encoded.num_confidential() == 0) return true;
+  size_t num_groups = groups.num_groups();
+  size_t num_rows = groups.num_rows();
+
+  // Counting sort: rows_[offsets_[g] .. offsets_[g+1]) are group g's rows.
+  scratch->offsets_.assign(num_groups + 1, 0);
+  for (uint32_t gid : groups.row_gid) ++scratch->offsets_[gid + 1];
+  for (size_t g = 0; g < num_groups; ++g) {
+    scratch->offsets_[g + 1] += scratch->offsets_[g];
+  }
+  scratch->cursor_.assign(scratch->offsets_.begin(),
+                          scratch->offsets_.end() - 1);
+  scratch->rows_.resize(num_rows);
+  for (size_t row = 0; row < num_rows; ++row) {
+    scratch->rows_[scratch->cursor_[groups.row_gid[row]]++] =
+        static_cast<uint32_t>(row);
+  }
+
+  for (size_t j = 0; j < encoded.num_confidential(); ++j) {
+    const uint32_t* codes = encoded.confidential_codes(j).data();
+    uint32_t cardinality = encoded.confidential_cardinality(j);
+    if (scratch->stamp_.size() < cardinality) {
+      scratch->stamp_.resize(cardinality, 0);
+    }
+    for (size_t g = 0; g < num_groups; ++g) {
+      if (groups.group_sizes[g] < min_group_size) continue;
+      if (++scratch->generation_ == 0) {  // stamp wrap: reset
+        std::fill(scratch->stamp_.begin(), scratch->stamp_.end(), 0u);
+        scratch->generation_ = 1;
+      }
+      uint32_t gen = scratch->generation_;
+      size_t distinct = 0;
+      bool enough = false;
+      for (uint32_t idx = scratch->offsets_[g];
+           idx < scratch->offsets_[g + 1]; ++idx) {
+        uint32_t code = codes[scratch->rows_[idx]];
+        if (scratch->stamp_[code] != gen) {
+          scratch->stamp_[code] = gen;
+          if (++distinct >= p) {
+            enough = true;
+            break;
+          }
+        }
+      }
+      if (!enough) return false;
+    }
+  }
+  return true;
+}
+
 Result<bool> IsPSensitive(const Table& table,
                           const std::vector<size_t>& key_indices,
                           const std::vector<size_t>& confidential_indices,

@@ -7,6 +7,7 @@
 
 #include "psk/anonymity/frequency_stats.h"
 #include "psk/common/result.h"
+#include "psk/table/encoded.h"
 #include "psk/table/table.h"
 
 namespace psk {
@@ -102,6 +103,40 @@ Result<size_t> HierarchicalSensitivityP(
     const Table& table, const std::vector<size_t>& key_indices,
     size_t confidential_col, const class AttributeHierarchy& value_hierarchy,
     int level);
+
+/// Reusable buffers for the encoded p-sensitivity check: a counting-sort
+/// index of rows by group id plus a generation-stamped seen-array over
+/// confidential codes. One instance per worker thread.
+class EncodedDistinctScratch {
+ public:
+  EncodedDistinctScratch() = default;
+
+ private:
+  friend bool IsPSensitiveEncoded(const EncodedGroups& groups,
+                                  const EncodedTable& encoded, size_t p,
+                                  size_t min_group_size,
+                                  EncodedDistinctScratch* scratch);
+
+  std::vector<uint32_t> offsets_;  // group -> [offsets_[g], offsets_[g+1])
+  std::vector<uint32_t> rows_;     // row indices sorted by group id
+  std::vector<uint32_t> cursor_;
+  std::vector<uint32_t> stamp_;    // per confidential code, gen-stamped
+  uint32_t generation_ = 0;
+};
+
+/// Code-path p-sensitivity over an encoded QI-partition: every group of
+/// size >= `min_group_size` must hold >= `p` distinct codes of every
+/// confidential column. Distinct counting is a counting sort of the rows
+/// by group id plus a stamped seen-array over the confidential code space
+/// — no hashing, early exit at `p` per group. min_group_size = k skips
+/// exactly the groups suppression removes (the evaluator's detail check);
+/// min_group_size <= 1 checks every group. Agrees exactly with the legacy
+/// Value-keyed scan. Vacuously true when p <= 1 or there is no
+/// confidential column.
+bool IsPSensitiveEncoded(const EncodedGroups& groups,
+                         const EncodedTable& encoded, size_t p,
+                         size_t min_group_size,
+                         EncodedDistinctScratch* scratch);
 
 /// Number of attribute disclosures in a masked microdata: the count of
 /// (QI-group, confidential attribute) pairs where every tuple of the group

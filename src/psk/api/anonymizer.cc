@@ -276,6 +276,7 @@ Result<AnonymizationReport> Anonymizer::Run() const {
   base_options.p = p_;
   base_options.max_suppression = max_suppression_;
   base_options.use_conditions = use_conditions_;
+  base_options.use_encoded_core = use_encoded_core_;
   // Crash-recovery hooks: node verdicts are pure functions of the data and
   // (k, p, TS), so one snapshot serves every lattice stage of the chain.
   base_options.restore = restore_snapshot_;

@@ -130,6 +130,14 @@ class Anonymizer {
     use_conditions_ = use_conditions;
     return *this;
   }
+  /// Disables the dictionary-encoded evaluation core, forcing the lattice
+  /// engines onto the legacy Value pipeline (see
+  /// SearchOptions::use_encoded_core). Results are identical either way;
+  /// this switch exists for benchmarking and as an escape hatch.
+  Anonymizer& set_use_encoded_core(bool use_encoded_core) {
+    use_encoded_core_ = use_encoded_core;
+    return *this;
+  }
 
   /// Wall-clock deadline for the whole Run, fallback stages included
   /// (sugar for set_budget with only the deadline set).
@@ -224,6 +232,7 @@ class Anonymizer {
   size_t max_suppression_ = 0;
   AnonymizationAlgorithm algorithm_ = AnonymizationAlgorithm::kSamarati;
   bool use_conditions_ = true;
+  bool use_encoded_core_ = true;
   RunBudget budget_;
   std::vector<AnonymizationAlgorithm> fallback_chain_;
   bool guard_enabled_ = true;

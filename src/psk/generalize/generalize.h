@@ -8,6 +8,7 @@
 #include "psk/common/result.h"
 #include "psk/hierarchy/hierarchy.h"
 #include "psk/lattice/lattice.h"
+#include "psk/table/encoded.h"
 #include "psk/table/table.h"
 
 namespace psk {
@@ -47,6 +48,36 @@ struct MaskedMicrodata {
 Result<MaskedMicrodata> Mask(const Table& initial_microdata,
                              const HierarchySet& hierarchies,
                              const LatticeNode& node, size_t k = 0);
+
+/// Code-path masking result: the grouping and suppression decisions of
+/// Mask() computed entirely over dictionary codes — group ids and a keep
+/// mask instead of a materialized table.
+struct EncodedMaskResult {
+  /// QI-partition of the rows at the node (all key attributes; group ids
+  /// numbered by first occurrence, matching FrequencySet order).
+  EncodedGroups groups;
+  /// keep[row] == false where suppression removes the row. Empty when
+  /// k == 0 (Mask applies no suppression then).
+  std::vector<bool> keep;
+  size_t suppressed = 0;        ///< rows suppression removes
+  size_t surviving_groups = 0;  ///< groups of size >= k (0 when k == 0)
+};
+
+/// Code-path counterpart of Mask()'s grouping + suppression: partitions
+/// the encoded rows at `node` and computes the keep mask for groups of
+/// size >= k, without constructing a single Value. `ws` is the caller's
+/// reusable workspace. Counts agree exactly with the legacy pipeline.
+Result<EncodedMaskResult> MaskEncoded(const EncodedTable& encoded,
+                                      const LatticeNode& node, size_t k,
+                                      EncodedWorkspace* ws);
+
+/// Full code-path masking pipeline: MaskEncoded + EncodedTable::Decode,
+/// producing a MaskedMicrodata byte-identical to
+/// Mask(initial_microdata, hierarchies, node, k) over the same inputs.
+/// This is how a search's winning node is materialized exactly once.
+Result<MaskedMicrodata> DecodeMasked(const EncodedTable& encoded,
+                                     const LatticeNode& node, size_t k,
+                                     EncodedWorkspace* ws);
 
 /// Alternative to tuple deletion — the "local suppression" of §2: instead
 /// of removing the tuples of undersized groups, their *key attribute

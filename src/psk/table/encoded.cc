@@ -1,0 +1,201 @@
+#include "psk/table/encoded.h"
+
+#include <unordered_map>
+#include <utility>
+
+#include "psk/common/check.h"
+
+namespace psk {
+namespace {
+
+/// Dictionary-encodes one column by Value equality, numbering codes by
+/// first occurrence. `representatives` receives one Value per code — the
+/// first Value observed with that code.
+void EncodeColumn(const Table& table, size_t col, std::vector<uint32_t>* codes,
+                  std::vector<Value>* representatives) {
+  size_t num_rows = table.num_rows();
+  codes->resize(num_rows);
+  std::unordered_map<Value, uint32_t, ValueHash> dictionary;
+  dictionary.reserve(num_rows);
+  for (size_t row = 0; row < num_rows; ++row) {
+    auto [it, inserted] = dictionary.try_emplace(
+        table.Get(row, col), static_cast<uint32_t>(dictionary.size()));
+    (*codes)[row] = it->second;
+    if (inserted && representatives != nullptr) {
+      representatives->push_back(it->first);
+    }
+  }
+}
+
+}  // namespace
+
+Result<EncodedTable> EncodedTable::Build(const Table& initial_microdata,
+                                         const HierarchySet& hierarchies) {
+  std::vector<size_t> key_cols = initial_microdata.schema().KeyIndices();
+  if (hierarchies.size() != key_cols.size()) {
+    return Status::InvalidArgument(
+        "hierarchy set has " + std::to_string(hierarchies.size()) +
+        " hierarchies but the schema has " + std::to_string(key_cols.size()) +
+        " key attributes");
+  }
+
+  EncodedTable enc;
+  enc.im_ = &initial_microdata;
+  enc.num_rows_ = initial_microdata.num_rows();
+
+  enc.keys_.resize(key_cols.size());
+  for (size_t slot = 0; slot < key_cols.size(); ++slot) {
+    KeyColumn& kc = enc.keys_[slot];
+    kc.src_col = key_cols[slot];
+    std::vector<Value> grounds;
+    EncodeColumn(initial_microdata, kc.src_col, &kc.codes, &grounds);
+    kc.cardinality = static_cast<uint32_t>(grounds.size());
+
+    const AttributeHierarchy& hierarchy = hierarchies.hierarchy(slot);
+    kc.num_levels = hierarchy.num_levels();
+    kc.ancestors.resize(kc.num_levels);
+    kc.values.resize(kc.num_levels);
+    kc.level_cardinality.resize(kc.num_levels);
+    kc.level_cardinality[0] = kc.cardinality;
+    for (int level = 1; level < kc.num_levels; ++level) {
+      std::vector<uint32_t>& ancestor = kc.ancestors[level];
+      std::vector<Value>& values = kc.values[level];
+      ancestor.resize(kc.cardinality);
+      values.reserve(kc.cardinality);
+      // Level codes deduplicate by Value equality — the equality the
+      // legacy path groups by — numbered in ground-code (= first
+      // occurrence) order.
+      std::unordered_map<Value, uint32_t, ValueHash> level_dict;
+      level_dict.reserve(kc.cardinality);
+      for (uint32_t ground = 0; ground < kc.cardinality; ++ground) {
+        PSK_ASSIGN_OR_RETURN(Value generalized,
+                             hierarchy.Generalize(grounds[ground], level));
+        auto [it, inserted] = level_dict.try_emplace(
+            generalized, static_cast<uint32_t>(level_dict.size()));
+        ancestor[ground] = it->second;
+        values.push_back(std::move(generalized));
+      }
+      kc.level_cardinality[level] =
+          static_cast<uint32_t>(level_dict.size());
+    }
+  }
+
+  std::vector<size_t> conf_cols =
+      initial_microdata.schema().ConfidentialIndices();
+  enc.confs_.resize(conf_cols.size());
+  for (size_t j = 0; j < conf_cols.size(); ++j) {
+    ConfColumn& cc = enc.confs_[j];
+    cc.src_col = conf_cols[j];
+    std::vector<Value> representatives;
+    EncodeColumn(initial_microdata, cc.src_col, &cc.codes, &representatives);
+    cc.cardinality = static_cast<uint32_t>(representatives.size());
+  }
+  return enc;
+}
+
+Status EncodedTable::GroupByNode(const LatticeNode& node,
+                                 EncodedWorkspace* ws) const {
+  if (node.levels.size() != keys_.size()) {
+    // Same contract (and message) as ApplyGeneralization, so the encoded
+    // and legacy paths reject malformed nodes identically.
+    return Status::InvalidArgument(
+        "lattice node has " + std::to_string(node.levels.size()) +
+        " levels but the schema has " + std::to_string(keys_.size()) +
+        " key attributes");
+  }
+  std::vector<CodeColumnView> columns;
+  columns.reserve(keys_.size());
+  for (size_t slot = 0; slot < keys_.size(); ++slot) {
+    int level = node.levels[slot];
+    if (level < 0 || level >= keys_[slot].num_levels) {
+      return Status::OutOfRange("level out of range: " +
+                                std::to_string(level));
+    }
+    const KeyColumn& kc = keys_[slot];
+    columns.push_back(CodeColumnView{
+        kc.codes.data(),
+        level == 0 ? nullptr : kc.ancestors[level].data(),
+        kc.level_cardinality[level]});
+  }
+  GroupByCodes(columns, num_rows_, &ws->group_scratch, &ws->groups);
+  return Status::OK();
+}
+
+void EncodedTable::GroupBySubset(const std::vector<size_t>& attrs,
+                                 const std::vector<int>& levels,
+                                 EncodedWorkspace* ws) const {
+  PSK_DCHECK(attrs.size() == levels.size());
+  std::vector<CodeColumnView> columns;
+  columns.reserve(attrs.size());
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    PSK_DCHECK(attrs[i] < keys_.size());
+    const KeyColumn& kc = keys_[attrs[i]];
+    int level = levels[i];
+    PSK_DCHECK(level >= 0 && level < kc.num_levels);
+    columns.push_back(CodeColumnView{
+        kc.codes.data(),
+        level == 0 ? nullptr : kc.ancestors[level].data(),
+        kc.level_cardinality[level]});
+  }
+  GroupByCodes(columns, num_rows_, &ws->group_scratch, &ws->groups);
+}
+
+Result<Table> EncodedTable::Decode(const LatticeNode& node,
+                                   const std::vector<bool>* keep) const {
+  const Table& im = *im_;
+  const Schema& schema = im.schema();
+  std::vector<size_t> key_cols = schema.KeyIndices();
+  if (node.levels.size() != key_cols.size()) {
+    return Status::InvalidArgument(
+        "lattice node has " + std::to_string(node.levels.size()) +
+        " levels but the schema has " + std::to_string(key_cols.size()) +
+        " key attributes");
+  }
+  if (keep != nullptr && keep->size() != num_rows_) {
+    return Status::InvalidArgument("mask length does not match row count");
+  }
+
+  // Output schema: identifiers dropped, key columns generalized above
+  // level 0 re-typed to string — mirroring ApplyGeneralization so the
+  // decoded release is byte-identical to the legacy pipeline's.
+  std::vector<Attribute> out_attrs;
+  std::vector<size_t> src_cols;
+  std::vector<int> key_slot_of_out;  // -1 = pass-through column
+  for (size_t col = 0, slot = 0; col < schema.num_attributes(); ++col) {
+    const Attribute& attr = schema.attribute(col);
+    bool is_key = attr.role == AttributeRole::kKey;
+    size_t this_slot = slot;
+    if (is_key) ++slot;
+    if (attr.role == AttributeRole::kIdentifier) continue;
+    Attribute out_attr = attr;
+    if (is_key && node.levels[this_slot] > 0) {
+      out_attr.type = ValueType::kString;
+    }
+    out_attrs.push_back(std::move(out_attr));
+    src_cols.push_back(col);
+    key_slot_of_out.push_back(is_key ? static_cast<int>(this_slot) : -1);
+  }
+  PSK_ASSIGN_OR_RETURN(Schema out_schema, Schema::Create(std::move(out_attrs)));
+  Table out(std::move(out_schema));
+
+  std::vector<Value> out_row;
+  for (size_t row = 0; row < num_rows_; ++row) {
+    if (keep != nullptr && !(*keep)[row]) continue;
+    out_row.clear();
+    out_row.reserve(src_cols.size());
+    for (size_t i = 0; i < src_cols.size(); ++i) {
+      int slot = key_slot_of_out[i];
+      if (slot < 0 || node.levels[slot] == 0) {
+        out_row.push_back(im.Get(row, src_cols[i]));
+        continue;
+      }
+      const KeyColumn& kc = keys_[slot];
+      out_row.push_back(kc.values[node.levels[slot]][kc.codes[row]]);
+    }
+    PSK_RETURN_IF_ERROR(out.AppendRow(std::move(out_row)));
+    out_row = std::vector<Value>();
+  }
+  return out;
+}
+
+}  // namespace psk

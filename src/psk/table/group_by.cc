@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "psk/common/check.h"
+
 namespace psk {
 
 Result<FrequencySet> FrequencySet::Compute(
@@ -11,17 +13,24 @@ Result<FrequencySet> FrequencySet::Compute(
       return Status::OutOfRange("group-by column index out of range: " +
                                 std::to_string(col));
     }
+    PSK_DCHECK(table.column(col).size() == table.num_rows());
   }
   FrequencySet fs;
   fs.num_rows_ = table.num_rows();
   std::unordered_map<std::vector<Value>, size_t, CompositeKeyHash> index;
   index.reserve(table.num_rows());
+  // One key buffer reused across rows: the map copies it only on insert
+  // (once per distinct group), so the per-row cost is value copies into an
+  // already-sized vector instead of a fresh allocation.
+  std::vector<Value> key;
+  key.reserve(col_indices.size());
   for (size_t row = 0; row < table.num_rows(); ++row) {
-    std::vector<Value> key = table.RowKey(row, col_indices);
+    key.clear();
+    for (size_t col : col_indices) key.push_back(table.Get(row, col));
     auto [it, inserted] = index.try_emplace(key, fs.groups_.size());
     if (inserted) {
       Group group;
-      group.key = std::move(key);
+      group.key = it->first;
       fs.groups_.push_back(std::move(group));
     }
     fs.groups_[it->second].row_indices.push_back(row);
@@ -51,6 +60,87 @@ std::vector<size_t> FrequencySet::SizesDescending() const {
   for (const Group& group : groups_) sizes.push_back(group.size());
   std::sort(sizes.begin(), sizes.end(), std::greater<size_t>());
   return sizes;
+}
+
+size_t EncodedGroups::MinGroupSize() const {
+  size_t min_size = 0;
+  for (uint32_t size : group_sizes) {
+    if (min_size == 0 || size < min_size) min_size = size;
+  }
+  return min_size;
+}
+
+size_t EncodedGroups::RowsInGroupsSmallerThan(size_t k) const {
+  size_t count = 0;
+  for (uint32_t size : group_sizes) {
+    if (size < k) count += size;
+  }
+  return count;
+}
+
+size_t EncodedGroups::GroupsAtLeast(size_t k) const {
+  size_t count = 0;
+  for (uint32_t size : group_sizes) {
+    if (size >= k) ++count;
+  }
+  return count;
+}
+
+void GroupByCodes(const std::vector<CodeColumnView>& columns, size_t num_rows,
+                  GroupByScratch* scratch, EncodedGroups* out) {
+  // Refine the partition one column at a time: the running group id and
+  // the column's code combine into a key that is densified in row order,
+  // so group ids stay numbered by first occurrence after every column —
+  // and therefore match the Value-keyed FrequencySet's group order.
+  out->row_gid.assign(num_rows, 0);
+  size_t num_groups = num_rows > 0 ? 1 : 0;
+
+  // Combined keys resolve through a stamped flat array while the key space
+  // is small (the overwhelmingly common case: groups x level-cardinality);
+  // beyond that, a hashed 64-bit-key map.
+  constexpr uint64_t kDenseKeyLimit = uint64_t{1} << 20;
+
+  for (const CodeColumnView& column : columns) {
+    if (num_rows == 0) break;
+    PSK_DCHECK(column.codes != nullptr);
+    uint64_t key_space =
+        static_cast<uint64_t>(num_groups) * column.cardinality;
+    uint32_t next = 0;
+    if (key_space <= kDenseKeyLimit) {
+      uint32_t gen =
+          scratch->NextGeneration(static_cast<size_t>(key_space));
+      for (size_t row = 0; row < num_rows; ++row) {
+        uint32_t code = column.codes[row];
+        if (column.map != nullptr) code = column.map[code];
+        PSK_DCHECK(code < column.cardinality);
+        uint64_t key = static_cast<uint64_t>(out->row_gid[row]) *
+                           column.cardinality +
+                       code;
+        if (scratch->remap_gen_[key] != gen) {
+          scratch->remap_gen_[key] = gen;
+          scratch->remap_[key] = next++;
+        }
+        out->row_gid[row] = scratch->remap_[key];
+      }
+    } else {
+      scratch->sparse_.clear();
+      scratch->sparse_.reserve(num_rows);
+      for (size_t row = 0; row < num_rows; ++row) {
+        uint32_t code = column.codes[row];
+        if (column.map != nullptr) code = column.map[code];
+        uint64_t key = static_cast<uint64_t>(out->row_gid[row]) *
+                           column.cardinality +
+                       code;
+        auto [it, inserted] = scratch->sparse_.try_emplace(key, next);
+        if (inserted) ++next;
+        out->row_gid[row] = it->second;
+      }
+    }
+    num_groups = next;
+  }
+
+  out->group_sizes.assign(num_groups, 0);
+  for (uint32_t gid : out->row_gid) ++out->group_sizes[gid];
 }
 
 std::vector<size_t> DescendingValueFrequencies(const Table& table,

@@ -12,11 +12,21 @@
 namespace psk {
 
 /// Hash / equality over a composite key (one Value per grouping column).
+///
+/// Per-element hashes are folded with a boost-style combiner rather than a
+/// plain multiply-add: multiplicative-only mixing is linear, so families of
+/// low-entropy keys that differ by compensating amounts in two positions
+/// (e.g. {a, b} vs {a + 1, b - M}) collide systematically and degrade the
+/// frequency-set hash map to linked-list probing on clustered QI data.
 struct CompositeKeyHash {
+  static size_t Mix(size_t h, size_t v) {
+    return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+  }
+
   size_t operator()(const std::vector<Value>& key) const {
     size_t h = 0x345678;
     for (const Value& v : key) {
-      h = h * 1000003 + v.Hash();
+      h = Mix(h, v.Hash());
     }
     return h;
   }
@@ -68,6 +78,81 @@ class FrequencySet {
 /// Frequencies of the distinct values in column `col`, sorted descending —
 /// the paper's f_i^j for one confidential attribute.
 std::vector<size_t> DescendingValueFrequencies(const Table& table, size_t col);
+
+/// The frequency set of a dictionary-encoded table: a dense group id per
+/// row plus the group sizes. This is the code-keyed counterpart of
+/// FrequencySet — group ids follow the same ordering semantics (numbered
+/// by first occurrence in row order), so num_groups, MinGroupSize and
+/// RowsInGroupsSmallerThan agree exactly with FrequencySet::Compute over
+/// the equivalent Value-keyed grouping.
+struct EncodedGroups {
+  /// row_gid[row] in [0, num_groups()), numbered by first occurrence.
+  std::vector<uint32_t> row_gid;
+  std::vector<uint32_t> group_sizes;
+
+  size_t num_groups() const { return group_sizes.size(); }
+  size_t num_rows() const { return row_gid.size(); }
+
+  /// Size of the smallest group; 0 for an empty table.
+  size_t MinGroupSize() const;
+
+  /// Rows living in groups smaller than `k` — what suppression removes.
+  size_t RowsInGroupsSmallerThan(size_t k) const;
+
+  /// Groups of size >= k — the group count of the suppressed release.
+  size_t GroupsAtLeast(size_t k) const;
+};
+
+/// One grouping column for GroupByCodes: dense per-row codes with an
+/// optional translation table (e.g. a hierarchy's ancestor-code map).
+/// `cardinality` bounds the translated code space: translated codes must
+/// lie in [0, cardinality).
+struct CodeColumnView {
+  const uint32_t* codes = nullptr;  ///< per-row codes (num_rows entries)
+  /// Optional: row's key is map[codes[row]] instead of codes[row].
+  const uint32_t* map = nullptr;
+  uint32_t cardinality = 0;
+};
+
+/// Reusable buffers for GroupByCodes. One instance per worker thread;
+/// generation-stamped so repeated calls pay no clearing cost.
+class GroupByScratch {
+ public:
+  GroupByScratch() = default;
+
+ private:
+  friend void GroupByCodes(const std::vector<CodeColumnView>& columns,
+                           size_t num_rows, GroupByScratch* scratch,
+                           EncodedGroups* out);
+
+  /// Claims a generation for a dense remap of `key_space` slots; entries
+  /// whose stamp differs from the returned generation are free.
+  uint32_t NextGeneration(size_t key_space) {
+    if (remap_gen_.size() < key_space) {
+      remap_gen_.resize(key_space, 0);
+      remap_.resize(key_space);
+    }
+    if (++generation_ == 0) {  // wrapped: stamps are ambiguous, reset
+      std::fill(remap_gen_.begin(), remap_gen_.end(), 0u);
+      generation_ = 1;
+    }
+    return generation_;
+  }
+
+  std::vector<uint32_t> remap_;
+  std::vector<uint32_t> remap_gen_;
+  uint32_t generation_ = 0;
+  std::unordered_map<uint64_t, uint32_t> sparse_;
+};
+
+/// Code-keyed fast path of FrequencySet::Compute: groups rows by the tuple
+/// of (translated) codes across `columns`, assigning dense group ids
+/// numbered by first occurrence in row order — identical group ordering
+/// semantics to the Value-keyed FrequencySet. Single pass per column,
+/// no hashing at all while the running (groups x cardinality) key space
+/// stays small. Zero columns put every row in one group.
+void GroupByCodes(const std::vector<CodeColumnView>& columns, size_t num_rows,
+                  GroupByScratch* scratch, EncodedGroups* out);
 
 }  // namespace psk
 

@@ -41,6 +41,7 @@ void Table::Set(size_t row, size_t col, Value value) {
 
 const std::vector<Value>& Table::column(size_t col) const {
   PSK_CHECK(col < columns_.size());
+  PSK_DCHECK(columns_[col].size() == num_rows_);
   return columns_[col];
 }
 
@@ -117,9 +118,18 @@ Result<Table> Table::DropIdentifiers() const {
 
 size_t Table::DistinctCount(size_t col) const {
   PSK_CHECK(col < columns_.size());
-  std::unordered_set<Value, ValueHash> seen;
+  PSK_DCHECK(columns_[col].size() == num_rows_);
+  // Deduplicate through pointers into the column: hashing and equality
+  // dereference in place, so no Value (and no string payload) is copied.
+  struct DerefHash {
+    size_t operator()(const Value* v) const { return v->Hash(); }
+  };
+  struct DerefEq {
+    bool operator()(const Value* a, const Value* b) const { return *a == *b; }
+  };
+  std::unordered_set<const Value*, DerefHash, DerefEq> seen;
   seen.reserve(num_rows_);
-  for (const Value& v : columns_[col]) seen.insert(v);
+  for (const Value& v : columns_[col]) seen.insert(&v);
   return seen.size();
 }
 

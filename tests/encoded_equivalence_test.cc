@@ -1,0 +1,395 @@
+// Equivalence suite for the dictionary-encoded evaluation core: every
+// lattice engine (and the full Anonymizer chain) must produce releases,
+// SearchStats, suppression counts and guard verdicts identical between the
+// encoded path (SearchOptions::use_encoded_core = true, the default) and
+// the legacy Value pipeline kept as the oracle — for any thread count.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "psk/algorithms/bottom_up.h"
+#include "psk/algorithms/exhaustive.h"
+#include "psk/algorithms/incognito.h"
+#include "psk/algorithms/ola.h"
+#include "psk/algorithms/samarati.h"
+#include "psk/anonymity/diversity.h"
+#include "psk/anonymity/frequency_stats.h"
+#include "psk/anonymity/kanonymity.h"
+#include "psk/anonymity/psensitive.h"
+#include "psk/api/anonymizer.h"
+#include "psk/datagen/adult.h"
+#include "psk/datagen/paper_tables.h"
+#include "psk/generalize/generalize.h"
+#include "psk/table/csv.h"
+#include "psk/table/encoded.h"
+#include "test_util.h"
+
+namespace psk {
+namespace {
+
+void ExpectStatsEq(const SearchStats& a, const SearchStats& b,
+                   const std::string& what) {
+  EXPECT_EQ(a.nodes_generalized, b.nodes_generalized) << what;
+  EXPECT_EQ(a.nodes_pruned_condition2, b.nodes_pruned_condition2) << what;
+  EXPECT_EQ(a.nodes_rejected_kanonymity, b.nodes_rejected_kanonymity)
+      << what;
+  EXPECT_EQ(a.nodes_rejected_detail, b.nodes_rejected_detail) << what;
+  EXPECT_EQ(a.nodes_satisfied, b.nodes_satisfied) << what;
+  EXPECT_EQ(a.nodes_skipped, b.nodes_skipped) << what;
+  EXPECT_EQ(a.nodes_cache_hits, b.nodes_cache_hits) << what;
+  EXPECT_EQ(a.heights_probed, b.heights_probed) << what;
+  EXPECT_EQ(a.subset_nodes_evaluated, b.subset_nodes_evaluated) << what;
+  EXPECT_EQ(a.partial, b.partial) << what;
+  EXPECT_EQ(a.stop_reason, b.stop_reason) << what;
+}
+
+struct AdultFixture {
+  Table table;
+  HierarchySet hierarchies;
+
+  explicit AdultFixture(size_t n = 4000, uint64_t seed = 1)
+      : table(UnwrapOk(AdultGenerate(n, seed))),
+        hierarchies(UnwrapOk(AdultHierarchies(table.schema()))) {}
+};
+
+SearchOptions BaseOptions(bool encoded, size_t threads) {
+  SearchOptions options;
+  options.k = 3;
+  options.p = 2;
+  options.max_suppression = 40;
+  options.threads = threads;
+  options.use_encoded_core = encoded;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Decode byte-identity: the one-shot decode of the winning node must equal
+// the legacy ApplyGeneralization + suppression pipeline byte for byte.
+
+TEST(EncodedDecodeTest, DecodeMatchesLegacyMaskOnAdult) {
+  AdultFixture fixture(1500, 5);
+  EncodedTable encoded =
+      UnwrapOk(EncodedTable::Build(fixture.table, fixture.hierarchies));
+  EncodedWorkspace ws;
+  // Ground node, a mixed mid-lattice node, and the top.
+  std::vector<LatticeNode> nodes = {LatticeNode{{0, 0, 0, 0}},
+                                    LatticeNode{{1, 0, 2, 1}},
+                                    LatticeNode{{2, 1, 0, 0}},
+                                    LatticeNode{{3, 2, 3, 1}}};
+  for (const LatticeNode& node : nodes) {
+    for (size_t k : {size_t{0}, size_t{3}}) {
+      MaskedMicrodata legacy =
+          UnwrapOk(Mask(fixture.table, fixture.hierarchies, node, k));
+      MaskedMicrodata fast = UnwrapOk(DecodeMasked(encoded, node, k, &ws));
+      EXPECT_EQ(fast.suppressed, legacy.suppressed)
+          << "node=" << SnapshotNodeKey(node) << " k=" << k;
+      EXPECT_EQ(WriteCsvString(fast.table), WriteCsvString(legacy.table))
+          << "node=" << SnapshotNodeKey(node) << " k=" << k;
+    }
+  }
+}
+
+TEST(EncodedDecodeTest, InvalidNodesRejectedLikeLegacy) {
+  AdultFixture fixture(200, 6);
+  EncodedTable encoded =
+      UnwrapOk(EncodedTable::Build(fixture.table, fixture.hierarchies));
+  EncodedWorkspace ws;
+  // Wrong level count: byte-identical message to ApplyGeneralization.
+  LatticeNode short_node{{1, 0}};
+  Status enc_status = encoded.GroupByNode(short_node, &ws);
+  Result<Table> legacy =
+      ApplyGeneralization(fixture.table, fixture.hierarchies, short_node);
+  ASSERT_FALSE(enc_status.ok());
+  ASSERT_FALSE(legacy.ok());
+  EXPECT_EQ(enc_status.code(), legacy.status().code());
+  EXPECT_EQ(enc_status.message(), legacy.status().message());
+  // Out-of-range level.
+  LatticeNode tall_node{{9, 0, 0, 0}};
+  EXPECT_FALSE(encoded.GroupByNode(tall_node, &ws).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Anonymity-check overloads: the code-path predicates agree with the
+// Value-path predicates on the same partitions.
+
+TEST(EncodedChecksTest, OverloadsAgreeWithLegacyChecks) {
+  AdultFixture fixture(1200, 9);
+  EncodedTable encoded =
+      UnwrapOk(EncodedTable::Build(fixture.table, fixture.hierarchies));
+  EncodedWorkspace ws;
+  EncodedDistinctScratch scratch;
+
+  FrequencyStats legacy_stats = UnwrapOk(FrequencyStats::Compute(fixture.table));
+  FrequencyStats enc_stats = UnwrapOk(FrequencyStats::Compute(encoded));
+  ASSERT_EQ(enc_stats.n(), legacy_stats.n());
+  ASSERT_EQ(enc_stats.q(), legacy_stats.q());
+  for (size_t j = 0; j < enc_stats.q(); ++j) {
+    ASSERT_EQ(enc_stats.s(j), legacy_stats.s(j)) << "j=" << j;
+    for (size_t i = 0; i < enc_stats.s(j); ++i) {
+      EXPECT_EQ(enc_stats.f(j, i), legacy_stats.f(j, i));
+      EXPECT_EQ(enc_stats.cf(j, i), legacy_stats.cf(j, i));
+    }
+  }
+  EXPECT_EQ(enc_stats.MaxP(), legacy_stats.MaxP());
+  for (size_t p = 2; p <= enc_stats.MaxP() && p <= 4; ++p) {
+    EXPECT_EQ(UnwrapOk(enc_stats.MaxGroups(p)),
+              UnwrapOk(legacy_stats.MaxGroups(p)));
+  }
+
+  for (const LatticeNode& node :
+       {LatticeNode{{1, 1, 1, 0}}, LatticeNode{{2, 1, 2, 1}},
+        LatticeNode{{3, 2, 3, 1}}}) {
+    PSK_ASSERT_OK(encoded.GroupByNode(node, &ws));
+    Table generalized = UnwrapOk(
+        ApplyGeneralization(fixture.table, fixture.hierarchies, node));
+    std::vector<size_t> keys = generalized.schema().KeyIndices();
+    std::vector<size_t> confs = generalized.schema().ConfidentialIndices();
+    for (size_t k : {size_t{2}, size_t{5}}) {
+      EXPECT_EQ(UnwrapOk(IsKAnonymousEncoded(ws.groups, k)),
+                UnwrapOk(IsKAnonymous(generalized, keys, k)))
+          << "node=" << SnapshotNodeKey(node) << " k=" << k;
+    }
+    for (size_t p : {size_t{2}, size_t{3}}) {
+      EXPECT_EQ(
+          IsPSensitiveEncoded(ws.groups, encoded, p, /*min_group_size=*/1,
+                              &scratch),
+          UnwrapOk(IsPSensitive(generalized, keys, confs, p)))
+          << "node=" << SnapshotNodeKey(node) << " p=" << p;
+      EXPECT_EQ(IsDistinctLDiverseEncoded(ws.groups, encoded, p, &scratch),
+                UnwrapOk(IsDistinctLDiverse(generalized, keys, confs, p)))
+          << "node=" << SnapshotNodeKey(node) << " l=" << p;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level equivalence on Adult, across thread counts.
+
+TEST(EncodedEquivalenceTest, SamaratiMatchesLegacy) {
+  AdultFixture fixture;
+  SearchResult legacy = UnwrapOk(
+      SamaratiSearch(fixture.table, fixture.hierarchies, BaseOptions(false, 1)));
+  ASSERT_TRUE(legacy.found);
+  std::string legacy_csv = WriteCsvString(legacy.masked);
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    SearchResult got = UnwrapOk(SamaratiSearch(fixture.table,
+                                               fixture.hierarchies,
+                                               BaseOptions(true, threads)));
+    ASSERT_TRUE(got.found) << "threads=" << threads;
+    EXPECT_EQ(got.node, legacy.node) << "threads=" << threads;
+    EXPECT_EQ(got.suppressed, legacy.suppressed) << "threads=" << threads;
+    EXPECT_EQ(WriteCsvString(got.masked), legacy_csv)
+        << "threads=" << threads;
+    ExpectStatsEq(got.stats, legacy.stats,
+                  "samarati threads=" + std::to_string(threads));
+  }
+}
+
+TEST(EncodedEquivalenceTest, OlaMatchesLegacy) {
+  AdultFixture fixture;
+  OlaOptions legacy_options;
+  legacy_options.search = BaseOptions(false, 1);
+  OlaResult legacy =
+      UnwrapOk(OlaSearch(fixture.table, fixture.hierarchies, legacy_options));
+  ASSERT_TRUE(legacy.found);
+  std::string legacy_csv = WriteCsvString(legacy.masked);
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    OlaOptions options;
+    options.search = BaseOptions(true, threads);
+    OlaResult got =
+        UnwrapOk(OlaSearch(fixture.table, fixture.hierarchies, options));
+    ASSERT_TRUE(got.found) << "threads=" << threads;
+    EXPECT_EQ(got.optimal, legacy.optimal) << "threads=" << threads;
+    EXPECT_EQ(got.minimal_nodes, legacy.minimal_nodes)
+        << "threads=" << threads;
+    EXPECT_EQ(WriteCsvString(got.masked), legacy_csv)
+        << "threads=" << threads;
+    ExpectStatsEq(got.stats, legacy.stats,
+                  "ola threads=" + std::to_string(threads));
+  }
+}
+
+TEST(EncodedEquivalenceTest, ExhaustiveMatchesLegacy) {
+  AdultFixture fixture(1500, 2);
+  MinimalSetResult legacy = UnwrapOk(ExhaustiveSearch(
+      fixture.table, fixture.hierarchies, BaseOptions(false, 1)));
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    MinimalSetResult got = UnwrapOk(ExhaustiveSearch(
+        fixture.table, fixture.hierarchies, BaseOptions(true, threads)));
+    EXPECT_EQ(got.minimal_nodes, legacy.minimal_nodes)
+        << "threads=" << threads;
+    EXPECT_EQ(got.satisfying_nodes, legacy.satisfying_nodes)
+        << "threads=" << threads;
+    ExpectStatsEq(got.stats, legacy.stats,
+                  "exhaustive threads=" + std::to_string(threads));
+  }
+}
+
+TEST(EncodedEquivalenceTest, BottomUpMatchesLegacy) {
+  AdultFixture fixture(1500, 3);
+  MinimalSetResult legacy = UnwrapOk(BottomUpSearch(
+      fixture.table, fixture.hierarchies, BaseOptions(false, 1)));
+  MinimalSetResult got = UnwrapOk(BottomUpSearch(
+      fixture.table, fixture.hierarchies, BaseOptions(true, 1)));
+  EXPECT_EQ(got.minimal_nodes, legacy.minimal_nodes);
+  ExpectStatsEq(got.stats, legacy.stats, "bottom-up");
+}
+
+TEST(EncodedEquivalenceTest, IncognitoMatchesLegacy) {
+  AdultFixture fixture(1500, 4);
+  MinimalSetResult legacy = UnwrapOk(IncognitoSearch(
+      fixture.table, fixture.hierarchies, BaseOptions(false, 1)));
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    MinimalSetResult got = UnwrapOk(IncognitoSearch(
+        fixture.table, fixture.hierarchies, BaseOptions(true, threads)));
+    EXPECT_EQ(got.minimal_nodes, legacy.minimal_nodes)
+        << "threads=" << threads;
+    EXPECT_EQ(got.satisfying_nodes, legacy.satisfying_nodes)
+        << "threads=" << threads;
+    ExpectStatsEq(got.stats, legacy.stats,
+                  "incognito threads=" + std::to_string(threads));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Full API chain: all seven engines through Anonymizer, encoded vs legacy,
+// comparing the release and the guard's independent verdict.
+
+TEST(EncodedEquivalenceTest, AnonymizerAllAlgorithmsMatchLegacy) {
+  AdultFixture fixture(800, 7);
+  for (auto algorithm :
+       {AnonymizationAlgorithm::kSamarati, AnonymizationAlgorithm::kIncognito,
+        AnonymizationAlgorithm::kBottomUp,
+        AnonymizationAlgorithm::kExhaustive, AnonymizationAlgorithm::kMondrian,
+        AnonymizationAlgorithm::kGreedyCluster,
+        AnonymizationAlgorithm::kOla}) {
+    std::string what = "algorithm=" +
+                       std::to_string(static_cast<int>(algorithm));
+    AnonymizationReport reports[2];
+    for (bool encoded : {false, true}) {
+      Anonymizer anonymizer(fixture.table);
+      for (size_t i = 0; i < fixture.hierarchies.size(); ++i) {
+        anonymizer.AddHierarchy(fixture.hierarchies.hierarchy_ptr(i));
+      }
+      anonymizer.set_k(3).set_p(2).set_max_suppression(8).set_algorithm(
+          algorithm);
+      anonymizer.set_use_encoded_core(encoded);
+      reports[encoded ? 1 : 0] = UnwrapOk(anonymizer.Run());
+    }
+    const AnonymizationReport& legacy = reports[0];
+    const AnonymizationReport& got = reports[1];
+    EXPECT_EQ(WriteCsvString(got.masked), WriteCsvString(legacy.masked))
+        << what;
+    EXPECT_EQ(got.node, legacy.node) << what;
+    EXPECT_EQ(got.suppressed, legacy.suppressed) << what;
+    EXPECT_EQ(got.achieved_k, legacy.achieved_k) << what;
+    EXPECT_EQ(got.achieved_p, legacy.achieved_p) << what;
+    EXPECT_EQ(got.precision, legacy.precision) << what;
+    EXPECT_EQ(got.discernibility, legacy.discernibility) << what;
+    EXPECT_EQ(got.algorithm_used, legacy.algorithm_used) << what;
+    EXPECT_EQ(got.guard.passed, legacy.guard.passed) << what;
+    EXPECT_EQ(got.guard.observed_k, legacy.guard.observed_k) << what;
+    EXPECT_EQ(got.guard.observed_p, legacy.guard.observed_p) << what;
+    EXPECT_EQ(got.guard.suppressed, legacy.guard.suppressed) << what;
+    ExpectStatsEq(got.stats, legacy.stats, what);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Paper microdata: the tiny tables of Section 1 (Tables 1-3) and the
+// Figure 3 example ride through both paths identically.
+
+TEST(EncodedEquivalenceTest, Figure3MicrodataMatchesLegacy) {
+  Table fig3 = UnwrapOk(Figure3Table());
+  HierarchySet hierarchies = UnwrapOk(Figure3Hierarchies(fig3.schema()));
+  SearchOptions legacy_options;
+  legacy_options.k = 3;
+  legacy_options.use_encoded_core = false;
+  SearchOptions encoded_options = legacy_options;
+  encoded_options.use_encoded_core = true;
+  MinimalSetResult legacy =
+      UnwrapOk(ExhaustiveSearch(fig3, hierarchies, legacy_options));
+  MinimalSetResult got =
+      UnwrapOk(ExhaustiveSearch(fig3, hierarchies, encoded_options));
+  EXPECT_EQ(got.minimal_nodes, legacy.minimal_nodes);
+  EXPECT_EQ(got.satisfying_nodes, legacy.satisfying_nodes);
+  ExpectStatsEq(got.stats, legacy.stats, "figure 3");
+}
+
+TEST(EncodedEquivalenceTest, PatientTablesMatchLegacy) {
+  for (int which : {1, 3}) {
+    Table table =
+        which == 1 ? UnwrapOk(PatientTable1()) : UnwrapOk(PatientTable3());
+    // One suppression hierarchy per QI (Age, ZipCode, Sex) — enough to
+    // exercise the int64 -> "*" re-typing path on Age.
+    std::vector<std::shared_ptr<const AttributeHierarchy>> hs;
+    for (size_t i : table.schema().KeyIndices()) {
+      hs.push_back(std::make_shared<SuppressionHierarchy>(
+          table.schema().attribute(i).name));
+    }
+    HierarchySet hierarchies =
+        UnwrapOk(HierarchySet::Create(table.schema(), hs));
+    SearchOptions legacy_options;
+    legacy_options.k = 2;
+    legacy_options.p = 2;
+    legacy_options.use_encoded_core = false;
+    SearchOptions encoded_options = legacy_options;
+    encoded_options.use_encoded_core = true;
+    MinimalSetResult legacy =
+        UnwrapOk(ExhaustiveSearch(table, hierarchies, legacy_options));
+    MinimalSetResult got =
+        UnwrapOk(ExhaustiveSearch(table, hierarchies, encoded_options));
+    std::string what = "table " + std::to_string(which);
+    EXPECT_EQ(got.minimal_nodes, legacy.minimal_nodes) << what;
+    EXPECT_EQ(got.satisfying_nodes, legacy.satisfying_nodes) << what;
+    ExpectStatsEq(got.stats, legacy.stats, what);
+    // Materialize every satisfying node both ways.
+    EncodedTable encoded = UnwrapOk(EncodedTable::Build(table, hierarchies));
+    EncodedWorkspace ws;
+    for (const LatticeNode& node : got.satisfying_nodes) {
+      MaskedMicrodata legacy_mm =
+          UnwrapOk(Mask(table, hierarchies, node, legacy_options.k));
+      MaskedMicrodata fast_mm =
+          UnwrapOk(DecodeMasked(encoded, node, legacy_options.k, &ws));
+      EXPECT_EQ(WriteCsvString(fast_mm.table), WriteCsvString(legacy_mm.table))
+          << what << " node=" << SnapshotNodeKey(node);
+      EXPECT_EQ(fast_mm.suppressed, legacy_mm.suppressed) << what;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fallback: pinning an evaluator to the legacy path via
+// set_encoded_table(nullptr) must not change behavior, and a search with
+// use_encoded_core off never builds an encoding.
+
+TEST(EncodedFallbackTest, NullEncodedTablePinsLegacyPath) {
+  AdultFixture fixture(400, 8);
+  SearchOptions options = BaseOptions(true, 1);
+  NodeEvaluator encoded_eval(fixture.table, fixture.hierarchies, options);
+  PSK_ASSERT_OK(encoded_eval.Init());
+  ASSERT_NE(encoded_eval.encoded_table(), nullptr);
+
+  NodeEvaluator legacy_eval(fixture.table, fixture.hierarchies, options);
+  legacy_eval.set_encoded_table(nullptr);
+  PSK_ASSERT_OK(legacy_eval.Init());
+  EXPECT_EQ(legacy_eval.encoded_table(), nullptr);
+
+  LatticeNode node{{1, 1, 1, 0}};
+  NodeEvaluation a = UnwrapOk(encoded_eval.Evaluate(node));
+  NodeEvaluation b = UnwrapOk(legacy_eval.Evaluate(node));
+  EXPECT_EQ(a.satisfied, b.satisfied);
+  EXPECT_EQ(a.stage, b.stage);
+  EXPECT_EQ(a.suppressed, b.suppressed);
+  EXPECT_EQ(a.num_groups, b.num_groups);
+
+  MaskedMicrodata ma = UnwrapOk(encoded_eval.Materialize(node));
+  MaskedMicrodata mb = UnwrapOk(legacy_eval.Materialize(node));
+  EXPECT_EQ(WriteCsvString(ma.table), WriteCsvString(mb.table));
+}
+
+}  // namespace
+}  // namespace psk

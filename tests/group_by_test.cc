@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <vector>
+
+#include "psk/datagen/adult.h"
 #include "psk/datagen/paper_tables.h"
 #include "test_util.h"
 
@@ -101,6 +105,53 @@ TEST(DescendingValueFrequenciesTest, PatientIllness) {
   // Diabetes x2, four singletons.
   EXPECT_EQ(DescendingValueFrequencies(table, illness),
             (std::vector<size_t>{2, 1, 1, 1, 1}));
+}
+
+TEST(CompositeKeyHashTest, BreaksMultiplicativeCollisionFamily) {
+  // The previous fold was h = h * 1000003 + v, which is linear: any two
+  // 2-element keys {a, b} and {a + 1, b - 1000003} collided by
+  // construction. The boost-style combiner must separate that family.
+  constexpr size_t kOldMultiplier = 1000003;
+  auto old_fold = [](size_t a, size_t b) {
+    size_t h = 0x345678;
+    h = h * kOldMultiplier + a;
+    h = h * kOldMultiplier + b;
+    return h;
+  };
+  auto new_fold = [](size_t a, size_t b) {
+    return CompositeKeyHash::Mix(CompositeKeyHash::Mix(0x345678, a), b);
+  };
+  size_t separated = 0;
+  for (size_t a = 1; a <= 64; ++a) {
+    for (size_t b = kOldMultiplier; b < kOldMultiplier + 64;
+         b += 7) {
+      ASSERT_EQ(old_fold(a, b), old_fold(a + 1, b - kOldMultiplier));
+      if (new_fold(a, b) != new_fold(a + 1, b - kOldMultiplier)) {
+        ++separated;
+      }
+    }
+  }
+  // Every engineered collision pair hashes apart under the new combiner.
+  EXPECT_EQ(separated, 64u * 10u);
+}
+
+TEST(CompositeKeyHashTest, NoCollisionsOnAdultQiKeys) {
+  // Clustered QI data is where the old multiplicative fold degraded; with
+  // a 64-bit avalanche-style combiner the distinct composite hashes must
+  // match the distinct keys exactly on this fixed dataset.
+  Table table = UnwrapOk(AdultGenerate(4000, /*seed=*/1));
+  std::vector<size_t> keys = table.schema().KeyIndices();
+  CompositeKeyHash hasher;
+  std::set<std::vector<Value>> distinct_keys;
+  std::set<size_t> distinct_hashes;
+  std::vector<Value> key;
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    key.clear();
+    for (size_t col : keys) key.push_back(table.Get(row, col));
+    distinct_hashes.insert(hasher(key));
+    distinct_keys.insert(key);
+  }
+  EXPECT_EQ(distinct_hashes.size(), distinct_keys.size());
 }
 
 TEST(DescendingValueFrequenciesTest, Example1MatchesTable5) {
