@@ -4,9 +4,12 @@
 // BENCH_encoded.json for the CI perf gate (the encoded core must hold a
 // healthy multiple over the legacy Value path).
 //
-//   bench_encoded_eval [rows] [rounds] [out.json]
+//   bench_encoded_eval [--trace] [rows] [rounds] [out.json]
 //
-// Defaults: 4000 rows, 5 rounds, ./BENCH_encoded.json.
+// Defaults: 4000 rows, 5 rounds, ./BENCH_encoded.json. With --trace, one
+// additional (untimed) pass per path runs under a RunTrace and the span
+// tree is written next to the results as <out>.trace.json — the timed
+// rounds always run untraced, so the perf numbers never include tracing.
 
 #include <chrono>
 #include <cstdlib>
@@ -20,6 +23,7 @@
 #include "psk/common/json_writer.h"
 #include "psk/datagen/adult.h"
 #include "psk/lattice/lattice.h"
+#include "psk/trace/trace.h"
 
 namespace psk {
 namespace {
@@ -60,10 +64,57 @@ RunResult MeasurePath(const Table& im, const HierarchySet& hs,
   return r;
 }
 
+// One untraced-timing-free pass over every node with tracing on, so the
+// archived trace shows the per-node eval events and path labels without
+// contaminating the measured rounds.
+void WriteTrace(const Table& im, const HierarchySet& hs,
+                const std::vector<LatticeNode>& nodes, size_t rows,
+                const std::string& trace_path) {
+  RunTrace trace("bench_encoded_eval");
+  trace.Counter("rows", rows);
+  trace.Counter("lattice_nodes", nodes.size());
+  TraceEventBuffer buffer;
+  for (bool use_encoded : {false, true}) {
+    SearchOptions options;
+    options.k = 3;
+    options.p = 2;
+    options.max_suppression = rows / 100;
+    options.use_encoded_core = use_encoded;
+    options.trace = &trace;
+    trace.Begin(use_encoded ? "encoded_pass" : "legacy_pass");
+    NodeEvaluator evaluator(im, hs, options);
+    evaluator.set_trace(&trace, &buffer);
+    PSK_CHECK(evaluator.Init().ok());
+    for (const LatticeNode& node : nodes) {
+      PSK_CHECK(evaluator.Evaluate(node).ok());
+    }
+    if (!buffer.empty()) trace.MergeEvents(buffer.Take());
+    RecordStatsCounters(&trace, evaluator.stats());
+    trace.End();
+  }
+  Status written = trace.WriteJsonFile(trace_path);
+  PSK_CHECK(written.ok());
+  std::cout << "wrote " << trace_path << "\n";
+}
+
 int Main(int argc, char** argv) {
-  size_t rows = argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 4000;
-  size_t rounds = argc > 2 ? static_cast<size_t>(std::atoll(argv[2])) : 5;
-  std::string out_path = argc > 3 ? argv[3] : "BENCH_encoded.json";
+  bool with_trace = false;
+  std::vector<char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--trace") {
+      with_trace = true;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  size_t rows = positional.size() > 0
+                    ? static_cast<size_t>(std::atoll(positional[0]))
+                    : 4000;
+  size_t rounds = positional.size() > 1
+                      ? static_cast<size_t>(std::atoll(positional[1]))
+                      : 5;
+  std::string out_path =
+      positional.size() > 2 ? positional[2] : "BENCH_encoded.json";
 
   auto table = AdultGenerate(rows, /*seed=*/1);
   PSK_CHECK(table.ok());
@@ -122,6 +173,18 @@ int Main(int argc, char** argv) {
   }
   out << json.TakeString() << "\n";
   std::cout << "speedup=" << speedup << "x\nwrote " << out_path << "\n";
+
+  if (with_trace) {
+    std::string trace_path = out_path;
+    const std::string suffix = ".json";
+    if (trace_path.size() >= suffix.size() &&
+        trace_path.compare(trace_path.size() - suffix.size(), suffix.size(),
+                           suffix) == 0) {
+      trace_path.resize(trace_path.size() - suffix.size());
+    }
+    trace_path += ".trace.json";
+    WriteTrace(im, hs, nodes, rows, trace_path);
+  }
   return 0;
 }
 

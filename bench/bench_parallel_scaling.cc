@@ -3,9 +3,11 @@
 // nodes/s, speedup vs sequential) as BENCH_parallel.json for the CI
 // scaling gate.
 //
-//   bench_parallel_scaling [rows] [out.json]
+//   bench_parallel_scaling [--trace] [rows] [out.json]
 //
-// Defaults: 4000 rows, ./BENCH_parallel.json.
+// Defaults: 4000 rows, ./BENCH_parallel.json. With --trace, one extra
+// (untimed) traced run per engine at the highest thread count writes the
+// merged span trees to <out>.trace.json; the timed runs stay untraced.
 
 #include <chrono>
 #include <cstdlib>
@@ -22,6 +24,7 @@
 #include "psk/common/check.h"
 #include "psk/common/json_writer.h"
 #include "psk/datagen/adult.h"
+#include "psk/trace/trace.h"
 
 namespace psk {
 namespace {
@@ -56,9 +59,49 @@ RunResult Measure(const std::string& engine, size_t threads, Fn&& fn) {
   return r;
 }
 
+// One traced run per engine at `threads` workers, all merged into a
+// single trace document (each engine's spans under its own child span).
+void WriteTrace(const Table& im, const HierarchySet& hs, size_t rows,
+                size_t threads, const std::string& trace_path) {
+  RunTrace trace("bench_parallel_scaling");
+  trace.Counter("rows", rows);
+  trace.Timing("threads", threads);
+  SearchOptions options = MakeOptions(rows, threads);
+  options.trace = &trace;
+  trace.Begin("exhaustive");
+  PSK_CHECK(ExhaustiveSearch(im, hs, options).ok());
+  trace.End();
+  trace.Begin("samarati");
+  PSK_CHECK(SamaratiSearch(im, hs, options).ok());
+  trace.End();
+  trace.Begin("ola");
+  OlaOptions ola;
+  ola.search = options;
+  PSK_CHECK(OlaSearch(im, hs, ola).ok());
+  trace.End();
+  trace.Begin("incognito");
+  PSK_CHECK(IncognitoSearch(im, hs, options).ok());
+  trace.End();
+  Status written = trace.WriteJsonFile(trace_path);
+  PSK_CHECK(written.ok());
+  std::cout << "wrote " << trace_path << "\n";
+}
+
 int Main(int argc, char** argv) {
-  size_t rows = argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 4000;
-  std::string out_path = argc > 2 ? argv[2] : "BENCH_parallel.json";
+  bool with_trace = false;
+  std::vector<char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--trace") {
+      with_trace = true;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  size_t rows = positional.size() > 0
+                    ? static_cast<size_t>(std::atoll(positional[0]))
+                    : 4000;
+  std::string out_path =
+      positional.size() > 1 ? positional[1] : "BENCH_parallel.json";
 
   auto table = AdultGenerate(rows, /*seed=*/1);
   PSK_CHECK(table.ok());
@@ -137,6 +180,18 @@ int Main(int argc, char** argv) {
   }
   out << json.TakeString() << "\n";
   std::cout << "wrote " << out_path << "\n";
+
+  if (with_trace) {
+    std::string trace_path = out_path;
+    const std::string suffix = ".json";
+    if (trace_path.size() >= suffix.size() &&
+        trace_path.compare(trace_path.size() - suffix.size(), suffix.size(),
+                           suffix) == 0) {
+      trace_path.resize(trace_path.size() - suffix.size());
+    }
+    trace_path += ".trace.json";
+    WriteTrace(im, hs, rows, thread_counts.back(), trace_path);
+  }
   return 0;
 }
 

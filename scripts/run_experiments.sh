@@ -30,7 +30,14 @@ run "$BUILD/bench/bench_table8_attribute_disclosure" table8_results.json
 # Extension experiments.
 run "$BUILD/bench/bench_query_error"
 run "$BUILD/bench/bench_ru_frontier"
-run "$BUILD/bench/bench_encoded_eval" 4000 5 BENCH_encoded.json
+run "$BUILD/bench/bench_encoded_eval" --trace 4000 5 BENCH_encoded.json
+run "$BUILD/bench/bench_parallel_scaling" --trace 4000 BENCH_parallel.json
+
+# Archive the run traces next to the numeric results so a regression can
+# be diagnosed from the span trees without re-running anything.
+mkdir -p traces
+mv -f BENCH_encoded.trace.json BENCH_parallel.trace.json traces/
+echo "archived traces/BENCH_encoded.trace.json traces/BENCH_parallel.trace.json"
 
 # Timed ablations (google-benchmark; pass a smaller min_time for a quick
 # look).

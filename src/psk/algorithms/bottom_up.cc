@@ -39,6 +39,16 @@ Result<MinimalSetResult> BottomUpSearch(const Table& initial_microdata,
                                         const SearchOptions& options,
                                         const BottomUpOptions& bu_options) {
   NodeEvaluator evaluator(initial_microdata, hierarchies, options);
+  // Sequential engine with a bare evaluator: one local event buffer stands
+  // in for the sweeper's per-worker set, drained at each span close.
+  RunTrace* trace = options.trace;
+  TraceEventBuffer trace_buffer;
+  if (trace != nullptr) evaluator.set_trace(trace, &trace_buffer);
+  auto flush_events = [&] {
+    if (trace != nullptr && !trace_buffer.empty()) {
+      trace->MergeEvents(trace_buffer.Take());
+    }
+  };
   PSK_RETURN_IF_ERROR(evaluator.Init());
 
   MinimalSetResult result;
@@ -58,6 +68,8 @@ Result<MinimalSetResult> BottomUpSearch(const Table& initial_microdata,
   // the fallback.
   std::vector<int> lower_bounds(hierarchies.size(), 0);
   if (bu_options.use_subset_lower_bounds) {
+    TraceSpan span(trace, "lower_bounds");
+    span.Counter("attributes", hierarchies.size());
     const EncodedTable* encoded = evaluator.encoded_table().get();
     EncodedWorkspace ws;
     for (size_t i = 0; i < hierarchies.size(); ++i) {
@@ -83,6 +95,8 @@ Result<MinimalSetResult> BottomUpSearch(const Table& initial_microdata,
 
   bool stopped = false;
   for (int h = 0; h <= lattice.height() && !stopped; ++h) {
+    TraceSpan span(trace, "height");
+    span.Attr("height", std::to_string(h));
     for (const LatticeNode& node : lattice.NodesAtHeight(h)) {
       bool below_bound = false;
       for (size_t i = 0; i < lower_bounds.size(); ++i) {
@@ -124,6 +138,7 @@ Result<MinimalSetResult> BottomUpSearch(const Table& initial_microdata,
       }
     }
     // A completed height is the BFS's crash-recovery boundary.
+    flush_events();
     evaluator.FlushCheckpoint();
   }
   std::sort(result.minimal_nodes.begin(), result.minimal_nodes.end());

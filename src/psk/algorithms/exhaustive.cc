@@ -27,6 +27,8 @@ Result<MinimalSetResult> ExhaustiveSearch(const Table& initial_microdata,
   // every outcome — including a hard error in one shard, which previously
   // dropped that shard's counters (and the other shards' entirely).
   for (int h = 0; h <= lattice.height(); ++h) {
+    TraceSpan span(options.trace, "height");
+    span.Attr("height", std::to_string(h));
     std::vector<LatticeNode> nodes = lattice.NodesAtHeight(h);
     std::vector<std::optional<NodeEvaluation>> evals;
     Status swept = sweeper.Sweep(nodes, &evals);

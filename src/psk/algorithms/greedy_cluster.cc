@@ -177,6 +177,10 @@ Result<GreedyClusterResult> GreedyClusterAnonymize(
   std::vector<std::vector<size_t>> clusters;
   size_t previous_seed = 0;
 
+  if (options.trace != nullptr) {
+    options.trace->Begin("cluster");
+    options.trace->Counter("rows", n);
+  }
   while (unassigned >= options.k) {
     // Budget checkpoint: seeding scans every record once.
     Status charged = enforcer.Charge(1, n);
@@ -261,6 +265,10 @@ Result<GreedyClusterResult> GreedyClusterAnonymize(
     if (options.checkpoint) options.checkpoint(clusters.size());
   }
 
+  if (options.trace != nullptr) {
+    options.trace->Counter("clusters", clusters.size());
+    options.trace->End();
+  }
   if (clusters.empty()) {
     return Status::FailedPrecondition(
         "no cluster could be formed under the given constraints");
@@ -282,6 +290,7 @@ Result<GreedyClusterResult> GreedyClusterAnonymize(
   }
 
   // Recode: identifiers dropped, key attributes re-typed to string labels.
+  TraceSpan recode_span(options.trace, "recode");
   std::vector<Attribute> out_attrs;
   std::vector<size_t> src_cols;
   for (size_t col = 0; col < schema.num_attributes(); ++col) {

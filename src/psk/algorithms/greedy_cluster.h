@@ -8,6 +8,7 @@
 #include "psk/common/result.h"
 #include "psk/common/run_budget.h"
 #include "psk/table/table.h"
+#include "psk/trace/trace.h"
 
 namespace psk {
 
@@ -16,6 +17,9 @@ struct GreedyClusterOptions {
   size_t k = 2;
   /// p-sensitivity requirement per cluster; 1 disables it.
   size_t p = 1;
+  /// Optional run trace; spans for the clustering and recode phases are
+  /// recorded when non-null. Not owned; must outlive the run.
+  RunTrace* trace = nullptr;
   /// Crash-recovery heartbeat, invoked after each completed cluster with
   /// the number of clusters formed so far. The clustering is deterministic
   /// given the same table and options, so the job layer (psk/jobs)

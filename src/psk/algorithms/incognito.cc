@@ -141,9 +141,15 @@ Result<MinimalSetResult> IncognitoSearch(
     return h;
   };
 
+  // Explicit Begin/End (not RAII) so the subset span closes before the
+  // final phase opens its sibling; a hard error may leave it open, which
+  // RunTrace::Close() repairs at export time.
+  RunTrace* trace = options.trace;
+  if (trace != nullptr) trace->Begin("subset_phase");
   for (size_t size = 1; size <= m && !stopped; ++size) {
     std::vector<std::vector<size_t>> subsets;
     Subsets(m, size, &subsets);
+    if (trace != nullptr) trace->Counter("subset_count", subsets.size());
     for (const std::vector<size_t>& attrs : subsets) {
       if (stopped) break;
       std::set<std::vector<int>>& satisfied = sat[attrs];
@@ -291,6 +297,7 @@ Result<MinimalSetResult> IncognitoSearch(
       evaluator.FlushCheckpoint();
     }
   }
+  if (trace != nullptr) trace->End();
 
   // Final phase: the full-QI survivors, in height order. For p = 1 the
   // subset machinery has already decided k-anonymity; minimality still
@@ -314,6 +321,8 @@ Result<MinimalSetResult> IncognitoSearch(
   // candidates are processed in per-height waves: filter sequentially,
   // then evaluate the survivors of one height as a single parallel sweep.
   // The evaluated set matches the sequential node-at-a-time scan exactly.
+  TraceSpan final_span(trace, "final_phase");
+  final_span.Counter("candidates", candidates.size());
   size_t wave_begin = 0;
   bool final_stopped = false;
   while (wave_begin < candidates.size() && !final_stopped) {

@@ -179,8 +179,13 @@ Result<MondrianResult> MondrianAnonymize(const Table& initial_microdata,
   BudgetEnforcer enforcer(options.budget);
   StatusCode stop_reason = StatusCode::kOk;
   std::vector<std::vector<size_t>> leaves;
-  Partition(initial_microdata, std::move(all_rows), key_indices, conf_indices,
-            options, &enforcer, &stop_reason, &leaves);
+  {
+    TraceSpan span(options.trace, "partition");
+    span.Counter("rows", initial_microdata.num_rows());
+    Partition(initial_microdata, std::move(all_rows), key_indices,
+              conf_indices, options, &enforcer, &stop_reason, &leaves);
+    span.Counter("leaves", leaves.size());
+  }
 
   // Build the output schema: identifiers dropped, key attributes re-typed
   // to string (labels).
@@ -197,6 +202,7 @@ Result<MondrianResult> MondrianAnonymize(const Table& initial_microdata,
   PSK_ASSIGN_OR_RETURN(Schema out_schema, Schema::Create(std::move(out_attrs)));
   Table masked(std::move(out_schema));
 
+  TraceSpan recode_span(options.trace, "recode");
   for (const std::vector<size_t>& leaf : leaves) {
     // One label per key attribute, shared by the whole leaf.
     std::map<size_t, std::string> labels;

@@ -8,6 +8,7 @@
 #include "psk/common/result.h"
 #include "psk/common/run_budget.h"
 #include "psk/table/table.h"
+#include "psk/trace/trace.h"
 
 namespace psk {
 
@@ -16,6 +17,9 @@ struct MondrianOptions {
   size_t k = 2;
   /// p-sensitivity constraint enforced on every partition; 1 disables it.
   size_t p = 1;
+  /// Optional run trace; spans for the partition and recode phases are
+  /// recorded when non-null. Not owned; must outlive the run.
+  RunTrace* trace = nullptr;
   /// Resource limits. When exhausted mid-run, partitions stop splitting and
   /// become leaves as-is — still k-anonymous and p-sensitive, just coarser
   /// than a full run would produce — and the result is flagged partial.

@@ -171,7 +171,15 @@ Result<OlaResult> OlaSearch(const Table& initial_microdata,
 
   LatticeNode bottom = lattice.Bottom();
   LatticeNode top = lattice.Top();
-  Result<bool> top_ok = driver.Satisfies(top);
+  RunTrace* trace = options.search.trace;
+  // The check/verify phases evaluate through the primary directly, so each
+  // phase flushes the pending worker events before its span closes.
+  Result<bool> top_ok = [&] {
+    TraceSpan span(trace, "check_top");
+    Result<bool> ok = driver.Satisfies(top);
+    sweeper.FlushTraceEvents();
+    return ok;
+  }();
   if (!top_ok.ok()) {
     // Budget spent before even the lattice top was checked: nothing usable.
     if (!AbsorbBudgetStop(top_ok.status(), evaluator.mutable_stats())) {
@@ -185,7 +193,12 @@ Result<OlaResult> OlaSearch(const Table& initial_microdata,
     return result;  // nothing satisfies
   }
   std::vector<LatticeNode> candidates;
-  Result<bool> bottom_ok = driver.Satisfies(bottom);
+  Result<bool> bottom_ok = [&] {
+    TraceSpan span(trace, "check_bottom");
+    Result<bool> ok = driver.Satisfies(bottom);
+    sweeper.FlushTraceEvents();
+    return ok;
+  }();
   if (!bottom_ok.ok()) {
     if (!AbsorbBudgetStop(bottom_ok.status(), evaluator.mutable_stats())) {
       return sweeper.PropagateHardError(bottom_ok.status());
@@ -196,7 +209,12 @@ Result<OlaResult> OlaSearch(const Table& initial_microdata,
   } else if (*bottom_ok) {
     candidates.push_back(bottom);
   } else {
-    Status bisected = driver.Bisect(bottom, top, &candidates);
+    Status bisected = [&] {
+      TraceSpan span(trace, "bisect");
+      Status status = driver.Bisect(bottom, top, &candidates);
+      sweeper.FlushTraceEvents();
+      return status;
+    }();
     // Bisection is the bulk of OLA's work; make its verdicts durable
     // before the verification and metric phases re-consume them.
     evaluator.FlushCheckpoint();
@@ -217,17 +235,22 @@ Result<OlaResult> OlaSearch(const Table& initial_microdata,
   candidates.erase(std::unique(candidates.begin(), candidates.end()),
                    candidates.end());
   std::vector<LatticeNode> verified;
-  for (const LatticeNode& node : candidates) {
-    Result<bool> ok = driver.Satisfies(node);
-    if (!ok.ok()) {
-      if (!AbsorbBudgetStop(ok.status(), evaluator.mutable_stats())) {
-        return sweeper.PropagateHardError(ok.status());
+  {
+    TraceSpan span(trace, "verify");
+    span.Counter("candidates", candidates.size());
+    for (const LatticeNode& node : candidates) {
+      Result<bool> ok = driver.Satisfies(node);
+      if (!ok.ok()) {
+        if (!AbsorbBudgetStop(ok.status(), evaluator.mutable_stats())) {
+          return sweeper.PropagateHardError(ok.status());
+        }
+        // Unverifiable under the exhausted budget; tag-known candidates are
+        // still resolved without charging, so keep scanning.
+        continue;
       }
-      // Unverifiable under the exhausted budget; tag-known candidates are
-      // still resolved without charging, so keep scanning.
-      continue;
+      if (*ok) verified.push_back(node);
     }
-    if (*ok) verified.push_back(node);
+    sweeper.FlushTraceEvents();
   }
   result.minimal_nodes = MinimalNodes(verified);
   if (result.minimal_nodes.empty()) {
@@ -236,6 +259,8 @@ Result<OlaResult> OlaSearch(const Table& initial_microdata,
   }
 
   // Metric-optimal node among the minimal ones.
+  TraceSpan metric_span(trace, "metrics");
+  metric_span.Counter("minimal_nodes", result.minimal_nodes.size());
   bool first = true;
   for (const LatticeNode& node : result.minimal_nodes) {
     Result<MaskedMicrodata> materialized = evaluator.Materialize(node);

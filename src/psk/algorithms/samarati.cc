@@ -29,6 +29,8 @@ constexpr size_t kProbeChunk = 64;
 Result<std::optional<LatticeNode>> ProbeHeight(
     NodeSweeper& sweeper, const GeneralizationLattice& lattice, int h,
     std::unordered_set<int>& probed) {
+  TraceSpan span(sweeper.primary().trace(), "probe_height");
+  span.Attr("height", std::to_string(h));
   if (probed.insert(h).second) {
     ++sweeper.primary().mutable_stats()->heights_probed;
   }
@@ -73,24 +75,27 @@ Result<SearchResult> SamaratiSearch(const Table& initial_microdata,
   bool stopped = false;
   std::unordered_set<int> probed;
 
-  while (low < high) {
-    int mid = (low + high) / 2;
-    Result<std::optional<LatticeNode>> hit =
-        ProbeHeight(sweeper, lattice, mid, probed);
-    if (!hit.ok()) {
-      // A budget stop keeps the best satisfying node seen so far (it is a
-      // valid, if possibly non-minimal, solution); hard errors propagate.
-      if (!AbsorbBudgetStop(hit.status(), evaluator.mutable_stats())) {
-        return sweeper.PropagateHardError(hit.status());
+  {
+    TraceSpan phase(options.trace, "binary_search");
+    while (low < high) {
+      int mid = (low + high) / 2;
+      Result<std::optional<LatticeNode>> hit =
+          ProbeHeight(sweeper, lattice, mid, probed);
+      if (!hit.ok()) {
+        // A budget stop keeps the best satisfying node seen so far (it is a
+        // valid, if possibly non-minimal, solution); hard errors propagate.
+        if (!AbsorbBudgetStop(hit.status(), evaluator.mutable_stats())) {
+          return sweeper.PropagateHardError(hit.status());
+        }
+        stopped = true;
+        break;
       }
-      stopped = true;
-      break;
-    }
-    if (hit->has_value()) {
-      best = *hit;
-      high = mid;
-    } else {
-      low = mid + 1;
+      if (hit->has_value()) {
+        best = *hit;
+        high = mid;
+      } else {
+        low = mid + 1;
+      }
     }
   }
 
@@ -100,6 +105,7 @@ Result<SearchResult> SamaratiSearch(const Table& initial_microdata,
   // height the binary search touched resolves from the verdict cache
   // without re-generalizing a single node.
   if (!stopped && (!best.has_value() || best->Height() != low)) {
+    TraceSpan phase(options.trace, "confirm");
     for (int h = low; h <= lattice.height(); ++h) {
       Result<std::optional<LatticeNode>> hit =
           ProbeHeight(sweeper, lattice, h, probed);
@@ -119,6 +125,7 @@ Result<SearchResult> SamaratiSearch(const Table& initial_microdata,
   }
 
   if (best.has_value()) {
+    TraceSpan phase(options.trace, "materialize");
     Result<MaskedMicrodata> mm = evaluator.Materialize(*best);
     if (!mm.ok()) return sweeper.PropagateHardError(mm.status());
     result.found = true;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <iterator>
 #include <unordered_set>
 
 #include "psk/common/thread_pool.h"
@@ -25,6 +26,42 @@ bool AbsorbBudgetStop(const Status& status, SearchStats* stats) {
     stats->stop_reason = status.code();
   }
   return true;
+}
+
+const char* CheckStageName(CheckStage stage) {
+  switch (stage) {
+    case CheckStage::kPassed:
+      return "passed";
+    case CheckStage::kCondition1:
+      return "condition1";
+    case CheckStage::kCondition2:
+      return "condition2";
+    case CheckStage::kKAnonymity:
+      return "kanonymity";
+    case CheckStage::kGroupDetail:
+      return "group_detail";
+  }
+  return "unknown";
+}
+
+void RecordStatsCounters(RunTrace* trace, const SearchStats& stats) {
+  if (trace == nullptr) return;
+  trace->Counter("nodes_generalized", stats.nodes_generalized);
+  trace->Counter("nodes_pruned_condition2", stats.nodes_pruned_condition2);
+  trace->Counter("nodes_rejected_kanonymity",
+                 stats.nodes_rejected_kanonymity);
+  trace->Counter("nodes_rejected_detail", stats.nodes_rejected_detail);
+  trace->Counter("nodes_satisfied", stats.nodes_satisfied);
+  trace->Counter("nodes_skipped", stats.nodes_skipped);
+  trace->Counter("nodes_cache_hits", stats.nodes_cache_hits);
+  trace->Counter("nodes_cache_misses", stats.nodes_cache_misses);
+  trace->Counter("nodes_evaluated_encoded", stats.nodes_evaluated_encoded);
+  trace->Counter("nodes_evaluated_legacy", stats.nodes_evaluated_legacy);
+  trace->Counter("replay_ticks", stats.replay_ticks);
+  trace->Counter("heights_probed", stats.heights_probed);
+  trace->Counter("subset_nodes_evaluated", stats.subset_nodes_evaluated);
+  trace->Attr("partial", stats.partial ? "true" : "false");
+  trace->Attr("stop_reason", StatusCodeToString(stats.stop_reason));
 }
 
 NodeEvaluator::NodeEvaluator(const Table& initial_microdata,
@@ -97,6 +134,7 @@ void NodeEvaluator::RecordFact(const std::string& key, bool value) {
 }
 
 Status NodeEvaluator::TickReplay() {
+  ++stats_.replay_ticks;
   if (++replay_hits_since_check_ < kReplayCheckInterval) return Status::OK();
   replay_hits_since_check_ = 0;
   // Deadline/cancellation only — a fast-forward costs no real work, so the
@@ -116,7 +154,26 @@ void NodeEvaluator::TickCheckpoint() {
 void NodeEvaluator::FlushCheckpoint() {
   if (options_.checkpoint_sink == nullptr) return;
   ticks_since_checkpoint_ = 0;
+  // Checkpointing forces a single sequential worker, so this always runs
+  // on the control thread and may open spans on the trace directly.
+  TraceSpan span(trace_, "checkpoint_io");
+  span.Counter("verdicts", snapshot_.verdicts.size());
+  span.Counter("facts", snapshot_.facts.size());
   options_.checkpoint_sink(snapshot_);
+}
+
+void NodeEvaluator::RecordEvalEvent(const std::string& key, const char* path,
+                                    const NodeEvaluation& eval,
+                                    int64_t start_ns) {
+  TraceEvent event;
+  event.name = "eval";
+  event.order_key = key;
+  event.start_ns = start_ns;
+  event.duration_ns = trace_->NowNs() - start_ns;
+  event.attrs.emplace_back("node", key);
+  event.attrs.emplace_back("path", path);
+  event.attrs.emplace_back("stage", CheckStageName(eval.stage));
+  trace_buffer_->Record(std::move(event));
 }
 
 Result<NodeEvaluation> NodeEvaluator::Evaluate(const LatticeNode& node) {
@@ -128,7 +185,10 @@ Result<NodeEvaluation> NodeEvaluator::Evaluate(const LatticeNode& node) {
         "Condition 1 fails for the requested p; no node can satisfy it");
   }
   std::string key;
-  if (checkpointing_ || cache_ != nullptr) key = SnapshotNodeKey(node);
+  if (checkpointing_ || cache_ != nullptr || trace_buffer_ != nullptr) {
+    key = SnapshotNodeKey(node);
+  }
+  int64_t trace_start = trace_buffer_ != nullptr ? trace_->NowNs() : 0;
   if (checkpointing_) {
     auto cached = snapshot_.verdicts.find(key);
     if (cached != snapshot_.verdicts.end()) {
@@ -140,6 +200,15 @@ Result<NodeEvaluation> NodeEvaluator::Evaluate(const LatticeNode& node) {
       PSK_RETURN_IF_ERROR(TickReplay());
       const NodeEvaluation& eval = cached->second;
       ++stats_.nodes_generalized;
+      // Recount the per-path counters the way the original evaluation did
+      // (the path is a pure function of this evaluator's configuration),
+      // so the resumed run's totals converge on the uninterrupted run's.
+      if (cache_ != nullptr) ++stats_.nodes_cache_misses;
+      if (encoded_ != nullptr) {
+        ++stats_.nodes_evaluated_encoded;
+      } else {
+        ++stats_.nodes_evaluated_legacy;
+      }
       switch (eval.stage) {
         case CheckStage::kKAnonymity:
           ++stats_.nodes_rejected_kanonymity;
@@ -157,6 +226,9 @@ Result<NodeEvaluation> NodeEvaluator::Evaluate(const LatticeNode& node) {
       // Replayed once; any further request this run is a plain re-request
       // and must not recount, so it goes to the skip-semantics cache.
       if (cache_ != nullptr) cache_->Insert(key, eval);
+      if (trace_buffer_ != nullptr) {
+        RecordEvalEvent(key, "replay", eval, trace_start);
+      }
       TickCheckpoint();
       return eval;
     }
@@ -168,8 +240,12 @@ Result<NodeEvaluation> NodeEvaluator::Evaluate(const LatticeNode& node) {
       // verdict for free, still honoring deadline/cancellation.
       PSK_RETURN_IF_ERROR(TickReplay());
       ++stats_.nodes_cache_hits;
+      if (trace_buffer_ != nullptr) {
+        RecordEvalEvent(key, "cache", hit, trace_start);
+      }
       return hit;
     }
+    ++stats_.nodes_cache_misses;
   }
   // Both bodies charge the same budget (1 node, num_rows rows) and bump
   // the same counters in the same order, so SearchStats are identical
@@ -182,6 +258,10 @@ Result<NodeEvaluation> NodeEvaluator::Evaluate(const LatticeNode& node) {
   // snapshot free of half-finished evaluations.
   NodeEvaluation eval = *body;
   if (cache_ != nullptr) cache_->Insert(key, eval);
+  if (trace_buffer_ != nullptr) {
+    RecordEvalEvent(key, encoded_ != nullptr ? "encoded" : "legacy", eval,
+                    trace_start);
+  }
   if (checkpointing_) snapshot_.verdicts.emplace(std::move(key), eval);
   TickCheckpoint();
   return eval;
@@ -192,6 +272,7 @@ Result<NodeEvaluation> NodeEvaluator::EvaluateLegacy(const LatticeNode& node) {
   // so this is the natural unit of work to account.
   PSK_RETURN_IF_ERROR(enforcer_->Charge(1, im_.num_rows()));
   ++stats_.nodes_generalized;
+  ++stats_.nodes_evaluated_legacy;
   PSK_ASSIGN_OR_RETURN(Table generalized,
                        ApplyGeneralization(im_, hierarchies_, node));
   std::vector<size_t> key_indices = generalized.schema().KeyIndices();
@@ -259,6 +340,7 @@ Result<NodeEvaluation> NodeEvaluator::EvaluateEncoded(
   // Same budget charge as the legacy body; the unit of work is the node.
   PSK_RETURN_IF_ERROR(enforcer_->Charge(1, im_.num_rows()));
   ++stats_.nodes_generalized;
+  ++stats_.nodes_evaluated_encoded;
   PSK_RETURN_IF_ERROR(encoded_->GroupByNode(node, &ws_));
   const EncodedGroups& groups = ws_.groups;
 
@@ -331,23 +413,35 @@ Status NodeSweeper::Init() {
   auto cache = std::make_shared<VerdictCache>();
   workers_.clear();
   workers_.reserve(num_workers);
+  // Sized once up front: workers capture pointers into this vector, so it
+  // must never reallocate after the first set_trace.
+  trace_buffers_.clear();
+  if (options_.trace != nullptr) trace_buffers_.resize(num_workers);
 
   // Encode the table once and share it across workers — the encoding is
   // immutable after Build, so concurrent GroupByNode calls (each with a
   // per-worker workspace) are race-free. A failed build pins every worker
   // to the legacy path (see NodeEvaluator::Init for the error semantics).
   std::shared_ptr<const EncodedTable> encoded;
-  if (options_.use_encoded_core) {
-    Result<EncodedTable> built = EncodedTable::Build(im_, hierarchies_);
-    if (built.ok()) {
-      encoded = std::make_shared<const EncodedTable>(std::move(*built));
+  {
+    TraceSpan span(options_.trace, "encode");
+    if (options_.use_encoded_core) {
+      Result<EncodedTable> built = EncodedTable::Build(im_, hierarchies_);
+      if (built.ok()) {
+        encoded = std::make_shared<const EncodedTable>(std::move(*built));
+      }
     }
+    span.Attr("path", encoded != nullptr ? "encoded" : "legacy");
+    span.Counter("rows", im_.num_rows());
   }
 
   workers_.push_back(
       std::make_unique<NodeEvaluator>(im_, hierarchies_, options_));
   workers_.front()->set_verdict_cache(cache);
   workers_.front()->set_encoded_table(encoded);
+  if (options_.trace != nullptr) {
+    workers_.front()->set_trace(options_.trace, &trace_buffers_[0]);
+  }
   PSK_RETURN_IF_ERROR(workers_.front()->Init());
 
   // Secondary workers share the primary's enforcer (limits stay global)
@@ -362,6 +456,9 @@ Status NodeSweeper::Init() {
     workers_.back()->set_enforcer(workers_.front()->enforcer());
     workers_.back()->set_verdict_cache(cache);
     workers_.back()->set_encoded_table(encoded);
+    if (options_.trace != nullptr) {
+      workers_.back()->set_trace(options_.trace, &trace_buffers_[w]);
+    }
     PSK_RETURN_IF_ERROR(workers_.back()->Init());
   }
   return Status::OK();
@@ -369,8 +466,26 @@ Status NodeSweeper::Init() {
 
 Status NodeSweeper::Sweep(const std::vector<LatticeNode>& nodes,
                           std::vector<std::optional<NodeEvaluation>>* evals) {
+  RunTrace* trace = options_.trace;
+  if (trace == nullptr) return SweepNodes(nodes, evals);
+
+  // Events still pending from direct primary() evaluations belong to the
+  // engine's enclosing span, not to this sweep.
+  FlushTraceEvents();
+  trace->Begin("sweep");
+  trace->Counter("nodes", nodes.size());
+  Status status = SweepNodes(nodes, evals);
+  FlushTraceEvents();
+  trace->End();
+  return status;
+}
+
+Status NodeSweeper::SweepNodes(
+    const std::vector<LatticeNode>& nodes,
+    std::vector<std::optional<NodeEvaluation>>* evals) {
   evals->assign(nodes.size(), std::nullopt);
   size_t active = std::min(workers_.size(), nodes.size());
+  RunTrace* trace = options_.trace;
 
   if (active <= 1) {
     NodeEvaluator& evaluator = *workers_.front();
@@ -387,10 +502,20 @@ Status NodeSweeper::Sweep(const std::vector<LatticeNode>& nodes,
   // per-index slots and counter sums are order-independent.
   std::atomic<bool> stop{false};
   std::vector<Status> worker_status(active, Status::OK());
+  // Per-worker busy time; written only by the worker owning the slot.
+  std::vector<int64_t> busy_ns(trace != nullptr ? active : 0, 0);
+  if (trace != nullptr) {
+    trace->Timing("workers", active);
+    trace->Timing("queue_depth", ThreadPool::Shared().ApproxQueueDepth());
+  }
   ThreadPool::Shared().ParallelFor(
       nodes.size(), active, [&](size_t worker, size_t index) {
         if (stop.load(std::memory_order_relaxed)) return;  // drain fast
+        int64_t begin_ns = trace != nullptr ? trace->NowNs() : 0;
         Result<NodeEvaluation> eval = workers_[worker]->Evaluate(nodes[index]);
+        if (trace != nullptr) {
+          busy_ns[worker] += trace->NowNs() - begin_ns;
+        }
         if (!eval.ok()) {
           if (worker_status[worker].ok()) {
             worker_status[worker] = eval.status();
@@ -402,6 +527,12 @@ Status NodeSweeper::Sweep(const std::vector<LatticeNode>& nodes,
         }
         (*evals)[index] = *eval;
       });
+  if (trace != nullptr) {
+    for (size_t w = 0; w < busy_ns.size(); ++w) {
+      trace->Timing("w" + std::to_string(w) + "_busy_ns",
+                    static_cast<uint64_t>(busy_ns[w]));
+    }
+  }
 
   // Hard errors (first by worker order) outrank budget stops: they must
   // propagate, while a budget stop is a valid partial result.
@@ -415,6 +546,18 @@ Status NodeSweeper::Sweep(const std::vector<LatticeNode>& nodes,
     }
   }
   return budget_stop;
+}
+
+void NodeSweeper::FlushTraceEvents() {
+  if (options_.trace == nullptr) return;
+  std::vector<TraceEvent> events;
+  for (TraceEventBuffer& buffer : trace_buffers_) {
+    if (buffer.empty()) continue;
+    std::vector<TraceEvent> drained = buffer.Take();
+    events.insert(events.end(), std::make_move_iterator(drained.begin()),
+                  std::make_move_iterator(drained.end()));
+  }
+  if (!events.empty()) options_.trace->MergeEvents(std::move(events));
 }
 
 SearchStats NodeSweeper::MergedStats() const {

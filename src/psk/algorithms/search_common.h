@@ -14,6 +14,7 @@
 #include "psk/anonymity/psensitive.h"
 #include "psk/common/result.h"
 #include "psk/common/run_budget.h"
+#include "psk/trace/trace.h"
 #include "psk/generalize/generalize.h"
 #include "psk/hierarchy/hierarchy.h"
 #include "psk/lattice/lattice.h"
@@ -164,6 +165,13 @@ struct SearchOptions {
   /// propagates, so observability survives failures. Untouched when the
   /// search returns a result. Optional; must outlive the search.
   SearchStats* failure_stats = nullptr;
+
+  /// Structured run trace (see psk/trace). Engines open phase spans on it
+  /// from their control thread; per-node events recorded by sweep workers
+  /// land in per-worker buffers and are merged deterministically at span
+  /// close. Null (the default) disables tracing at one branch per span.
+  /// Must outlive the search.
+  RunTrace* trace = nullptr;
 };
 
 /// Work counters, used to quantify what the necessary conditions save.
@@ -186,6 +194,18 @@ struct SearchStats {
   /// counted once in this run, re-served for free (no generalization, no
   /// budget charge).
   size_t nodes_cache_hits = 0;
+  /// Node requests that consulted the VerdictCache and missed (0 when no
+  /// cache is attached). With a cache, hits + misses = requests through it.
+  size_t nodes_cache_misses = 0;
+  /// Fresh evaluations split by which body ran — the dictionary-encoded
+  /// core vs the legacy Value pipeline. Their sum is the number of fresh
+  /// (non-replay, non-cache) evaluations.
+  size_t nodes_evaluated_encoded = 0;
+  size_t nodes_evaluated_legacy = 0;
+  /// Budget-free fast-forwards (snapshot replays, cache re-serves, engine
+  /// fact fast-forwards) counted by TickReplay — how much already-known
+  /// work the run skipped.
+  size_t replay_ticks = 0;
   /// Lattice heights probed (binary search).
   size_t heights_probed = 0;
   /// Subset-lattice nodes evaluated (Incognito's phases over proper
@@ -206,6 +226,10 @@ struct SearchStats {
     nodes_satisfied += other.nodes_satisfied;
     nodes_skipped += other.nodes_skipped;
     nodes_cache_hits += other.nodes_cache_hits;
+    nodes_cache_misses += other.nodes_cache_misses;
+    nodes_evaluated_encoded += other.nodes_evaluated_encoded;
+    nodes_evaluated_legacy += other.nodes_evaluated_legacy;
+    replay_ticks += other.replay_ticks;
     heights_probed += other.heights_probed;
     subset_nodes_evaluated += other.subset_nodes_evaluated;
     if (other.partial && !partial) {
@@ -220,6 +244,15 @@ struct SearchStats {
 /// best-so-far answer; returns false for every other (hard) error, which
 /// the search must propagate.
 bool AbsorbBudgetStop(const Status& status, SearchStats* stats);
+
+/// Stable lowercase name of a CheckStage ("passed", "condition2", ...),
+/// used as the trace events' stage attribute.
+const char* CheckStageName(CheckStage stage);
+
+/// Records every SearchStats field as a structural counter (and
+/// partial/stop_reason as attributes) on the innermost open span of
+/// `trace`. No-op when trace is null.
+void RecordStatsCounters(RunTrace* trace, const SearchStats& stats);
 
 /// Evaluates lattice nodes against a fixed initial microdata: generalize,
 /// suppress up to TS, then test p-sensitive k-anonymity, with Condition 1
@@ -275,6 +308,18 @@ class NodeEvaluator {
   const std::shared_ptr<const EncodedTable>& encoded_table() const {
     return encoded_;
   }
+
+  /// Attaches run tracing: every completed Evaluate records one TraceEvent
+  /// (node key, path taken, verdict stage) into `buffer`, and checkpoint
+  /// flushes open "checkpoint_io" spans on `trace`. The buffer is
+  /// per-worker and written without locks — the owner (NodeSweeper or the
+  /// engine) merges it into `trace` at span boundaries. Both pointers must
+  /// outlive the evaluator; pass nullptrs (the default state) to disable.
+  void set_trace(RunTrace* trace, TraceEventBuffer* buffer) {
+    trace_ = trace;
+    trace_buffer_ = buffer;
+  }
+  RunTrace* trace() const { return trace_; }
 
   /// True iff Condition 1 admits the requested p. When false, no node can
   /// ever satisfy the property and searches should report failure
@@ -341,6 +386,11 @@ class NodeEvaluator {
   Result<NodeEvaluation> EvaluateEncoded(const LatticeNode& node);
   Result<NodeEvaluation> EvaluateLegacy(const LatticeNode& node);
 
+  /// Records one per-node trace event into trace_buffer_ (caller checked
+  /// it is non-null). `path` is "encoded"/"legacy"/"cache"/"replay".
+  void RecordEvalEvent(const std::string& key, const char* path,
+                       const NodeEvaluation& eval, int64_t start_ns);
+
   const Table& im_;
   const HierarchySet& hierarchies_;
   SearchOptions options_;
@@ -362,6 +412,8 @@ class NodeEvaluator {
   SearchSnapshot snapshot_;
   uint64_t ticks_since_checkpoint_ = 0;
   uint64_t replay_hits_since_check_ = 0;
+  RunTrace* trace_ = nullptr;
+  TraceEventBuffer* trace_buffer_ = nullptr;
 };
 
 /// Parallel (or sequential) evaluator over batches of independent lattice
@@ -418,11 +470,24 @@ class NodeSweeper {
   /// this so counters survive failures.
   Status PropagateHardError(Status status) const;
 
+  /// Merges every pending per-worker trace event into the innermost open
+  /// span of options().trace, sorted by node key. Sweep does this on its
+  /// own span; engines call it before closing a phase span in which they
+  /// evaluated through primary() directly (no-op without tracing).
+  void FlushTraceEvents();
+
  private:
+  /// The untraced sweep body (Sweep wraps it in the "sweep" span).
+  Status SweepNodes(const std::vector<LatticeNode>& nodes,
+                    std::vector<std::optional<NodeEvaluation>>* evals);
+
   const Table& im_;
   const HierarchySet& hierarchies_;
   SearchOptions options_;
   std::vector<std::unique_ptr<NodeEvaluator>> workers_;
+  /// One lock-free event buffer per worker; stable addresses (sized once
+  /// in Init, before the workers capture pointers into it).
+  std::vector<TraceEventBuffer> trace_buffers_;
 };
 
 /// Outcome of a single-solution lattice search (Samarati binary search).

@@ -12,6 +12,7 @@
 #include "psk/algorithms/samarati.h"
 #include "psk/anonymity/kanonymity.h"
 #include "psk/anonymity/psensitive.h"
+#include "psk/api/spec_parser.h"
 #include "psk/metrics/metrics.h"
 #include "psk/metrics/risk.h"
 
@@ -76,6 +77,7 @@ Result<AnonymizationReport> RunStage(
     const RunBudget& budget,
     const std::function<void(size_t)>& progress_heartbeat) {
   AnonymizationReport report;
+  RunTrace* trace = base_options.trace;
 
   if (algorithm == AnonymizationAlgorithm::kMondrian) {
     MondrianOptions options;
@@ -83,6 +85,7 @@ Result<AnonymizationReport> RunStage(
     options.p = base_options.p;
     options.budget = budget;
     options.checkpoint = progress_heartbeat;
+    options.trace = trace;
     PSK_ASSIGN_OR_RETURN(MondrianResult mondrian,
                          MondrianAnonymize(im, options));
     report.masked = std::move(mondrian.masked);
@@ -97,6 +100,7 @@ Result<AnonymizationReport> RunStage(
     options.p = base_options.p;
     options.budget = budget;
     options.checkpoint = progress_heartbeat;
+    options.trace = trace;
     PSK_ASSIGN_OR_RETURN(GreedyClusterResult cluster,
                          GreedyClusterAnonymize(im, options));
     report.masked = std::move(cluster.masked);
@@ -113,6 +117,7 @@ Result<AnonymizationReport> RunStage(
 
   if (algorithm == AnonymizationAlgorithm::kFullSuppression) {
     // Last resort: mask at the lattice top. O(n), budget-exempt.
+    TraceSpan span(trace, "materialize");
     LatticeNode top = lattice.Top();
     PSK_ASSIGN_OR_RETURN(MaskedMicrodata mm,
                          Mask(im, *hierarchies, top, base_options.k));
@@ -196,6 +201,7 @@ Result<AnonymizationReport> RunStage(
         "the suppression budget");
   }
 
+  TraceSpan materialize_span(trace, "materialize");
   PSK_ASSIGN_OR_RETURN(MaskedMicrodata mm,
                        Mask(im, *hierarchies, *node, base_options.k));
   report.masked = std::move(mm.table);
@@ -210,6 +216,27 @@ Result<AnonymizationReport> RunStage(
 }  // namespace
 
 Result<AnonymizationReport> Anonymizer::Run() const {
+  std::shared_ptr<RunTrace> trace;
+  if (trace_enabled_ || !trace_sink_path_.empty()) {
+    trace = std::make_shared<RunTrace>("run");
+  }
+  last_trace_ = trace;
+  Result<AnonymizationReport> result = RunImpl(trace.get());
+  if (trace != nullptr && !trace_sink_path_.empty()) {
+    trace->Close();
+    // The trace of a failed run is still written (it is the best
+    // diagnostic of the failure), but only a successful run surfaces a
+    // sink-write error — a failed write must not mask the run's status.
+    Status written = trace->WriteJsonFile(trace_sink_path_);
+    if (result.ok() && !written.ok()) return written;
+  }
+  // Without a sink the trace is left open on purpose: a caller (e.g. the
+  // job layer's commit protocol) may append post-run spans before reading
+  // it — ToJson/StructureSignature close it on demand.
+  return result;
+}
+
+Result<AnonymizationReport> Anonymizer::RunImpl(RunTrace* trace) const {
   const Schema& schema = initial_microdata_.schema();
   std::vector<size_t> key_indices = schema.KeyIndices();
   if (key_indices.empty()) {
@@ -227,6 +254,16 @@ Result<AnonymizationReport> Anonymizer::Run() const {
   chain.push_back(algorithm_);
   chain.insert(chain.end(), fallback_chain_.begin(), fallback_chain_.end());
 
+  if (trace != nullptr) {
+    // Root-span provenance: the run's configuration, all structural.
+    trace->Attr("algorithm", AlgorithmName(algorithm_));
+    trace->Counter("rows", n);
+    trace->Counter("k", k_);
+    trace->Counter("p", p_);
+    trace->Counter("max_suppression", max_suppression_);
+    trace->Timing("threads", threads_);
+  }
+
   // Lattice stages need one hierarchy per key attribute. Accept them in
   // any registration order and sort into schema order by name. Skipped
   // entirely for a pure local-recoding chain, which needs no hierarchies.
@@ -236,6 +273,8 @@ Result<AnonymizationReport> Anonymizer::Run() const {
   }
   std::optional<HierarchySet> hierarchy_set;
   if (needs_hierarchies) {
+    TraceSpan preflight_span(trace, "preflight");
+    preflight_span.Counter("hierarchies", hierarchies_.size());
     std::unordered_map<std::string, std::shared_ptr<const AttributeHierarchy>>
         by_name;
     for (const auto& hierarchy : hierarchies_) {
@@ -277,6 +316,8 @@ Result<AnonymizationReport> Anonymizer::Run() const {
   base_options.max_suppression = max_suppression_;
   base_options.use_conditions = use_conditions_;
   base_options.use_encoded_core = use_encoded_core_;
+  base_options.threads = threads_;
+  base_options.trace = trace;
   // Crash-recovery hooks: node verdicts are pure functions of the data and
   // (k, p, TS), so one snapshot serves every lattice stage of the chain.
   base_options.restore = restore_snapshot_;
@@ -295,6 +336,15 @@ Result<AnonymizationReport> Anonymizer::Run() const {
     if (budget_.deadline.has_value()) {
       stage_budget.deadline = overall.Remaining();
     }
+    // Explicit Begin/End (not RAII): the span must close before the guard
+    // and scorecard phases, and a non-continuable error returns with the
+    // span deliberately still open (RunTrace::Close repairs it at export,
+    // and the truncated tree shows exactly where the run died).
+    if (trace != nullptr) {
+      trace->Begin("stage");
+      trace->Attr("algorithm", AlgorithmName(chain[stage]));
+      trace->Attr("index", std::to_string(stage));
+    }
     Result<AnonymizationReport> attempt =
         RunStage(initial_microdata_,
                  hierarchy_set.has_value() ? &*hierarchy_set : nullptr,
@@ -302,6 +352,10 @@ Result<AnonymizationReport> Anonymizer::Run() const {
                  progress_heartbeat_);
     if (!attempt.ok()) {
       last_error = attempt.status();
+      if (trace != nullptr) {
+        trace->Attr("outcome", StatusCodeToString(last_error.code()));
+        trace->End();
+      }
       if (!ContinueChain(last_error.code())) return last_error;
       continue;
     }
@@ -309,12 +363,21 @@ Result<AnonymizationReport> Anonymizer::Run() const {
     AnonymizationReport report = std::move(*attempt);
     report.algorithm_used = chain[stage];
     report.fallback_stage = stage;
+    if (trace != nullptr) {
+      // The stage span carries the full counter snapshot; trace_test holds
+      // these equal to the report's own SearchStats.
+      RecordStatsCounters(trace, report.stats);
+      trace->Attr("outcome", "released");
+      trace->End();
+    }
 
     if (release_transform_ != nullptr) {
+      TraceSpan span(trace, "transform");
       PSK_ASSIGN_OR_RETURN(report.masked,
                            release_transform_(std::move(report.masked)));
     }
     if (guard_enabled_) {
+      TraceSpan span(trace, "guard");
       GuardPolicy policy;
       if (guard_policy_.has_value()) {
         policy = *guard_policy_;
@@ -329,8 +392,9 @@ Result<AnonymizationReport> Anonymizer::Run() const {
       // Guard refusal is final — a violating release must not escape, and
       // falling back to a *weaker* algorithm could not fix it anyway.
       PSK_RETURN_IF_ERROR(EnforceRelease(report.masked, n, policy,
-                                         &report.guard));
+                                         &report.guard, trace));
     }
+    TraceSpan scorecard_span(trace, "scorecard");
     PSK_RETURN_IF_ERROR(FillScorecard(initial_microdata_, &report));
     PSK_ASSIGN_OR_RETURN(
         report.normalized_avg_group_size,

@@ -138,6 +138,34 @@ class Anonymizer {
     use_encoded_core_ = use_encoded_core;
     return *this;
   }
+  /// Worker threads for the lattice engines' node sweeps (see
+  /// SearchOptions::threads). 1 (the default) runs sequentially; results
+  /// and stats are identical for every value.
+  Anonymizer& set_threads(size_t threads) {
+    threads_ = threads;
+    return *this;
+  }
+
+  /// Enables structured run tracing and writes the trace JSON to `path`
+  /// (atomically, on Run exit — whether the run succeeded or not). An
+  /// empty path disables the sink. See psk/trace for the span taxonomy and
+  /// DESIGN.md for the determinism contract.
+  Anonymizer& set_trace_sink(std::string path) {
+    trace_sink_path_ = std::move(path);
+    return *this;
+  }
+  /// Enables in-memory tracing without a file sink; read the trace back
+  /// via last_trace() after Run.
+  Anonymizer& set_trace_enabled(bool enabled) {
+    trace_enabled_ = enabled;
+    return *this;
+  }
+  /// The trace recorded by the most recent Run() on this anonymizer, or
+  /// null when tracing was disabled. With a trace sink configured the
+  /// trace is closed and exported; in-memory-only traces are left open so
+  /// the caller may append post-run spans (ToJson / StructureSignature
+  /// close on demand).
+  std::shared_ptr<RunTrace> last_trace() const { return last_trace_; }
 
   /// Wall-clock deadline for the whole Run, fallback stages included
   /// (sugar for set_budget with only the deadline set).
@@ -225,6 +253,10 @@ class Anonymizer {
   Result<AnonymizationReport> Run() const;
 
  private:
+  /// The Run body; `trace` is null when tracing is disabled. Run() owns
+  /// the trace lifecycle (creation, Close, sink export).
+  Result<AnonymizationReport> RunImpl(RunTrace* trace) const;
+
   Table initial_microdata_;
   std::vector<std::shared_ptr<const AttributeHierarchy>> hierarchies_;
   size_t k_ = 2;
@@ -233,6 +265,11 @@ class Anonymizer {
   AnonymizationAlgorithm algorithm_ = AnonymizationAlgorithm::kSamarati;
   bool use_conditions_ = true;
   bool use_encoded_core_ = true;
+  size_t threads_ = 1;
+  std::string trace_sink_path_;
+  bool trace_enabled_ = false;
+  /// Mutable: Run() is const but publishes its trace here for readback.
+  mutable std::shared_ptr<RunTrace> last_trace_;
   RunBudget budget_;
   std::vector<AnonymizationAlgorithm> fallback_chain_;
   bool guard_enabled_ = true;

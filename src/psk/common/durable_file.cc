@@ -1,12 +1,15 @@
 #include "psk/common/durable_file.h"
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <signal.h>
+#include <sys/file.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cctype>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -106,6 +109,17 @@ Status AtomicWriteFile(const std::string& path, std::string_view contents) {
   if (fd < 0) {
     return Status::IOError(Errno("cannot create temp file", tmp));
   }
+  // Advisory exclusive lock marks the staging file as live for the whole
+  // write..rename window (the fd stays open until after the rename). The
+  // kernel drops the lock automatically if the process dies, so
+  // CleanStaleStaging can tell a crash-orphaned temp (lockable) from one
+  // a concurrent writer is still filling (locked) without any registry.
+  if (flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    Status status = Status::IOError(Errno("cannot lock temp file", tmp));
+    close(fd);
+    unlink(tmp.c_str());
+    return status;
+  }
   if (fchmod(fd, 0644) != 0) {
     Status status = Status::IOError(Errno("cannot chmod temp file", tmp));
     close(fd);
@@ -125,16 +139,18 @@ Status AtomicWriteFile(const std::string& path, std::string_view contents) {
     unlink(tmp.c_str());
     return status;
   }
-  if (close(fd) != 0) {
-    unlink(tmp.c_str());
-    return Status::DataLoss(Errno("cannot close", tmp));
-  }
   FaultPoint();  // temp durable, final path still old
   if (rename(tmp.c_str(), path.c_str()) != 0) {
     Status status = Status::IOError(Errno("cannot rename over", path));
+    close(fd);
     unlink(tmp.c_str());
     return status;
   }
+  // Close (and so unlock) only after the rename: a temp that is still
+  // lockable is therefore always an orphan, never a committed-any-moment
+  // file. The bytes are already fsync'd and the name already moved, so a
+  // close error here cannot un-commit anything — ignore it.
+  close(fd);
   FaultPoint();  // renamed, directory entry not yet durable
   return SyncParentDirectory(path);
 }
@@ -145,6 +161,58 @@ Status RemoveFileDurably(const std::string& path) {
   }
   FaultPoint();  // unlinked, directory entry removal not yet durable
   return SyncParentDirectory(path);
+}
+
+Result<size_t> CleanStaleStaging(const std::string& dir) {
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) {
+    if (errno == ENOENT) return size_t{0};  // nothing there, nothing stale
+    return Status::IOError(Errno("cannot open directory", dir));
+  }
+  size_t reaped = 0;
+  while (struct dirent* entry = readdir(d)) {
+    std::string name = entry->d_name;
+    // Match the AtomicWriteFile staging pattern: "<target>.tmp." followed
+    // by exactly the six characters mkstemp substituted for XXXXXX.
+    size_t marker = name.rfind(".tmp.");
+    if (marker == std::string::npos || name.size() != marker + 5 + 6) {
+      continue;
+    }
+    bool suffix_ok = true;
+    for (size_t i = marker + 5; i < name.size(); ++i) {
+      unsigned char c = static_cast<unsigned char>(name[i]);
+      if (!std::isalnum(c)) {
+        suffix_ok = false;
+        break;
+      }
+    }
+    if (!suffix_ok) continue;
+    std::string path = dir + "/" + name;
+    int fd = open(path.c_str(), O_RDONLY | O_NOFOLLOW);
+    if (fd < 0) continue;  // vanished or not a plain file — not ours to reap
+    struct stat st;
+    if (fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+      close(fd);
+      continue;
+    }
+    // A live AtomicWriteFile holds LOCK_EX on its staging file until after
+    // the rename; if we can take the lock, the writer is gone (crashed or
+    // errored out before its own unlink) and the temp is garbage.
+    if (flock(fd, LOCK_EX | LOCK_NB) != 0) {
+      close(fd);
+      continue;  // a concurrent writer is mid-commit — leave it alone
+    }
+    if (unlink(path.c_str()) == 0) ++reaped;
+    close(fd);
+  }
+  closedir(d);
+  if (reaped > 0) {
+    // Make the unlinks durable; piggyback on the existing parent-dir sync
+    // by handing it a path *inside* `dir`.
+    Status synced = SyncParentDirectory(dir + "/.");
+    if (!synced.ok()) return synced;
+  }
+  return reaped;
 }
 
 Status EnsureDirectory(const std::string& path) {

@@ -40,6 +40,17 @@ Status RemoveFileDurably(const std::string& path);
 /// exists.
 Status EnsureDirectory(const std::string& path);
 
+/// Reaps staging files (`*.tmp.XXXXXX`) orphaned in `dir` by a crash
+/// between mkstemp and rename. Every live AtomicWriteFile holds an
+/// advisory exclusive lock on its staging file for the whole
+/// write..rename window, so only temps whose lock can be taken — i.e.
+/// whose writer is gone — are unlinked; temps a concurrent writer is
+/// still filling are left untouched. Returns the number of files
+/// removed (0 when `dir` does not exist). Call at job startup, before
+/// any writer of the directory is running or while writers are mid-
+/// commit — both are safe.
+Result<size_t> CleanStaleStaging(const std::string& dir);
+
 /// Crash-injection hook for the fault-tolerance tests: after `countdown`
 /// more durability steps (a step is one write/fsync/rename inside
 /// AtomicWriteFile), the process kills itself with SIGKILL — an

@@ -7,10 +7,58 @@
 
 namespace psk {
 
+namespace {
+
+// Length of the valid UTF-8 sequence starting at text[i], or 0 when the
+// bytes there are not well-formed UTF-8 (overlong encoding, surrogate
+// code point U+D800..U+DFFF, value above U+10FFFF, stray continuation or
+// truncated tail). Tight second-byte ranges per the Unicode 15 table 3-7.
+size_t Utf8SequenceLength(const std::string& text, size_t i) {
+  unsigned char b0 = static_cast<unsigned char>(text[i]);
+  size_t remaining = text.size() - i;
+  auto cont = [&](size_t off, unsigned char lo = 0x80,
+                  unsigned char hi = 0xBF) {
+    if (off >= remaining) return false;
+    unsigned char b = static_cast<unsigned char>(text[i + off]);
+    return b >= lo && b <= hi;
+  };
+  if (b0 <= 0x7F) return 1;
+  if (b0 >= 0xC2 && b0 <= 0xDF) return cont(1) ? 2 : 0;
+  if (b0 == 0xE0) return cont(1, 0xA0) && cont(2) ? 3 : 0;  // no overlongs
+  if (b0 >= 0xE1 && b0 <= 0xEC) return cont(1) && cont(2) ? 3 : 0;
+  if (b0 == 0xED) {
+    return cont(1, 0x80, 0x9F) && cont(2) ? 3 : 0;  // no surrogates
+  }
+  if (b0 >= 0xEE && b0 <= 0xEF) return cont(1) && cont(2) ? 3 : 0;
+  if (b0 == 0xF0) return cont(1, 0x90) && cont(2) && cont(3) ? 4 : 0;
+  if (b0 >= 0xF1 && b0 <= 0xF3) return cont(1) && cont(2) && cont(3) ? 4 : 0;
+  if (b0 == 0xF4) {
+    return cont(1, 0x80, 0x8F) && cont(2) && cont(3) ? 4 : 0;  // <= U+10FFFF
+  }
+  return 0;  // 0x80..0xC1 (stray continuation / overlong lead), 0xF5..0xFF
+}
+
+}  // namespace
+
 std::string JsonEscape(const std::string& text) {
   std::string out;
   out.reserve(text.size() + 2);
-  for (unsigned char c : text) {
+  for (size_t i = 0; i < text.size();) {
+    unsigned char c = static_cast<unsigned char>(text[i]);
+    if (c >= 0x80) {
+      // Non-ASCII: copy well-formed UTF-8 through verbatim; replace each
+      // ill-formed byte with U+FFFD so the document stays valid UTF-8 and
+      // every parser (RFC 8259 §8.1 mandates UTF-8) accepts it.
+      size_t len = Utf8SequenceLength(text, i);
+      if (len == 0) {
+        out += "\xEF\xBF\xBD";  // U+FFFD replacement character
+        ++i;
+      } else {
+        out.append(text, i, len);
+        i += len;
+      }
+      continue;
+    }
     switch (c) {
       case '"':
         out += "\\\"";
@@ -42,6 +90,7 @@ std::string JsonEscape(const std::string& text) {
           out += static_cast<char>(c);
         }
     }
+    ++i;
   }
   return out;
 }

@@ -57,7 +57,11 @@ class JsonWriter {
   bool pending_key_ = false;
 };
 
-/// Escapes a string per RFC 8259 (quotes, backslashes, control chars).
+/// Escapes a string per RFC 8259: quotes, backslashes and control chars
+/// below 0x20 are escaped; well-formed UTF-8 passes through verbatim;
+/// each ill-formed byte (overlong encoding, surrogate code point, value
+/// above U+10FFFF, stray continuation, truncated tail) is replaced with
+/// U+FFFD so the output is always valid UTF-8 JSON.
 std::string JsonEscape(const std::string& text);
 
 }  // namespace psk

@@ -1,5 +1,6 @@
 #include "psk/common/run_budget.h"
 
+#include <algorithm>
 #include <string>
 
 namespace psk {
@@ -14,7 +15,18 @@ std::string LimitMessage(const char* what, uint64_t used, uint64_t limit) {
 
 BudgetEnforcer::BudgetEnforcer(RunBudget budget)
     : budget_(std::move(budget)),
-      start_(std::chrono::steady_clock::now()) {}
+      start_(std::chrono::steady_clock::now()) {
+  if (budget_.deadline.has_value()) {
+    // start_ + deadline is computed in the clock's native (nanosecond)
+    // representation, which milliseconds::max() overflows by six decimal
+    // orders; clamp in the milliseconds domain first so the expiry point
+    // saturates at the far end of the clock instead of wrapping into the
+    // past and tripping the deadline on the first Check().
+    auto representable = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::time_point::max() - start_);
+    deadline_point_ = start_ + std::min(*budget_.deadline, representable);
+  }
+}
 
 Status BudgetEnforcer::Trip(Status status) {
   tripped_code_.store(static_cast<int>(status.code()),
@@ -62,13 +74,11 @@ Status BudgetEnforcer::Check() {
   if (budget_.cancel != nullptr && budget_.cancel->cancelled()) {
     return Trip(Status::Cancelled("run cancelled by caller"));
   }
-  if (budget_.deadline.has_value()) {
-    std::chrono::milliseconds elapsed = Elapsed();
-    if (elapsed >= *budget_.deadline) {
-      return Trip(Status::DeadlineExceeded(
-          "deadline of " + std::to_string(budget_.deadline->count()) +
-          " ms exceeded after " + std::to_string(elapsed.count()) + " ms"));
-    }
+  if (budget_.deadline.has_value() &&
+      std::chrono::steady_clock::now() >= deadline_point_) {
+    return Trip(Status::DeadlineExceeded(
+        "deadline of " + std::to_string(budget_.deadline->count()) +
+        " ms exceeded after " + std::to_string(Elapsed().count()) + " ms"));
   }
   return Status::OK();
 }

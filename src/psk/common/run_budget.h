@@ -112,6 +112,11 @@ class BudgetEnforcer {
 
   RunBudget budget_;
   std::chrono::steady_clock::time_point start_;
+  /// start_ + deadline, saturated to the clock's representable range so a
+  /// huge deadline (milliseconds::max()) clamps to "effectively never"
+  /// instead of wrapping into the past. Meaningful only when
+  /// budget_.deadline is set.
+  std::chrono::steady_clock::time_point deadline_point_;
   std::atomic<uint64_t> nodes_{0};
   std::atomic<uint64_t> rows_{0};
   std::atomic<uint64_t> checks_{0};

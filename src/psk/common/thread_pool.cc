@@ -14,6 +14,12 @@ struct ForState {
   std::atomic<size_t> next{0};
   size_t count = 0;
   const std::function<void(size_t, size_t)>* fn = nullptr;
+  // First exception thrown by fn on any worker; remaining indices are
+  // abandoned (abort) and the exception is rethrown on the calling
+  // thread once every helper has retired — helpers never terminate the
+  // process and never leave the caller blocked on the completion latch.
+  std::atomic<bool> abort{false};
+  std::exception_ptr first_error;
   std::mutex mu;
   std::condition_variable done;
   size_t live_helpers = 0;
@@ -23,7 +29,17 @@ void DrainIndices(ForState& state, size_t worker) {
   while (true) {
     size_t i = state.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= state.count) return;
-    (*state.fn)(worker, i);
+    if (state.abort.load(std::memory_order_relaxed)) return;
+    try {
+      (*state.fn)(worker, i);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(state.mu);
+        if (!state.first_error) state.first_error = std::current_exception();
+      }
+      state.abort.store(true, std::memory_order_relaxed);
+      return;
+    }
   }
 }
 
@@ -100,6 +116,14 @@ void ThreadPool::ParallelFor(
     std::unique_lock<std::mutex> lock(state->mu);
     state->done.wait(lock, [&] { return state->live_helpers == 0; });
   }
+  // Every helper has retired (or none was scheduled), so first_error is
+  // stable without the lock; rethrow the first failure on the caller.
+  if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+size_t ThreadPool::ApproxQueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
 }
 
 }  // namespace psk

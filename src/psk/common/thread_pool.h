@@ -50,13 +50,25 @@ class ThreadPool {
   /// mutable state (e.g. one NodeEvaluator per worker) without locking.
   /// Indices are handed out dynamically in increasing order; blocks until
   /// every index has been processed.
+  ///
+  /// Exception safety: if fn throws on any worker, the first exception is
+  /// captured, remaining indices are abandoned, every helper retires
+  /// normally (the completion latch always resolves), and the exception
+  /// is rethrown on the calling thread. Which indices ran before the
+  /// abort is unspecified, so throwing fns forfeit the engines'
+  /// determinism contract — the engines therefore report failures via
+  /// Status, and this path only catches genuinely exceptional escapes.
   void ParallelFor(size_t count, size_t workers,
                    const std::function<void(size_t worker, size_t index)>& fn);
+
+  /// Instantaneous task-queue length; racy by nature — for trace timings
+  /// only, never for scheduling decisions.
+  size_t ApproxQueueDepth() const;
 
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool shutdown_ = false;

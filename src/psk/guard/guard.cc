@@ -46,7 +46,8 @@ std::string GuardReport::Summary() const {
 }
 
 Result<GuardReport> VerifyRelease(const Table& masked, size_t original_rows,
-                                  const GuardPolicy& policy) {
+                                  const GuardPolicy& policy,
+                                  RunTrace* trace) {
   if (policy.k < 1) return Status::InvalidArgument("guard k must be >= 1");
   if (policy.p < 1) return Status::InvalidArgument("guard p must be >= 1");
   if (masked.num_rows() > original_rows) {
@@ -60,13 +61,21 @@ Result<GuardReport> VerifyRelease(const Table& masked, size_t original_rows,
 
   std::vector<size_t> key_indices = masked.schema().KeyIndices();
   std::vector<size_t> conf_indices = masked.schema().ConfidentialIndices();
+  // One span per executed check; a check that records no span was not run
+  // for this policy/schema, which is itself structural information.
+  auto check_verdict = [](TraceSpan& span, bool ok) {
+    span.Attr("verdict", ok ? "passed" : "violated");
+  };
 
   // k-anonymity (Definition 1). An empty release is vacuously anonymous —
   // the suppression cap below is what stops "suppress everything" from
   // being a free pass.
   if (!key_indices.empty() && masked.num_rows() > 0) {
+    TraceSpan span(trace, "check_kanonymity");
     PSK_ASSIGN_OR_RETURN(report.observed_k,
                          AnonymityK(masked, key_indices));
+    span.Counter("observed_k", report.observed_k);
+    check_verdict(span, report.observed_k >= policy.k);
     if (report.observed_k < policy.k) {
       AddViolation(&report, GuardCheck::kKAnonymity,
                    "smallest QI-group has " + Num(report.observed_k) +
@@ -76,7 +85,9 @@ Result<GuardReport> VerifyRelease(const Table& masked, size_t original_rows,
 
   // p-sensitivity (Definition 2).
   if (policy.p >= 2) {
+    TraceSpan span(trace, "check_psensitivity");
     if (conf_indices.empty()) {
+      check_verdict(span, false);
       AddViolation(&report, GuardCheck::kPSensitivity,
                    "policy requires p=" + Num(policy.p) +
                        " but the release has no confidential attributes");
@@ -84,6 +95,8 @@ Result<GuardReport> VerifyRelease(const Table& masked, size_t original_rows,
       PSK_ASSIGN_OR_RETURN(
           report.observed_p,
           SensitivityP(masked, key_indices, conf_indices));
+      span.Counter("observed_p", report.observed_p);
+      check_verdict(span, report.observed_p >= policy.p);
       if (report.observed_p < policy.p) {
         AddViolation(
             &report, GuardCheck::kPSensitivity,
@@ -91,24 +104,36 @@ Result<GuardReport> VerifyRelease(const Table& masked, size_t original_rows,
                 " distinct confidential values; policy requires p=" +
                 Num(policy.p));
       }
+    } else {
+      check_verdict(span, true);
     }
   }
 
   // Suppression cap.
-  if (policy.max_suppression.has_value() &&
-      report.suppressed > *policy.max_suppression) {
-    AddViolation(&report, GuardCheck::kSuppression,
-                 Num(report.suppressed) +
-                     " tuples suppressed; policy allows at most " +
-                     Num(*policy.max_suppression));
+  if (policy.max_suppression.has_value()) {
+    TraceSpan span(trace, "check_suppression");
+    span.Counter("suppressed", report.suppressed);
+    bool ok = report.suppressed <= *policy.max_suppression;
+    check_verdict(span, ok);
+    if (!ok) {
+      AddViolation(&report, GuardCheck::kSuppression,
+                   Num(report.suppressed) +
+                       " tuples suppressed; policy allows at most " +
+                       Num(*policy.max_suppression));
+    }
   }
 
   // Residual attribute disclosures (Table 8 of the paper).
   if (policy.max_attribute_disclosures.has_value() && !key_indices.empty() &&
       !conf_indices.empty() && masked.num_rows() > 0) {
+    TraceSpan span(trace, "check_disclosure");
     PSK_ASSIGN_OR_RETURN(
         report.attribute_disclosures,
         CountAttributeDisclosures(masked, key_indices, conf_indices));
+    span.Counter("disclosures", report.attribute_disclosures);
+    check_verdict(span,
+                  report.attribute_disclosures <=
+                      *policy.max_attribute_disclosures);
     if (report.attribute_disclosures > *policy.max_attribute_disclosures) {
       AddViolation(&report, GuardCheck::kAttributeDisclosure,
                    Num(report.attribute_disclosures) +
@@ -122,9 +147,10 @@ Result<GuardReport> VerifyRelease(const Table& masked, size_t original_rows,
 }
 
 Status EnforceRelease(const Table& masked, size_t original_rows,
-                      const GuardPolicy& policy, GuardReport* report) {
+                      const GuardPolicy& policy, GuardReport* report,
+                      RunTrace* trace) {
   PSK_ASSIGN_OR_RETURN(GuardReport verified,
-                       VerifyRelease(masked, original_rows, policy));
+                       VerifyRelease(masked, original_rows, policy, trace));
   if (report != nullptr) *report = verified;
   if (verified.passed) return Status::OK();
   return Status::FailedPrecondition("release guard refused the release: " +

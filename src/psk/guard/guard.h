@@ -8,6 +8,7 @@
 
 #include "psk/common/result.h"
 #include "psk/table/table.h"
+#include "psk/trace/trace.h"
 
 namespace psk {
 
@@ -78,15 +79,24 @@ struct GuardReport {
 /// algorithm's own accounting. Fails (as opposed to reporting violations)
 /// only on malformed input, e.g. a release with more rows than the
 /// original.
+///
+/// When `trace` is non-null, one span per executed check is recorded on it
+/// (names "check_kanonymity", "check_psensitivity", "check_suppression",
+/// "check_disclosure") carrying the observed value and a pass/fail
+/// attribute. The guard runs on the caller's thread, so it may open spans
+/// directly.
 Result<GuardReport> VerifyRelease(const Table& masked, size_t original_rows,
-                                  const GuardPolicy& policy);
+                                  const GuardPolicy& policy,
+                                  RunTrace* trace = nullptr);
 
 /// Convenience wrapper: returns OK when the release passes, otherwise
 /// FailedPrecondition whose message lists every violated check. When
-/// `report` is non-null it receives the full report either way.
+/// `report` is non-null it receives the full report either way. `trace`
+/// is forwarded to VerifyRelease.
 Status EnforceRelease(const Table& masked, size_t original_rows,
                       const GuardPolicy& policy,
-                      GuardReport* report = nullptr);
+                      GuardReport* report = nullptr,
+                      RunTrace* trace = nullptr);
 
 }  // namespace psk
 

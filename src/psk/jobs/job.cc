@@ -239,6 +239,11 @@ Status JobRunner::WriteJournal(const JobSpec& spec, bool committed) {
 
 Result<JobOutcome> JobRunner::Run(const JobSpec& spec) {
   PSK_RETURN_IF_ERROR(EnsureDirectory(job_dir_));
+  // Reap staging files a crashed predecessor leaked (best-effort: a reap
+  // failure costs disk space, never correctness). Live writers hold an
+  // flock on their temp, so a concurrent job in the same directory is
+  // never disturbed.
+  (void)CleanStaleStaging(job_dir_);
   // Retire any previous run's checkpoint/progress *before* journaling the
   // new spec: a crash after the journal lands but before the first
   // checkpoint flush must not let Resume() pair the fresh journal with a
@@ -252,6 +257,9 @@ Result<JobOutcome> JobRunner::Run(const JobSpec& spec) {
 }
 
 Result<JobOutcome> JobRunner::Resume(const JobSpec& spec) {
+  // Same stale-staging reap as Run(): the crash that made this Resume
+  // necessary is exactly when temps get orphaned.
+  (void)CleanStaleStaging(job_dir_);
   Result<std::string> journal_text = ReadFileToString(journal_path());
   if (!journal_text.ok()) return journal_text.status();
   PSK_ASSIGN_OR_RETURN(JobJournal journal, ParseJobJournal(*journal_text));
@@ -321,6 +329,11 @@ Result<JobOutcome> JobRunner::Execute(const JobSpec& spec,
   if (restore != nullptr) {
     anonymizer.set_restore_snapshot(restore);
   }
+  // In-memory tracing (no anonymizer sink): the job appends the commit
+  // steps as spans after Run and exports the finished trace itself.
+  if (!spec.trace_path.empty()) {
+    anonymizer.set_trace_enabled(true);
+  }
   // Checkpoints are best-effort: a failed write costs resume progress,
   // never correctness, so its status is deliberately dropped.
   std::string checkpoint_file = checkpoint_path();
@@ -341,15 +354,31 @@ Result<JobOutcome> JobRunner::Execute(const JobSpec& spec,
   });
 
   PSK_ASSIGN_OR_RETURN(AnonymizationReport report, anonymizer.Run());
+  RunTrace* trace = anonymizer.last_trace().get();
 
   // Commit protocol, in dependency order: release bytes, then the report
   // describing them, then the journal flips to committed. Each step is
   // individually atomic+durable; a crash between any two leaves
   // state=running, and the deterministic re-run overwrites both artifacts
   // with identical bytes.
-  PSK_RETURN_IF_ERROR(WriteCsvFile(report.masked, release_path()));
-  PSK_RETURN_IF_ERROR(AtomicWriteFile(report_path(), ReportToJson(report)));
-  PSK_RETURN_IF_ERROR(WriteJournal(spec, /*committed=*/true));
+  {
+    TraceSpan span(trace, "commit_release");
+    PSK_RETURN_IF_ERROR(WriteCsvFile(report.masked, release_path()));
+    span.Counter("rows", report.masked.num_rows());
+  }
+  {
+    TraceSpan span(trace, "commit_report");
+    PSK_RETURN_IF_ERROR(AtomicWriteFile(report_path(), ReportToJson(report)));
+  }
+  {
+    TraceSpan span(trace, "commit_journal");
+    PSK_RETURN_IF_ERROR(WriteJournal(spec, /*committed=*/true));
+  }
+  if (trace != nullptr) {
+    // Best-effort like the checkpoints: the release is already durable, so
+    // a failed trace export must not fail the committed job.
+    (void)trace->WriteJsonFile(spec.trace_path);
+  }
 
   JobOutcome outcome;
   outcome.report = std::move(report);

@@ -40,6 +40,12 @@ struct JobSpec {
   /// Completed node evaluations between durable checkpoints.
   uint64_t checkpoint_interval = 64;
   bool guard_enabled = true;
+  /// When non-empty, the run is traced (see psk/trace) and the trace JSON
+  /// is written atomically to this path after the commit protocol, with
+  /// the commit steps recorded as spans. Pure observability: deliberately
+  /// excluded from JobSpecHash, so a resumed job may add or drop tracing
+  /// without invalidating the journal.
+  std::string trace_path;
 };
 
 /// Fingerprint of the requirements half of a spec (k, p, TS, algorithm,

@@ -1,0 +1,229 @@
+#include "psk/trace/trace.h"
+
+#include <algorithm>
+
+#include "psk/common/check.h"
+#include "psk/common/durable_file.h"
+#include "psk/common/json_writer.h"
+
+namespace psk {
+namespace {
+
+// Spans and events carry counters/attrs in insertion order; the exports
+// render them sorted by name so two traces that accumulated the same
+// values in a different order still compare equal.
+template <typename Pair>
+std::vector<const Pair*> SortedByName(const std::vector<Pair>& pairs) {
+  std::vector<const Pair*> sorted;
+  sorted.reserve(pairs.size());
+  for (const Pair& pair : pairs) sorted.push_back(&pair);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Pair* a, const Pair* b) { return a->first < b->first; });
+  return sorted;
+}
+
+template <typename Pair>
+void AddOrSum(std::vector<Pair>* pairs, std::string_view name,
+              uint64_t value) {
+  for (Pair& pair : *pairs) {
+    if (pair.first == name) {
+      pair.second += value;
+      return;
+    }
+  }
+  pairs->emplace_back(std::string(name), value);
+}
+
+}  // namespace
+
+RunTrace::RunTrace(std::string root_name)
+    : epoch_(std::chrono::steady_clock::now()) {
+  Span root;
+  root.name = std::move(root_name);
+  root.start_ns = 0;
+  spans_.push_back(std::move(root));
+  open_.push_back(0);
+}
+
+void RunTrace::Begin(std::string name) {
+  PSK_CHECK_MSG(!open_.empty(), "Begin() after Close()");
+  Span span;
+  span.name = std::move(name);
+  span.start_ns = NowNs();
+  size_t index = spans_.size();
+  Current().children.push_back(index);
+  spans_.push_back(std::move(span));
+  open_.push_back(index);
+}
+
+void RunTrace::End() {
+  PSK_CHECK_MSG(open_.size() > 1, "End() without a matching Begin()");
+  Span& span = Current();
+  span.duration_ns = NowNs() - span.start_ns;
+  open_.pop_back();
+}
+
+void RunTrace::Counter(std::string_view name, uint64_t value) {
+  PSK_CHECK_MSG(!open_.empty(), "Counter() after Close()");
+  AddOrSum(&Current().counters, name, value);
+}
+
+void RunTrace::Attr(std::string_view name, std::string_view value) {
+  PSK_CHECK_MSG(!open_.empty(), "Attr() after Close()");
+  for (auto& pair : Current().attrs) {
+    if (pair.first == name) {
+      pair.second = std::string(value);
+      return;
+    }
+  }
+  Current().attrs.emplace_back(std::string(name), std::string(value));
+}
+
+void RunTrace::Timing(std::string_view name, uint64_t value) {
+  PSK_CHECK_MSG(!open_.empty(), "Timing() after Close()");
+  AddOrSum(&Current().timings, name, value);
+}
+
+void RunTrace::MergeEvents(std::vector<TraceEvent> events) {
+  PSK_CHECK_MSG(!open_.empty(), "MergeEvents() after Close()");
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.order_key < b.order_key;
+                   });
+  for (TraceEvent& event : events) {
+    Span span;
+    span.name = std::move(event.name);
+    span.start_ns = event.start_ns;
+    span.duration_ns = event.duration_ns;
+    span.counters = std::move(event.counters);
+    span.attrs = std::move(event.attrs);
+    size_t index = spans_.size();
+    Current().children.push_back(index);
+    spans_.push_back(std::move(span));
+  }
+}
+
+int64_t RunTrace::NowNs() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void RunTrace::Close() {
+  while (open_.size() > 1) End();
+  if (!open_.empty()) {
+    Span& root = spans_[0];
+    root.duration_ns = NowNs() - root.start_ns;
+    open_.pop_back();
+  }
+}
+
+void RunTrace::AppendJson(size_t index, JsonWriter* json) const {
+  const Span& span = spans_[index];
+  json->BeginObject();
+  json->Key("name").String(span.name);
+  json->Key("start_us").Int(span.start_ns / 1000);
+  json->Key("dur_us").Int(span.duration_ns / 1000);
+  if (!span.counters.empty()) {
+    json->Key("counters").BeginObject();
+    for (const auto* pair : SortedByName(span.counters)) {
+      json->Key(pair->first).Uint(pair->second);
+    }
+    json->EndObject();
+  }
+  if (!span.attrs.empty()) {
+    json->Key("attrs").BeginObject();
+    for (const auto* pair : SortedByName(span.attrs)) {
+      json->Key(pair->first).String(pair->second);
+    }
+    json->EndObject();
+  }
+  if (!span.timings.empty()) {
+    json->Key("timings").BeginObject();
+    for (const auto* pair : SortedByName(span.timings)) {
+      json->Key(pair->first).Uint(pair->second);
+    }
+    json->EndObject();
+  }
+  if (!span.children.empty()) {
+    json->Key("children").BeginArray();
+    for (size_t child : span.children) AppendJson(child, json);
+    json->EndArray();
+  }
+  json->EndObject();
+}
+
+std::string RunTrace::ToJson() {
+  Close();
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("psk_trace_version").Int(1);
+  json.Key("root");
+  AppendJson(0, &json);
+  json.EndObject();
+  return json.TakeString();
+}
+
+void RunTrace::AppendSignature(size_t index, std::string* out) const {
+  const Span& span = spans_[index];
+  out->append(span.name);
+  if (!span.attrs.empty()) {
+    out->push_back('[');
+    bool first = true;
+    for (const auto* pair : SortedByName(span.attrs)) {
+      if (!first) out->push_back(',');
+      first = false;
+      out->append(pair->first);
+      out->push_back('=');
+      out->append(pair->second);
+    }
+    out->push_back(']');
+  }
+  if (!span.counters.empty()) {
+    out->push_back('{');
+    bool first = true;
+    for (const auto* pair : SortedByName(span.counters)) {
+      if (!first) out->push_back(',');
+      first = false;
+      out->append(pair->first);
+      out->push_back('=');
+      out->append(std::to_string(pair->second));
+    }
+    out->push_back('}');
+  }
+  if (!span.children.empty()) {
+    out->push_back('(');
+    bool first = true;
+    for (size_t child : span.children) {
+      if (!first) out->push_back(' ');
+      first = false;
+      AppendSignature(child, out);
+    }
+    out->push_back(')');
+  }
+}
+
+std::string RunTrace::StructureSignature() {
+  Close();
+  std::string out;
+  AppendSignature(0, &out);
+  return out;
+}
+
+Status RunTrace::WriteJsonFile(const std::string& path) {
+  std::string doc = ToJson();
+  doc.push_back('\n');
+  return AtomicWriteFile(path, doc);
+}
+
+uint64_t RunTrace::TotalCounter(std::string_view name) {
+  uint64_t total = 0;
+  for (const Span& span : spans_) {
+    for (const auto& pair : span.counters) {
+      if (pair.first == name) total += pair.second;
+    }
+  }
+  return total;
+}
+
+}  // namespace psk

@@ -1,0 +1,178 @@
+#ifndef PSK_TRACE_TRACE_H_
+#define PSK_TRACE_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "psk/common/result.h"
+
+namespace psk {
+
+/// One leaf span recorded by a worker during a parallel region. Workers
+/// append into private TraceEventBuffers (no locks, no atomics); the
+/// region owner merges every buffer into the RunTrace — sorted by
+/// `order_key` — when the region's span closes. Because the merge key is a
+/// pure function of the work item (e.g. the lattice node's snapshot key)
+/// and never of which worker drew the item, the exported span structure is
+/// identical for every thread count; only the recorded timings differ.
+struct TraceEvent {
+  std::string name;
+  /// Deterministic merge key. Events with equal (typically empty) keys
+  /// keep their buffer order, which is only deterministic for a
+  /// single-producer buffer — parallel regions must set distinct keys.
+  std::string order_key;
+  int64_t start_ns = 0;     ///< steady-clock offset from the trace epoch
+  int64_t duration_ns = 0;  ///< non-structural, like all timings
+  /// Structural counters: part of the determinism contract.
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  /// Structural string attributes (e.g. node key, verdict stage).
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+/// Single-producer event buffer; one per worker of a parallel region. The
+/// producer appends without synchronization, the region owner takes the
+/// events after the region's completion barrier (ParallelFor blocks, so
+/// the barrier provides the necessary happens-before edge).
+class TraceEventBuffer {
+ public:
+  void Record(TraceEvent event) { events_.push_back(std::move(event)); }
+  bool empty() const { return events_.empty(); }
+  std::vector<TraceEvent> Take() {
+    std::vector<TraceEvent> out = std::move(events_);
+    events_.clear();
+    return out;
+  }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// Structured trace of one anonymization run: a tree of timed spans, each
+/// carrying structural counters/attributes and non-structural timings.
+///
+/// Ownership and threading model (the "lock-cheap" contract):
+///  - the span stack (Begin/End/Counter/Attr/Timing) is manipulated only
+///    by the run's sequential control-flow thread, so it needs no locks;
+///  - worker threads never touch the RunTrace directly — they record
+///    TraceEvents into per-worker buffers, and the control-flow thread
+///    merges the buffers at span close (MergeEvents), after the parallel
+///    region's completion barrier;
+///  - NowNs() is safe from any thread (it only reads the immutable epoch).
+///
+/// Determinism contract (DESIGN.md §7): two traces of the same run config
+/// must agree on span names, nesting, order, counters and attributes for
+/// every thread count; start/duration timestamps and everything recorded
+/// via Timing() may differ. StructureSignature() renders exactly the
+/// invariant part, so tests can compare traces across thread counts with
+/// one string equality.
+///
+/// Disabled tracing is a null RunTrace*: TraceSpan and every call site
+/// guard on the pointer, so the cost is one predictable branch per span.
+class RunTrace {
+ public:
+  explicit RunTrace(std::string root_name = "run");
+
+  RunTrace(const RunTrace&) = delete;
+  RunTrace& operator=(const RunTrace&) = delete;
+
+  /// Opens a child span of the innermost open span.
+  void Begin(std::string name);
+  /// Closes the innermost open span (never the root).
+  void End();
+
+  /// Adds `value` to counter `name` of the innermost open span (summing
+  /// on repeat, so loops can contribute incrementally). Structural.
+  void Counter(std::string_view name, uint64_t value);
+  /// Sets string attribute `name` on the innermost open span. Structural.
+  void Attr(std::string_view name, std::string_view value);
+  /// Records a non-structural number (durations, per-worker busy time,
+  /// queue depths) on the innermost open span. Summing like Counter.
+  void Timing(std::string_view name, uint64_t value);
+
+  /// Merges worker events as leaf children of the innermost open span,
+  /// stably sorted by order_key (ties keep input order). Call only after
+  /// the parallel region's completion barrier.
+  void MergeEvents(std::vector<TraceEvent> events);
+
+  /// Steady-clock nanoseconds since the trace epoch; any thread.
+  int64_t NowNs() const;
+
+  /// Closes every span still open, the root included. Idempotent; called
+  /// automatically by ToJson/WriteJsonFile/StructureSignature.
+  void Close();
+
+  /// The whole trace as one JSON document:
+  ///   {"psk_trace_version":1, "root": {"name":..., "start_us":...,
+  ///    "dur_us":..., "counters":{...}, "attrs":{...}, "timings":{...},
+  ///    "children":[...]}}
+  std::string ToJson();
+
+  /// Canonical rendering of the structural part only (names, nesting,
+  /// counters, attrs — no timings): byte-identical across thread counts
+  /// for a deterministic run.
+  std::string StructureSignature();
+
+  /// Atomically writes ToJson() (plus a trailing newline) to `path`.
+  Status WriteJsonFile(const std::string& path);
+
+  /// Total counter value summed over the whole tree (test helper).
+  uint64_t TotalCounter(std::string_view name);
+
+ private:
+  struct Span {
+    std::string name;
+    int64_t start_ns = 0;
+    int64_t duration_ns = 0;
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    std::vector<std::pair<std::string, std::string>> attrs;
+    std::vector<std::pair<std::string, uint64_t>> timings;
+    std::vector<size_t> children;
+  };
+
+  Span& Current() { return spans_[open_.back()]; }
+  void AppendJson(size_t index, class JsonWriter* json) const;
+  void AppendSignature(size_t index, std::string* out) const;
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<Span> spans_;   // spans_[0] is the root
+  std::vector<size_t> open_;  // stack of open span indices
+};
+
+/// RAII span: opens on construction, closes on destruction. Null-safe —
+/// with trace == nullptr every member costs one branch, which is the
+/// entire overhead of compiled-in-but-disabled tracing.
+class TraceSpan {
+ public:
+  TraceSpan(RunTrace* trace, const char* name) : trace_(trace) {
+    if (trace_ != nullptr) trace_->Begin(name);
+  }
+  ~TraceSpan() {
+    if (trace_ != nullptr) trace_->End();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  void Counter(std::string_view name, uint64_t value) {
+    if (trace_ != nullptr) trace_->Counter(name, value);
+  }
+  void Attr(std::string_view name, std::string_view value) {
+    if (trace_ != nullptr) trace_->Attr(name, value);
+  }
+  void Timing(std::string_view name, uint64_t value) {
+    if (trace_ != nullptr) trace_->Timing(name, value);
+  }
+
+  RunTrace* trace() const { return trace_; }
+
+ private:
+  RunTrace* trace_;
+};
+
+}  // namespace psk
+
+#endif  // PSK_TRACE_TRACE_H_

@@ -9,6 +9,9 @@
 //   PSK_CRASH_ITERATIONS  crash/resume rounds per algorithm (default 2)
 //   PSK_CRASH_SEED        RNG seed for fault-point placement
 
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/file.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -176,6 +179,68 @@ void CrashResumeLoop(AnonymizationAlgorithm algorithm,
   ::testing::Test::RecordProperty("injected_crashes", total_crashes);
   std::cout << tag << ": " << total_crashes << " injected SIGKILLs across "
             << iterations << " iterations\n";
+}
+
+// Names of the AtomicWriteFile staging files (*.tmp.XXXXXX) in `dir`.
+std::vector<std::string> StagingFiles(const std::string& dir) {
+  std::vector<std::string> files;
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) return files;
+  while (struct dirent* entry = readdir(d)) {
+    std::string name = entry->d_name;
+    if (name.find(".tmp.") != std::string::npos) files.push_back(name);
+  }
+  closedir(d);
+  return files;
+}
+
+TEST(CrashInjectionTest, JobStartupReapsOrphanedStagingFiles) {
+  const std::string dir = ::testing::TempDir() + "psk_crash_staging";
+  CleanDir(dir);
+  PSK_ASSERT_OK(EnsureDirectory(dir));
+  for (const std::string& name : StagingFiles(dir)) {
+    std::remove((dir + "/" + name).c_str());
+  }
+
+  // Orphan a *real* staging file: SIGKILL a child inside AtomicWriteFile,
+  // after the bytes are written but before the rename. The kernel drops
+  // the child's flock with the process, so the temp becomes reapable.
+  pid_t pid = fork();
+  if (pid == 0) {
+    TestOnlySetDurableFaultCountdown(0);
+    (void)AtomicWriteFile(dir + "/release.csv", "torn bytes");
+    _exit(kChildError);  // unreachable: the countdown SIGKILLs first
+  }
+  int status = 0;
+  waitpid(pid, &status, 0);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+  ASSERT_EQ(StagingFiles(dir).size(), 1u)
+      << "the crash should have left exactly the orphaned temp behind";
+  const std::string orphan = dir + "/" + StagingFiles(dir)[0];
+
+  // A *live* staging file: this process plays the concurrent writer,
+  // holding the advisory lock AtomicWriteFile keeps for its whole
+  // write..rename window. Startup reaping must leave it alone.
+  const std::string live = dir + "/report.json.tmp.live00";
+  int live_fd = open(live.c_str(), O_CREAT | O_RDWR, 0644);
+  ASSERT_GE(live_fd, 0);
+  ASSERT_EQ(flock(live_fd, LOCK_EX | LOCK_NB), 0);
+
+  // Job startup reaps the orphan, keeps the live temp, and the job then
+  // runs to a committed release in the same directory.
+  JobSpec spec = MakeSpec(AnonymizationAlgorithm::kSamarati);
+  JobRunner runner(dir);
+  JobOutcome outcome = UnwrapOk(runner.Run(spec));
+  ASSERT_TRUE(outcome.report.guard.passed);
+  EXPECT_FALSE(FileExists(orphan)) << "orphaned temp was not reaped";
+  EXPECT_TRUE(FileExists(live)) << "live (locked) temp was reaped";
+  std::vector<std::string> rest = StagingFiles(dir);
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(dir + "/" + rest[0], live);
+
+  close(live_fd);
+  std::remove(live.c_str());
 }
 
 TEST(CrashInjectionTest, SamaratiSurvivesRandomSigkill) {

@@ -2,8 +2,93 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <optional>
+#include <string>
+
 namespace psk {
 namespace {
+
+// Minimal decoder for the subset of JSON string syntax JsonEscape can
+// emit, used by the round-trip tests below. Returns nullopt on anything a
+// conforming parser would reject inside a string body.
+std::optional<std::string> JsonUnescape(const std::string& text) {
+  std::string out;
+  for (size_t i = 0; i < text.size(); ++i) {
+    unsigned char c = static_cast<unsigned char>(text[i]);
+    if (c < 0x20 || c == '"') return std::nullopt;  // must be escaped
+    if (c != '\\') {
+      out += static_cast<char>(c);
+      continue;
+    }
+    if (++i >= text.size()) return std::nullopt;
+    switch (text[i]) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        if (i + 4 >= text.size()) return std::nullopt;
+        unsigned value = 0;
+        for (int d = 0; d < 4; ++d) {
+          char h = text[++i];
+          value <<= 4;
+          if (h >= '0' && h <= '9') value |= h - '0';
+          else if (h >= 'a' && h <= 'f') value |= h - 'a' + 10;
+          else if (h >= 'A' && h <= 'F') value |= h - 'A' + 10;
+          else return std::nullopt;
+        }
+        if (value > 0x7F) return std::nullopt;  // JsonEscape never emits
+        out += static_cast<char>(value);
+        break;
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+  return out;
+}
+
+// True iff `text` is well-formed UTF-8 (shortest form, no surrogates, no
+// code points above U+10FFFF) — what RFC 8259 §8.1 requires of a JSON
+// document on the wire.
+bool IsValidUtf8(const std::string& text) {
+  for (size_t i = 0; i < text.size();) {
+    unsigned char b0 = static_cast<unsigned char>(text[i]);
+    size_t len;
+    uint32_t min_value;
+    uint32_t value;
+    if (b0 <= 0x7F) {
+      ++i;
+      continue;
+    } else if ((b0 & 0xE0) == 0xC0) {
+      len = 2; min_value = 0x80; value = b0 & 0x1F;
+    } else if ((b0 & 0xF0) == 0xE0) {
+      len = 3; min_value = 0x800; value = b0 & 0x0F;
+    } else if ((b0 & 0xF8) == 0xF0) {
+      len = 4; min_value = 0x10000; value = b0 & 0x07;
+    } else {
+      return false;
+    }
+    if (i + len > text.size()) return false;
+    for (size_t j = 1; j < len; ++j) {
+      unsigned char b = static_cast<unsigned char>(text[i + j]);
+      if ((b & 0xC0) != 0x80) return false;
+      value = (value << 6) | (b & 0x3F);
+    }
+    if (value < min_value) return false;                   // overlong
+    if (value >= 0xD800 && value <= 0xDFFF) return false;  // surrogate
+    if (value > 0x10FFFF) return false;
+    i += len;
+  }
+  return true;
+}
+
+constexpr char kReplacement[] = "\xEF\xBF\xBD";  // U+FFFD
 
 TEST(JsonEscapeTest, PassesPlainText) {
   EXPECT_EQ(JsonEscape("hello world"), "hello world");
@@ -66,6 +151,93 @@ TEST(JsonWriterTest, KeysAreEscaped) {
   JsonWriter json;
   json.BeginObject().Key("a\"b").Int(1).EndObject();
   EXPECT_EQ(json.TakeString(), "{\"a\\\"b\":1}");
+}
+
+TEST(JsonEscapeTest, EveryControlCharacterIsEscaped) {
+  for (int c = 0; c < 0x20; ++c) {
+    std::string escaped = JsonEscape(std::string(1, static_cast<char>(c)));
+    std::optional<std::string> decoded = JsonUnescape(escaped);
+    ASSERT_TRUE(decoded.has_value()) << "byte " << c << ": " << escaped;
+    EXPECT_EQ(*decoded, std::string(1, static_cast<char>(c))) << "byte " << c;
+  }
+}
+
+TEST(JsonEscapeTest, SingleByteSweepRoundTrips) {
+  // Every possible byte, alone: ASCII must round-trip exactly; any lone
+  // byte >= 0x80 is ill-formed UTF-8 and must become U+FFFD. Either way
+  // the escaped form must decode cleanly and be valid UTF-8 on the wire.
+  for (int c = 0; c <= 0xFF; ++c) {
+    const std::string original(1, static_cast<char>(c));
+    std::string escaped = JsonEscape(original);
+    EXPECT_TRUE(IsValidUtf8(escaped)) << "byte " << c;
+    std::optional<std::string> decoded = JsonUnescape(escaped);
+    ASSERT_TRUE(decoded.has_value()) << "byte " << c << ": " << escaped;
+    EXPECT_EQ(*decoded, c < 0x80 ? original : std::string(kReplacement))
+        << "byte " << c;
+  }
+}
+
+TEST(JsonEscapeTest, AllBytesAtOnceStaysValidUtf8) {
+  std::string all;
+  for (int c = 0; c <= 0xFF; ++c) all += static_cast<char>(c);
+  std::string escaped = JsonEscape(all);
+  EXPECT_TRUE(IsValidUtf8(escaped));
+  std::optional<std::string> decoded = JsonUnescape(escaped);
+  ASSERT_TRUE(decoded.has_value());
+  // The ASCII half survives byte-for-byte.
+  EXPECT_EQ(decoded->substr(0, 0x80), all.substr(0, 0x80));
+}
+
+TEST(JsonEscapeTest, WellFormedUtf8PassesThrough) {
+  // 2-, 3- and 4-byte sequences: é, €, 😀.
+  const std::string text = "caf\xC3\xA9 \xE2\x82\xAC \xF0\x9F\x98\x80";
+  EXPECT_EQ(JsonEscape(text), text);
+}
+
+TEST(JsonEscapeTest, IllFormedUtf8BecomesReplacementCharacter) {
+  // Overlong slash (C0 AF): two bad bytes, two replacements.
+  EXPECT_EQ(JsonEscape("\xC0\xAF"),
+            std::string(kReplacement) + kReplacement);
+  // Lone surrogate U+D800 (ED A0 80): rejected per RFC 8259 / Unicode.
+  EXPECT_EQ(JsonEscape("\xED\xA0\x80"),
+            std::string(kReplacement) + kReplacement + kReplacement);
+  // Above U+10FFFF (F4 90 80 80).
+  EXPECT_EQ(JsonEscape("\xF4\x90\x80\x80"),
+            std::string(kReplacement) + kReplacement + kReplacement +
+                kReplacement);
+  // Truncated lead byte at end of input.
+  EXPECT_EQ(JsonEscape("ok\xE2\x82"),
+            "ok" + std::string(kReplacement) + kReplacement);
+  // Stray continuation byte.
+  EXPECT_EQ(JsonEscape("a\x80z"), "a" + std::string(kReplacement) + "z");
+}
+
+TEST(JsonEscapeTest, BoundarySequencesPass) {
+  // Smallest/largest legal value per sequence length: U+0080, U+07FF,
+  // U+0800, U+FFFF, U+10000, U+10FFFF.
+  for (const char* ok : {"\xC2\x80", "\xDF\xBF", "\xE0\xA0\x80",
+                         "\xEF\xBF\xBF", "\xF0\x90\x80\x80",
+                         "\xF4\x8F\xBF\xBF"}) {
+    EXPECT_EQ(JsonEscape(ok), ok);
+  }
+}
+
+TEST(JsonWriterTest, StringValuesSurviveHostileBytes) {
+  std::string hostile = "a\x01\"\\\n\x80\xFF";
+  JsonWriter json;
+  json.BeginObject().Key("v").String(hostile).EndObject();
+  std::string doc = json.TakeString();
+  EXPECT_TRUE(IsValidUtf8(doc));
+  // Extract the string body and decode it back.
+  const std::string prefix = "{\"v\":\"";
+  ASSERT_EQ(doc.rfind(prefix, 0), 0u);
+  ASSERT_GE(doc.size(), prefix.size() + 2);
+  std::string body = doc.substr(prefix.size(),
+                                doc.size() - prefix.size() - 2);
+  std::optional<std::string> decoded = JsonUnescape(body);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, std::string("a\x01\"\\\n") + kReplacement +
+                          kReplacement);
 }
 
 TEST(JsonWriterTest, TakeStringResets) {

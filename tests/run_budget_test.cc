@@ -67,6 +67,39 @@ TEST(RunBudgetTest, ZeroDeadlineTripsImmediately) {
   EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
 }
 
+TEST(RunBudgetTest, HugeDeadlineSaturatesInsteadOfWrapping) {
+  // milliseconds::max() added to steady_clock::now() overflows the
+  // clock's representable range; the enforcer must clamp the deadline to
+  // "effectively never", not wrap it into the past and trip instantly.
+  RunBudget budget;
+  budget.deadline = std::chrono::milliseconds::max();
+  BudgetEnforcer enforcer(budget);
+  for (int i = 0; i < 100; ++i) {
+    PSK_ASSERT_OK(enforcer.Charge());
+  }
+  PSK_ASSERT_OK(enforcer.Check());
+  auto remaining = enforcer.Remaining();
+  ASSERT_TRUE(remaining.has_value());
+  EXPECT_GT(*remaining, std::chrono::hours(24 * 365));
+}
+
+TEST(RunBudgetTest, NearMaxDeadlinesStillWork) {
+  // A family of huge-but-not-max deadlines: every one of them must be
+  // far in the future, never in the past.
+  for (auto deadline :
+       {std::chrono::milliseconds::max() - std::chrono::milliseconds(1),
+        std::chrono::milliseconds::max() / 2,
+        std::chrono::milliseconds(std::chrono::milliseconds::max().count() -
+                                  1000)}) {
+    RunBudget budget;
+    budget.deadline = deadline;
+    BudgetEnforcer enforcer(budget);
+    PSK_ASSERT_OK(enforcer.Charge());
+    ASSERT_TRUE(enforcer.Remaining().has_value());
+    EXPECT_GT(*enforcer.Remaining(), std::chrono::hours(1));
+  }
+}
+
 TEST(RunBudgetTest, DeadlineTripsAfterElapse) {
   RunBudget budget;
   budget.deadline = std::chrono::milliseconds(20);
