@@ -11,12 +11,22 @@ if [[ ! -d "$BUILD/bench" ]]; then
   exit 1
 fi
 
+# Every experiment runs even if an earlier one fails; failures are
+# collected and the script exits nonzero at the end so CI (and EXPERIMENTS.md
+# regeneration) cannot silently record a partial sweep as a success.
+FAILED=()
+
 run() {
   echo
   echo "================================================================"
   echo "\$ $*"
   echo "================================================================"
-  "$@"
+  local status=0
+  "$@" || status=$?
+  if (( status != 0 )); then
+    echo "FAILED (exit $status): $*" >&2
+    FAILED+=("$* (exit $status)")
+  fi
 }
 
 # Exact paper-table reproductions.
@@ -34,13 +44,28 @@ run "$BUILD/bench/bench_encoded_eval" --trace 4000 5 BENCH_encoded.json
 run "$BUILD/bench/bench_parallel_scaling" --trace 4000 BENCH_parallel.json
 
 # Archive the run traces next to the numeric results so a regression can
-# be diagnosed from the span trees without re-running anything.
+# be diagnosed from the span trees without re-running anything. A bench
+# that failed above may not have written its trace; skip what's missing
+# (the failure itself is already recorded).
 mkdir -p traces
-mv -f BENCH_encoded.trace.json BENCH_parallel.trace.json traces/
-echo "archived traces/BENCH_encoded.trace.json traces/BENCH_parallel.trace.json"
+for trace in BENCH_encoded.trace.json BENCH_parallel.trace.json; do
+  if [[ -f "$trace" ]]; then
+    mv -f "$trace" traces/
+    echo "archived traces/$trace"
+  fi
+done
 
 # Timed ablations (google-benchmark; pass a smaller min_time for a quick
 # look).
 MIN_TIME="${BENCH_MIN_TIME:-0.1}"
 run "$BUILD/bench/bench_condition_pruning" --benchmark_min_time="$MIN_TIME"
 run "$BUILD/bench/bench_algorithms" --benchmark_min_time="$MIN_TIME"
+
+if (( ${#FAILED[@]} > 0 )); then
+  echo >&2
+  echo "${#FAILED[@]} experiment(s) failed:" >&2
+  printf '  %s\n' "${FAILED[@]}" >&2
+  exit 1
+fi
+echo
+echo "all experiments completed successfully"

@@ -13,6 +13,7 @@
 #include "psk/anonymity/kanonymity.h"
 #include "psk/anonymity/psensitive.h"
 #include "psk/api/spec_parser.h"
+#include "psk/common/failpoint.h"
 #include "psk/metrics/metrics.h"
 #include "psk/metrics/risk.h"
 
@@ -76,6 +77,10 @@ Result<AnonymizationReport> RunStage(
     AnonymizationAlgorithm algorithm, const SearchOptions& base_options,
     const RunBudget& budget,
     const std::function<void(size_t)>& progress_heartbeat) {
+  // Torture seam: an injected continuable error here fails this stage the
+  // same way a real data/budget failure would, handing over to the next
+  // fallback stage; a non-continuable code aborts the whole chain.
+  PSK_FAIL_POINT("api.stage");
   AnonymizationReport report;
   RunTrace* trace = base_options.trace;
 
@@ -330,7 +335,13 @@ Result<AnonymizationReport> Anonymizer::RunImpl(RunTrace* trace) const {
   // falls through). Node/row caps apply per stage.
   BudgetEnforcer overall(budget_);
 
-  Status last_error = Status::OK();
+  // When every stage fails, the returned Status carries the *primary*
+  // stage's error (the root cause) with each fallback stage's own failure
+  // appended as context — a fallback that also failed must never replace
+  // the message explaining why falling back was necessary in the first
+  // place.
+  Status root_cause = Status::OK();
+  std::string fallback_context;
   for (size_t stage = 0; stage < chain.size(); ++stage) {
     RunBudget stage_budget = budget_;
     if (budget_.deadline.has_value()) {
@@ -351,12 +362,29 @@ Result<AnonymizationReport> Anonymizer::RunImpl(RunTrace* trace) const {
                  chain[stage], base_options, stage_budget,
                  progress_heartbeat_);
     if (!attempt.ok()) {
-      last_error = attempt.status();
+      Status stage_error = attempt.status();
       if (trace != nullptr) {
-        trace->Attr("outcome", StatusCodeToString(last_error.code()));
+        trace->Attr("outcome", StatusCodeToString(stage_error.code()));
         trace->End();
       }
-      if (!ContinueChain(last_error.code())) return last_error;
+      if (stage == 0) {
+        root_cause = stage_error;
+      } else {
+        fallback_context += "; fallback " +
+                            std::string(AlgorithmName(chain[stage])) +
+                            " (stage " + std::to_string(stage) +
+                            ") failed: " +
+                            std::string(StatusCodeToString(
+                                stage_error.code())) +
+                            ": " + stage_error.message();
+      }
+      if (!ContinueChain(stage_error.code())) {
+        // Non-continuable failures abort the chain immediately; a fallback
+        // stage's abort still reports the root cause first.
+        if (stage == 0) return stage_error;
+        return Status(stage_error.code(),
+                      root_cause.message() + fallback_context);
+      }
       continue;
     }
 
@@ -402,7 +430,7 @@ Result<AnonymizationReport> Anonymizer::RunImpl(RunTrace* trace) const {
                                report.masked.schema().KeyIndices(), k_));
     return report;
   }
-  return last_error;
+  return Status(root_cause.code(), root_cause.message() + fallback_context);
 }
 
 }  // namespace psk

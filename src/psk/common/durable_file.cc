@@ -8,12 +8,17 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
+
+#include "psk/common/failpoint.h"
 
 namespace psk {
 namespace {
@@ -37,14 +42,65 @@ std::string Errno(const std::string& what, const std::string& path) {
   return what + " '" + path + "': " + std::strerror(errno);
 }
 
-// Writes all of `contents` to `fd`, retrying partial writes.
+// Transient retries performed across all durable-file syscalls since
+// process start (or the last test reset). Exported so callers (the jobs
+// layer records it on the RunTrace) can see that a run succeeded only by
+// riding out EINTR/EAGAIN storms.
+std::atomic<uint64_t> g_transient_retries{0};
+
+// An EINTR/EAGAIN storm that outlasts this many retries of one syscall is
+// treated as a real failure — bounded so an interposed signal flood can
+// never wedge a commit forever.
+constexpr int kMaxTransientRetries = 64;
+
+bool IsTransientErrno(int err) {
+  return err == EINTR || err == EAGAIN || err == EWOULDBLOCK;
+}
+
+// EINTR retries immediately (the syscall was merely interrupted);
+// EAGAIN-class waits briefly, growing linearly to a 10 ms cap so a busy
+// device gets breathing room without adding seconds to a commit.
+void TransientBackoff(int err, int attempt) {
+  if (err == EINTR) return;
+  int ms = std::min(attempt + 1, 10);
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+// Runs syscall `op` (negative result = failure with errno) behind the
+// failpoint `site`, retrying transient failures — injected or real — with
+// bounded backoff. Non-transient errnos and retry exhaustion return the
+// failure to the caller's normal error path.
+template <typename Op>
+auto RetrySyscall(const char* site, Op op) -> decltype(op()) {
+  for (int attempt = 0;; ++attempt) {
+    decltype(op()) rc;
+    if (PSK_FAIL_POINT_SYSCALL(site)) {
+      rc = -1;
+    } else {
+      rc = op();
+    }
+    if (rc >= 0) return rc;
+    if (!IsTransientErrno(errno) || attempt >= kMaxTransientRetries) {
+      return rc;
+    }
+    g_transient_retries.fetch_add(1, std::memory_order_relaxed);
+    TransientBackoff(errno, attempt);
+  }
+}
+
+// Writes all of `contents` to `fd`, retrying partial writes and transient
+// failures. A zero-byte write for a non-empty remainder is reported as a
+// failure (EIO) rather than looped on: no forward progress means the fd
+// is wedged, and treating it as success would commit a truncated file.
 bool WriteAll(int fd, std::string_view contents) {
   size_t written = 0;
   while (written < contents.size()) {
-    ssize_t n = write(fd, contents.data() + written,
-                      contents.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
+    ssize_t n = RetrySyscall("durable.write.write", [&] {
+      return write(fd, contents.data() + written, contents.size() - written);
+    });
+    if (n < 0) return false;
+    if (n == 0) {
+      errno = EIO;
       return false;
     }
     written += static_cast<size_t>(n);
@@ -57,11 +113,13 @@ Status SyncParentDirectory(const std::string& path) {
   size_t slash = path.find_last_of('/');
   std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
   if (dir.empty()) dir = "/";
-  int fd = open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  int fd = RetrySyscall("durable.dir.open", [&] {
+    return open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  });
   if (fd < 0) {
     return Status::IOError(Errno("cannot open directory", dir));
   }
-  int rc = fsync(fd);
+  int rc = RetrySyscall("durable.dir.fsync", [&] { return fsync(fd); });
   close(fd);
   if (rc != 0) {
     return Status::DataLoss(Errno("cannot fsync directory", dir));
@@ -72,7 +130,8 @@ Status SyncParentDirectory(const std::string& path) {
 }  // namespace
 
 Result<std::string> ReadFileToString(const std::string& path) {
-  int fd = open(path.c_str(), O_RDONLY);
+  int fd = RetrySyscall("durable.read.open",
+                        [&] { return open(path.c_str(), O_RDONLY); });
   if (fd < 0) {
     if (errno == ENOENT) {
       return Status::NotFound("no such file: " + path);
@@ -82,9 +141,10 @@ Result<std::string> ReadFileToString(const std::string& path) {
   std::string out;
   char buffer[1 << 16];
   while (true) {
-    ssize_t n = read(fd, buffer, sizeof(buffer));
+    ssize_t n = RetrySyscall("durable.read.read", [&] {
+      return read(fd, buffer, sizeof(buffer));
+    });
     if (n < 0) {
-      if (errno == EINTR) continue;
       close(fd);
       return Status::IOError(Errno("error reading", path));
     }
@@ -105,7 +165,9 @@ Status AtomicWriteFile(const std::string& path, std::string_view contents) {
   // the same target each commit a complete file (last rename wins) instead
   // of interleaving write/fsync/rename on one shared ".tmp" path.
   std::string tmp = path + ".tmp.XXXXXX";
-  int fd = mkstemp(tmp.data());
+  int fd = PSK_FAIL_POINT_SYSCALL("durable.write.mkstemp")
+               ? -1
+               : mkstemp(tmp.data());
   if (fd < 0) {
     return Status::IOError(Errno("cannot create temp file", tmp));
   }
@@ -114,13 +176,18 @@ Status AtomicWriteFile(const std::string& path, std::string_view contents) {
   // kernel drops the lock automatically if the process dies, so
   // CleanStaleStaging can tell a crash-orphaned temp (lockable) from one
   // a concurrent writer is still filling (locked) without any registry.
-  if (flock(fd, LOCK_EX | LOCK_NB) != 0) {
+  // flock is deliberately outside the transient-retry wrapper: with
+  // LOCK_NB, EWOULDBLOCK is the *meaningful* contention signal, not a
+  // transient to ride out.
+  if (PSK_FAIL_POINT_SYSCALL("durable.write.flock") ||
+      flock(fd, LOCK_EX | LOCK_NB) != 0) {
     Status status = Status::IOError(Errno("cannot lock temp file", tmp));
     close(fd);
     unlink(tmp.c_str());
     return status;
   }
-  if (fchmod(fd, 0644) != 0) {
+  if (PSK_FAIL_POINT_SYSCALL("durable.write.chmod") ||
+      fchmod(fd, 0644) != 0) {
     Status status = Status::IOError(Errno("cannot chmod temp file", tmp));
     close(fd);
     unlink(tmp.c_str());
@@ -133,14 +200,15 @@ Status AtomicWriteFile(const std::string& path, std::string_view contents) {
     return status;
   }
   FaultPoint();  // bytes written, not yet durable
-  if (fsync(fd) != 0) {
+  if (RetrySyscall("durable.write.fsync", [&] { return fsync(fd); }) != 0) {
     Status status = Status::DataLoss(Errno("cannot fsync", tmp));
     close(fd);
     unlink(tmp.c_str());
     return status;
   }
   FaultPoint();  // temp durable, final path still old
-  if (rename(tmp.c_str(), path.c_str()) != 0) {
+  if (PSK_FAIL_POINT_SYSCALL("durable.write.rename") ||
+      rename(tmp.c_str(), path.c_str()) != 0) {
     Status status = Status::IOError(Errno("cannot rename over", path));
     close(fd);
     unlink(tmp.c_str());
@@ -156,7 +224,9 @@ Status AtomicWriteFile(const std::string& path, std::string_view contents) {
 }
 
 Status RemoveFileDurably(const std::string& path) {
-  if (unlink(path.c_str()) != 0 && errno != ENOENT) {
+  bool failed = PSK_FAIL_POINT_SYSCALL("durable.remove.unlink") ||
+                unlink(path.c_str()) != 0;
+  if (failed && errno != ENOENT) {
     return Status::IOError(Errno("cannot remove", path));
   }
   FaultPoint();  // unlinked, directory entry removal not yet durable
@@ -235,6 +305,14 @@ Status EnsureDirectory(const std::string& path) {
 
 void TestOnlySetDurableFaultCountdown(int64_t countdown) {
   g_fault_countdown.store(countdown, std::memory_order_relaxed);
+}
+
+uint64_t DurableFileTransientRetries() {
+  return g_transient_retries.load(std::memory_order_relaxed);
+}
+
+void TestOnlyResetDurableFileStats() {
+  g_transient_retries.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace psk

@@ -59,6 +59,17 @@ Result<size_t> CleanStaleStaging(const std::string& dir);
 /// in production code.
 void TestOnlySetDurableFaultCountdown(int64_t countdown);
 
+/// Process-lifetime count of transient (EINTR / EAGAIN-class) syscall
+/// retries absorbed by the durable-file layer. Every open/read/write/fsync
+/// in this file rides out up to a bounded number of transient failures
+/// with backoff before reporting an error; this counter makes those
+/// degraded-but-successful runs observable (the jobs layer exports the
+/// per-run delta onto the RunTrace as the `io_retries` timing).
+uint64_t DurableFileTransientRetries();
+
+/// Resets the transient-retry counter (test isolation only).
+void TestOnlyResetDurableFileStats();
+
 }  // namespace psk
 
 #endif  // PSK_COMMON_DURABLE_FILE_H_

@@ -1,0 +1,454 @@
+#include "psk/common/failpoint.h"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "psk/common/macros.h"
+#include "psk/common/result.h"
+
+#include "psk/common/string_util.h"
+
+namespace psk {
+
+namespace failpoint_internal {
+std::atomic<uint32_t> g_active{0};
+}  // namespace failpoint_internal
+
+namespace {
+
+struct SiteState {
+  uint64_t hits = 0;
+  uint64_t fired = 0;
+  bool armed = false;
+  FailPointSchedule schedule;
+};
+
+struct Registry {
+  std::mutex mu;
+  // std::map: HitCounts() enumerates in sorted (deterministic) order.
+  std::map<std::string, SiteState> sites;
+  bool tracing = false;
+  size_t armed_count = 0;
+
+  void PublishActive() {
+    failpoint_internal::g_active.store(
+        static_cast<uint32_t>(armed_count + (tracing ? 1 : 0)),
+        std::memory_order_relaxed);
+  }
+};
+
+Registry& GetRegistry() {
+  // Leaked singleton: immune to static-destruction order, safe for sites
+  // hit from detached/pool threads during shutdown.
+  static Registry* registry = new Registry;
+  return *registry;
+}
+
+uint64_t Fnv1a(std::string_view text) {
+  uint64_t hash = 1469598103934665603ULL;
+  for (char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Deterministic coin for probabilistic schedules: a pure function of
+// (seed, site, hit index), so the same seed reproduces the same fault
+// schedule regardless of which thread hits the site or in what global
+// order sites are visited.
+bool CoinFires(const FailPointSchedule& schedule, std::string_view site,
+               uint64_t hit) {
+  if (schedule.probability >= 1.0) return true;
+  if (schedule.probability <= 0.0) return false;
+  uint64_t bits = SplitMix64(schedule.seed ^ Fnv1a(site) ^
+                             (hit * 0x9e3779b97f4a7c15ULL));
+  double uniform =
+      static_cast<double>(bits >> 11) * (1.0 / 9007199254740992.0);
+  return uniform < schedule.probability;
+}
+
+// What the evaluator decided under the lock; executed outside it (a
+// throw or a long sleep must not hold the registry mutex).
+struct Firing {
+  FailPointAction action = FailPointAction::kOff;
+  StatusCode code = StatusCode::kIOError;
+  int error_number = EIO;
+  uint32_t delay_ms = 0;
+  uint64_t hit = 0;
+};
+
+// Counts the hit and, when the armed schedule covers it, returns the
+// firing to execute.
+Firing EvaluateSite(const char* site) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  SiteState& state = registry.sites[site];
+  uint64_t hit = state.hits++;
+  Firing firing;
+  if (!state.armed) return firing;
+  const FailPointSchedule& schedule = state.schedule;
+  if (schedule.action == FailPointAction::kOff) return firing;
+  if (hit < schedule.skip) return firing;
+  if (hit - schedule.skip >= schedule.count) return firing;
+  if (!CoinFires(schedule, site, hit)) return firing;
+  ++state.fired;
+  firing.action = schedule.action;
+  firing.code = schedule.code;
+  firing.error_number = schedule.error_number;
+  firing.delay_ms = schedule.delay_ms;
+  firing.hit = hit;
+  return firing;
+}
+
+std::string InjectionMessage(const char* site, const Firing& firing) {
+  return "failpoint '" + std::string(site) + "' injected " +
+         std::string(StatusCodeToString(firing.code)) + " (hit " +
+         std::to_string(firing.hit) + ")";
+}
+
+[[noreturn]] void Die(FailPointAction action) {
+  if (action == FailPointAction::kAbort) std::abort();
+  // SIGKILL: un-catchable, no atexit, no unwinding — the torture
+  // harness's model of a power cut.
+  kill(getpid(), SIGKILL);
+  // kill(self, SIGKILL) does not return, but the compiler cannot know.
+  std::abort();
+}
+
+std::optional<int> ParseErrnoArg(std::string_view arg) {
+  if (arg == "EINTR") return EINTR;
+  if (arg == "EAGAIN") return EAGAIN;
+  if (arg == "EWOULDBLOCK") return EWOULDBLOCK;
+  if (arg == "EIO") return EIO;
+  if (arg == "ENOSPC") return ENOSPC;
+  if (arg == "EACCES") return EACCES;
+  if (arg == "ENOENT") return ENOENT;
+  if (arg == "EMFILE") return EMFILE;
+  if (arg == "EDQUOT") return EDQUOT;
+  if (arg == "EROFS") return EROFS;
+  Result<uint64_t> number = ParseUint64(arg);
+  if (number.ok() && *number > 0 && *number < 4096) {
+    return static_cast<int>(*number);
+  }
+  return std::nullopt;
+}
+
+// Parses one "site=action[(arg)][@skip][xcount][%prob[/seed]]" entry.
+Result<std::pair<std::string, FailPointSchedule>> ParseEntry(
+    std::string_view entry) {
+  size_t eq = entry.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    return Status::InvalidArgument("failpoint entry '" + std::string(entry) +
+                                   "': expected site=action");
+  }
+  std::string site(Trim(entry.substr(0, eq)));
+  std::string_view rest = Trim(entry.substr(eq + 1));
+
+  FailPointSchedule schedule;
+  size_t action_end = rest.find_first_of("(@x%");
+  std::string_view action = rest.substr(0, action_end);
+  std::string_view arg;
+  if (action_end != std::string_view::npos && rest[action_end] == '(') {
+    size_t close = rest.find(')', action_end);
+    if (close == std::string_view::npos) {
+      return Status::InvalidArgument("failpoint entry '" +
+                                     std::string(entry) +
+                                     "': unterminated argument");
+    }
+    arg = rest.substr(action_end + 1, close - action_end - 1);
+    rest = rest.substr(close + 1);
+  } else if (action_end != std::string_view::npos) {
+    rest = rest.substr(action_end);
+  } else {
+    rest = {};
+  }
+
+  if (action == "error") {
+    schedule.action = FailPointAction::kError;
+    if (!arg.empty()) {
+      std::optional<StatusCode> code = StatusCodeFromString(arg);
+      if (!code.has_value() || *code == StatusCode::kOk) {
+        return Status::InvalidArgument("failpoint entry '" +
+                                       std::string(entry) +
+                                       "': unknown status code '" +
+                                       std::string(arg) + "'");
+      }
+      schedule.code = *code;
+    }
+  } else if (action == "errno") {
+    schedule.action = FailPointAction::kErrno;
+    if (!arg.empty()) {
+      std::optional<int> number = ParseErrnoArg(arg);
+      if (!number.has_value()) {
+        return Status::InvalidArgument("failpoint entry '" +
+                                       std::string(entry) +
+                                       "': unknown errno '" +
+                                       std::string(arg) + "'");
+      }
+      schedule.error_number = *number;
+    } else {
+      schedule.error_number = EIO;
+    }
+  } else if (action == "throw") {
+    schedule.action = FailPointAction::kThrow;
+  } else if (action == "delay") {
+    schedule.action = FailPointAction::kDelay;
+    if (!arg.empty()) {
+      Result<uint64_t> ms = ParseUint64(arg);
+      if (!ms.ok() || *ms > 60000) {
+        return Status::InvalidArgument("failpoint entry '" +
+                                       std::string(entry) +
+                                       "': bad delay '" + std::string(arg) +
+                                       "' (milliseconds, <= 60000)");
+      }
+      schedule.delay_ms = static_cast<uint32_t>(*ms);
+    }
+  } else if (action == "crash") {
+    schedule.action = FailPointAction::kCrash;
+  } else if (action == "abort") {
+    schedule.action = FailPointAction::kAbort;
+  } else if (action == "off") {
+    schedule.action = FailPointAction::kOff;
+  } else {
+    return Status::InvalidArgument("failpoint entry '" + std::string(entry) +
+                                   "': unknown action '" +
+                                   std::string(action) + "'");
+  }
+
+  // Modifiers, in any sensible order: @skip, xcount, %prob[/seed].
+  while (!rest.empty()) {
+    char kind = rest.front();
+    rest = rest.substr(1);
+    size_t end = rest.find_first_of("@x%");
+    std::string_view value = rest.substr(0, end);
+    rest = end == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(end);
+    if (kind == '@') {
+      Result<uint64_t> skip = ParseUint64(value);
+      if (!skip.ok()) {
+        return Status::InvalidArgument("failpoint entry '" +
+                                       std::string(entry) + "': bad @skip");
+      }
+      schedule.skip = *skip;
+    } else if (kind == 'x') {
+      Result<uint64_t> count = ParseUint64(value);
+      if (!count.ok()) {
+        return Status::InvalidArgument("failpoint entry '" +
+                                       std::string(entry) + "': bad xcount");
+      }
+      schedule.count = *count;
+    } else {  // '%'
+      std::string_view prob = value;
+      size_t slash = value.find('/');
+      if (slash != std::string_view::npos) {
+        prob = value.substr(0, slash);
+        Result<uint64_t> seed = ParseUint64(value.substr(slash + 1));
+        if (!seed.ok()) {
+          return Status::InvalidArgument("failpoint entry '" +
+                                         std::string(entry) +
+                                         "': bad %prob/seed");
+        }
+        schedule.seed = *seed;
+      }
+      char* parse_end = nullptr;
+      std::string prob_string(prob);
+      double p = std::strtod(prob_string.c_str(), &parse_end);
+      if (parse_end == prob_string.c_str() || *parse_end != '\0' || p < 0.0 ||
+          p > 1.0) {
+        return Status::InvalidArgument("failpoint entry '" +
+                                       std::string(entry) +
+                                       "': bad probability '" +
+                                       prob_string + "'");
+      }
+      schedule.probability = p;
+    }
+  }
+  return std::make_pair(std::move(site), schedule);
+}
+
+// Arms PSK_FAILPOINTS / PSK_FAILPOINT_TRACE from the environment before
+// main(), so any binary can be driven without code changes.
+struct EnvArmer {
+  EnvArmer() {
+    const char* spec = std::getenv("PSK_FAILPOINTS");
+    if (spec != nullptr && *spec != '\0') {
+      Status armed = FailPoints::ArmFromSpec(spec);
+      if (!armed.ok()) {
+        std::fprintf(stderr, "PSK_FAILPOINTS ignored: %s\n",
+                     armed.ToString().c_str());
+      }
+    }
+    const char* tracing = std::getenv("PSK_FAILPOINT_TRACE");
+    if (tracing != nullptr && *tracing != '\0' && *tracing != '0') {
+      FailPoints::SetTracing(true);
+    }
+  }
+};
+const EnvArmer g_env_armer;
+
+}  // namespace
+
+void FailPoints::Arm(const std::string& site, FailPointSchedule schedule) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  SiteState& state = registry.sites[site];
+  if (!state.armed) ++registry.armed_count;
+  state.armed = true;
+  state.schedule = schedule;
+  registry.PublishActive();
+}
+
+Status FailPoints::ArmFromSpec(std::string_view spec) {
+  // Parse every entry before arming any, so a bad spec arms nothing.
+  std::vector<std::pair<std::string, FailPointSchedule>> parsed;
+  for (const std::string& entry : Split(spec, ';')) {
+    if (Trim(entry).empty()) continue;
+    PSK_ASSIGN_OR_RETURN(auto one, ParseEntry(Trim(entry)));
+    parsed.push_back(std::move(one));
+  }
+  for (auto& [site, schedule] : parsed) {
+    Arm(site, schedule);
+  }
+  return Status::OK();
+}
+
+void FailPoints::Disarm(const std::string& site) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.sites.find(site);
+  if (it == registry.sites.end() || !it->second.armed) return;
+  it->second.armed = false;
+  --registry.armed_count;
+  registry.PublishActive();
+}
+
+void FailPoints::DisarmAll() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.sites.clear();
+  registry.armed_count = 0;
+  registry.tracing = false;
+  registry.PublishActive();
+}
+
+void FailPoints::SetTracing(bool enabled) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.tracing = enabled;
+  registry.PublishActive();
+}
+
+uint64_t FailPoints::Hits(const std::string& site) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.sites.find(site);
+  return it == registry.sites.end() ? 0 : it->second.hits;
+}
+
+std::vector<std::pair<std::string, uint64_t>> FailPoints::HitCounts() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(registry.sites.size());
+  for (const auto& [site, state] : registry.sites) {
+    if (state.hits > 0) out.emplace_back(site, state.hits);
+  }
+  return out;
+}
+
+uint64_t FailPoints::TotalFired() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  uint64_t total = 0;
+  for (const auto& [site, state] : registry.sites) total += state.fired;
+  return total;
+}
+
+Status FailPointCheck(const char* site) {
+  Firing firing = EvaluateSite(site);
+  switch (firing.action) {
+    case FailPointAction::kOff:
+      return Status::OK();
+    case FailPointAction::kError:
+      return Status(firing.code, InjectionMessage(site, firing));
+    case FailPointAction::kErrno: {
+      Firing io = firing;
+      io.code = StatusCode::kIOError;
+      return Status(io.code, InjectionMessage(site, io));
+    }
+    case FailPointAction::kThrow:
+      throw FailPointException("failpoint '" + std::string(site) +
+                               "' threw (hit " + std::to_string(firing.hit) +
+                               ")");
+    case FailPointAction::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(firing.delay_ms));
+      return Status::OK();
+    case FailPointAction::kCrash:
+    case FailPointAction::kAbort:
+      Die(firing.action);
+  }
+  return Status::OK();
+}
+
+bool FailPointFailSyscall(const char* site) {
+  Firing firing = EvaluateSite(site);
+  switch (firing.action) {
+    case FailPointAction::kOff:
+      return false;
+    case FailPointAction::kError:
+    case FailPointAction::kErrno:
+      errno = firing.error_number;
+      return true;
+    case FailPointAction::kThrow:
+      throw FailPointException("failpoint '" + std::string(site) +
+                               "' threw (hit " + std::to_string(firing.hit) +
+                               ")");
+    case FailPointAction::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(firing.delay_ms));
+      return false;
+    case FailPointAction::kCrash:
+    case FailPointAction::kAbort:
+      Die(firing.action);
+  }
+  return false;
+}
+
+void FailPointMaybeThrow(const char* site) {
+  Firing firing = EvaluateSite(site);
+  switch (firing.action) {
+    case FailPointAction::kOff:
+      return;
+    case FailPointAction::kError:
+    case FailPointAction::kErrno:
+    case FailPointAction::kThrow:
+      throw FailPointException("failpoint '" + std::string(site) +
+                               "' threw (hit " + std::to_string(firing.hit) +
+                               ")");
+    case FailPointAction::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(firing.delay_ms));
+      return;
+    case FailPointAction::kCrash:
+    case FailPointAction::kAbort:
+      Die(firing.action);
+  }
+}
+
+}  // namespace psk

@@ -1,0 +1,188 @@
+#ifndef PSK_COMMON_FAILPOINT_H_
+#define PSK_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "psk/common/status.h"
+
+namespace psk {
+
+/// Deterministic failure-injection framework ("failpoints").
+///
+/// A failpoint is a named site in production code where a test — or the
+/// PSK_FAILPOINTS environment variable — can make the process fail on
+/// demand: return an error Status, fail a syscall with a chosen errno,
+/// throw, sleep, or die on the spot (SIGKILL / abort, for the
+/// crash-consistency torture harness). Sites are compiled into release
+/// builds; the disabled cost is a single branch on one relaxed atomic
+/// (see FailPointsActive), so the hot paths pay nothing measurable.
+///
+/// Site naming convention: `<layer>.<object>.<operation>`, e.g.
+/// "durable.write.fsync", "jobs.journal.commit", "threadpool.task". The
+/// full catalogue lives in DESIGN.md §8.
+///
+/// Schedules are deterministic: a site fires on hit indices
+/// [skip, skip + count) of its process-lifetime hit counter, optionally
+/// thinned by a probability whose coin is a pure function of
+/// (seed, site, hit index) — the same seed always reproduces the same
+/// fault schedule, byte for byte, regardless of thread interleaving.
+
+/// What an armed site does when its schedule fires.
+enum class FailPointAction {
+  kOff = 0,    ///< counts hits, never fires (tracing/enumeration)
+  kError,      ///< Status sites return Status(code, ...); syscall sites
+               ///< fail with errno = error_number
+  kErrno,      ///< syscall sites fail with errno = error_number (EINTR /
+               ///< EAGAIN-class transients); Status sites return kIOError
+  kThrow,      ///< throws FailPointException (exception-safety torture)
+  kDelay,      ///< sleeps delay_ms, then continues normally
+  kCrash,      ///< SIGKILL the process at the site (un-catchable)
+  kAbort,      ///< std::abort() at the site (catchable by a crash handler)
+};
+
+/// The exception kThrow raises. Derives from std::exception so the
+/// ThreadPool's exception-safe ParallelFor treats it like any task error.
+class FailPointException : public std::exception {
+ public:
+  explicit FailPointException(std::string what) : what_(std::move(what)) {}
+  const char* what() const noexcept override { return what_.c_str(); }
+
+ private:
+  std::string what_;
+};
+
+/// One site's armed schedule.
+struct FailPointSchedule {
+  FailPointAction action = FailPointAction::kError;
+  /// Status code injected at Status-style sites (kError).
+  StatusCode code = StatusCode::kIOError;
+  /// errno injected at syscall-style sites (kError / kErrno).
+  int error_number = 5;  // EIO
+  /// Hits to let pass before the first firing (0 = fire immediately).
+  uint64_t skip = 0;
+  /// Firings after `skip`; default unlimited.
+  uint64_t count = std::numeric_limits<uint64_t>::max();
+  /// Milliseconds slept by kDelay.
+  uint32_t delay_ms = 0;
+  /// When < 1.0, each in-window hit fires with this probability, decided
+  /// by a deterministic coin: a pure function of (seed, site, hit index).
+  double probability = 1.0;
+  uint64_t seed = 0;
+};
+
+namespace failpoint_internal {
+/// Non-zero iff any site is armed or hit tracing is on. Relaxed is
+/// correct: tests arm before starting the run they observe, and a stale
+/// read merely delays the first slow-path visit by one hit.
+extern std::atomic<uint32_t> g_active;
+}  // namespace failpoint_internal
+
+/// The single-branch fast path every PSK_FAIL_POINT* macro compiles to
+/// when nothing is armed.
+inline bool FailPointsActive() {
+  return failpoint_internal::g_active.load(std::memory_order_relaxed) != 0;
+}
+
+/// Process-wide registry of armed sites. All methods are thread-safe; the
+/// registry is only consulted on the slow path (something armed or
+/// tracing on).
+class FailPoints {
+ public:
+  /// Arms `site` with `schedule`, replacing any previous schedule. The
+  /// site need not have been hit yet — unknown names simply never fire.
+  static void Arm(const std::string& site, FailPointSchedule schedule);
+
+  /// Arms sites from a spec string — the PSK_FAILPOINTS syntax:
+  ///
+  ///   spec     := entry (';' entry)*
+  ///   entry    := site '=' action ['(' arg ')'] ['@' skip] ['x' count]
+  ///               ['%' probability ['/' seed]]
+  ///   action   := 'error' | 'errno' | 'throw' | 'delay' | 'crash'
+  ///             | 'abort' | 'off'
+  ///
+  /// arg is a StatusCode name for `error` ("DataLoss"), an errno name or
+  /// number for `errno` ("EINTR", "EAGAIN", "ENOSPC", "EIO", or digits),
+  /// and milliseconds for `delay`. Examples:
+  ///
+  ///   jobs.journal.commit=error(DataLoss)@1
+  ///   durable.write.write=errno(EINTR)x3
+  ///   durable.write.rename=crash@2
+  ///   threadpool.task=throw%0.25/42
+  ///
+  /// Returns kInvalidArgument naming the offending entry on parse errors
+  /// (no entries are armed in that case).
+  static Status ArmFromSpec(std::string_view spec);
+
+  /// Disarms one site (hit counters are kept) / everything (counters and
+  /// tracing reset — the clean-slate call tests should make in teardown).
+  static void Disarm(const std::string& site);
+  static void DisarmAll();
+
+  /// When tracing is on, every site visit is counted even with no
+  /// schedule armed — the torture harness's enumeration pass.
+  static void SetTracing(bool enabled);
+
+  /// Lifetime hit count of `site` (0 for never-visited names).
+  static uint64_t Hits(const std::string& site);
+
+  /// Every site visited since the last DisarmAll, with hit counts,
+  /// sorted by name (deterministic enumeration order).
+  static std::vector<std::pair<std::string, uint64_t>> HitCounts();
+
+  /// Sum of schedule firings since the last DisarmAll (how many faults
+  /// were actually injected).
+  static uint64_t TotalFired();
+};
+
+/// Slow-path evaluators — call only behind FailPointsActive() (the macros
+/// below do). Each counts the hit, then applies the armed schedule:
+///
+///  - FailPointCheck: Status-style sites. Returns the injected error for
+///    kError/kErrno; throws for kThrow; sleeps for kDelay; dies for
+///    kCrash/kAbort; otherwise OK.
+///  - FailPointFailSyscall: syscall-style sites. Returns true with errno
+///    set when the schedule fires with kError/kErrno (the caller then
+///    takes its real syscall-failure path); throw/delay/crash behave as
+///    above; otherwise false.
+///  - FailPointMaybeThrow: throw-style sites (worker tasks). kThrow (and
+///    kError, for convenience) throw FailPointException; delay/crash as
+///    above.
+Status FailPointCheck(const char* site);
+bool FailPointFailSyscall(const char* site);
+void FailPointMaybeThrow(const char* site);
+
+/// Status-returning site: `return`s the injected Status out of the
+/// enclosing function when the site fires. Use inside functions returning
+/// Status or Result<T>.
+#define PSK_FAIL_POINT(site)                                 \
+  do {                                                       \
+    if (::psk::FailPointsActive()) {                         \
+      ::psk::Status psk_fp_status = ::psk::FailPointCheck(site); \
+      if (!psk_fp_status.ok()) return psk_fp_status;         \
+    }                                                        \
+  } while (false)
+
+/// Syscall-style site: evaluates to true (with errno set) when the site
+/// fires, so call sites read `if (PSK_FAIL_POINT_SYSCALL(...) || real_call`
+/// `() < 0)` and share one error path with the real syscall.
+#define PSK_FAIL_POINT_SYSCALL(site) \
+  (::psk::FailPointsActive() && ::psk::FailPointFailSyscall(site))
+
+/// Throw-style site for void contexts (worker tasks).
+#define PSK_FAIL_POINT_THROW(site)                        \
+  do {                                                    \
+    if (::psk::FailPointsActive()) {                      \
+      ::psk::FailPointMaybeThrow(site);                   \
+    }                                                     \
+  } while (false)
+
+}  // namespace psk
+
+#endif  // PSK_COMMON_FAILPOINT_H_

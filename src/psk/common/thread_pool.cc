@@ -4,6 +4,8 @@
 #include <atomic>
 #include <memory>
 
+#include "psk/common/failpoint.h"
+
 namespace psk {
 namespace {
 
@@ -31,6 +33,11 @@ void DrainIndices(ForState& state, size_t worker) {
     if (i >= state.count) return;
     if (state.abort.load(std::memory_order_relaxed)) return;
     try {
+      // Torture seam: a pool worker dying mid-sweep is modeled as a
+      // thrown task — it takes the same abort/rethrow path a real task
+      // failure would, so the caller sees one clean exception and the
+      // pool survives.
+      PSK_FAIL_POINT_THROW("threadpool.task");
       (*state.fn)(worker, i);
     } catch (...) {
       {

@@ -2,6 +2,7 @@
 
 #include "psk/anonymity/kanonymity.h"
 #include "psk/anonymity/psensitive.h"
+#include "psk/common/failpoint.h"
 
 namespace psk {
 namespace {
@@ -149,6 +150,9 @@ Result<GuardReport> VerifyRelease(const Table& masked, size_t original_rows,
 Status EnforceRelease(const Table& masked, size_t original_rows,
                       const GuardPolicy& policy, GuardReport* report,
                       RunTrace* trace) {
+  // Torture seam: an injected error here must surface as the run's own
+  // clean failure — a release the guard could not verify never escapes.
+  PSK_FAIL_POINT("guard.verify");
   PSK_ASSIGN_OR_RETURN(GuardReport verified,
                        VerifyRelease(masked, original_rows, policy, trace));
   if (report != nullptr) *report = verified;

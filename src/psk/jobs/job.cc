@@ -1,10 +1,17 @@
 #include "psk/jobs/job.h"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
 #include <map>
 #include <utility>
 
 #include "psk/api/spec_parser.h"
 #include "psk/common/durable_file.h"
+#include "psk/common/failpoint.h"
 #include "psk/common/string_util.h"
 #include "psk/guard/guard.h"
 #include "psk/jobs/checkpoint_io.h"
@@ -14,6 +21,64 @@
 
 namespace psk {
 namespace {
+
+// Advisory exclusive lock on the job directory, held for the whole
+// Run/Resume. Closing the fd (destructor) releases the flock, and the
+// kernel releases it automatically when the holder dies — a crashed
+// runner can never wedge its directory.
+class JobDirLock {
+ public:
+  JobDirLock() = default;
+  JobDirLock(JobDirLock&& other) noexcept : fd_(other.fd_) {
+    other.fd_ = -1;
+  }
+  JobDirLock& operator=(JobDirLock&& other) noexcept {
+    if (this != &other) {
+      Release();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  JobDirLock(const JobDirLock&) = delete;
+  JobDirLock& operator=(const JobDirLock&) = delete;
+  ~JobDirLock() { Release(); }
+
+  static Result<JobDirLock> Acquire(const std::string& path) {
+    int fd = PSK_FAIL_POINT_SYSCALL("jobs.lock.open")
+                 ? -1
+                 : open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (fd < 0) {
+      if (errno == ENOENT) {
+        // The job directory itself is missing — surface the same code a
+        // missing journal would, so Resume callers keep one retry path.
+        return Status::NotFound("no such job directory for lock file '" +
+                                path + "'");
+      }
+      return Status::IOError("cannot open lock file '" + path +
+                             "': " + std::strerror(errno));
+    }
+    if (PSK_FAIL_POINT_SYSCALL("jobs.lock.flock") ||
+        flock(fd, LOCK_EX | LOCK_NB) != 0) {
+      close(fd);
+      return Status::FailedPrecondition(
+          "another JobRunner holds the lock on '" + path +
+          "'; concurrent runners on one job directory are refused so they "
+          "cannot interleave journal writes");
+    }
+    JobDirLock lock;
+    lock.fd_ = fd;
+    return lock;
+  }
+
+ private:
+  void Release() {
+    if (fd_ >= 0) close(fd_);
+    fd_ = -1;
+  }
+
+  int fd_ = -1;
+};
 
 std::string JoinAlgorithmNames(
     const std::vector<AnonymizationAlgorithm>& chain) {
@@ -234,11 +299,19 @@ Status JobRunner::WriteJournal(const JobSpec& spec, bool committed) {
   if (spec.budget.deadline.has_value()) {
     journal.deadline_ms = static_cast<uint64_t>(spec.budget.deadline->count());
   }
+  // Distinct sites for the two journal states: crashing before the
+  // write-ahead record lands and crashing while flipping it to committed
+  // exercise different halves of the recovery protocol.
+  PSK_FAIL_POINT(committed ? "jobs.journal.commit" : "jobs.journal.begin");
   return AtomicWriteFile(journal_path(), SerializeJobJournal(journal));
 }
 
 Result<JobOutcome> JobRunner::Run(const JobSpec& spec) {
   PSK_RETURN_IF_ERROR(EnsureDirectory(job_dir_));
+  // Exclusive ownership of the directory for the whole run: a second
+  // runner racing on the same job_dir fails fast here instead of
+  // interleaving journal/checkpoint writes with ours.
+  PSK_ASSIGN_OR_RETURN(JobDirLock lock, JobDirLock::Acquire(lock_path()));
   // Reap staging files a crashed predecessor leaked (best-effort: a reap
   // failure costs disk space, never correctness). Live writers hold an
   // flock on their temp, so a concurrent job in the same directory is
@@ -257,9 +330,14 @@ Result<JobOutcome> JobRunner::Run(const JobSpec& spec) {
 }
 
 Result<JobOutcome> JobRunner::Resume(const JobSpec& spec) {
+  // Take the directory lock before touching any artifact. A missing
+  // directory surfaces as kNotFound — the same verdict a missing journal
+  // would earn — so callers keep a single "fall back to Run()" path.
+  PSK_ASSIGN_OR_RETURN(JobDirLock lock, JobDirLock::Acquire(lock_path()));
   // Same stale-staging reap as Run(): the crash that made this Resume
   // necessary is exactly when temps get orphaned.
   (void)CleanStaleStaging(job_dir_);
+  PSK_FAIL_POINT("jobs.journal.read");
   Result<std::string> journal_text = ReadFileToString(journal_path());
   if (!journal_text.ok()) return journal_text.status();
   PSK_ASSIGN_OR_RETURN(JobJournal journal, ParseJobJournal(*journal_text));
@@ -295,6 +373,7 @@ Result<JobOutcome> JobRunner::Resume(const JobSpec& spec) {
   // byte-identical to an uninterrupted run's.
   SearchSnapshot snapshot;
   bool have_checkpoint = false;
+  PSK_FAIL_POINT("jobs.checkpoint.read");
   Result<std::string> checkpoint_text = ReadFileToString(checkpoint_path());
   if (checkpoint_text.ok()) {
     PSK_ASSIGN_OR_RETURN(snapshot,
@@ -341,6 +420,12 @@ Result<JobOutcome> JobRunner::Execute(const JobSpec& spec,
   anonymizer.set_checkpoint_sink(
       [checkpoint_file, spec_hash,
        input_digest](const SearchSnapshot& snapshot) {
+        // The site sits above AtomicWriteFile so torture runs can also
+        // crash *between* snapshot serialization and the write syscalls.
+        if (FailPointsActive() &&
+            !FailPointCheck("jobs.checkpoint.write").ok()) {
+          return;
+        }
         (void)AtomicWriteFile(
             checkpoint_file,
             SerializeSnapshot(snapshot, spec_hash, input_digest));
@@ -348,10 +433,19 @@ Result<JobOutcome> JobRunner::Execute(const JobSpec& spec,
       spec.checkpoint_interval);
   std::string progress_file = progress_path();
   anonymizer.set_progress_heartbeat([progress_file](size_t done) {
+    if (FailPointsActive() && !FailPointCheck("jobs.progress.write").ok()) {
+      return;
+    }
     (void)AtomicWriteFile(
         progress_file,
         "boundaries_completed = " + std::to_string(done) + "\n");
   });
+
+  // Transient-I/O retries spent by this run (EINTR/EAGAIN loops inside
+  // durable_file) are exported as a non-structural timing: a retry count
+  // that varies with scheduling must not perturb the structural trace
+  // signature the replay validator compares.
+  uint64_t retries_before = DurableFileTransientRetries();
 
   PSK_ASSIGN_OR_RETURN(AnonymizationReport report, anonymizer.Run());
   RunTrace* trace = anonymizer.last_trace().get();
@@ -363,11 +457,13 @@ Result<JobOutcome> JobRunner::Execute(const JobSpec& spec,
   // with identical bytes.
   {
     TraceSpan span(trace, "commit_release");
+    PSK_FAIL_POINT("jobs.release.write");
     PSK_RETURN_IF_ERROR(WriteCsvFile(report.masked, release_path()));
     span.Counter("rows", report.masked.num_rows());
   }
   {
     TraceSpan span(trace, "commit_report");
+    PSK_FAIL_POINT("jobs.report.write");
     PSK_RETURN_IF_ERROR(AtomicWriteFile(report_path(), ReportToJson(report)));
   }
   {
@@ -375,6 +471,8 @@ Result<JobOutcome> JobRunner::Execute(const JobSpec& spec,
     PSK_RETURN_IF_ERROR(WriteJournal(spec, /*committed=*/true));
   }
   if (trace != nullptr) {
+    trace->Timing("io_retries",
+                  DurableFileTransientRetries() - retries_before);
     // Best-effort like the checkpoints: the release is already durable, so
     // a failed trace export must not fail the committed job.
     (void)trace->WriteJsonFile(spec.trace_path);

@@ -102,6 +102,8 @@ struct JobOutcome {
 
 /// Crash-safe execution of one anonymization job inside a job directory:
 ///
+///   job_dir/.lock         advisory exclusive lock held for the whole
+///                         Run/Resume (see below)
 ///   job_dir/job.journal   write-ahead record (spec hash, input digest,
 ///                         seed, budget, state)
 ///   job_dir/checkpoint    latest search snapshot (atomically replaced)
@@ -121,6 +123,13 @@ struct JobOutcome {
 /// re-verifies the released artifact (guard re-check on the file's own
 /// bytes) instead of recomputing. SIGKILL at any point between — or in
 /// the middle of — any of the durable writes is recoverable.
+///
+/// Both entry points hold an advisory exclusive flock on job_dir/.lock
+/// for their whole duration: a second JobRunner racing on the same
+/// directory fails fast with kFailedPrecondition instead of interleaving
+/// journal/checkpoint writes with the incumbent. The kernel drops the
+/// lock when the holder dies, so a crashed runner never wedges the
+/// directory — the next Run/Resume simply takes the lock over.
 class JobRunner {
  public:
   explicit JobRunner(std::string job_dir) : job_dir_(std::move(job_dir)) {}
@@ -139,6 +148,7 @@ class JobRunner {
   Result<JobOutcome> Resume(const JobSpec& spec);
 
   const std::string& job_dir() const { return job_dir_; }
+  std::string lock_path() const { return job_dir_ + "/.lock"; }
   std::string journal_path() const { return job_dir_ + "/job.journal"; }
   std::string checkpoint_path() const { return job_dir_ + "/checkpoint"; }
   std::string progress_path() const { return job_dir_ + "/progress"; }

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "psk/common/check.h"
+#include "psk/common/failpoint.h"
 
 namespace psk {
 namespace {
@@ -31,6 +32,9 @@ void EncodeColumn(const Table& table, size_t col, std::vector<uint32_t>* codes,
 
 Result<EncodedTable> EncodedTable::Build(const Table& initial_microdata,
                                          const HierarchySet& hierarchies) {
+  // Torture seam: a failed Build makes every lattice engine fall back to
+  // the legacy Value pipeline, which must produce identical releases.
+  PSK_FAIL_POINT("table.encoded.build");
   std::vector<size_t> key_cols = initial_microdata.schema().KeyIndices();
   if (hierarchies.size() != key_cols.size()) {
     return Status::InvalidArgument(

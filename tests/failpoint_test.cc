@@ -1,0 +1,214 @@
+// Unit tests for the deterministic failpoint framework: spec grammar,
+// schedule windows (@skip / xcount), deterministic probability coins,
+// the three macro styles, and the durable-file integration (transient
+// errno injection riding the bounded retry loop).
+
+#include "psk/common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "psk/common/durable_file.h"
+#include "test_util.h"
+
+namespace psk {
+namespace {
+
+// Status-style production function with one failpoint site.
+Status GuardedOperation(const char* site) {
+  PSK_FAIL_POINT(site);
+  return Status::OK();
+}
+
+// Syscall-style site: true (with errno set) when the injection fired.
+bool GuardedSyscall(const char* site) { return PSK_FAIL_POINT_SYSCALL(site); }
+
+class FailPointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FailPoints::DisarmAll(); }
+};
+
+TEST_F(FailPointTest, DisabledByDefault) {
+  EXPECT_FALSE(FailPointsActive());
+  PSK_ASSERT_OK(GuardedOperation("test.unit.disabled"));
+  EXPECT_FALSE(GuardedSyscall("test.unit.disabled"));
+  // With nothing armed and tracing off, sites are not even counted — the
+  // fast path never reaches the registry.
+  EXPECT_EQ(FailPoints::Hits("test.unit.disabled"), 0u);
+}
+
+TEST_F(FailPointTest, ErrorActionInjectsStatusWithSiteAndHit) {
+  FailPointSchedule schedule;
+  schedule.action = FailPointAction::kError;
+  schedule.code = StatusCode::kDataLoss;
+  FailPoints::Arm("test.unit.error", schedule);
+  EXPECT_TRUE(FailPointsActive());
+
+  Status status = GuardedOperation("test.unit.error");
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_NE(status.message().find("test.unit.error"), std::string::npos);
+  EXPECT_NE(status.message().find("DataLoss"), std::string::npos);
+  EXPECT_NE(status.message().find("hit 0"), std::string::npos);
+  EXPECT_EQ(FailPoints::TotalFired(), 1u);
+}
+
+TEST_F(FailPointTest, SkipAndCountBoundTheFiringWindow) {
+  PSK_ASSERT_OK(
+      FailPoints::ArmFromSpec("test.unit.window=error(ResourceExhausted)@2x2"));
+  std::vector<bool> fired;
+  for (int hit = 0; hit < 6; ++hit) {
+    fired.push_back(!GuardedOperation("test.unit.window").ok());
+  }
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, true, false,
+                                      false}));
+  EXPECT_EQ(FailPoints::Hits("test.unit.window"), 6u);
+  EXPECT_EQ(FailPoints::TotalFired(), 2u);
+}
+
+TEST_F(FailPointTest, UnknownStatusCodeInSpecIsRejectedByName) {
+  Status armed = FailPoints::ArmFromSpec("s=error(NoSuchCode)");
+  ASSERT_FALSE(armed.ok());
+  EXPECT_EQ(armed.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(armed.message().find("NoSuchCode"), std::string::npos);
+}
+
+TEST_F(FailPointTest, ErrnoActionFailsSyscallSitesWithChosenErrno) {
+  PSK_ASSERT_OK(FailPoints::ArmFromSpec("test.unit.syscall=errno(ENOSPC)x1"));
+  errno = 0;
+  ASSERT_TRUE(GuardedSyscall("test.unit.syscall"));
+  EXPECT_EQ(errno, ENOSPC);
+  // The x1 window is spent.
+  EXPECT_FALSE(GuardedSyscall("test.unit.syscall"));
+}
+
+TEST_F(FailPointTest, ThrowActionRaisesFailPointException) {
+  PSK_ASSERT_OK(FailPoints::ArmFromSpec("test.unit.throw=throw"));
+  bool thrown = false;
+  try {
+    PSK_FAIL_POINT_THROW("test.unit.throw");
+  } catch (const FailPointException& e) {
+    thrown = true;
+    EXPECT_NE(std::string(e.what()).find("test.unit.throw"),
+              std::string::npos);
+  }
+  EXPECT_TRUE(thrown);
+}
+
+TEST_F(FailPointTest, DelayActionSleepsThenContinues) {
+  PSK_ASSERT_OK(FailPoints::ArmFromSpec("test.unit.delay=delay(20)x1"));
+  auto start = std::chrono::steady_clock::now();
+  PSK_ASSERT_OK(GuardedOperation("test.unit.delay"));
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_GE(elapsed.count(), 15);
+}
+
+TEST_F(FailPointTest, ProbabilityScheduleIsAPureFunctionOfTheSeed) {
+  auto pattern = [](const std::string& spec) {
+    FailPoints::DisarmAll();
+    EXPECT_TRUE(FailPoints::ArmFromSpec(spec).ok());
+    std::vector<bool> fired;
+    for (int hit = 0; hit < 256; ++hit) {
+      fired.push_back(!GuardedOperation("test.unit.coin").ok());
+    }
+    return fired;
+  };
+  std::vector<bool> first = pattern("test.unit.coin=error%0.5/42");
+  std::vector<bool> second = pattern("test.unit.coin=error%0.5/42");
+  // Same seed: the same schedule, byte for byte.
+  EXPECT_EQ(first, second);
+  // Different seed: a different schedule (256 fair coins cannot all
+  // agree by chance).
+  EXPECT_NE(first, pattern("test.unit.coin=error%0.5/43"));
+  // The thinning is real: roughly half of 256 hits fire.
+  size_t fired = 0;
+  for (bool f : first) fired += f ? 1 : 0;
+  EXPECT_GT(fired, 64u);
+  EXPECT_LT(fired, 192u);
+}
+
+TEST_F(FailPointTest, BadSpecArmsNothing) {
+  Status armed =
+      FailPoints::ArmFromSpec("test.unit.good=error;test.unit.bad=bogus");
+  ASSERT_FALSE(armed.ok());
+  EXPECT_EQ(armed.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(armed.message().find("test.unit.bad"), std::string::npos);
+  // Atomic: the valid first entry was not armed either.
+  EXPECT_FALSE(FailPointsActive());
+  PSK_ASSERT_OK(GuardedOperation("test.unit.good"));
+}
+
+TEST_F(FailPointTest, TracingEnumeratesVisitedSitesDeterministically) {
+  FailPoints::SetTracing(true);
+  EXPECT_TRUE(FailPointsActive());
+  PSK_ASSERT_OK(GuardedOperation("test.unit.zebra"));
+  PSK_ASSERT_OK(GuardedOperation("test.unit.alpha"));
+  PSK_ASSERT_OK(GuardedOperation("test.unit.alpha"));
+  auto counts = FailPoints::HitCounts();
+  ASSERT_EQ(counts.size(), 2u);
+  // Sorted by site name, with exact visit counts.
+  EXPECT_EQ(counts[0].first, "test.unit.alpha");
+  EXPECT_EQ(counts[0].second, 2u);
+  EXPECT_EQ(counts[1].first, "test.unit.zebra");
+  EXPECT_EQ(counts[1].second, 1u);
+  // Nothing fired — tracing only counts.
+  EXPECT_EQ(FailPoints::TotalFired(), 0u);
+}
+
+TEST_F(FailPointTest, DisarmKeepsCountersDisarmAllResets) {
+  PSK_ASSERT_OK(FailPoints::ArmFromSpec("test.unit.disarm=error"));
+  EXPECT_FALSE(GuardedOperation("test.unit.disarm").ok());
+  FailPoints::Disarm("test.unit.disarm");
+  EXPECT_FALSE(FailPointsActive());
+  EXPECT_EQ(FailPoints::Hits("test.unit.disarm"), 1u);
+  FailPoints::DisarmAll();
+  EXPECT_EQ(FailPoints::Hits("test.unit.disarm"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Integration with the durable-file layer.
+
+TEST_F(FailPointTest, TransientErrnoInjectionIsAbsorbedByTheRetryLoop) {
+  TestOnlyResetDurableFileStats();
+  // The first three write() calls fail with EINTR; the retry loop must
+  // ride them out and the caller never notices.
+  PSK_ASSERT_OK(
+      FailPoints::ArmFromSpec("durable.write.write=errno(EINTR)x3"));
+  const std::string path = ::testing::TempDir() + "psk_failpoint_eintr";
+  PSK_ASSERT_OK(AtomicWriteFile(path, "payload"));
+  EXPECT_EQ(UnwrapOk(ReadFileToString(path)), "payload");
+  EXPECT_GE(DurableFileTransientRetries(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST_F(FailPointTest, PersistentErrnoInjectionFailsTheWriteCleanly) {
+  // EIO is not transient: the very first injected failure surfaces, and
+  // an existing target file is left untouched.
+  const std::string path = ::testing::TempDir() + "psk_failpoint_eio";
+  PSK_ASSERT_OK(AtomicWriteFile(path, "old bytes"));
+  PSK_ASSERT_OK(FailPoints::ArmFromSpec("durable.write.fsync=errno(EIO)"));
+  Status status = AtomicWriteFile(path, "new bytes");
+  ASSERT_FALSE(status.ok());
+  FailPoints::DisarmAll();
+  EXPECT_EQ(UnwrapOk(ReadFileToString(path)), "old bytes");
+  std::remove(path.c_str());
+}
+
+TEST_F(FailPointTest, TransientRetriesAreBounded) {
+  // An endless EINTR storm must not hang the writer: the loop gives up
+  // after its bounded retry budget and reports the failure.
+  PSK_ASSERT_OK(FailPoints::ArmFromSpec("durable.write.write=errno(EINTR)"));
+  const std::string path = ::testing::TempDir() + "psk_failpoint_storm";
+  Status status = AtomicWriteFile(path, "never lands");
+  ASSERT_FALSE(status.ok());
+  FailPoints::DisarmAll();
+  EXPECT_FALSE(FileExists(path));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace psk

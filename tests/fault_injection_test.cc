@@ -16,6 +16,7 @@
 #include "psk/algorithms/ola.h"
 #include "psk/algorithms/samarati.h"
 #include "psk/api/anonymizer.h"
+#include "psk/common/failpoint.h"
 #include "psk/datagen/adult.h"
 #include "psk/guard/guard.h"
 #include "psk/hierarchy/hierarchy.h"
@@ -366,6 +367,144 @@ TEST(FallbackFaultTest, NoFallbackMeansBudgetStatusSurfaces) {
   auto report = anonymizer.Run();
   ASSERT_FALSE(report.ok());
   EXPECT_EQ(report.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+// ---------------------------------------------------------------------------
+// Armed failpoints through the public API: every engine must finish with
+// a clean Status under each injected return-error class — a successful
+// release (possibly via the full-suppression fallback) or the injected
+// error itself, never a crash or hang.
+
+Anonymizer MakeArmedAnonymizer(AnonymizationAlgorithm algorithm,
+                               AdultData* data) {
+  Anonymizer anonymizer(std::move(data->table));
+  for (size_t i = 0; i < data->hierarchies.size(); ++i) {
+    anonymizer.AddHierarchy(data->hierarchies.hierarchy_ptr(i));
+  }
+  anonymizer.set_k(3).set_p(2).set_max_suppression(6);
+  anonymizer.set_algorithm(algorithm);
+  anonymizer.set_fallback_chain({AnonymizationAlgorithm::kFullSuppression});
+  return anonymizer;
+}
+
+void EngineRunsCleanUnderInjectedErrors(AnonymizationAlgorithm algorithm) {
+  // Reference run, no faults: the bytes the encoded-build class must
+  // reproduce through the legacy pipeline.
+  FailPoints::DisarmAll();
+  AdultData clean = MakeAdult(120);
+  AnonymizationReport unfaulted =
+      UnwrapOk(MakeArmedAnonymizer(algorithm, &clean).Run());
+
+  // Class 1: a stage-level error. The primary stage fails with the
+  // injected (continuable) error; the full-suppression fallback releases.
+  {
+    SCOPED_TRACE("api.stage");
+    FailPoints::DisarmAll();
+    PSK_ASSERT_OK(
+        FailPoints::ArmFromSpec("api.stage=error(ResourceExhausted)x1"));
+    AdultData data = MakeAdult(120);
+    AnonymizationReport report =
+        UnwrapOk(MakeArmedAnonymizer(algorithm, &data).Run());
+    EXPECT_EQ(report.algorithm_used,
+              AnonymizationAlgorithm::kFullSuppression);
+    EXPECT_EQ(report.fallback_stage, 1u);
+    EXPECT_TRUE(report.guard.passed) << report.guard.Summary();
+  }
+
+  // Class 2: guard verification fails. Guard refusal is final — the
+  // injected error surfaces as the run's own clean failure, because a
+  // release the guard could not verify must never escape.
+  {
+    SCOPED_TRACE("guard.verify");
+    FailPoints::DisarmAll();
+    PSK_ASSERT_OK(FailPoints::ArmFromSpec("guard.verify=error(DataLoss)"));
+    AdultData data = MakeAdult(120);
+    auto report = MakeArmedAnonymizer(algorithm, &data).Run();
+    ASSERT_FALSE(report.ok());
+    EXPECT_EQ(report.status().code(), StatusCode::kDataLoss);
+    EXPECT_NE(report.status().message().find("guard.verify"),
+              std::string::npos);
+  }
+
+  // Class 3: the dictionary-encoded fast path refuses to build. Lattice
+  // engines silently fall back to the legacy Value pipeline and must
+  // produce the identical release; engines that never build an encoded
+  // table are simply untouched.
+  {
+    SCOPED_TRACE("table.encoded.build");
+    FailPoints::DisarmAll();
+    PSK_ASSERT_OK(FailPoints::ArmFromSpec(
+        "table.encoded.build=error(ResourceExhausted)"));
+    AdultData data = MakeAdult(120);
+    AnonymizationReport report =
+        UnwrapOk(MakeArmedAnonymizer(algorithm, &data).Run());
+    EXPECT_TRUE(report.guard.passed) << report.guard.Summary();
+    if (report.algorithm_used == unfaulted.algorithm_used) {
+      // The engine degraded to the legacy Value pipeline, which must
+      // release identical bytes.
+      EXPECT_EQ(WriteCsvString(report.masked),
+                WriteCsvString(unfaulted.masked));
+    } else {
+      // An engine with a hard encoded-core dependency (Incognito's
+      // subset phase) fails its stage with the continuable injected
+      // error and the chain degrades to full suppression instead.
+      EXPECT_EQ(report.algorithm_used,
+                AnonymizationAlgorithm::kFullSuppression);
+    }
+  }
+  FailPoints::DisarmAll();
+}
+
+TEST(ArmedEngineTest, SamaratiRunsCleanUnderInjectedErrors) {
+  EngineRunsCleanUnderInjectedErrors(AnonymizationAlgorithm::kSamarati);
+}
+
+TEST(ArmedEngineTest, IncognitoRunsCleanUnderInjectedErrors) {
+  EngineRunsCleanUnderInjectedErrors(AnonymizationAlgorithm::kIncognito);
+}
+
+TEST(ArmedEngineTest, BottomUpRunsCleanUnderInjectedErrors) {
+  EngineRunsCleanUnderInjectedErrors(AnonymizationAlgorithm::kBottomUp);
+}
+
+TEST(ArmedEngineTest, ExhaustiveRunsCleanUnderInjectedErrors) {
+  EngineRunsCleanUnderInjectedErrors(AnonymizationAlgorithm::kExhaustive);
+}
+
+TEST(ArmedEngineTest, OlaRunsCleanUnderInjectedErrors) {
+  EngineRunsCleanUnderInjectedErrors(AnonymizationAlgorithm::kOla);
+}
+
+TEST(ArmedEngineTest, MondrianRunsCleanUnderInjectedErrors) {
+  EngineRunsCleanUnderInjectedErrors(AnonymizationAlgorithm::kMondrian);
+}
+
+TEST(ArmedEngineTest, GreedyClusterRunsCleanUnderInjectedErrors) {
+  EngineRunsCleanUnderInjectedErrors(AnonymizationAlgorithm::kGreedyCluster);
+}
+
+TEST(ArmedEngineTest, FallbackChainPreservesTheRootCause) {
+  // Every stage fails (unlimited injection): the final status must carry
+  // the *primary* stage's error first, with each fallback stage's failure
+  // appended as context — so post-mortems see the root cause, not the
+  // last fallback's symptom.
+  FailPoints::DisarmAll();
+  PSK_ASSERT_OK(
+      FailPoints::ArmFromSpec("api.stage=error(ResourceExhausted)"));
+  AdultData data = MakeAdult(60);
+  Anonymizer anonymizer = MakeArmedAnonymizer(
+      AnonymizationAlgorithm::kSamarati, &data);
+  auto report = anonymizer.Run();
+  FailPoints::DisarmAll();
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kResourceExhausted);
+  const Status status = report.status();
+  const std::string& message = status.message();
+  size_t root = message.find("failpoint 'api.stage' injected");
+  size_t context = message.find("fallback fullsuppression (stage 1) failed");
+  ASSERT_NE(root, std::string::npos) << message;
+  ASSERT_NE(context, std::string::npos) << message;
+  EXPECT_LT(root, context) << "root cause must lead: " << message;
 }
 
 TEST(FallbackFaultTest, CancellationAbortsTheWholeChain) {

@@ -4,6 +4,10 @@
 
 #include "psk/jobs/job.h"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -603,6 +607,60 @@ TEST(JobRunnerTest, MondrianJobWritesProgressHeartbeat) {
   std::string release = UnwrapOk(ReadFileToString(runner.release_path()));
   JobOutcome resumed = UnwrapOk(runner.Resume(spec));
   EXPECT_EQ(UnwrapOk(ReadFileToString(runner.release_path())), release);
+}
+
+TEST(JobRunnerTest, ConcurrentRunnerFailsFastOnTheDirectoryLock) {
+  std::string dir = TestDir("concurrent_lock");
+  JobSpec spec = MakeSpec();
+  JobRunner runner(dir);
+  PSK_ASSERT_OK(EnsureDirectory(dir));
+
+  // Play the incumbent: hold the advisory lock the way a live Run/Resume
+  // does. flock conflicts are per open-file-description, so a second
+  // open in this same process contends exactly like a second process.
+  int incumbent = open(runner.lock_path().c_str(), O_CREAT | O_RDWR, 0644);
+  ASSERT_GE(incumbent, 0);
+  ASSERT_EQ(flock(incumbent, LOCK_EX | LOCK_NB), 0);
+
+  // The second runner must fail fast — kFailedPrecondition, no blocking —
+  // and must not have touched the journal.
+  auto run = runner.Run(spec);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(run.status().message().find("another JobRunner"),
+            std::string::npos);
+  EXPECT_FALSE(FileExists(runner.journal_path()))
+      << "a refused runner must not write the journal";
+
+  // Resume contends on the same lock.
+  auto resumed = runner.Resume(spec);
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.status().code(), StatusCode::kFailedPrecondition);
+
+  // Releasing the incumbent's lock unblocks the directory; the lock a
+  // completed Run held is released with it, so a third run also works.
+  close(incumbent);
+  PSK_ASSERT_OK(runner.Run(spec).status());
+  PSK_ASSERT_OK(runner.Resume(spec).status());
+}
+
+TEST(JobRunnerTest, CommittedJournalSurvivesARefusedConcurrentRunner) {
+  std::string dir = TestDir("concurrent_lock_committed");
+  JobSpec spec = MakeSpec();
+  JobRunner runner(dir);
+  PSK_ASSERT_OK(runner.Run(spec).status());
+  std::string journal = UnwrapOk(ReadFileToString(runner.journal_path()));
+  std::string release = UnwrapOk(ReadFileToString(runner.release_path()));
+
+  int incumbent = open(runner.lock_path().c_str(), O_CREAT | O_RDWR, 0644);
+  ASSERT_GE(incumbent, 0);
+  ASSERT_EQ(flock(incumbent, LOCK_EX | LOCK_NB), 0);
+  // A re-Run against the held lock is refused before it retires the
+  // previous run's artifacts: journal and release are byte-unchanged.
+  ASSERT_FALSE(runner.Run(spec).ok());
+  EXPECT_EQ(UnwrapOk(ReadFileToString(runner.journal_path())), journal);
+  EXPECT_EQ(UnwrapOk(ReadFileToString(runner.release_path())), release);
+  close(incumbent);
 }
 
 }  // namespace
