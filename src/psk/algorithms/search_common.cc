@@ -10,6 +10,72 @@
 
 namespace psk {
 
+VerdictCache::~VerdictCache() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (memory_ != nullptr) memory_->Release(bytes_);
+}
+
+bool VerdictCache::Lookup(const std::string& key, NodeEvaluation* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  // Bump recency: splice moves the node to the front without invalidating
+  // the iterators the map holds.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  *out = it->second->second;
+  return true;
+}
+
+void VerdictCache::Insert(const std::string& key, const NodeEvaluation& eval) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (map_.find(key) != map_.end()) return;  // first verdict wins
+  uint64_t cost = EntryBytes(key);
+  if (max_bytes_ != 0 && cost > max_bytes_) return;  // could never fit
+  if (memory_ != nullptr) {
+    Status charged = memory_->Charge(cost);
+    if (!charged.ok()) {
+      // The job is at its hard memory limit: losing a memoization is the
+      // cheapest possible degradation, so drop the insert rather than
+      // failing the evaluation that produced it.
+      return;
+    }
+  }
+  lru_.emplace_front(key, eval);
+  map_.emplace(key, lru_.begin());
+  bytes_ += cost;
+  EvictToCapLocked();
+}
+
+void VerdictCache::set_max_bytes(uint64_t max_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_bytes_ = max_bytes;
+  EvictToCapLocked();
+}
+
+void VerdictCache::set_memory_budget(std::shared_ptr<MemoryBudget> budget) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (memory_ != nullptr) memory_->Release(bytes_);
+  memory_ = std::move(budget);
+  if (memory_ != nullptr && bytes_ > 0) {
+    // Re-charge existing contents best effort: if the budget rejects
+    // them, keep the entries (they exist either way) — the next insert's
+    // eviction pressure will shrink the books back into line.
+    memory_->Charge(bytes_).ok();
+  }
+}
+
+void VerdictCache::EvictToCapLocked() {
+  if (max_bytes_ == 0) return;
+  while (bytes_ > max_bytes_ && !lru_.empty()) {
+    auto& victim = lru_.back();
+    uint64_t cost = EntryBytes(victim.first);
+    map_.erase(victim.first);
+    lru_.pop_back();
+    bytes_ = bytes_ > cost ? bytes_ - cost : 0;
+    if (memory_ != nullptr) memory_->Release(cost);
+  }
+}
+
 std::string SnapshotNodeKey(const LatticeNode& node) {
   std::string key;
   for (size_t i = 0; i < node.levels.size(); ++i) {
@@ -90,8 +156,17 @@ Status NodeEvaluator::Init() {
     Result<EncodedTable> built = EncodedTable::Build(im_, hierarchies_);
     if (built.ok()) {
       encoded_ = std::make_shared<const EncodedTable>(std::move(*built));
+      // EncodedTable::Build memory seam (self-built path; an external
+      // table is charged by its owner, the NodeSweeper). A rejected
+      // charge fails Init with kResourceExhausted, which the fallback
+      // chain treats like any other exhausted budget.
+      PSK_RETURN_IF_ERROR(encoded_reservation_.Reserve(
+          options_.budget.memory, encoded_->ApproxBytes()));
     }
   }
+  // Attach the scratch-growth accountant (no-op without a memory budget);
+  // EvaluateEncoded delta-resizes it as the group-by buffers grow.
+  PSK_RETURN_IF_ERROR(scratch_reservation_.Reserve(options_.budget.memory, 0));
   if (options_.p >= 2) {
     if (im_.schema().ConfidentialIndices().empty()) {
       return Status::FailedPrecondition(
@@ -342,6 +417,11 @@ Result<NodeEvaluation> NodeEvaluator::EvaluateEncoded(
   ++stats_.nodes_generalized;
   ++stats_.nodes_evaluated_encoded;
   PSK_RETURN_IF_ERROR(encoded_->GroupByNode(node, &ws_));
+  // GroupByCodes scratch memory seam: charge only growth (the buffers are
+  // reused across evaluations, so this settles after warm-up). Exceeding
+  // the hard limit here surfaces as kResourceExhausted — a budget stop
+  // the sweep absorbs into a best-so-far partial result.
+  PSK_RETURN_IF_ERROR(scratch_reservation_.Resize(ws_.ApproxBytes()));
   const EncodedGroups& groups = ws_.groups;
 
   NodeEvaluation eval;
@@ -410,7 +490,17 @@ Status NodeSweeper::Init() {
   size_t num_workers =
       (checkpointed || options_.threads <= 1) ? 1 : options_.threads;
 
-  auto cache = std::make_shared<VerdictCache>();
+  // An externally owned cache (SearchOptions::verdict_cache) lets a
+  // scheduler watch bytes_used() and Shrink() the cache mid-run; a
+  // private cache is wired to the job's memory budget here so its
+  // inserts are accounted either way.
+  std::shared_ptr<VerdictCache> cache = options_.verdict_cache;
+  if (cache == nullptr) {
+    cache = std::make_shared<VerdictCache>();
+    if (options_.budget.memory != nullptr) {
+      cache->set_memory_budget(options_.budget.memory);
+    }
+  }
   workers_.clear();
   workers_.reserve(num_workers);
   // Sized once up front: workers capture pointers into this vector, so it
@@ -433,6 +523,14 @@ Status NodeSweeper::Init() {
     }
     span.Attr("path", encoded != nullptr ? "encoded" : "legacy");
     span.Counter("rows", im_.num_rows());
+  }
+  if (encoded != nullptr) {
+    // EncodedTable::Build memory seam: one charge for the whole sweep
+    // (every worker shares the same immutable encoding). A rejected
+    // charge fails Init with kResourceExhausted before any node is
+    // evaluated — the fallback chain decides what runs instead.
+    PSK_RETURN_IF_ERROR(encoded_reservation_.Reserve(
+        options_.budget.memory, encoded->ApproxBytes()));
   }
 
   workers_.push_back(
@@ -485,6 +583,12 @@ Status NodeSweeper::SweepNodes(
     std::vector<std::optional<NodeEvaluation>>* evals) {
   evals->assign(nodes.size(), std::nullopt);
   size_t active = std::min(workers_.size(), nodes.size());
+  // Fair-share: when other sweeps are on the pool, take only an equal
+  // split of it. Safe for correctness by the determinism contract (the
+  // release and stats are identical for any worker count).
+  if (active > 1) {
+    active = ThreadPool::Shared().FairShareWorkers(active);
+  }
   RunTrace* trace = options_.trace;
 
   if (active <= 1) {
@@ -508,9 +612,22 @@ Status NodeSweeper::SweepNodes(
     trace->Timing("workers", active);
     trace->Timing("queue_depth", ThreadPool::Shared().ApproxQueueDepth());
   }
+  // Shards carry the owning job's CancelToken: a pool worker that draws a
+  // shard of a cancelled job observes the token before doing any work and
+  // drains it immediately, so one dead job's queued shards can never
+  // stall a neighbor sharing the pool.
+  const CancelToken* cancel = options_.budget.cancel.get();
   ThreadPool::Shared().ParallelFor(
       nodes.size(), active, [&](size_t worker, size_t index) {
         if (stop.load(std::memory_order_relaxed)) return;  // drain fast
+        if (cancel != nullptr && cancel->cancelled()) {
+          if (worker_status[worker].ok()) {
+            worker_status[worker] = Status::Cancelled(
+                "run cancelled by caller");
+          }
+          stop.store(true, std::memory_order_relaxed);
+          return;
+        }
         int64_t begin_ns = trace != nullptr ? trace->NowNs() : 0;
         Result<NodeEvaluation> eval = workers_[worker]->Evaluate(nodes[index]);
         if (trace != nullptr) {

@@ -3,11 +3,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "psk/anonymity/frequency_stats.h"
@@ -67,30 +69,86 @@ std::string SnapshotNodeKey(const LatticeNode& node);
 /// resumed run converges on the uninterrupted run's counters), a cache hit
 /// is work already counted in this run: it increments only
 /// SearchStats::nodes_cache_hits and charges no budget.
+///
+/// Memory governance: the cache is LRU-bounded. With max_bytes() == 0
+/// (the default) it grows without limit, exactly like the historical
+/// behavior, so a solo run's stats never change. With a cap — or when a
+/// scheduler calls Shrink() on an over-quota job — the least-recently
+/// touched verdicts are evicted first; an evicted node re-evaluates (and
+/// re-counts) on its next request, which trades determinism of the
+/// *stats* for bounded memory, never correctness of the verdicts
+/// themselves (each one is a pure function of the inputs). Every insert
+/// is charged against the attached MemoryBudget (if any); an insert the
+/// budget rejects is simply dropped — the search just loses a memoization.
 class VerdictCache {
  public:
-  /// True and fills *out when `key` has a cached verdict.
-  bool Lookup(const std::string& key, NodeEvaluation* out) const {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = map_.find(key);
-    if (it == map_.end()) return false;
-    *out = it->second;
-    return true;
-  }
+  VerdictCache() = default;
+  ~VerdictCache();
 
-  void Insert(const std::string& key, const NodeEvaluation& eval) {
-    std::lock_guard<std::mutex> lock(mu_);
-    map_.emplace(key, eval);
-  }
+  VerdictCache(const VerdictCache&) = delete;
+  VerdictCache& operator=(const VerdictCache&) = delete;
+
+  /// True and fills *out when `key` has a cached verdict; bumps the
+  /// entry's recency.
+  bool Lookup(const std::string& key, NodeEvaluation* out) const;
+
+  void Insert(const std::string& key, const NodeEvaluation& eval);
 
   size_t size() const {
     std::lock_guard<std::mutex> lock(mu_);
     return map_.size();
   }
 
+  /// Bytes held by the cached entries (keys + verdicts + bookkeeping
+  /// estimate).
+  uint64_t bytes_used() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_;
+  }
+
+  /// Eviction cap in bytes; 0 = unbounded (the default). Lowering the cap
+  /// evicts immediately. Thread-safe — a scheduler watchdog may call this
+  /// while the owning job is mid-sweep.
+  void set_max_bytes(uint64_t max_bytes);
+  uint64_t max_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return max_bytes_;
+  }
+
+  /// Degradation-ladder step: caps the cache at `max_bytes` and evicts
+  /// down to it right now (equivalent to set_max_bytes, named for
+  /// intent at the call sites).
+  void Shrink(uint64_t max_bytes) { set_max_bytes(max_bytes); }
+
+  /// Charges every byte this cache holds (now and in the future) against
+  /// `budget`. Call before the search starts; the current contents are
+  /// re-charged ex post (best effort — an over-budget re-charge keeps the
+  /// entries but the books saturate at the hard limit via eviction on the
+  /// next insert).
+  void set_memory_budget(std::shared_ptr<MemoryBudget> budget);
+
+  /// Cost model for one entry — exposed so tests can size caps exactly.
+  static uint64_t EntryBytes(const std::string& key) {
+    // Key stored twice (map key + recency-list back-reference), verdict
+    // once, plus node/bucket overhead for the map and list.
+    return 2 * key.size() + sizeof(NodeEvaluation) + kEntryOverhead;
+  }
+  static constexpr uint64_t kEntryOverhead = 96;
+
  private:
+  /// Recency list: front = most recent. The map points into the list.
+  using LruList = std::list<std::pair<std::string, NodeEvaluation>>;
+
+  /// Evicts from the back until bytes_ <= max_bytes_ (no-op when
+  /// unbounded). Caller holds mu_.
+  void EvictToCapLocked();
+
   mutable std::mutex mu_;
-  std::unordered_map<std::string, NodeEvaluation> map_;
+  mutable LruList lru_;
+  std::unordered_map<std::string, LruList::iterator> map_;
+  uint64_t bytes_ = 0;
+  uint64_t max_bytes_ = 0;
+  std::shared_ptr<MemoryBudget> memory_;
 };
 
 struct SearchStats;
@@ -133,6 +191,14 @@ struct SearchOptions {
   /// silently falls back to the legacy path, which reproduces the same
   /// error lazily if the offending level is actually reached.
   bool use_encoded_core = true;
+  /// Externally owned verdict cache. When set, NodeSweeper shares this
+  /// cache across its workers instead of creating a private one — the
+  /// seam a scheduler uses to keep a handle on a job's cache so it can
+  /// read bytes_used() and Shrink() it mid-run (degradation ladder). The
+  /// owner decides the eviction cap and the memory budget; when unset, a
+  /// private unbounded cache is created per search, charged against
+  /// budget.memory if that is set.
+  std::shared_ptr<VerdictCache> verdict_cache;
   /// Resource limits. When a limit trips mid-search, the search stops and
   /// returns whatever it found so far, with SearchStats::partial set and
   /// SearchStats::stop_reason naming the limit — it never hangs and never
@@ -402,6 +468,12 @@ class NodeEvaluator {
   /// Per-evaluator scratch for the encoded path (never shared).
   EncodedWorkspace ws_;
   EncodedDistinctScratch distinct_scratch_;
+  /// Memory-budget charges: the self-built encoding (only when this
+  /// evaluator built its own — an external one is charged by its owner)
+  /// and the scratch buffers, delta-resized after every encoded
+  /// evaluation. No-ops when options().budget.memory is unset.
+  MemoryReservation encoded_reservation_;
+  MemoryReservation scratch_reservation_;
   bool initialized_ = false;
   bool condition1_holds_ = true;
   size_t max_p_ = 0;
@@ -485,6 +557,9 @@ class NodeSweeper {
   const HierarchySet& hierarchies_;
   SearchOptions options_;
   std::vector<std::unique_ptr<NodeEvaluator>> workers_;
+  /// Charge for the shared encoded table (EncodedTable::Build seam);
+  /// released when the sweeper dies. No-op without a memory budget.
+  MemoryReservation encoded_reservation_;
   /// One lock-free event buffer per worker; stable addresses (sized once
   /// in Init, before the workers capture pointers into it).
   std::vector<TraceEventBuffer> trace_buffers_;

@@ -322,6 +322,7 @@ Result<AnonymizationReport> Anonymizer::RunImpl(RunTrace* trace) const {
   base_options.use_conditions = use_conditions_;
   base_options.use_encoded_core = use_encoded_core_;
   base_options.threads = threads_;
+  base_options.verdict_cache = verdict_cache_;
   base_options.trace = trace;
   // Crash-recovery hooks: node verdicts are pure functions of the data and
   // (k, p, TS), so one snapshot serves every lattice stage of the chain.

@@ -145,6 +145,15 @@ class Anonymizer {
     threads_ = threads;
     return *this;
   }
+  /// Externally owned verdict cache shared into every lattice stage of
+  /// the run (see SearchOptions::verdict_cache). A scheduler uses this to
+  /// keep a handle on the job's cache so it can meter bytes_used() and
+  /// Shrink() it mid-run; normal callers leave it unset and each search
+  /// creates a private one.
+  Anonymizer& set_verdict_cache(std::shared_ptr<VerdictCache> cache) {
+    verdict_cache_ = std::move(cache);
+    return *this;
+  }
 
   /// Enables structured run tracing and writes the trace JSON to `path`
   /// (atomically, on Run exit — whether the run succeeded or not). An
@@ -266,6 +275,7 @@ class Anonymizer {
   bool use_conditions_ = true;
   bool use_encoded_core_ = true;
   size_t threads_ = 1;
+  std::shared_ptr<VerdictCache> verdict_cache_;
   std::string trace_sink_path_;
   bool trace_enabled_ = false;
   /// Mutable: Run() is const but publishes its trace here for readback.

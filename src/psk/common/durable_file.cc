@@ -42,6 +42,7 @@ std::string Errno(const std::string& what, const std::string& path) {
   return what + " '" + path + "': " + std::strerror(errno);
 }
 
+
 // Transient retries performed across all durable-file syscalls since
 // process start (or the last test reset). Exported so callers (the jobs
 // layer records it on the RunTrace) can see that a run succeeded only by
@@ -58,12 +59,28 @@ bool IsTransientErrno(int err) {
 }
 
 // EINTR retries immediately (the syscall was merely interrupted);
-// EAGAIN-class waits briefly, growing linearly to a 10 ms cap so a busy
-// device gets breathing room without adding seconds to a commit.
+// EAGAIN-class waits briefly on the shared exponential curve, capped at
+// 10 ms so a busy device gets breathing room without adding seconds to a
+// commit.
 void TransientBackoff(int err, int attempt) {
   if (err == EINTR) return;
-  int ms = std::min(attempt + 1, 10);
-  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  std::this_thread::sleep_for(RetryBackoffDelay(
+      attempt, std::chrono::milliseconds(1), std::chrono::milliseconds(10)));
+}
+
+// Classifies a syscall failure whose errno is still live: a transient
+// errno here means the bounded retry loop already rode out its full
+// budget and the condition persisted, which is kUnavailable (the caller
+// may retry the whole operation later); anything else is a plain
+// kIOError. Durability-compromising failures (short write, failed fsync)
+// stay kDataLoss regardless — retrying cannot restore trust in bytes
+// that may or may not have reached storage.
+Status SyscallFailure(const std::string& what, const std::string& path) {
+  if (IsTransientErrno(errno)) {
+    return Status::Unavailable(
+        Errno(what + " (transient retries exhausted)", path));
+  }
+  return Status::IOError(Errno(what, path));
 }
 
 // Runs syscall `op` (negative result = failure with errno) behind the
@@ -117,7 +134,7 @@ Status SyncParentDirectory(const std::string& path) {
     return open(dir.c_str(), O_RDONLY | O_DIRECTORY);
   });
   if (fd < 0) {
-    return Status::IOError(Errno("cannot open directory", dir));
+    return SyscallFailure("cannot open directory", dir);
   }
   int rc = RetrySyscall("durable.dir.fsync", [&] { return fsync(fd); });
   close(fd);
@@ -129,6 +146,20 @@ Status SyncParentDirectory(const std::string& path) {
 
 }  // namespace
 
+std::chrono::milliseconds RetryBackoffDelay(int attempt,
+                                            std::chrono::milliseconds base,
+                                            std::chrono::milliseconds cap) {
+  if (attempt < 0) attempt = 0;
+  if (base.count() <= 0) return std::chrono::milliseconds(0);
+  std::chrono::milliseconds delay = base;
+  // Double per attempt, saturating at the cap (also guards overflow: once
+  // past the cap the loop exits before the shift can wrap).
+  for (int i = 0; i < attempt && delay < cap; ++i) {
+    delay += delay;
+  }
+  return std::min(delay, cap);
+}
+
 Result<std::string> ReadFileToString(const std::string& path) {
   int fd = RetrySyscall("durable.read.open",
                         [&] { return open(path.c_str(), O_RDONLY); });
@@ -136,7 +167,7 @@ Result<std::string> ReadFileToString(const std::string& path) {
     if (errno == ENOENT) {
       return Status::NotFound("no such file: " + path);
     }
-    return Status::IOError(Errno("cannot open file", path));
+    return SyscallFailure("cannot open file", path);
   }
   std::string out;
   char buffer[1 << 16];
@@ -146,7 +177,7 @@ Result<std::string> ReadFileToString(const std::string& path) {
     });
     if (n < 0) {
       close(fd);
-      return Status::IOError(Errno("error reading", path));
+      return SyscallFailure("error reading", path);
     }
     if (n == 0) break;
     out.append(buffer, static_cast<size_t>(n));

@@ -1,6 +1,7 @@
 #ifndef PSK_COMMON_DURABLE_FILE_H_
 #define PSK_COMMON_DURABLE_FILE_H_
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -9,8 +10,20 @@
 
 namespace psk {
 
+/// Shared bounded-exponential-backoff policy: delay for retry `attempt`
+/// (0-based) is min(cap, base * 2^attempt), saturating instead of
+/// overflowing. This is the one retry curve the runtime uses everywhere a
+/// transient failure is worth waiting out — the durable-file syscall
+/// loop, the job-dir advisory-lock wait, and the scheduler's re-dispatch
+/// of transiently failed jobs — so tuning it tunes them all coherently.
+std::chrono::milliseconds RetryBackoffDelay(int attempt,
+                                            std::chrono::milliseconds base,
+                                            std::chrono::milliseconds cap);
+
 /// Reads a whole file into a string. kNotFound when the path does not
-/// exist, kIOError for any other failure.
+/// exist, kUnavailable when a transient (EINTR/EAGAIN-class) condition
+/// persisted past the bounded retry budget — the caller may retry the
+/// whole read later — and kIOError for any other failure.
 Result<std::string> ReadFileToString(const std::string& path);
 
 /// True iff `path` exists (any file type).

@@ -35,6 +35,13 @@ Status BudgetEnforcer::Trip(Status status) {
 }
 
 Status BudgetEnforcer::Charge(uint64_t nodes, uint64_t rows) {
+  // Tick the heartbeat before any limit check: even a charge that is
+  // about to fail proves the job is alive and polling its budget, which
+  // is exactly what the scheduler watchdog wants to distinguish from a
+  // hung job.
+  if (budget_.heartbeat != nullptr) {
+    budget_.heartbeat->fetch_add(1, std::memory_order_relaxed);
+  }
   int tripped = tripped_code_.load(std::memory_order_relaxed);
   if (tripped != 0) {
     return Status(static_cast<StatusCode>(tripped),
@@ -55,7 +62,8 @@ Status BudgetEnforcer::Charge(uint64_t nodes, uint64_t rows) {
     return Trip(Status::ResourceExhausted(LimitMessage(
         "rows materialized", total_rows, *budget_.max_rows_materialized)));
   }
-  if (budget_.cancel == nullptr && !budget_.deadline.has_value()) {
+  if (budget_.cancel == nullptr && !budget_.deadline.has_value() &&
+      budget_.memory == nullptr) {
     return Status::OK();
   }
   uint64_t check = checks_.fetch_add(1, std::memory_order_relaxed);
@@ -66,6 +74,9 @@ Status BudgetEnforcer::Charge(uint64_t nodes, uint64_t rows) {
 }
 
 Status BudgetEnforcer::Check() {
+  if (budget_.heartbeat != nullptr) {
+    budget_.heartbeat->fetch_add(1, std::memory_order_relaxed);
+  }
   int tripped = tripped_code_.load(std::memory_order_relaxed);
   if (tripped != 0) {
     return Status(static_cast<StatusCode>(tripped),
@@ -73,6 +84,11 @@ Status BudgetEnforcer::Check() {
   }
   if (budget_.cancel != nullptr && budget_.cancel->cancelled()) {
     return Trip(Status::Cancelled("run cancelled by caller"));
+  }
+  if (budget_.memory != nullptr && budget_.memory->exhausted()) {
+    return Trip(Status::ResourceExhausted(
+        "memory budget exhausted (" +
+        std::to_string(budget_.memory->bytes_used()) + " bytes in use)"));
   }
   if (budget_.deadline.has_value() &&
       std::chrono::steady_clock::now() >= deadline_point_) {

@@ -7,6 +7,7 @@
 #include <memory>
 #include <optional>
 
+#include "psk/common/memory_budget.h"
 #include "psk/common/status.h"
 
 namespace psk {
@@ -63,11 +64,24 @@ struct RunBudget {
   std::optional<uint64_t> max_rows_materialized;
   /// Optional cooperative cancellation; may be shared across runs.
   std::shared_ptr<CancelToken> cancel;
+  /// Optional per-job byte accountant, charged at the allocation seams
+  /// (EncodedTable::Build, group-by scratch growth, VerdictCache
+  /// inserts). When the budget is force-exhausted, every enforcer
+  /// checkpoint fails with kResourceExhausted — a budget-stop code the
+  /// search absorbs into a best-so-far partial result.
+  std::shared_ptr<MemoryBudget> memory;
+  /// Optional liveness counter, bumped at every enforcer checkpoint. A
+  /// scheduler watchdog polls it to tell a slow job (counter advancing)
+  /// from a hung or budget-deaf one (counter frozen). Observability only;
+  /// never causes a stop.
+  std::shared_ptr<std::atomic<uint64_t>> heartbeat;
 
-  /// True when no limit of any kind is configured.
+  /// True when no limit of any kind is configured (the heartbeat is not a
+  /// limit; an attached memory budget is).
   bool Unlimited() const {
     return !deadline.has_value() && !max_nodes_expanded.has_value() &&
-           !max_rows_materialized.has_value() && cancel == nullptr;
+           !max_rows_materialized.has_value() && cancel == nullptr &&
+           memory == nullptr;
   }
 };
 

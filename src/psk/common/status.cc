@@ -30,13 +30,15 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kDataLoss:
       return "DataLoss";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }
 
 std::optional<StatusCode> StatusCodeFromString(std::string_view name) {
   for (int raw = static_cast<int>(StatusCode::kOk);
-       raw <= static_cast<int>(StatusCode::kDataLoss); ++raw) {
+       raw <= static_cast<int>(StatusCode::kUnavailable); ++raw) {
     StatusCode code = static_cast<StatusCode>(raw);
     if (StatusCodeToString(code) == name) return code;
   }
@@ -48,6 +50,11 @@ std::string Status::ToString() const {
   std::string result(StatusCodeToString(code_));
   result += ": ";
   result += message_;
+  if (retry_after_ms_.has_value()) {
+    result += " [retry-after ";
+    result += std::to_string(*retry_after_ms_);
+    result += "ms]";
+  }
   return result;
 }
 

@@ -1,6 +1,7 @@
 #ifndef PSK_COMMON_STATUS_H_
 #define PSK_COMMON_STATUS_H_
 
+#include <cstdint>
 #include <optional>
 #include <ostream>
 #include <string>
@@ -34,6 +35,13 @@ enum class StatusCode {
   /// kIOError, which covers transient open/read failures, kDataLoss means
   /// the bytes on disk must not be trusted.
   kDataLoss = 12,
+  /// The operation failed because of a transient condition that is
+  /// expected to clear on its own — a contended advisory lock, a syscall
+  /// that kept returning EAGAIN past the bounded retry budget, a
+  /// scheduler draining for shutdown. Unlike kResourceExhausted (a cap
+  /// the caller configured was hit) the caller did nothing wrong;
+  /// retrying the same request later may succeed.
+  kUnavailable = 13,
 };
 
 /// Returns a stable, human-readable name for a status code ("OK",
@@ -104,6 +112,9 @@ class Status {
   static Status DataLoss(std::string message) {
     return Status(StatusCode::kDataLoss, std::move(message));
   }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
+  }
 
   /// True iff this status represents success.
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -113,12 +124,44 @@ class Status {
   /// The error message; empty for OK statuses.
   const std::string& message() const { return message_; }
 
+  /// True when the same request may succeed if retried later.
+  ///
+  /// kUnavailable is always retryable (transient by definition). A
+  /// kResourceExhausted status is retryable only when the producer
+  /// attached a retry-after hint — admission-control shedding does, a
+  /// tripped node/row budget does not (retrying an identical over-budget
+  /// run would just trip again).
+  bool retryable() const {
+    if (code_ == StatusCode::kUnavailable) return true;
+    return code_ == StatusCode::kResourceExhausted &&
+           retry_after_ms_.has_value();
+  }
+
+  /// Optional producer hint: how long the caller should wait before
+  /// retrying, in milliseconds. Set by admission-control shedding and
+  /// other load-dependent rejections; unset for plain errors.
+  const std::optional<uint64_t>& retry_after_ms() const {
+    return retry_after_ms_;
+  }
+
+  /// Fluent setter for the retry-after hint (milliseconds).
+  Status&& WithRetryAfterMs(uint64_t delay_ms) && {
+    retry_after_ms_ = delay_ms;
+    return std::move(*this);
+  }
+  Status& WithRetryAfterMs(uint64_t delay_ms) & {
+    retry_after_ms_ = delay_ms;
+    return *this;
+  }
+
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;
 
-  /// Two statuses are equal iff code and message are equal.
+  /// Two statuses are equal iff code, message, and retry metadata are
+  /// equal.
   friend bool operator==(const Status& a, const Status& b) {
-    return a.code_ == b.code_ && a.message_ == b.message_;
+    return a.code_ == b.code_ && a.message_ == b.message_ &&
+           a.retry_after_ms_ == b.retry_after_ms_;
   }
   friend bool operator!=(const Status& a, const Status& b) {
     return !(a == b);
@@ -127,6 +170,7 @@ class Status {
  private:
   StatusCode code_;
   std::string message_;
+  std::optional<uint64_t> retry_after_ms_;
 };
 
 std::ostream& operator<<(std::ostream& os, const Status& status);

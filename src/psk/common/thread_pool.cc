@@ -95,6 +95,13 @@ void ThreadPool::ParallelFor(
     size_t count, size_t workers,
     const std::function<void(size_t worker, size_t index)>& fn) {
   if (count == 0) return;
+  // Count this region for the whole call so concurrent sweeps consulting
+  // FairShareWorkers() see each other. RAII because fn may throw.
+  active_regions_.fetch_add(1, std::memory_order_relaxed);
+  struct RegionGuard {
+    std::atomic<size_t>* counter;
+    ~RegionGuard() { counter->fetch_sub(1, std::memory_order_relaxed); }
+  } region_guard{&active_regions_};
   workers = std::min(std::max<size_t>(workers, 1), count);
   size_t helpers = std::min(workers - 1, num_threads());
 
@@ -131,6 +138,19 @@ void ThreadPool::ParallelFor(
 size_t ThreadPool::ApproxQueueDepth() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queue_.size();
+}
+
+size_t ThreadPool::FairShareWorkers(size_t requested) const {
+  if (requested <= 1) return std::max<size_t>(requested, 1);
+  size_t others = active_regions_.load(std::memory_order_relaxed);
+  if (others == 0) return requested;
+  // `others` regions are already sweeping; this caller makes others + 1.
+  // Grant an equal split of the whole pool (background threads plus the
+  // caller itself), rounded up so small pools don't starve everyone down
+  // to sequential, but never more than was requested.
+  size_t capacity = num_threads() + 1;
+  size_t share = (capacity + others) / (others + 1);
+  return std::max<size_t>(1, std::min(requested, share));
 }
 
 }  // namespace psk

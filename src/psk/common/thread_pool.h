@@ -1,6 +1,7 @@
 #ifndef PSK_COMMON_THREAD_POOL_H_
 #define PSK_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -65,6 +66,22 @@ class ThreadPool {
   /// only, never for scheduling decisions.
   size_t ApproxQueueDepth() const;
 
+  /// Number of ParallelFor calls currently in flight on this pool (each
+  /// call counts itself for its whole duration). Racy by nature; a
+  /// fair-share signal, not a synchronization primitive.
+  size_t ActiveRegions() const {
+    return active_regions_.load(std::memory_order_relaxed);
+  }
+
+  /// Fair-share advice: how many workers a sweep that *wants* `requested`
+  /// should actually use given the other ParallelFor regions currently on
+  /// the pool. With no competition the request is granted in full; with R
+  /// other regions the grant shrinks toward an equal split of the pool
+  /// (never below 1 — the caller always participates). Advisory only:
+  /// the engines' determinism contract guarantees byte-identical results
+  /// for any worker count, so acting on a racy read is safe.
+  size_t FairShareWorkers(size_t requested) const;
+
  private:
   void WorkerLoop();
 
@@ -73,6 +90,7 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   bool shutdown_ = false;
   std::vector<std::thread> threads_;
+  std::atomic<size_t> active_regions_{0};
 };
 
 }  // namespace psk

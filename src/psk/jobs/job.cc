@@ -7,6 +7,7 @@
 #include <cerrno>
 #include <cstring>
 #include <map>
+#include <thread>
 #include <utility>
 
 #include "psk/api/spec_parser.h"
@@ -44,7 +45,8 @@ class JobDirLock {
   JobDirLock& operator=(const JobDirLock&) = delete;
   ~JobDirLock() { Release(); }
 
-  static Result<JobDirLock> Acquire(const std::string& path) {
+  static Result<JobDirLock> Acquire(const std::string& path,
+                                    std::chrono::milliseconds lock_wait) {
     int fd = PSK_FAIL_POINT_SYSCALL("jobs.lock.open")
                  ? -1
                  : open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
@@ -58,17 +60,36 @@ class JobDirLock {
       return Status::IOError("cannot open lock file '" + path +
                              "': " + std::strerror(errno));
     }
-    if (PSK_FAIL_POINT_SYSCALL("jobs.lock.flock") ||
-        flock(fd, LOCK_EX | LOCK_NB) != 0) {
-      close(fd);
-      return Status::FailedPrecondition(
-          "another JobRunner holds the lock on '" + path +
-          "'; concurrent runners on one job directory are refused so they "
-          "cannot interleave journal writes");
+    // Non-blocking probe, retried on the shared backoff curve until the
+    // wait budget is spent. Never LOCK_EX without LOCK_NB: an uninterrupted
+    // blocking flock could wedge behind a hung incumbent forever, and the
+    // whole point of the wait budget is a bounded verdict.
+    std::chrono::milliseconds waited{0};
+    int attempt = 0;
+    for (;;) {
+      if (!PSK_FAIL_POINT_SYSCALL("jobs.lock.flock") &&
+          flock(fd, LOCK_EX | LOCK_NB) == 0) {
+        JobDirLock lock;
+        lock.fd_ = fd;
+        return lock;
+      }
+      if (waited >= lock_wait) break;
+      std::chrono::milliseconds delay = RetryBackoffDelay(
+          attempt++, std::chrono::milliseconds(1),
+          std::chrono::milliseconds(50));
+      if (waited + delay > lock_wait) delay = lock_wait - waited;
+      std::this_thread::sleep_for(delay);
+      waited += delay;
     }
-    JobDirLock lock;
-    lock.fd_ = fd;
-    return lock;
+    close(fd);
+    // Retryable by contract: the incumbent finishes (or dies, releasing
+    // the flock), so a later attempt can succeed — unlike a spec mismatch,
+    // which is a real precondition failure.
+    return Status::Unavailable(
+        "another JobRunner holds the lock on '" + path + "' (waited " +
+        std::to_string(waited.count()) +
+        "ms); concurrent runners on one job directory are refused so they "
+        "cannot interleave journal writes");
   }
 
  private:
@@ -309,9 +330,10 @@ Status JobRunner::WriteJournal(const JobSpec& spec, bool committed) {
 Result<JobOutcome> JobRunner::Run(const JobSpec& spec) {
   PSK_RETURN_IF_ERROR(EnsureDirectory(job_dir_));
   // Exclusive ownership of the directory for the whole run: a second
-  // runner racing on the same job_dir fails fast here instead of
-  // interleaving journal/checkpoint writes with ours.
-  PSK_ASSIGN_OR_RETURN(JobDirLock lock, JobDirLock::Acquire(lock_path()));
+  // runner racing on the same job_dir waits briefly, then refuses, instead
+  // of interleaving journal/checkpoint writes with ours.
+  PSK_ASSIGN_OR_RETURN(JobDirLock lock,
+                       JobDirLock::Acquire(lock_path(), lock_wait_));
   // Reap staging files a crashed predecessor leaked (best-effort: a reap
   // failure costs disk space, never correctness). Live writers hold an
   // flock on their temp, so a concurrent job in the same directory is
@@ -333,7 +355,8 @@ Result<JobOutcome> JobRunner::Resume(const JobSpec& spec) {
   // Take the directory lock before touching any artifact. A missing
   // directory surfaces as kNotFound — the same verdict a missing journal
   // would earn — so callers keep a single "fall back to Run()" path.
-  PSK_ASSIGN_OR_RETURN(JobDirLock lock, JobDirLock::Acquire(lock_path()));
+  PSK_ASSIGN_OR_RETURN(JobDirLock lock,
+                       JobDirLock::Acquire(lock_path(), lock_wait_));
   // Same stale-staging reap as Run(): the crash that made this Resume
   // necessary is exactly when temps get orphaned.
   (void)CleanStaleStaging(job_dir_);
@@ -401,7 +424,11 @@ Result<JobOutcome> JobRunner::Execute(const JobSpec& spec,
       .set_max_suppression(spec.max_suppression)
       .set_algorithm(spec.algorithm)
       .set_budget(spec.budget)
+      .set_threads(spec.threads)
       .set_guard_enabled(spec.guard_enabled);
+  if (spec.verdict_cache != nullptr) {
+    anonymizer.set_verdict_cache(spec.verdict_cache);
+  }
   if (!spec.fallback_chain.empty()) {
     anonymizer.set_fallback_chain(spec.fallback_chain);
   }
@@ -414,23 +441,29 @@ Result<JobOutcome> JobRunner::Execute(const JobSpec& spec,
     anonymizer.set_trace_enabled(true);
   }
   // Checkpoints are best-effort: a failed write costs resume progress,
-  // never correctness, so its status is deliberately dropped.
+  // never correctness, so its status is deliberately dropped. Only the
+  // sequential path checkpoints — a parallel sweep completes nodes in
+  // nondeterministic order, so a snapshot cut mid-sweep would record a
+  // frontier no sequential replay reproduces. A scheduler degrading a job
+  // under pressure drops it to threads == 1, which re-arms the sink.
   std::string checkpoint_file = checkpoint_path();
   uint64_t input_digest = TableDigest(spec.input);
-  anonymizer.set_checkpoint_sink(
-      [checkpoint_file, spec_hash,
-       input_digest](const SearchSnapshot& snapshot) {
-        // The site sits above AtomicWriteFile so torture runs can also
-        // crash *between* snapshot serialization and the write syscalls.
-        if (FailPointsActive() &&
-            !FailPointCheck("jobs.checkpoint.write").ok()) {
-          return;
-        }
-        (void)AtomicWriteFile(
-            checkpoint_file,
-            SerializeSnapshot(snapshot, spec_hash, input_digest));
-      },
-      spec.checkpoint_interval);
+  if (spec.threads <= 1) {
+    anonymizer.set_checkpoint_sink(
+        [checkpoint_file, spec_hash,
+         input_digest](const SearchSnapshot& snapshot) {
+          // The site sits above AtomicWriteFile so torture runs can also
+          // crash *between* snapshot serialization and the write syscalls.
+          if (FailPointsActive() &&
+              !FailPointCheck("jobs.checkpoint.write").ok()) {
+            return;
+          }
+          (void)AtomicWriteFile(
+              checkpoint_file,
+              SerializeSnapshot(snapshot, spec_hash, input_digest));
+        },
+        spec.checkpoint_interval);
+  }
   std::string progress_file = progress_path();
   anonymizer.set_progress_heartbeat([progress_file](size_t done) {
     if (FailPointsActive() && !FailPointCheck("jobs.progress.write").ok()) {

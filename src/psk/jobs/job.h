@@ -1,6 +1,7 @@
 #ifndef PSK_JOBS_JOB_H_
 #define PSK_JOBS_JOB_H_
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -46,6 +47,21 @@ struct JobSpec {
   /// excluded from JobSpecHash, so a resumed job may add or drop tracing
   /// without invalidating the journal.
   std::string trace_path;
+  /// Worker threads for the lattice engines' node sweeps. The determinism
+  /// contract guarantees byte-identical releases for every value, so this
+  /// is a runtime knob excluded from JobSpecHash (like trace_path): a
+  /// scheduler may degrade a resumed job from parallel to sequential
+  /// without invalidating its journal. Values above 1 skip the durable
+  /// checkpoint sink — the parallel sweep is the fast path; threads == 1
+  /// is the checkpoint-friendly sequential path a degradation ladder
+  /// falls back to.
+  size_t threads = 1;
+  /// Externally owned verdict cache shared into every lattice stage (see
+  /// Anonymizer::set_verdict_cache). A scheduler uses this to meter the
+  /// job's cache bytes and Shrink() it under memory pressure; normal
+  /// callers leave it unset. Pure resource plumbing — excluded from
+  /// JobSpecHash (cached verdicts never change results, only speed).
+  std::shared_ptr<VerdictCache> verdict_cache;
 };
 
 /// Fingerprint of the requirements half of a spec (k, p, TS, algorithm,
@@ -125,14 +141,28 @@ struct JobOutcome {
 /// the middle of — any of the durable writes is recoverable.
 ///
 /// Both entry points hold an advisory exclusive flock on job_dir/.lock
-/// for their whole duration: a second JobRunner racing on the same
-/// directory fails fast with kFailedPrecondition instead of interleaving
-/// journal/checkpoint writes with the incumbent. The kernel drops the
-/// lock when the holder dies, so a crashed runner never wedges the
-/// directory — the next Run/Resume simply takes the lock over.
+/// for their whole duration, so a second JobRunner racing on the same
+/// directory can never interleave journal/checkpoint writes with the
+/// incumbent. Contention is retried with bounded exponential backoff for
+/// up to lock_wait() (short incumbents — a Resume verifying a committed
+/// release — finish within it); when the wait budget is exhausted the
+/// runner refuses with the retryable kUnavailable. set_lock_wait(0) opts
+/// out, restoring the historical fail-fast probe (the torture harness
+/// races runners deliberately and wants the refusal, not the wait). The
+/// kernel drops the lock when the holder dies, so a crashed runner never
+/// wedges the directory — the next Run/Resume simply takes the lock over.
 class JobRunner {
  public:
   explicit JobRunner(std::string job_dir) : job_dir_(std::move(job_dir)) {}
+
+  /// How long Run/Resume may spend retrying a contended directory lock
+  /// before refusing with kUnavailable. 0 disables the retry loop (one
+  /// fail-fast probe).
+  JobRunner& set_lock_wait(std::chrono::milliseconds lock_wait) {
+    lock_wait_ = lock_wait;
+    return *this;
+  }
+  std::chrono::milliseconds lock_wait() const { return lock_wait_; }
 
   /// Starts (or restarts from scratch) the job in job_dir, creating the
   /// directory if needed. Any previous checkpoint/progress file is
@@ -162,6 +192,7 @@ class JobRunner {
   Status WriteJournal(const JobSpec& spec, bool committed);
 
   std::string job_dir_;
+  std::chrono::milliseconds lock_wait_{250};
 };
 
 }  // namespace psk

@@ -97,6 +97,29 @@ Result<EncodedTable> EncodedTable::Build(const Table& initial_microdata,
   return enc;
 }
 
+size_t EncodedTable::ApproxBytes() const {
+  // Self-reported footprint of the owned vectors; Values are estimated at
+  // their in-struct size plus a nominal string payload (generalized
+  // interval labels like "[30-40)" fit small-string buffers or short heap
+  // blocks — precision is not the point, stable accounting is).
+  constexpr size_t kValueBytes = sizeof(Value) + 16;
+  size_t bytes = 0;
+  for (const KeyColumn& kc : keys_) {
+    bytes += kc.codes.capacity() * sizeof(uint32_t);
+    bytes += kc.level_cardinality.capacity() * sizeof(uint32_t);
+    for (const std::vector<uint32_t>& level : kc.ancestors) {
+      bytes += level.capacity() * sizeof(uint32_t);
+    }
+    for (const std::vector<Value>& level : kc.values) {
+      bytes += level.capacity() * kValueBytes;
+    }
+  }
+  for (const ConfColumn& cc : confs_) {
+    bytes += cc.codes.capacity() * sizeof(uint32_t);
+  }
+  return bytes;
+}
+
 Status EncodedTable::GroupByNode(const LatticeNode& node,
                                  EncodedWorkspace* ws) const {
   if (node.levels.size() != keys_.size()) {

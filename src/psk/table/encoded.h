@@ -18,6 +18,13 @@ namespace psk {
 struct EncodedWorkspace {
   GroupByScratch group_scratch;
   EncodedGroups groups;
+
+  /// Heap footprint of the scratch buffers — the GroupByCodes allocation
+  /// seam a per-job MemoryBudget is delta-charged at after each node
+  /// evaluation.
+  size_t ApproxBytes() const {
+    return group_scratch.ApproxBytes() + groups.ApproxBytes();
+  }
 };
 
 /// Dictionary-encoded view of an initial microdata against a fixed
@@ -84,6 +91,12 @@ class EncodedTable {
   void GroupBySubset(const std::vector<size_t>& attrs,
                      const std::vector<int>& levels,
                      EncodedWorkspace* ws) const;
+
+  /// Approximate heap footprint of the encoding (code vectors, ancestor
+  /// maps, memoized generalized Values). The EncodedTable::Build charge
+  /// seam: NodeSweeper reserves this many bytes against the job's
+  /// MemoryBudget for the lifetime of the shared encoding.
+  size_t ApproxBytes() const;
 
   /// Decodes the masked microdata at `node`: identifiers dropped, each QI
   /// column rewritten through the stored generalized Values (re-typed to

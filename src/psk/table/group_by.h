@@ -101,6 +101,13 @@ struct EncodedGroups {
 
   /// Groups of size >= k — the group count of the suppressed release.
   size_t GroupsAtLeast(size_t k) const;
+
+  /// Heap footprint of the owned buffers (capacity, not size — what the
+  /// allocator actually holds). Memory-accounting seam for per-job
+  /// MemoryBudget charging.
+  size_t ApproxBytes() const {
+    return (row_gid.capacity() + group_sizes.capacity()) * sizeof(uint32_t);
+  }
 };
 
 /// One grouping column for GroupByCodes: dense per-row codes with an
@@ -119,6 +126,17 @@ struct CodeColumnView {
 class GroupByScratch {
  public:
   GroupByScratch() = default;
+
+  /// Heap footprint of the owned buffers (capacities plus an estimate of
+  /// the sparse map's nodes). Memory-accounting seam for per-job
+  /// MemoryBudget charging.
+  size_t ApproxBytes() const {
+    // unordered_map node: key + value + hash bucket/next pointers.
+    constexpr size_t kSparseNodeBytes =
+        sizeof(uint64_t) + sizeof(uint32_t) + 3 * sizeof(void*);
+    return (remap_.capacity() + remap_gen_.capacity()) * sizeof(uint32_t) +
+           sparse_.size() * kSparseNodeBytes;
+  }
 
  private:
   friend void GroupByCodes(const std::vector<CodeColumnView>& columns,

@@ -10,8 +10,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "psk/common/durable_file.h"
 #include "psk/datagen/adult.h"
@@ -613,6 +615,9 @@ TEST(JobRunnerTest, ConcurrentRunnerFailsFastOnTheDirectoryLock) {
   std::string dir = TestDir("concurrent_lock");
   JobSpec spec = MakeSpec();
   JobRunner runner(dir);
+  // Opt out of the contention wait: this test pins the fail-fast probe
+  // the torture harness relies on.
+  runner.set_lock_wait(std::chrono::milliseconds(0));
   PSK_ASSERT_OK(EnsureDirectory(dir));
 
   // Play the incumbent: hold the advisory lock the way a live Run/Resume
@@ -622,11 +627,13 @@ TEST(JobRunnerTest, ConcurrentRunnerFailsFastOnTheDirectoryLock) {
   ASSERT_GE(incumbent, 0);
   ASSERT_EQ(flock(incumbent, LOCK_EX | LOCK_NB), 0);
 
-  // The second runner must fail fast — kFailedPrecondition, no blocking —
-  // and must not have touched the journal.
+  // The second runner must fail fast — kUnavailable (retryable: the
+  // incumbent will finish), no blocking — and must not have touched the
+  // journal.
   auto run = runner.Run(spec);
   ASSERT_FALSE(run.ok());
-  EXPECT_EQ(run.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(run.status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(run.status().retryable());
   EXPECT_NE(run.status().message().find("another JobRunner"),
             std::string::npos);
   EXPECT_FALSE(FileExists(runner.journal_path()))
@@ -635,13 +642,36 @@ TEST(JobRunnerTest, ConcurrentRunnerFailsFastOnTheDirectoryLock) {
   // Resume contends on the same lock.
   auto resumed = runner.Resume(spec);
   ASSERT_FALSE(resumed.ok());
-  EXPECT_EQ(resumed.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(resumed.status().code(), StatusCode::kUnavailable);
 
   // Releasing the incumbent's lock unblocks the directory; the lock a
   // completed Run held is released with it, so a third run also works.
   close(incumbent);
   PSK_ASSERT_OK(runner.Run(spec).status());
   PSK_ASSERT_OK(runner.Resume(spec).status());
+}
+
+TEST(JobRunnerTest, ContendedLockIsRetriedUntilTheIncumbentReleases) {
+  std::string dir = TestDir("concurrent_lock_retry");
+  JobSpec spec = MakeSpec();
+  JobRunner runner(dir);
+  runner.set_lock_wait(std::chrono::milliseconds(2000));
+  PSK_ASSERT_OK(EnsureDirectory(dir));
+
+  int incumbent = open(runner.lock_path().c_str(), O_CREAT | O_RDWR, 0644);
+  ASSERT_GE(incumbent, 0);
+  ASSERT_EQ(flock(incumbent, LOCK_EX | LOCK_NB), 0);
+
+  // Release the lock from a helper thread while the runner is inside its
+  // backoff loop: the run must ride out the contention and succeed where
+  // the fail-fast probe above was refused.
+  std::thread releaser([incumbent] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    close(incumbent);
+  });
+  auto run = runner.Run(spec);
+  releaser.join();
+  PSK_ASSERT_OK(run.status());
 }
 
 TEST(JobRunnerTest, CommittedJournalSurvivesARefusedConcurrentRunner) {
@@ -652,6 +682,7 @@ TEST(JobRunnerTest, CommittedJournalSurvivesARefusedConcurrentRunner) {
   std::string journal = UnwrapOk(ReadFileToString(runner.journal_path()));
   std::string release = UnwrapOk(ReadFileToString(runner.release_path()));
 
+  runner.set_lock_wait(std::chrono::milliseconds(0));
   int incumbent = open(runner.lock_path().c_str(), O_CREAT | O_RDWR, 0644);
   ASSERT_GE(incumbent, 0);
   ASSERT_EQ(flock(incumbent, LOCK_EX | LOCK_NB), 0);
@@ -661,6 +692,43 @@ TEST(JobRunnerTest, CommittedJournalSurvivesARefusedConcurrentRunner) {
   EXPECT_EQ(UnwrapOk(ReadFileToString(runner.journal_path())), journal);
   EXPECT_EQ(UnwrapOk(ReadFileToString(runner.release_path())), release);
   close(incumbent);
+}
+
+TEST(JobRunnerTest, ParallelJobMatchesSequentialRelease) {
+  // threads is a runtime knob: same journal fingerprint, same release
+  // bytes, but no checkpoint file (the parallel sweep does not snapshot).
+  std::string seq_dir = TestDir("threads_seq");
+  std::string par_dir = TestDir("threads_par");
+  JobSpec spec = MakeSpec();
+  spec.checkpoint_interval = 1;
+  JobRunner seq(seq_dir);
+  PSK_ASSERT_OK(seq.Run(spec).status());
+
+  JobSpec par_spec = MakeSpec();
+  par_spec.checkpoint_interval = 1;
+  par_spec.threads = 4;
+  EXPECT_EQ(JobSpecHash(par_spec), JobSpecHash(spec))
+      << "threads must be excluded from the spec fingerprint";
+  JobRunner par(par_dir);
+  PSK_ASSERT_OK(par.Run(par_spec).status());
+
+  EXPECT_EQ(UnwrapOk(ReadFileToString(par.release_path())),
+            UnwrapOk(ReadFileToString(seq.release_path())));
+  EXPECT_FALSE(FileExists(par.checkpoint_path()))
+      << "a parallel run must not arm the checkpoint sink";
+}
+
+TEST(JobRunnerTest, ExternalVerdictCacheIsPopulatedAndHashExcluded) {
+  std::string dir = TestDir("external_cache");
+  JobSpec spec = MakeSpec();
+  spec.verdict_cache = std::make_shared<VerdictCache>();
+  EXPECT_EQ(JobSpecHash(spec), JobSpecHash(MakeSpec()))
+      << "verdict_cache must be excluded from the spec fingerprint";
+  JobRunner runner(dir);
+  PSK_ASSERT_OK(runner.Run(spec).status());
+  EXPECT_GT(spec.verdict_cache->size(), 0u)
+      << "the job's lattice stages must share the externally owned cache";
+  EXPECT_GT(spec.verdict_cache->bytes_used(), 0u);
 }
 
 }  // namespace

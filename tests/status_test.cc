@@ -38,6 +38,36 @@ TEST(StatusTest, AllFactoryCodes) {
   EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
   EXPECT_EQ(Status::ResourceExhausted("x").code(),
             StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+}
+
+TEST(StatusTest, RetryablePredicate) {
+  // kUnavailable is retryable by definition: the condition (lock held,
+  // transient I/O, shed admission) clears on its own.
+  EXPECT_TRUE(Status::Unavailable("busy").retryable());
+  // kResourceExhausted is retryable only when the producer attached a
+  // retry-after hint (admission shedding); a memory/budget exhaustion
+  // without one will not succeed on a blind retry.
+  EXPECT_FALSE(Status::ResourceExhausted("over budget").retryable());
+  Status shed = Status::ResourceExhausted("queue full").WithRetryAfterMs(50);
+  EXPECT_TRUE(shed.retryable());
+  ASSERT_TRUE(shed.retry_after_ms().has_value());
+  EXPECT_EQ(*shed.retry_after_ms(), 50u);
+  // Everything else is not retryable.
+  EXPECT_FALSE(Status::OK().retryable());
+  EXPECT_FALSE(Status::Cancelled("x").retryable());
+  EXPECT_FALSE(Status::DeadlineExceeded("x").retryable());
+  EXPECT_FALSE(Status::FailedPrecondition("x").retryable());
+  EXPECT_FALSE(Status::IOError("x").retryable());
+}
+
+TEST(StatusTest, RetryAfterRendersAndCompares) {
+  Status shed = Status::ResourceExhausted("queue full").WithRetryAfterMs(50);
+  EXPECT_EQ(shed.ToString(),
+            "ResourceExhausted: queue full [retry-after 50ms]");
+  EXPECT_NE(shed, Status::ResourceExhausted("queue full"));
+  EXPECT_EQ(shed,
+            Status::ResourceExhausted("queue full").WithRetryAfterMs(50));
 }
 
 TEST(StatusTest, BudgetCodesRenderNames) {
@@ -56,6 +86,7 @@ TEST(StatusTest, CodeNamesRoundTripThroughStrings) {
       StatusCode::kUnimplemented, StatusCode::kInternal,
       StatusCode::kIOError,      StatusCode::kDeadlineExceeded,
       StatusCode::kCancelled,    StatusCode::kResourceExhausted,
+      StatusCode::kUnavailable,
   };
   for (StatusCode code : codes) {
     std::string_view name = StatusCodeToString(code);
