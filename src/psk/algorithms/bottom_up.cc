@@ -50,6 +50,14 @@ Result<MinimalSetResult> BottomUpSearch(const Table& initial_microdata,
     }
   };
   PSK_RETURN_IF_ERROR(evaluator.Init());
+  // This engine walks nodes sequentially on the control thread, so any
+  // requested parallelism goes entirely to the fine axis: row-sliced
+  // group-bys inside each evaluation (bit-identical output). Checkpointed
+  // runs stay fully sequential, like the sweeper-based engines.
+  if (options.threads > 1 && options.restore == nullptr &&
+      options.checkpoint_sink == nullptr) {
+    evaluator.set_row_workers(options.threads);
+  }
 
   MinimalSetResult result;
   if (!evaluator.Condition1Holds()) {
@@ -72,6 +80,10 @@ Result<MinimalSetResult> BottomUpSearch(const Table& initial_microdata,
     span.Counter("attributes", hierarchies.size());
     const EncodedTable* encoded = evaluator.encoded_table().get();
     EncodedWorkspace ws;
+    // Control-thread loop: the single-attribute group-bys may row-slice
+    // with the same cap as the main walk.
+    ws.row_workers = evaluator.row_workers();
+    ws.min_rows_per_slice = options.min_rows_per_slice;
     for (size_t i = 0; i < hierarchies.size(); ++i) {
       const AttributeHierarchy& hierarchy = hierarchies.hierarchy(i);
       int level = 0;

@@ -232,6 +232,22 @@ Result<MinimalSetResult> IncognitoSearch(
         // Scan the wave: each check scans the whole encoded table, charged
         // directly against the shared enforcer.
         size_t wave_workers = std::min(subset_workers, pending.size());
+        // Underfilled wave (fewer checks than lanes, on a table big
+        // enough to row-slice): run the checks sequentially on the
+        // control thread and spend the lanes *inside* each group-by
+        // instead (fine axis, bit-identical output). Otherwise the wave
+        // runs subset_ok inside pool tasks, where the workspaces must
+        // stay sequential — a nested ParallelFor can deadlock the pool.
+        subset_ws[0].min_rows_per_slice = options.min_rows_per_slice;
+        if (wave_workers > 0 && wave_workers < subset_workers &&
+            GroupBySliceCount(encoded->num_rows(), subset_workers,
+                              options.min_rows_per_slice) >= 2) {
+          wave_workers = 1;
+          subset_ws[0].row_workers =
+              ThreadPool::Shared().FairShareWorkers(subset_workers);
+        } else {
+          subset_ws[0].row_workers = 1;
+        }
         if (wave_workers <= 1) {
           for (const std::vector<int>* levels : pending) {
             if (stopped) break;

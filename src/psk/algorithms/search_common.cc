@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <iterator>
 #include <unordered_set>
 
@@ -416,6 +417,15 @@ Result<NodeEvaluation> NodeEvaluator::EvaluateEncoded(
   PSK_RETURN_IF_ERROR(enforcer_->Charge(1, im_.num_rows()));
   ++stats_.nodes_generalized;
   ++stats_.nodes_evaluated_encoded;
+  // Fine decomposition axis: grant the group-by its row workers, resolved
+  // against the pool's current fair share so a saturated pool degrades to
+  // the sequential path instead of queueing. Verdicts are identical at
+  // any lane count (GroupByCodesSliced is bit-identical to sequential).
+  ws_.min_rows_per_slice = options_.min_rows_per_slice;
+  ws_.row_workers =
+      row_worker_cap_ <= 1
+          ? 1
+          : ThreadPool::Shared().FairShareWorkers(row_worker_cap_);
   PSK_RETURN_IF_ERROR(encoded_->GroupByNode(node, &ws_));
   // GroupByCodes scratch memory seam: charge only growth (the buffers are
   // reused across evaluations, so this settles after warm-up). Exceeding
@@ -541,6 +551,12 @@ Status NodeSweeper::Init() {
     workers_.front()->set_trace(options_.trace, &trace_buffers_[0]);
   }
   PSK_RETURN_IF_ERROR(workers_.front()->Init());
+  if (num_workers > 1) {
+    // Direct primary() evaluations (e.g. OLA's per-node probes) run on
+    // the control thread between sweeps, so they may use the fine axis
+    // by default; SweepNodes lowers the cap to 1 around its pool regions.
+    workers_.front()->set_row_workers(num_workers);
+  }
 
   // Secondary workers share the primary's enforcer (limits stay global)
   // and cache; they never checkpoint (num_workers > 1 implies
@@ -578,6 +594,40 @@ Status NodeSweeper::Sweep(const std::vector<LatticeNode>& nodes,
   return status;
 }
 
+size_t NodeSweeper::BatchSize(size_t count, size_t active) const {
+  if (active <= 1 || count == 0) return count == 0 ? 1 : count;
+  // Nodes per task carrying ~kTargetBatchNs of measured work. Before the
+  // first measurement, one node per task — the historical behavior — and
+  // the first sweep's throughput sample corrects it from there.
+  size_t by_time = 1;
+  if (nodes_per_sec_ > 0) {
+    by_time = static_cast<size_t>(nodes_per_sec_ * (kTargetBatchNs / 1e9));
+    if (by_time < 1) by_time = 1;
+  }
+  // Never fewer tasks than workers, or lanes sit idle from the start.
+  size_t max_batch = (count + active - 1) / active;
+  return std::min(by_time, max_batch);
+}
+
+namespace {
+
+/// Folds one sweep's measured per-lane throughput sample into the EWMA.
+void UpdateThroughput(size_t evaluated, size_t lanes,
+                      std::chrono::steady_clock::time_point begin,
+                      double* nodes_per_sec) {
+  if (evaluated == 0 || lanes == 0) return;
+  double secs = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - begin)
+                    .count();
+  if (secs <= 0) return;
+  double sample = static_cast<double>(evaluated) / secs /
+                  static_cast<double>(lanes);
+  *nodes_per_sec =
+      *nodes_per_sec > 0 ? 0.5 * (*nodes_per_sec + sample) : sample;
+}
+
+}  // namespace
+
 Status NodeSweeper::SweepNodes(
     const std::vector<LatticeNode>& nodes,
     std::vector<std::optional<NodeEvaluation>>* evals) {
@@ -590,27 +640,60 @@ Status NodeSweeper::SweepNodes(
     active = ThreadPool::Shared().FairShareWorkers(active);
   }
   RunTrace* trace = options_.trace;
+  const auto sweep_begin = std::chrono::steady_clock::now();
 
   if (active <= 1) {
+    // Sequential over nodes, on the control thread — so the fine axis may
+    // engage: when parallelism was requested but this sweep is too narrow
+    // to shard (fewer nodes than workers, or the pool's fair share is
+    // down to one lane right now), spend the lanes *inside* each node's
+    // group-by instead. The cap is resolved against the live fair share
+    // per evaluation; only a control thread may do this (a nested
+    // ParallelFor from a pool task can deadlock).
     NodeEvaluator& evaluator = *workers_.front();
+    const size_t row_cap = workers_.size() > 1 ? workers_.size() : 1;
+    evaluator.set_row_workers(row_cap);
+    if (trace != nullptr && row_cap > 1) {
+      trace->Timing("row_workers", row_cap);
+    }
+    Status status = Status::OK();
+    size_t evaluated = 0;
     for (size_t i = 0; i < nodes.size(); ++i) {
       Result<NodeEvaluation> eval = evaluator.Evaluate(nodes[i]);
-      if (!eval.ok()) return eval.status();
+      if (!eval.ok()) {
+        status = eval.status();
+        break;
+      }
       (*evals)[i] = *eval;
+      ++evaluated;
     }
-    return Status::OK();
+    UpdateThroughput(evaluated, 1, sweep_begin, &nodes_per_sec_);
+    return status;
   }
 
-  // Dynamic scheduling is safe for determinism because every node is
-  // evaluated regardless of which worker draws it; verdicts land in
-  // per-index slots and counter sums are order-independent.
+  // Coarse axis: nodes grouped into per-task batches (BatchSize) so one
+  // pool dispatch amortizes over >= ~10ms of work. Dynamic scheduling is
+  // safe for determinism because every node is evaluated regardless of
+  // which worker draws which batch; verdicts land in per-index slots and
+  // counter sums are order-independent. The primary evaluates inside the
+  // pool region here, so its row-worker cap must be 1.
+  workers_.front()->set_row_workers(1);
+  const size_t batch = BatchSize(nodes.size(), active);
+  const size_t num_batches = (nodes.size() + batch - 1) / batch;
   std::atomic<bool> stop{false};
   std::vector<Status> worker_status(active, Status::OK());
   // Per-worker busy time; written only by the worker owning the slot.
+  // Measured once per *batch*, so per-task dispatch overhead is counted
+  // exactly once per batch rather than accumulating per node.
   std::vector<int64_t> busy_ns(trace != nullptr ? active : 0, 0);
   if (trace != nullptr) {
+    // Scheduling observations are Timings (non-structural): batch size
+    // and lane count depend on measured throughput and pool load, and
+    // must never enter the StructureSignature.
     trace->Timing("workers", active);
     trace->Timing("queue_depth", ThreadPool::Shared().ApproxQueueDepth());
+    trace->Timing("batch_size", batch);
+    trace->Timing("batches", num_batches);
   }
   // Shards carry the owning job's CancelToken: a pool worker that draws a
   // shard of a cancelled job observes the token before doing any work and
@@ -618,38 +701,54 @@ Status NodeSweeper::SweepNodes(
   // stall a neighbor sharing the pool.
   const CancelToken* cancel = options_.budget.cancel.get();
   ThreadPool::Shared().ParallelFor(
-      nodes.size(), active, [&](size_t worker, size_t index) {
+      num_batches, active, [&](size_t worker, size_t b) {
         if (stop.load(std::memory_order_relaxed)) return;  // drain fast
-        if (cancel != nullptr && cancel->cancelled()) {
-          if (worker_status[worker].ok()) {
-            worker_status[worker] = Status::Cancelled(
-                "run cancelled by caller");
-          }
-          stop.store(true, std::memory_order_relaxed);
-          return;
-        }
+        const size_t begin = b * batch;
+        const size_t end = std::min(begin + batch, nodes.size());
         int64_t begin_ns = trace != nullptr ? trace->NowNs() : 0;
-        Result<NodeEvaluation> eval = workers_[worker]->Evaluate(nodes[index]);
+        for (size_t index = begin; index < end; ++index) {
+          // Re-check between nodes so a long batch drains mid-flight —
+          // batching must not widen cancellation latency past one node.
+          if (stop.load(std::memory_order_relaxed)) break;
+          if (cancel != nullptr && cancel->cancelled()) {
+            if (worker_status[worker].ok()) {
+              worker_status[worker] = Status::Cancelled(
+                  "run cancelled by caller");
+            }
+            stop.store(true, std::memory_order_relaxed);
+            break;
+          }
+          Result<NodeEvaluation> eval =
+              workers_[worker]->Evaluate(nodes[index]);
+          if (!eval.ok()) {
+            if (worker_status[worker].ok()) {
+              worker_status[worker] = eval.status();
+            }
+            // A tripped enforcer poisons every later Charge anyway; the
+            // flag just skips the pointless evaluations in between.
+            stop.store(true, std::memory_order_relaxed);
+            break;
+          }
+          (*evals)[index] = *eval;
+        }
         if (trace != nullptr) {
           busy_ns[worker] += trace->NowNs() - begin_ns;
         }
-        if (!eval.ok()) {
-          if (worker_status[worker].ok()) {
-            worker_status[worker] = eval.status();
-          }
-          // A tripped enforcer poisons every later Charge anyway; the flag
-          // just skips the pointless evaluations in between.
-          stop.store(true, std::memory_order_relaxed);
-          return;
-        }
-        (*evals)[index] = *eval;
       });
+  // Restore the primary's control-thread default for the direct
+  // evaluations engines make between sweeps.
+  workers_.front()->set_row_workers(workers_.size());
   if (trace != nullptr) {
     for (size_t w = 0; w < busy_ns.size(); ++w) {
       trace->Timing("w" + std::to_string(w) + "_busy_ns",
                     static_cast<uint64_t>(busy_ns[w]));
     }
   }
+  size_t evaluated = 0;
+  for (const std::optional<NodeEvaluation>& eval : *evals) {
+    if (eval.has_value()) ++evaluated;
+  }
+  UpdateThroughput(evaluated, active, sweep_begin, &nodes_per_sec_);
 
   // Hard errors (first by worker order) outrank budget stops: they must
   // propagate, while a budget stop is a valid partial result.

@@ -180,6 +180,12 @@ struct SearchOptions {
   /// checkpoint_sink) is off; checkpointed runs stay sequential to keep
   /// the deterministic-replay guarantee.
   size_t threads = 1;
+  /// Fine-axis threshold: the intra-node row-parallel group-by engages
+  /// only when the table yields >= 2 slices of at least this many rows
+  /// (GroupBySliceCount). The output is bit-identical at any slice count
+  /// — this knob only moves the speed/overhead trade-off. Tests lower it
+  /// to force slicing on small fixtures.
+  size_t min_rows_per_slice = 1024;
   /// Evaluate lattice nodes through the dictionary-encoded core
   /// (EncodedTable): grouping and distinct-confidential counting run over
   /// dense integer codes, and no generalized Table is materialized per
@@ -387,6 +393,17 @@ class NodeEvaluator {
   }
   RunTrace* trace() const { return trace_; }
 
+  /// Caps the intra-node row parallelism (fine decomposition axis) of
+  /// encoded evaluations: each group-by may fan out over up to `cap` pool
+  /// lanes via GroupByCodesSliced, subject to the fair share at call time
+  /// and options().min_rows_per_slice. MUST stay 1 (the default) on any
+  /// evaluator whose Evaluate runs inside a ThreadPool task — a nested
+  /// ParallelFor can deadlock the pool — so NodeSweeper grants a cap only
+  /// to the primary, and only while no coarse sweep region is active.
+  /// Verdicts and stats are identical at any cap.
+  void set_row_workers(size_t cap) { row_worker_cap_ = cap; }
+  size_t row_workers() const { return row_worker_cap_; }
+
   /// True iff Condition 1 admits the requested p. When false, no node can
   /// ever satisfy the property and searches should report failure
   /// immediately.
@@ -468,6 +485,10 @@ class NodeEvaluator {
   /// Per-evaluator scratch for the encoded path (never shared).
   EncodedWorkspace ws_;
   EncodedDistinctScratch distinct_scratch_;
+  /// Upper bound on row workers per group-by; resolved to the pool's fair
+  /// share at each evaluation. 1 = sequential (required off the control
+  /// thread).
+  size_t row_worker_cap_ = 1;
   /// Memory-budget charges: the self-built encoding (only when this
   /// evaluator built its own — an external one is charged by its owner)
   /// and the scratch buffers, delta-resized after every encoded
@@ -505,6 +526,15 @@ class NodeEvaluator {
 /// chunks (independent of the thread count) and stop between chunks.
 /// Checkpointed runs (restore / checkpoint_sink set) get exactly one
 /// worker, preserving the sequential deterministic-replay guarantee.
+///
+/// Work decomposition (two axes, chosen per sweep): normally nodes are
+/// grouped into per-task batches sized by measured throughput (coarse
+/// axis, >= ~10ms of work per pool task so dispatch amortizes); when a
+/// sweep has fewer nodes than workers, the sweep instead runs nodes
+/// sequentially on the primary and parallelizes *inside* each node's
+/// group-by by row range (fine axis, see GroupByCodesSliced). Both axes
+/// preserve the contract — batch size and slice count never change any
+/// verdict or merged counter.
 class NodeSweeper {
  public:
   /// `initial_microdata` and `hierarchies` must outlive the sweeper.
@@ -553,10 +583,29 @@ class NodeSweeper {
   Status SweepNodes(const std::vector<LatticeNode>& nodes,
                     std::vector<std::optional<NodeEvaluation>>* evals);
 
+  /// Nodes per pool task for a sweep of `count` nodes over `active`
+  /// workers (coarse decomposition axis): sized from the measured
+  /// node-evaluation throughput so one task carries >= ~kTargetBatchNs of
+  /// work, but never so large that fewer than `active` tasks exist.
+  /// Purely a scheduling choice — the set of evaluated nodes and all
+  /// merged stats are batch-size-invariant.
+  size_t BatchSize(size_t count, size_t active) const;
+
+  /// Target work per pool task. Well above the dispatch cost of one task
+  /// (~microseconds), well below a sweep's runtime, so batches amortize
+  /// dispatch without starving the dynamic load balance.
+  static constexpr double kTargetBatchNs = 10e6;
+
   const Table& im_;
   const HierarchySet& hierarchies_;
   SearchOptions options_;
   std::vector<std::unique_ptr<NodeEvaluator>> workers_;
+  /// EWMA of observed per-worker node-evaluation throughput (nodes/sec),
+  /// fed back into BatchSize after every sweep. Control-thread state: read
+  /// and written only between sweeps, never by workers. 0 until the first
+  /// sweep completes (first batch defaults to 1 node — per-node dispatch —
+  /// and the measurement corrects from there).
+  double nodes_per_sec_ = 0;
   /// Charge for the shared encoded table (EncodedTable::Build seam);
   /// released when the sweeper dies. No-op without a memory budget.
   MemoryReservation encoded_reservation_;

@@ -53,6 +53,11 @@ Result<CheckOutcome> DetailedCheck(const Table& table, const FrequencySet& fs,
 
 }  // namespace
 
+/// Groups no larger than this are scanned branch-free (no early exit);
+/// larger groups keep the early-exit loop, whose saved work dominates
+/// once the group is much bigger than p.
+constexpr uint32_t kBranchFreeGroupLimit = 64;
+
 bool IsPSensitiveEncoded(const EncodedGroups& groups,
                          const EncodedTable& encoded, size_t p,
                          size_t min_group_size,
@@ -88,20 +93,36 @@ bool IsPSensitiveEncoded(const EncodedGroups& groups,
         scratch->generation_ = 1;
       }
       uint32_t gen = scratch->generation_;
+      const uint32_t begin = scratch->offsets_[g];
+      const uint32_t end = scratch->offsets_[g + 1];
       size_t distinct = 0;
-      bool enough = false;
-      for (uint32_t idx = scratch->offsets_[g];
-           idx < scratch->offsets_[g + 1]; ++idx) {
-        uint32_t code = codes[scratch->rows_[idx]];
-        if (scratch->stamp_[code] != gen) {
-          scratch->stamp_[code] = gen;
-          if (++distinct >= p) {
-            enough = true;
-            break;
+      if (end - begin <= kBranchFreeGroupLimit) {
+        // Branch-free counting scan: k-anonymous groups are mostly small
+        // (size ~k), and for them the early-exit branch mispredicts more
+        // than it saves. Scan the whole group with straight-line
+        // stamp/count stores and compare once at the end — the stamp
+        // store is unconditional, so re-stamping a seen code is a no-op.
+        uint32_t* stamp = scratch->stamp_.data();
+        for (uint32_t idx = begin; idx < end; ++idx) {
+          uint32_t code = codes[scratch->rows_[idx]];
+          distinct += stamp[code] != gen;
+          stamp[code] = gen;
+        }
+        if (distinct < p) return false;
+      } else {
+        bool enough = false;
+        for (uint32_t idx = begin; idx < end; ++idx) {
+          uint32_t code = codes[scratch->rows_[idx]];
+          if (scratch->stamp_[code] != gen) {
+            scratch->stamp_[code] = gen;
+            if (++distinct >= p) {
+              enough = true;
+              break;
+            }
           }
         }
+        if (!enough) return false;
       }
-      if (!enough) return false;
     }
   }
   return true;

@@ -93,6 +93,10 @@ Result<AnonymizationReport> RunStage(
     options.trace = trace;
     PSK_ASSIGN_OR_RETURN(MondrianResult mondrian,
                          MondrianAnonymize(im, options));
+    if (mondrian.partial &&
+        mondrian.stop_reason == StatusCode::kCancelled) {
+      return Status::Cancelled("run cancelled by caller");
+    }
     report.masked = std::move(mondrian.masked);
     report.partial = mondrian.partial;
     report.stats.partial = mondrian.partial;
@@ -108,6 +112,10 @@ Result<AnonymizationReport> RunStage(
     options.trace = trace;
     PSK_ASSIGN_OR_RETURN(GreedyClusterResult cluster,
                          GreedyClusterAnonymize(im, options));
+    if (cluster.partial &&
+        cluster.stop_reason == StatusCode::kCancelled) {
+      return Status::Cancelled("run cancelled by caller");
+    }
     report.masked = std::move(cluster.masked);
     report.partial = cluster.partial;
     report.stats.partial = cluster.partial;
@@ -190,6 +198,14 @@ Result<AnonymizationReport> RunStage(
     if (const LatticeNode* best = PickNode(result.minimal_nodes)) {
       node = *best;
     }
+  }
+
+  if (stats.partial && stats.stop_reason == StatusCode::kCancelled) {
+    // An explicit caller cancel abandons the run. Unlike a deadline or
+    // memory stop (whose partial best-so-far release is the point), a
+    // cancelled stage must not surface a release that depends on how far
+    // the search happened to get before the flag was observed.
+    return Status::Cancelled("run cancelled by caller");
   }
 
   if (!node.has_value()) {
@@ -322,6 +338,7 @@ Result<AnonymizationReport> Anonymizer::RunImpl(RunTrace* trace) const {
   base_options.use_conditions = use_conditions_;
   base_options.use_encoded_core = use_encoded_core_;
   base_options.threads = threads_;
+  base_options.min_rows_per_slice = min_rows_per_slice_;
   base_options.verdict_cache = verdict_cache_;
   base_options.trace = trace;
   // Crash-recovery hooks: node verdicts are pure functions of the data and

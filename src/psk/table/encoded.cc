@@ -144,7 +144,7 @@ Status EncodedTable::GroupByNode(const LatticeNode& node,
         level == 0 ? nullptr : kc.ancestors[level].data(),
         kc.level_cardinality[level]});
   }
-  GroupByCodes(columns, num_rows_, &ws->group_scratch, &ws->groups);
+  DispatchGroupBy(columns, ws);
   return Status::OK();
 }
 
@@ -164,7 +164,25 @@ void EncodedTable::GroupBySubset(const std::vector<size_t>& attrs,
         level == 0 ? nullptr : kc.ancestors[level].data(),
         kc.level_cardinality[level]});
   }
-  GroupByCodes(columns, num_rows_, &ws->group_scratch, &ws->groups);
+  DispatchGroupBy(columns, ws);
+}
+
+void EncodedTable::DispatchGroupBy(const std::vector<CodeColumnView>& columns,
+                                   EncodedWorkspace* ws) const {
+  // Fine decomposition axis: slice by row range when the workspace owner
+  // granted row workers and the table is big enough that slices clear the
+  // per-slice minimum. Output is bit-identical to the sequential path
+  // (see DESIGN.md "Parallel search"), so this choice is invisible to the
+  // determinism contract.
+  const size_t slices = GroupBySliceCount(num_rows_, ws->row_workers,
+                                          ws->min_rows_per_slice);
+  if (slices < 2) {
+    GroupByCodes(columns, num_rows_, &ws->group_scratch, &ws->groups);
+    return;
+  }
+  EvenSliceEnds(num_rows_, slices, &ws->slice_ends);
+  GroupByCodesSliced(columns, num_rows_, ws->slice_ends, ws->row_workers,
+                     &ws->parallel_scratch, &ws->groups);
 }
 
 Result<Table> EncodedTable::Decode(const LatticeNode& node,

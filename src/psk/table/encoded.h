@@ -19,11 +19,25 @@ struct EncodedWorkspace {
   GroupByScratch group_scratch;
   EncodedGroups groups;
 
+  /// Intra-node row parallelism (the fine decomposition axis): group-bys
+  /// run through GroupByCodesSliced with up to `row_workers` pool lanes
+  /// when the table is large enough to slice (>= 2 slices of at least
+  /// `min_rows_per_slice` rows). row_workers must stay 1 on workspaces
+  /// evaluated from inside a ThreadPool task — only a control thread may
+  /// dispatch the sliced path (nested ParallelFor can deadlock). Output
+  /// is bit-identical either way.
+  size_t row_workers = 1;
+  size_t min_rows_per_slice = 1024;
+  ParallelGroupByScratch parallel_scratch;
+  std::vector<size_t> slice_ends;
+
   /// Heap footprint of the scratch buffers — the GroupByCodes allocation
   /// seam a per-job MemoryBudget is delta-charged at after each node
   /// evaluation.
   size_t ApproxBytes() const {
-    return group_scratch.ApproxBytes() + groups.ApproxBytes();
+    return group_scratch.ApproxBytes() + groups.ApproxBytes() +
+           parallel_scratch.ApproxBytes() +
+           slice_ends.capacity() * sizeof(size_t);
   }
 };
 
@@ -108,6 +122,12 @@ class EncodedTable {
                        const std::vector<bool>* keep) const;
 
  private:
+  /// Runs the group-by over `columns` into ws->groups, choosing the
+  /// row-sliced parallel path when ws->row_workers and the row count
+  /// justify it; bit-identical output either way.
+  void DispatchGroupBy(const std::vector<CodeColumnView>& columns,
+                       EncodedWorkspace* ws) const;
+
   struct KeyColumn {
     size_t src_col = 0;  ///< column index in the initial microdata
     int num_levels = 0;

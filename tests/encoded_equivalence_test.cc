@@ -362,6 +362,116 @@ TEST(EncodedEquivalenceTest, PatientTablesMatchLegacy) {
 }
 
 // ---------------------------------------------------------------------------
+// Intra-node parallelism (fine axis): min_rows_per_slice = 1 forces the
+// row-sliced group-by wherever the engines engage it (underfilled sweeps,
+// OLA's direct probes, Incognito's narrow subset waves, bottom-up's
+// sequential walk). Releases and stats must stay bit-identical to the
+// sequential runs at every thread count.
+
+TEST(EncodedEquivalenceTest, SweeperEnginesMatchWithIntraNodeParallelism) {
+  AdultFixture fixture(1500, 2);
+  SearchOptions sequential = BaseOptions(true, 1);
+  MinimalSetResult exhaustive_base = UnwrapOk(
+      ExhaustiveSearch(fixture.table, fixture.hierarchies, sequential));
+  SearchResult samarati_base = UnwrapOk(
+      SamaratiSearch(fixture.table, fixture.hierarchies, sequential));
+  OlaOptions ola_sequential;
+  ola_sequential.search = sequential;
+  OlaResult ola_base = UnwrapOk(
+      OlaSearch(fixture.table, fixture.hierarchies, ola_sequential));
+  MinimalSetResult incognito_base = UnwrapOk(
+      IncognitoSearch(fixture.table, fixture.hierarchies, sequential));
+  MinimalSetResult bottom_up_base = UnwrapOk(
+      BottomUpSearch(fixture.table, fixture.hierarchies, sequential));
+
+  for (size_t threads : {size_t{2}, size_t{7}, size_t{16}}) {
+    SearchOptions sliced = BaseOptions(true, threads);
+    sliced.min_rows_per_slice = 1;
+    std::string what = "threads=" + std::to_string(threads);
+
+    MinimalSetResult exhaustive = UnwrapOk(
+        ExhaustiveSearch(fixture.table, fixture.hierarchies, sliced));
+    EXPECT_EQ(exhaustive.minimal_nodes, exhaustive_base.minimal_nodes)
+        << what;
+    EXPECT_EQ(exhaustive.satisfying_nodes, exhaustive_base.satisfying_nodes)
+        << what;
+    ExpectStatsEq(exhaustive.stats, exhaustive_base.stats,
+                  "exhaustive sliced " + what);
+
+    SearchResult samarati = UnwrapOk(
+        SamaratiSearch(fixture.table, fixture.hierarchies, sliced));
+    ASSERT_TRUE(samarati.found) << what;
+    EXPECT_EQ(samarati.node, samarati_base.node) << what;
+    EXPECT_EQ(WriteCsvString(samarati.masked),
+              WriteCsvString(samarati_base.masked))
+        << what;
+    ExpectStatsEq(samarati.stats, samarati_base.stats,
+                  "samarati sliced " + what);
+
+    OlaOptions ola_options;
+    ola_options.search = sliced;
+    OlaResult ola = UnwrapOk(
+        OlaSearch(fixture.table, fixture.hierarchies, ola_options));
+    ASSERT_TRUE(ola.found) << what;
+    EXPECT_EQ(ola.optimal, ola_base.optimal) << what;
+    EXPECT_EQ(ola.minimal_nodes, ola_base.minimal_nodes) << what;
+    EXPECT_EQ(WriteCsvString(ola.masked), WriteCsvString(ola_base.masked))
+        << what;
+    ExpectStatsEq(ola.stats, ola_base.stats, "ola sliced " + what);
+
+    MinimalSetResult incognito = UnwrapOk(
+        IncognitoSearch(fixture.table, fixture.hierarchies, sliced));
+    EXPECT_EQ(incognito.minimal_nodes, incognito_base.minimal_nodes) << what;
+    ExpectStatsEq(incognito.stats, incognito_base.stats,
+                  "incognito sliced " + what);
+
+    MinimalSetResult bottom_up = UnwrapOk(
+        BottomUpSearch(fixture.table, fixture.hierarchies, sliced));
+    EXPECT_EQ(bottom_up.minimal_nodes, bottom_up_base.minimal_nodes) << what;
+    ExpectStatsEq(bottom_up.stats, bottom_up_base.stats,
+                  "bottom-up sliced " + what);
+  }
+}
+
+TEST(EncodedEquivalenceTest, AnonymizerAllAlgorithmsIntraNodeParallel) {
+  AdultFixture fixture(800, 7);
+  for (auto algorithm :
+       {AnonymizationAlgorithm::kSamarati, AnonymizationAlgorithm::kIncognito,
+        AnonymizationAlgorithm::kBottomUp,
+        AnonymizationAlgorithm::kExhaustive, AnonymizationAlgorithm::kMondrian,
+        AnonymizationAlgorithm::kGreedyCluster,
+        AnonymizationAlgorithm::kOla}) {
+    std::string what = "algorithm=" +
+                       std::to_string(static_cast<int>(algorithm));
+    AnonymizationReport reports[2];
+    for (int sliced : {0, 1}) {
+      Anonymizer anonymizer(fixture.table);
+      for (size_t i = 0; i < fixture.hierarchies.size(); ++i) {
+        anonymizer.AddHierarchy(fixture.hierarchies.hierarchy_ptr(i));
+      }
+      anonymizer.set_k(3).set_p(2).set_max_suppression(8).set_algorithm(
+          algorithm);
+      if (sliced != 0) {
+        anonymizer.set_threads(4).set_min_rows_per_slice(1);
+      }
+      reports[sliced] = UnwrapOk(anonymizer.Run());
+    }
+    const AnonymizationReport& base = reports[0];
+    const AnonymizationReport& got = reports[1];
+    EXPECT_EQ(WriteCsvString(got.masked), WriteCsvString(base.masked))
+        << what;
+    EXPECT_EQ(got.node, base.node) << what;
+    EXPECT_EQ(got.suppressed, base.suppressed) << what;
+    EXPECT_EQ(got.achieved_k, base.achieved_k) << what;
+    EXPECT_EQ(got.achieved_p, base.achieved_p) << what;
+    EXPECT_EQ(got.guard.passed, base.guard.passed) << what;
+    EXPECT_EQ(got.guard.observed_k, base.guard.observed_k) << what;
+    EXPECT_EQ(got.guard.observed_p, base.guard.observed_p) << what;
+    ExpectStatsEq(got.stats, base.stats, what);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Fallback: pinning an evaluator to the legacy path via
 // set_encoded_table(nullptr) must not change behavior, and a search with
 // use_encoded_core off never builds an encoding.
