@@ -270,6 +270,17 @@ Result<AnonymizationReport> Anonymizer::RunImpl(RunTrace* trace) const {
         "k=" + std::to_string(k_) + " exceeds the number of rows (n=" +
         std::to_string(n) + "); no QI-group can ever reach k");
   }
+  // A run cancelled before it starts must not charge memory or touch the
+  // engines: the scheduler's sequential-restart demotion relies on a
+  // cancelled attempt unwinding without new budget activity.
+  if (budget_.cancel != nullptr && budget_.cancel->cancelled()) {
+    return Status::Cancelled("run cancelled before start");
+  }
+  // Make the input table's bytes visible to the job's memory accountant
+  // for the whole run (idempotent after a chunked Ingest loop, which has
+  // already charged them). Failing here means the input alone is over the
+  // job's hard quota — a budget stop with nothing to fall back on.
+  PSK_RETURN_IF_ERROR(ChargeInputFootprint());
 
   std::vector<AnonymizationAlgorithm> chain;
   chain.push_back(algorithm_);

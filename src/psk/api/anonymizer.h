@@ -101,6 +101,34 @@ class Anonymizer {
   explicit Anonymizer(Table initial_microdata)
       : initial_microdata_(std::move(initial_microdata)) {}
 
+  /// Streaming-ingest construction: starts from an empty table over
+  /// `schema` and grows it with Ingest() chunks. Call set_budget first if
+  /// the ingest should be metered — each Ingest charges the table's
+  /// footprint against the budget's MemoryBudget as it grows.
+  explicit Anonymizer(Schema schema) : initial_microdata_(std::move(schema)) {}
+
+  /// Capacity hint forwarded to the input table ahead of a chunked ingest
+  /// loop (avoids id-column reallocation churn).
+  Anonymizer& ReserveRows(size_t additional_rows) {
+    initial_microdata_.ReserveRows(additional_rows);
+    return *this;
+  }
+
+  /// Appends one columnar chunk to the input table (see
+  /// Table::AppendChunk for the validation contract; the chunk's buffers
+  /// survive for refill). When the run budget carries a MemoryBudget, the
+  /// input table's current footprint is (re)charged against it, so a
+  /// scheduler sees ingest memory the same way it sees cache and encode
+  /// memory — and an over-quota ingest fails here with kResourceExhausted
+  /// instead of at Run.
+  Status Ingest(IngestChunk* chunk) {
+    PSK_RETURN_IF_ERROR(initial_microdata_.AppendChunk(chunk));
+    return ChargeInputFootprint();
+  }
+
+  /// Rows ingested so far (== num_rows of the table handed to Run).
+  size_t num_ingested_rows() const { return initial_microdata_.num_rows(); }
+
   /// Registers the hierarchy for one key attribute (any order; matched to
   /// schema attributes by name at Run time).
   Anonymizer& AddHierarchy(
@@ -273,7 +301,26 @@ class Anonymizer {
   /// the trace lifecycle (creation, Close, sink export).
   Result<AnonymizationReport> RunImpl(RunTrace* trace) const;
 
+  /// (Re)charges the input table's footprint against the run budget's
+  /// MemoryBudget. No-op without one. The reservation lives as long as
+  /// this anonymizer, so the table's bytes stay visible to a scheduler's
+  /// quota watchdog for the whole job, not just during Run.
+  Status ChargeInputFootprint() const {
+    if (budget_.memory == nullptr) return Status::OK();
+    if (ingest_reservation_.bytes() == 0) {
+      return ingest_reservation_.Reserve(budget_.memory,
+                                         initial_microdata_.ApproxBytes());
+    }
+    return ingest_reservation_.Resize(initial_microdata_.ApproxBytes());
+  }
+
   Table initial_microdata_;
+  /// Holds the input table's bytes against budget_.memory across the
+  /// ingest loop and Run (see ChargeInputFootprint). Makes Anonymizer
+  /// move-only, which every current caller already satisfies. Mutable for
+  /// the same reason as last_trace_: Run() is const but must be able to
+  /// charge the input footprint when the budget arrived after ingest.
+  mutable MemoryReservation ingest_reservation_;
   std::vector<std::shared_ptr<const AttributeHierarchy>> hierarchies_;
   size_t k_ = 2;
   size_t p_ = 1;

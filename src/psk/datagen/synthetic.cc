@@ -1,5 +1,6 @@
 #include "psk/datagen/synthetic.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "psk/common/random.h"
@@ -40,8 +41,8 @@ Result<std::shared_ptr<TaxonomyHierarchy>> BuildBalancedHierarchy(
 
 }  // namespace
 
-Result<SyntheticData> SyntheticGenerate(const SyntheticSpec& spec,
-                                        uint64_t seed) {
+Result<SyntheticChunkGenerator> SyntheticChunkGenerator::Create(
+    const SyntheticSpec& spec, uint64_t seed) {
   if (spec.attributes.empty()) {
     return Status::InvalidArgument("spec has no attributes");
   }
@@ -55,27 +56,56 @@ Result<SyntheticData> SyntheticGenerate(const SyntheticSpec& spec,
     schema_attrs.push_back({attr.name, ValueType::kString, attr.role});
   }
   PSK_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(schema_attrs)));
+  return SyntheticChunkGenerator(spec, std::move(schema), seed);
+}
 
-  Table table(schema);
-  Rng rng(seed);
-  for (size_t row = 0; row < spec.num_rows; ++row) {
-    std::vector<Value> values;
-    values.reserve(spec.attributes.size());
-    for (const SyntheticAttribute& attr : spec.attributes) {
-      size_t rank = rng.Zipf(attr.cardinality, attr.zipf_theta);
-      values.push_back(Value(attr.name + "_v" + std::to_string(rank)));
+Result<size_t> SyntheticChunkGenerator::NextChunk(size_t max_rows,
+                                                  IngestChunk* chunk) {
+  if (max_rows == 0) return Status::InvalidArgument("max_rows must be > 0");
+  size_t remaining = spec_.num_rows - rows_generated_;
+  size_t rows = std::min(max_rows, remaining);
+  chunk->Reset(schema_, rows);
+  // Row-major draw order (attributes inner) is the determinism contract:
+  // it matches the legacy one-Rng-per-table row loop exactly, so chunk
+  // sizing can never change the generated data.
+  for (size_t row = 0; row < rows; ++row) {
+    for (size_t c = 0; c < spec_.attributes.size(); ++c) {
+      const SyntheticAttribute& attr = spec_.attributes[c];
+      size_t rank = rng_.Zipf(attr.cardinality, attr.zipf_theta);
+      chunk->columns[c].push_back(
+          Value(attr.name + "_v" + std::to_string(rank)));
     }
-    PSK_RETURN_IF_ERROR(table.AppendRow(std::move(values)));
   }
+  rows_generated_ += rows;
+  return rows;
+}
 
+Result<HierarchySet> SyntheticChunkGenerator::BuildHierarchies() const {
   std::vector<std::shared_ptr<const AttributeHierarchy>> hierarchies;
-  for (const SyntheticAttribute& attr : spec.attributes) {
+  for (const SyntheticAttribute& attr : spec_.attributes) {
     if (attr.role != AttributeRole::kKey) continue;
     PSK_ASSIGN_OR_RETURN(auto hierarchy, BuildBalancedHierarchy(attr));
     hierarchies.push_back(std::move(hierarchy));
   }
-  PSK_ASSIGN_OR_RETURN(HierarchySet set,
-                       HierarchySet::Create(schema, std::move(hierarchies)));
+  return HierarchySet::Create(schema_, std::move(hierarchies));
+}
+
+Result<SyntheticData> SyntheticGenerate(const SyntheticSpec& spec,
+                                        uint64_t seed) {
+  // The eager generator is now a thin drain of the streaming one: same
+  // Rng, same draw order, so existing seeds reproduce bit-for-bit.
+  PSK_ASSIGN_OR_RETURN(SyntheticChunkGenerator gen,
+                       SyntheticChunkGenerator::Create(spec, seed));
+  Table table(gen.schema());
+  table.ReserveRows(spec.num_rows);
+  IngestChunk chunk;
+  constexpr size_t kChunkRows = 64 * 1024;
+  for (;;) {
+    PSK_ASSIGN_OR_RETURN(size_t rows, gen.NextChunk(kChunkRows, &chunk));
+    if (rows == 0) break;
+    PSK_RETURN_IF_ERROR(table.AppendChunk(&chunk));
+  }
+  PSK_ASSIGN_OR_RETURN(HierarchySet set, gen.BuildHierarchies());
   return SyntheticData{std::move(table), std::move(set)};
 }
 

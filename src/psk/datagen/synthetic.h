@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "psk/common/random.h"
 #include "psk/common/result.h"
 #include "psk/hierarchy/hierarchy.h"
 #include "psk/table/table.h"
@@ -39,6 +40,46 @@ struct SyntheticSpec {
 struct SyntheticData {
   Table table;
   HierarchySet hierarchies;
+};
+
+/// Streaming producer of synthetic rows in columnar IngestChunk batches.
+///
+/// Draws are made row-major (attributes in spec order within a row) from a
+/// single Rng, so for a given (spec, seed) the concatenation of all chunks
+/// is byte-identical to the table SyntheticGenerate builds — regardless of
+/// how the caller sizes its NextChunk requests. This makes the generator a
+/// drop-in source for Table::AppendChunk / Anonymizer ingest loops at row
+/// counts that should never be materialized as one std::vector<Value> per
+/// row: the peak transient is one chunk, not the table.
+class SyntheticChunkGenerator {
+ public:
+  /// Validates the spec and builds the schema. The generator is
+  /// self-contained (copies the spec).
+  static Result<SyntheticChunkGenerator> Create(const SyntheticSpec& spec,
+                                                uint64_t seed);
+
+  const Schema& schema() const { return schema_; }
+
+  /// Fills `chunk` with up to `max_rows` rows (shaped for schema());
+  /// returns the number produced, 0 once spec.num_rows have been drawn.
+  /// Requires max_rows > 0.
+  Result<size_t> NextChunk(size_t max_rows, IngestChunk* chunk);
+
+  /// Rows produced so far across all chunks.
+  size_t rows_generated() const { return rows_generated_; }
+
+  /// The balanced hierarchy set for the spec's key attributes — the same
+  /// set SyntheticGenerate returns. Independent of generation progress.
+  Result<HierarchySet> BuildHierarchies() const;
+
+ private:
+  SyntheticChunkGenerator(SyntheticSpec spec, Schema schema, uint64_t seed)
+      : spec_(std::move(spec)), schema_(std::move(schema)), rng_(seed) {}
+
+  SyntheticSpec spec_;
+  Schema schema_;
+  Rng rng_;
+  size_t rows_generated_ = 0;
 };
 
 /// Generates a table and a matching hierarchy per key attribute,

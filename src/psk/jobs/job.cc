@@ -189,6 +189,35 @@ uint64_t JobSpecHash(const JobSpec& spec) {
   return Fnv1aHash(canonical);
 }
 
+Status MaterializeJobInput(JobSpec* spec,
+                           const std::shared_ptr<MemoryBudget>& memory) {
+  if (!spec->input_source) return Status::OK();
+  if (spec->input.num_rows() != 0) {
+    return Status::InvalidArgument(
+        "spec carries both an input_source and a non-empty input table");
+  }
+  constexpr size_t kDefaultChunkRows = 64 * 1024;
+  size_t chunk_rows =
+      spec->ingest_chunk_rows != 0 ? spec->ingest_chunk_rows
+                                   : kDefaultChunkRows;
+  MemoryReservation growth;
+  IngestChunk chunk;
+  for (;;) {
+    PSK_ASSIGN_OR_RETURN(size_t rows,
+                         spec->input_source(chunk_rows, &chunk));
+    if (rows == 0) break;
+    PSK_RETURN_IF_ERROR(spec->input.AppendChunk(&chunk));
+    if (memory != nullptr) {
+      PSK_RETURN_IF_ERROR(
+          growth.bytes() == 0
+              ? growth.Reserve(memory, spec->input.ApproxBytes())
+              : growth.Resize(spec->input.ApproxBytes()));
+    }
+  }
+  spec->input_source = nullptr;
+  return Status::OK();
+}
+
 uint64_t TableDigest(const Table& table) {
   return Fnv1aHash(WriteCsvString(table));
 }

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -17,12 +18,31 @@
 
 namespace psk {
 
+/// Pull-based source of input rows for streaming ingest: fills the chunk
+/// with up to max_rows rows and returns the count, 0 at end-of-input.
+/// CsvChunkReader::NextChunk and SyntheticChunkGenerator::NextChunk both
+/// bind directly.
+using IngestChunkSource =
+    std::function<Result<size_t>(size_t max_rows, IngestChunk* chunk)>;
+
 /// Everything one anonymization job needs: the input microdata, the
 /// privacy requirements, and the execution knobs. A JobSpec is the unit
 /// the journal fingerprints — Resume() refuses to continue a job whose
 /// spec or input no longer matches what the journal recorded.
 struct JobSpec {
   Table input;
+  /// Optional streaming input. When set, `input` must be an empty table
+  /// carrying the schema; MaterializeJobInput drains the source into it
+  /// in ingest_chunk_rows batches, chunk-metering the growth against the
+  /// job's MemoryBudget so an over-quota input fails during ingest, not
+  /// after the whole table landed. One-shot: the scheduler drains it on
+  /// the job's first attempt and clears it, so retries and the journal's
+  /// input digest see an ordinary materialized input. Excluded from
+  /// JobSpecHash (like trace_path): chunk sizing never changes the
+  /// ingested table, so it cannot shape the search.
+  IngestChunkSource input_source;
+  /// Rows per ingest batch for input_source (0 = the 64Ki default).
+  size_t ingest_chunk_rows = 0;
   std::vector<std::shared_ptr<const AttributeHierarchy>> hierarchies;
   size_t k = 2;
   size_t p = 1;
@@ -70,6 +90,16 @@ struct JobSpec {
 /// values — not just its name and depth). Stable across processes; stored
 /// in the journal and in every checkpoint.
 uint64_t JobSpecHash(const JobSpec& spec);
+
+/// Drains spec->input_source (if any) into spec->input in
+/// spec->ingest_chunk_rows batches, then clears the source. Each batch
+/// re-charges the table's footprint against `memory` (null = unmetered),
+/// so ingest of an over-quota input fails with kResourceExhausted after
+/// at most one extra chunk instead of after the whole table. The charge
+/// is released on return — Anonymizer::Run re-reserves the footprint for
+/// the run itself.
+Status MaterializeJobInput(JobSpec* spec,
+                           const std::shared_ptr<MemoryBudget>& memory);
 
 /// Content digest of a table (FNV-1a over its canonical CSV rendering).
 /// Stored in the journal so Resume() can prove it is looking at the same

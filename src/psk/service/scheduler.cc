@@ -209,6 +209,16 @@ Status RunAttempt(const SchedulerOptions& options, SchedulerJob& job,
                   bool resume, AnonymizationReport* report) {
   if (job.on_start) job.on_start();
 
+  // Streaming input: drained into the job's spec on the first attempt,
+  // chunk-metered against the job's quota (over-quota inputs fail here
+  // with kResourceExhausted, before any search work). The source is
+  // one-shot; materializing into job.spec means retries and the durable
+  // journal's input digest see an ordinary table. Only the owning
+  // executor touches job.spec, so this mutation is race-free.
+  if (job.spec.input_source) {
+    PSK_RETURN_IF_ERROR(MaterializeJobInput(&job.spec, job.memory));
+  }
+
   // Per-attempt copy: the scheduler owns the run-control plumbing and
   // must not leak it into the caller's spec (or across jobs).
   JobSpec spec = job.spec;

@@ -9,21 +9,29 @@
 namespace psk {
 namespace {
 
-/// Dictionary-encodes one column by Value equality, numbering codes by
-/// first occurrence. `representatives` receives one Value per code — the
-/// first Value observed with that code.
+/// Dictionary-encodes one column, numbering codes by first occurrence in
+/// row order. `representatives` receives one Value per code — the first
+/// Value observed with that code.
+///
+/// Cells are already interned: within a typed column, equal Values carry
+/// equal store ids, so densification is a uint32 -> uint32 map over the
+/// id column — no Value is hashed and no string payload is touched. The
+/// first-occurrence numbering makes the codes invariant to store id
+/// assignment (which may vary across runs under parallel ingest).
 void EncodeColumn(const Table& table, size_t col, std::vector<uint32_t>* codes,
                   std::vector<Value>* representatives) {
-  size_t num_rows = table.num_rows();
+  const std::vector<ValueId>& ids = table.column_ids(col);
+  const ValueStore& store = *table.store();
+  size_t num_rows = ids.size();
   codes->resize(num_rows);
-  std::unordered_map<Value, uint32_t, ValueHash> dictionary;
-  dictionary.reserve(num_rows);
+  std::unordered_map<ValueId, uint32_t> dictionary;
+  dictionary.reserve(std::min(num_rows, size_t{1} << 20));
   for (size_t row = 0; row < num_rows; ++row) {
     auto [it, inserted] = dictionary.try_emplace(
-        table.Get(row, col), static_cast<uint32_t>(dictionary.size()));
+        ids[row], static_cast<uint32_t>(dictionary.size()));
     (*codes)[row] = it->second;
     if (inserted && representatives != nullptr) {
-      representatives->push_back(it->first);
+      representatives->push_back(store.Get(ids[row]));
     }
   }
 }
@@ -221,26 +229,47 @@ Result<Table> EncodedTable::Decode(const LatticeNode& node,
     key_slot_of_out.push_back(is_key ? static_cast<int>(this_slot) : -1);
   }
   PSK_ASSIGN_OR_RETURN(Schema out_schema, Schema::Create(std::move(out_attrs)));
-  Table out(std::move(out_schema));
 
-  std::vector<Value> out_row;
-  for (size_t row = 0; row < num_rows_; ++row) {
-    if (keep != nullptr && !(*keep)[row]) continue;
-    out_row.clear();
-    out_row.reserve(src_cols.size());
-    for (size_t i = 0; i < src_cols.size(); ++i) {
-      int slot = key_slot_of_out[i];
-      if (slot < 0 || node.levels[slot] == 0) {
-        out_row.push_back(im.Get(row, src_cols[i]));
-        continue;
-      }
-      const KeyColumn& kc = keys_[slot];
-      out_row.push_back(kc.values[node.levels[slot]][kc.codes[row]]);
+  // Columnar decode over interned ids, sharing the initial microdata's
+  // store: pass-through columns (and level-0 keys) gather 4-byte ids
+  // through the suppression mask; generalized key columns intern each
+  // memoized generalized Value once per *ground code* and then gather —
+  // no per-row Value is constructed or hashed. Byte-identical to the row
+  // path (same Values, same order), it just never materializes them.
+  size_t out_rows = num_rows_;
+  if (keep != nullptr) {
+    out_rows = 0;
+    for (size_t row = 0; row < num_rows_; ++row) {
+      if ((*keep)[row]) ++out_rows;
     }
-    PSK_RETURN_IF_ERROR(out.AppendRow(std::move(out_row)));
-    out_row = std::vector<Value>();
   }
-  return out;
+  ValueStore& store = *im.store();
+  std::vector<std::vector<ValueId>> out_columns(src_cols.size());
+  std::vector<ValueId> gen_ids;  // ground code -> interned generalized id
+  for (size_t i = 0; i < src_cols.size(); ++i) {
+    std::vector<ValueId>& out_ids = out_columns[i];
+    out_ids.reserve(out_rows);
+    int slot = key_slot_of_out[i];
+    if (slot < 0 || node.levels[slot] == 0) {
+      const std::vector<ValueId>& src_ids = im.column_ids(src_cols[i]);
+      for (size_t row = 0; row < num_rows_; ++row) {
+        if (keep != nullptr && !(*keep)[row]) continue;
+        out_ids.push_back(src_ids[row]);
+      }
+      continue;
+    }
+    const KeyColumn& kc = keys_[slot];
+    const std::vector<Value>& level_values = kc.values[node.levels[slot]];
+    gen_ids.clear();
+    gen_ids.reserve(level_values.size());
+    for (const Value& v : level_values) gen_ids.push_back(store.Intern(v));
+    for (size_t row = 0; row < num_rows_; ++row) {
+      if (keep != nullptr && !(*keep)[row]) continue;
+      out_ids.push_back(gen_ids[kc.codes[row]]);
+    }
+  }
+  return Table::FromColumns(std::move(out_schema), im.store(),
+                            std::move(out_columns));
 }
 
 }  // namespace psk

@@ -18,20 +18,32 @@ Result<FrequencySet> FrequencySet::Compute(
   }
   FrequencySet fs;
   fs.num_rows_ = table.num_rows();
-  std::unordered_map<std::vector<Value>, size_t, CompositeKeyHash> index;
+  // Keys are tuples of interned ids, not Values: within a typed column,
+  // equal cells carry equal ids, so id-tuple equality is exactly the
+  // Value-tuple equality this grouped by before — minus every per-row
+  // Value copy and string hash. The Value key of each group is
+  // materialized once, on first occurrence.
+  struct IdKeyHash {
+    size_t operator()(const std::vector<ValueId>& key) const {
+      size_t h = 0x345678;
+      for (ValueId id : key) h = CompositeKeyHash::Mix(h, id);
+      return h;
+    }
+  };
+  std::unordered_map<std::vector<ValueId>, size_t, IdKeyHash> index;
   index.reserve(table.num_rows());
   // One key buffer reused across rows: the map copies it only on insert
-  // (once per distinct group), so the per-row cost is value copies into an
+  // (once per distinct group), so the per-row cost is id copies into an
   // already-sized vector instead of a fresh allocation.
-  std::vector<Value> key;
+  std::vector<ValueId> key;
   key.reserve(col_indices.size());
   for (size_t row = 0; row < table.num_rows(); ++row) {
     key.clear();
-    for (size_t col : col_indices) key.push_back(table.Get(row, col));
+    for (size_t col : col_indices) key.push_back(table.GetId(row, col));
     auto [it, inserted] = index.try_emplace(key, fs.groups_.size());
     if (inserted) {
       Group group;
-      group.key = it->first;
+      group.key = table.RowKey(row, col_indices);
       fs.groups_.push_back(std::move(group));
     }
     fs.groups_[it->second].row_indices.push_back(row);
@@ -325,10 +337,12 @@ void GroupByCodesSliced(const std::vector<CodeColumnView>& columns,
 
 std::vector<size_t> DescendingValueFrequencies(const Table& table,
                                                size_t col) {
-  std::unordered_map<Value, size_t, ValueHash> counts;
+  // Frequencies only — no Value is inspected, so count over the interned
+  // ids: equal cells share an id within a typed column.
+  std::unordered_map<ValueId, size_t> counts;
   counts.reserve(table.num_rows());
-  for (const Value& v : table.column(col)) {
-    ++counts[v];
+  for (ValueId id : table.column_ids(col)) {
+    ++counts[id];
   }
   std::vector<size_t> freqs;
   freqs.reserve(counts.size());

@@ -19,29 +19,40 @@ Result<TableStats> ComputeTableStats(const Table& table, size_t top_k) {
     cs.type = attr.type;
     cs.role = attr.role;
 
-    std::unordered_map<Value, size_t, ValueHash> counts;
-    double sum = 0.0;
-    for (const Value& v : table.column(col)) {
-      if (v.is_null()) {
+    // Frequencies are counted over interned ids — O(rows) over uint32,
+    // touching a Value (and its string payload) only once per *distinct*
+    // value for the numeric accumulators and the top-k list.
+    const ValueStore& store = *table.store();
+    std::unordered_map<ValueId, size_t> counts;
+    counts.reserve(std::min(table.num_rows(), size_t{1} << 20));
+    for (ValueId id : table.column_ids(col)) {
+      if (id == ValueStore::kNullId) {
         ++cs.nulls;
         continue;
       }
       ++cs.non_null;
-      ++counts[v];
+      ++counts[id];
+    }
+    cs.distinct = counts.size();
+    double sum = 0.0;
+    for (const auto& [id, count] : counts) {
+      const Value& v = store.Get(id);
       if (v.type() == ValueType::kInt64 || v.type() == ValueType::kDouble) {
         double x = v.AsNumeric();
-        sum += x;
+        sum += x * static_cast<double>(count);
         if (!cs.min.has_value() || x < *cs.min) cs.min = x;
         if (!cs.max.has_value() || x > *cs.max) cs.max = x;
       }
     }
-    cs.distinct = counts.size();
     if (cs.min.has_value() && cs.non_null > 0) {
       cs.mean = sum / static_cast<double>(cs.non_null);
     }
 
-    std::vector<std::pair<Value, size_t>> ranked(counts.begin(),
-                                                 counts.end());
+    std::vector<std::pair<Value, size_t>> ranked;
+    ranked.reserve(counts.size());
+    for (const auto& [id, count] : counts) {
+      ranked.emplace_back(store.Get(id), count);
+    }
     std::sort(ranked.begin(), ranked.end(),
               [](const auto& a, const auto& b) {
                 if (a.second != b.second) return a.second > b.second;

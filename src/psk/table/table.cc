@@ -8,8 +8,56 @@
 
 namespace psk {
 
-Table::Table(Schema schema) : schema_(std::move(schema)) {
+void IngestChunk::Reset(const Schema& schema, size_t rows_hint) {
+  types.resize(schema.num_attributes());
+  columns.resize(schema.num_attributes());
+  for (size_t i = 0; i < schema.num_attributes(); ++i) {
+    types[i] = schema.attribute(i).type;
+    columns[i].clear();
+    columns[i].reserve(rows_hint);
+  }
+}
+
+void IngestChunk::Clear() {
+  for (auto& column : columns) column.clear();
+}
+
+Table::Table(Schema schema)
+    : schema_(std::move(schema)), store_(std::make_shared<ValueStore>()) {
   columns_.resize(schema_.num_attributes());
+}
+
+Table::Table(Schema schema, std::shared_ptr<ValueStore> store)
+    : schema_(std::move(schema)), store_(std::move(store)) {
+  PSK_CHECK(store_ != nullptr);
+  columns_.resize(schema_.num_attributes());
+}
+
+Result<Table> Table::FromColumns(Schema schema,
+                                 std::shared_ptr<ValueStore> store,
+                                 std::vector<std::vector<ValueId>> columns) {
+  if (columns.size() != schema.num_attributes()) {
+    return Status::InvalidArgument(
+        "column count " + std::to_string(columns.size()) +
+        " does not match schema attribute count " +
+        std::to_string(schema.num_attributes()));
+  }
+  size_t rows = columns.empty() ? 0 : columns[0].size();
+  for (const auto& column : columns) {
+    if (column.size() != rows) {
+      return Status::InvalidArgument("ragged id columns");
+    }
+  }
+  Table out(std::move(schema), std::move(store));
+  out.columns_ = std::move(columns);
+  out.num_rows_ = rows;
+  return out;
+}
+
+void Table::ReserveRows(size_t additional_rows) {
+  for (auto& column : columns_) {
+    column.reserve(num_rows_ + additional_rows);
+  }
 }
 
 Status Table::AppendRow(std::vector<Value> row) {
@@ -28,21 +76,66 @@ Status Table::AppendRow(std::vector<Value> row) {
     }
   }
   for (size_t i = 0; i < row.size(); ++i) {
-    columns_[i].push_back(std::move(row[i]));
+    columns_[i].push_back(store_->Intern(row[i]));
   }
   ++num_rows_;
   return Status::OK();
 }
 
-void Table::Set(size_t row, size_t col, Value value) {
-  PSK_CHECK(col < columns_.size() && row < num_rows_);
-  columns_[col][row] = std::move(value);
+Status Table::AppendChunk(IngestChunk* chunk) {
+  if (chunk->columns.size() != schema_.num_attributes()) {
+    return Status::InvalidArgument(
+        "chunk has " + std::to_string(chunk->columns.size()) +
+        " columns; schema has " + std::to_string(schema_.num_attributes()) +
+        " attributes");
+  }
+  size_t rows = chunk->num_rows();
+  // One validation per column per chunk: the producer's element type tag
+  // must match the schema, and all columns must be the same length. The
+  // per-cell type branch of AppendRow is skipped in release builds.
+  for (size_t c = 0; c < chunk->columns.size(); ++c) {
+    if (chunk->types[c] != schema_.attribute(c).type) {
+      return Status::InvalidArgument(
+          "type mismatch in chunk column '" + schema_.attribute(c).name +
+          "': expected " +
+          std::string(ValueTypeToString(schema_.attribute(c).type)) +
+          ", got " + std::string(ValueTypeToString(chunk->types[c])));
+    }
+    if (chunk->columns[c].size() != rows) {
+      return Status::InvalidArgument(
+          "ragged chunk: column '" + schema_.attribute(c).name + "' has " +
+          std::to_string(chunk->columns[c].size()) + " cells; expected " +
+          std::to_string(rows));
+    }
+  }
+  for (size_t c = 0; c < chunk->columns.size(); ++c) {
+    std::vector<ValueId>& ids = columns_[c];
+    ids.reserve(num_rows_ + rows);
+    for (const Value& v : chunk->columns[c]) {
+      PSK_DCHECK(v.is_null() || v.type() == chunk->types[c]);
+      ids.push_back(store_->Intern(v));
+    }
+  }
+  num_rows_ += rows;
+  chunk->Clear();
+  return Status::OK();
 }
 
-const std::vector<Value>& Table::column(size_t col) const {
+void Table::Set(size_t row, size_t col, Value value) {
+  PSK_CHECK(col < columns_.size() && row < num_rows_);
+  columns_[col][row] = store_->Intern(value);
+}
+
+const std::vector<ValueId>& Table::column_ids(size_t col) const {
   PSK_CHECK(col < columns_.size());
   PSK_DCHECK(columns_[col].size() == num_rows_);
   return columns_[col];
+}
+
+Table::ColumnView Table::column(size_t col) const {
+  PSK_CHECK(col < columns_.size());
+  PSK_DCHECK(columns_[col].size() == num_rows_);
+  return ColumnView(store_.get(), &columns_[col]);
 }
 
 std::vector<Value> Table::Row(size_t row) const {
@@ -50,7 +143,7 @@ std::vector<Value> Table::Row(size_t row) const {
   std::vector<Value> values;
   values.reserve(columns_.size());
   for (const auto& column : columns_) {
-    values.push_back(column[row]);
+    values.push_back(store_->Get(column[row]));
   }
   return values;
 }
@@ -62,14 +155,13 @@ std::vector<Value> Table::RowKey(
   values.reserve(col_indices.size());
   for (size_t col : col_indices) {
     PSK_DCHECK(col < columns_.size());
-    values.push_back(columns_[col][row]);
+    values.push_back(store_->Get(columns_[col][row]));
   }
   return values;
 }
 
 Result<Table> Table::FilterRows(const std::vector<size_t>& row_indices) const {
-  Table out(schema_);
-  out.columns_.assign(columns_.size(), {});
+  Table out(schema_, store_);
   for (auto& column : out.columns_) column.reserve(row_indices.size());
   for (size_t row : row_indices) {
     if (row >= num_rows_) {
@@ -98,7 +190,7 @@ Result<Table> Table::FilterByMask(const std::vector<bool>& keep) const {
 Result<Table> Table::ProjectColumns(
     const std::vector<size_t>& col_indices) const {
   PSK_ASSIGN_OR_RETURN(Schema projected, schema_.Project(col_indices));
-  Table out(std::move(projected));
+  Table out(std::move(projected), store_);
   for (size_t i = 0; i < col_indices.size(); ++i) {
     out.columns_[i] = columns_[col_indices[i]];
   }
@@ -119,18 +211,21 @@ Result<Table> Table::DropIdentifiers() const {
 size_t Table::DistinctCount(size_t col) const {
   PSK_CHECK(col < columns_.size());
   PSK_DCHECK(columns_[col].size() == num_rows_);
-  // Deduplicate through pointers into the column: hashing and equality
-  // dereference in place, so no Value (and no string payload) is copied.
-  struct DerefHash {
-    size_t operator()(const Value* v) const { return v->Hash(); }
-  };
-  struct DerefEq {
-    bool operator()(const Value* a, const Value* b) const { return *a == *b; }
-  };
-  std::unordered_set<const Value*, DerefHash, DerefEq> seen;
-  seen.reserve(num_rows_);
-  for (const Value& v : columns_[col]) seen.insert(&v);
+  // The store already deduplicates by value: a column's distinct values
+  // are exactly its distinct ids. Counting scans uint32 ids, never
+  // hashing a Value (or touching a string payload).
+  std::unordered_set<ValueId> seen;
+  seen.reserve(std::min(num_rows_, size_t{1} << 20));
+  for (ValueId id : columns_[col]) seen.insert(id);
   return seen.size();
+}
+
+size_t Table::ApproxBytes() const {
+  size_t bytes = store_ != nullptr ? store_->ApproxBytes() : 0;
+  for (const auto& column : columns_) {
+    bytes += column.capacity() * sizeof(ValueId);
+  }
+  return bytes;
 }
 
 std::string Table::ToDisplayString(size_t max_rows) const {
@@ -143,7 +238,7 @@ std::string Table::ToDisplayString(size_t max_rows) const {
   for (size_t row = 0; row < rows_to_show; ++row) {
     cells[row].resize(columns_.size());
     for (size_t col = 0; col < columns_.size(); ++col) {
-      cells[row][col] = columns_[col][row].ToString();
+      cells[row][col] = Get(row, col).ToString();
       widths[col] = std::max(widths[col], cells[row][col].size());
     }
   }

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <future>
 #include <memory>
@@ -455,19 +456,47 @@ TEST(SchedulerTest, ShedsWhenInFlightMemoryExceedsTheCap) {
   options.max_total_memory = 1;  // any accounted byte trips admission
   JobScheduler scheduler(options);
 
+  // Stream the heavy job's input through a gated chunk source: the
+  // materialization loop holds the first chunk's reservation against
+  // job.memory while the source parks on the gate, so the in-flight
+  // charge stays observable for as long as the test needs. (Polling a
+  // free-running job races with its completion.)
   SchedulerJobRequest heavy;
   heavy.name = "heavy";
   heavy.spec = MakeSpec(1500, 4, AnonymizationAlgorithm::kExhaustive);
+  auto source_table = std::make_shared<Table>(std::move(heavy.spec.input));
+  heavy.spec.input = Table(source_table->schema());
+  heavy.spec.ingest_chunk_rows = 1000;
+  std::promise<void> first_chunk_charged;
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  auto pos = std::make_shared<size_t>(0);
+  auto signaled = std::make_shared<bool>(false);
+  heavy.spec.input_source = [source_table, pos, signaled, gate,
+                             &first_chunk_charged](
+                                size_t max_rows,
+                                IngestChunk* chunk) -> Result<size_t> {
+    if (*pos > 0 && !*signaled) {
+      *signaled = true;
+      first_chunk_charged.set_value();
+      gate.wait();
+    }
+    size_t rows =
+        std::min(max_rows, source_table->num_rows() - *pos);
+    chunk->Reset(source_table->schema(), rows);
+    for (size_t c = 0; c < source_table->num_columns(); ++c) {
+      for (size_t r = 0; r < rows; ++r) {
+        chunk->columns[c].push_back(source_table->Get(*pos + r, c));
+      }
+    }
+    *pos += rows;
+    return rows;
+  };
   uint64_t heavy_id = UnwrapOk(scheduler.Submit(std::move(heavy)));
-  // Wait until the running job has charged real memory (encode seam).
-  bool charged = false;
-  for (int i = 0; i < 20000 && !charged; ++i) {
-    SchedulerJobStatus status = UnwrapOk(scheduler.Progress(heavy_id));
-    if (status.state == JobState::kCompleted) break;
-    charged = status.memory_bytes > 0;
-    if (!charged) std::this_thread::sleep_for(std::chrono::microseconds(100));
-  }
-  ASSERT_TRUE(charged) << "job finished before its memory was observed";
+  first_chunk_charged.get_future().wait();
+  SchedulerJobStatus status = UnwrapOk(scheduler.Progress(heavy_id));
+  EXPECT_GT(status.memory_bytes, 0u)
+      << "materialized chunk did not charge the job's budget";
 
   SchedulerJobRequest extra;
   extra.spec = MakeSpec(150, 5, AnonymizationAlgorithm::kSamarati);
@@ -477,6 +506,7 @@ TEST(SchedulerTest, ShedsWhenInFlightMemoryExceedsTheCap) {
   EXPECT_TRUE(shed.status().retryable());
   EXPECT_TRUE(HasEvent(scheduler.Events(), "shed.memory"));
 
+  release.set_value();
   PSK_EXPECT_OK(UnwrapOk(scheduler.Wait(heavy_id)).status);
 }
 
@@ -776,8 +806,41 @@ TEST(SchedulerTest, LadderRestartsAParallelJobOnTheSequentialPath) {
   JobScheduler scheduler(options);
   SchedulerJobRequest request;
   request.name = "hog";
-  request.spec = spec;
-  request.memory_quota = 700 * 1024;
+  request.spec = std::move(spec);
+  // Roomy hard quota: the 1% *soft* quota drives the ladder. (Interned
+  // tables charge their input footprint now, so a tight hard quota would
+  // budget-stop the run before the ladder ever engages.)
+  request.memory_quota = 2 * 1024 * 1024;
+
+  // Stream the input through a source that parks after the first chunk
+  // until the watchdog has climbed to rung 2: the materialization
+  // reservation keeps the job over its soft quota while it waits, and
+  // the rung-2 cancel then lands before the run starts — deterministic,
+  // instead of racing the demotion against a search the interned data
+  // layer made too fast to catch mid-flight.
+  auto source_table =
+      std::make_shared<Table>(std::move(request.spec.input));
+  request.spec.input = Table(source_table->schema());
+  auto pos = std::make_shared<size_t>(0);
+  request.spec.input_source = [source_table, pos, &scheduler](
+                                  size_t max_rows,
+                                  IngestChunk* chunk) -> Result<size_t> {
+    if (*pos > 0) {
+      // First chunk is charged; park until the demotion fires.
+      while (scheduler.stats().degrade_sequential_restarts == 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    }
+    size_t rows = std::min(max_rows, source_table->num_rows() - *pos);
+    chunk->Reset(source_table->schema(), rows);
+    for (size_t c = 0; c < source_table->num_columns(); ++c) {
+      for (size_t r = 0; r < rows; ++r) {
+        chunk->columns[c].push_back(source_table->Get(*pos + r, c));
+      }
+    }
+    *pos += rows;
+    return rows;
+  };
   uint64_t id = UnwrapOk(scheduler.Submit(std::move(request)));
   SchedulerJobResult result = UnwrapOk(scheduler.Wait(id));
 

@@ -136,9 +136,16 @@ TEST(TableTest, DistinctCount) {
 
 TEST(TableTest, ColumnView) {
   Table table = SmallTable();
-  const std::vector<Value>& ages = table.column(1);
+  Table::ColumnView ages = table.column(1);
   ASSERT_EQ(ages.size(), 3u);
   EXPECT_EQ(ages[0].AsInt64(), 30);
+  // Range-for dereferences the interned store.
+  size_t count = 0;
+  for (const Value& v : ages) {
+    EXPECT_FALSE(v.is_null());
+    ++count;
+  }
+  EXPECT_EQ(count, 3u);
 }
 
 TEST(TableTest, DisplayStringTruncates) {
